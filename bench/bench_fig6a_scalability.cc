@@ -1,0 +1,63 @@
+// Reproduces Figure 6a of the paper: scalability in |D| on the Tax dataset
+// — running time of each measure on samples of growing size. The paper
+// sweeps 100K..1M and observes a quadratic trend driven by the violation
+// query; the default here sweeps 1K..8K (use --full for 100K..1M).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/timer.h"
+
+namespace dbim::bench {
+namespace {
+
+int Run(const BenchArgs& args) {
+  PrintHeader("Figure 6a — scalability in |D| on Tax",
+              "Per-measure runtime (seconds) vs sample size; expect the\n"
+              "near-quadratic growth of the dominating violation query.");
+
+  RegistryOptions options;
+  options.include_mc = false;
+  // I_R's branch & bound gets expensive on dense high-error conflict
+  // graphs; past the deadline it reports its incumbent (an upper bound).
+  options.repair_deadline_seconds = 30.0;
+  const auto measures = CreateMeasures(options);
+
+  std::vector<std::string> header = {"#tuples"};
+  for (const auto& m : measures) header.push_back(m->name());
+  TablePrinter table(header);
+
+  std::vector<size_t> sizes;
+  if (args.full) {
+    sizes = {100000, 250000, 500000, 750000, 1000000};
+  } else {
+    sizes = {1000, 2000, 4000, 6000, 8000};
+  }
+
+  Rng rng(args.seed);
+  for (const size_t n : sizes) {
+    Dataset dataset = MakeDataset(DatasetId::kTax, n, args.seed);
+    const CoNoiseGenerator noise(dataset.data, dataset.constraints);
+    Database db = dataset.data;
+    Rng run_rng = rng.Fork();
+    for (size_t i = 0; i < std::max<size_t>(n / 1000, 1); ++i) {
+      noise.Step(db, run_rng);
+    }
+    const ViolationDetector detector(dataset.schema, dataset.constraints);
+    std::vector<std::string> row = {std::to_string(n)};
+    for (const auto& m : measures) {
+      Timer timer;
+      (void)m->EvaluateFresh(detector, db);
+      row.push_back(TablePrinter::Num(timer.Seconds(), 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  Emit(args, "fig6a_scalability", table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbim::bench
+
+int main(int argc, char** argv) {
+  return dbim::bench::Run(dbim::bench::BenchArgs::Parse(argc, argv));
+}

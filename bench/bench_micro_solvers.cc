@@ -1,0 +1,117 @@
+// Google-benchmark microbenchmarks for the combinatorial substrate: the
+// violation detector, the matching/flow-based fractional vertex cover, the
+// exact cover branch & bound, Bron–Kerbosch counting, and the simplex.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datagen/datasets.h"
+#include "datagen/noise.h"
+#include "graph/bron_kerbosch.h"
+#include "graph/fractional_vc.h"
+#include "graph/graph.h"
+#include "graph/vertex_cover.h"
+#include "lp/covering.h"
+#include "measures/repair_measures.h"
+#include "violations/detector.h"
+
+namespace dbim {
+namespace {
+
+SimpleGraph RandomGraph(size_t n, double p, uint64_t seed) {
+  Rng rng(seed);
+  SimpleGraph g(n);
+  for (uint32_t a = 0; a < n; ++a) {
+    for (uint32_t b = a + 1; b < n; ++b) {
+      if (rng.Bernoulli(p)) g.AddEdge(a, b);
+    }
+  }
+  g.Normalize();
+  return g;
+}
+
+Database NoisyDataset(DatasetId id, size_t n, int steps) {
+  const Dataset dataset = MakeDataset(id, n, 42);
+  const CoNoiseGenerator noise(dataset.data, dataset.constraints);
+  Database db = dataset.data;
+  Rng rng(7);
+  for (int i = 0; i < steps; ++i) noise.Step(db, rng);
+  return db;
+}
+
+void BM_DetectViolationsHospital(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset dataset = MakeDataset(DatasetId::kHospital, n, 42);
+  const CoNoiseGenerator noise(dataset.data, dataset.constraints);
+  Database db = dataset.data;
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) noise.Step(db, rng);
+  const ViolationDetector detector(dataset.schema, dataset.constraints);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.FindViolations(db));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DetectViolationsHospital)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_FractionalVertexCover(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const SimpleGraph g = RandomGraph(n, 4.0 / static_cast<double>(n), 3);
+  const std::vector<double> w(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FractionalVertexCover(g, w));
+  }
+}
+BENCHMARK(BM_FractionalVertexCover)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_ExactVertexCover(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const SimpleGraph g = RandomGraph(n, 3.0 / static_cast<double>(n), 5);
+  const std::vector<double> w(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinWeightVertexCover(g, w));
+  }
+}
+BENCHMARK(BM_ExactVertexCover)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_CountMaximalIndependentSets(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const SimpleGraph g = RandomGraph(n, 0.15, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountMaximalIndependentSets(g));
+  }
+}
+BENCHMARK(BM_CountMaximalIndependentSets)->Arg(30)->Arg(60)->Arg(90);
+
+void BM_CoveringLpSimplex(benchmark::State& state) {
+  const size_t sets = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  CoveringProblem problem;
+  problem.costs.assign(60, 1.0);
+  for (size_t s = 0; s < sets; ++s) {
+    uint32_t a = static_cast<uint32_t>(rng.UniformIndex(60));
+    uint32_t b = static_cast<uint32_t>(rng.UniformIndex(60));
+    if (a == b) b = (b + 1) % 60;
+    problem.sets.push_back({std::min(a, b), std::max(a, b)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveCoveringLpRelaxation(problem));
+  }
+}
+BENCHMARK(BM_CoveringLpSimplex)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_LinRepairEndToEnd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset dataset = MakeDataset(DatasetId::kTax, n, 42);
+  const Database db = NoisyDataset(DatasetId::kTax, n, static_cast<int>(n / 100));
+  const ViolationDetector detector(dataset.schema, dataset.constraints);
+  LinRepairMeasure lin;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lin.EvaluateFresh(detector, db));
+  }
+}
+BENCHMARK(BM_LinRepairEndToEnd)->Arg(1000)->Arg(4000);
+
+}  // namespace
+}  // namespace dbim
+
+BENCHMARK_MAIN();

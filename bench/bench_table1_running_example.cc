@@ -1,0 +1,82 @@
+// Reproduces Table 1 of the paper: the value of every inconsistency measure
+// on the noisy running-example databases D1 and D2 (Figure 1), including
+// I_R under deletions and under attribute updates.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/running_example.h"
+#include "measures/basic_measures.h"
+#include "measures/mc_measures.h"
+#include "measures/repair_measures.h"
+#include "repair/update_repair.h"
+#include "violations/detector.h"
+
+namespace dbim::bench {
+namespace {
+
+int Run(const BenchArgs& args) {
+  PrintHeader("Table 1 — running example",
+              "Measure values on the noisy Airport databases D1 and D2;\n"
+              "paper values in parentheses. I_R(updates) is shown under the\n"
+              "paper's convention (FD left-hand sides frozen) and as the\n"
+              "unrestricted optimum (see EXPERIMENTS.md).");
+
+  const RunningExample example = MakeRunningExample();
+  const ViolationDetector detector(example.schema, example.dcs);
+
+  DrasticMeasure drastic;
+  MiCountMeasure mi;
+  ProblematicFactsMeasure problematic;
+  MaxConsistentSubsetsMeasure mc;
+  MinRepairMeasure repair;
+  LinRepairMeasure lin;
+
+  const auto municipality =
+      example.schema->relation(example.relation).FindAttribute("Municipality");
+  UpdateRepairOptions frozen;
+  frozen.frozen_columns = {{example.relation, *municipality}};
+
+  auto update_repair = [&](const Database& db, bool restrict) {
+    const auto result =
+        MinUpdateRepair(db, example.dcs, restrict ? frozen : UpdateRepairOptions{});
+    return result.has_value() ? std::to_string(*result) : std::string("-");
+  };
+
+  TablePrinter table({"measure", "D1", "paper D1", "D2", "paper D2"});
+  auto row = [&](const std::string& name, InconsistencyMeasure& m,
+                 const char* paper_d1, const char* paper_d2) {
+    table.AddRow({name, TablePrinter::Num(m.EvaluateFresh(detector, example.d1), 2),
+                  paper_d1,
+                  TablePrinter::Num(m.EvaluateFresh(detector, example.d2), 2),
+                  paper_d2});
+  };
+  row("I_d", drastic, "1", "1");
+  table.AddRow({"I_R (deletions)",
+                TablePrinter::Num(repair.EvaluateFresh(detector, example.d1), 2),
+                "3",
+                TablePrinter::Num(repair.EvaluateFresh(detector, example.d2), 2),
+                "2"});
+  table.AddRow({"I_R (updates, frozen LHS)", update_repair(example.d1, true),
+                "4", update_repair(example.d2, true), "3"});
+  table.AddRow({"I_R (updates, unrestricted)",
+                update_repair(example.d1, false), "4*",
+                update_repair(example.d2, false), "3*"});
+  row("I_MI", mi, "7", "5");
+  row("I_P", problematic, "5", "4");
+  row("I_MC", mc, "3", "2");
+  row("I_lin_R", lin, "2.5", "2");
+
+  Emit(args, "table1_running_example", table);
+  std::printf(
+      "*  the paper's Table 1 counts only repairs of the dependent\n"
+      "   attributes; allowing updates of Municipality admits smaller\n"
+      "   repairs (3 and 2). Both conventions are reproduced above.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbim::bench
+
+int main(int argc, char** argv) {
+  return dbim::bench::Run(dbim::bench::BenchArgs::Parse(argc, argv));
+}

@@ -1,0 +1,67 @@
+// Reproduces Table 3 of the paper: end-to-end running time (seconds) of
+// each measure on every dataset after #tuples/1000 iterations of CONoise.
+// I_MC is excluded (it exceeded the paper's 24-hour limit everywhere).
+//
+// Default sizes are the paper's divided by 20 so the whole suite stays
+// minute-scale; pass --full for the paper's cardinalities. The shape to
+// look for (Section 6.2.3): all measures are dominated by violation
+// detection (the paper's SQL join), with I_R and I_lin_R slightly above
+// the counting measures.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/timer.h"
+
+namespace dbim::bench {
+namespace {
+
+int Run(const BenchArgs& args) {
+  PrintHeader("Table 3 — running times (seconds)",
+              "Per-measure end-to-end evaluation time (violation detection\n"
+              "included, as in the paper) after #tuples/1000 CONoise\n"
+              "iterations. Default scale: paper sizes / 100 (use --full).");
+
+  RegistryOptions options;
+  options.include_mc = false;
+  // I_R's branch & bound gets expensive on dense high-error conflict
+  // graphs; past the deadline it reports its incumbent (an upper bound).
+  options.repair_deadline_seconds = 10.0;
+  const auto measures = CreateMeasures(options);
+
+  std::vector<std::string> header = {"dataset", "#tuples"};
+  for (const auto& m : measures) header.push_back(m->name());
+  TablePrinter table(header);
+
+  Rng rng(args.seed);
+  for (const DatasetId id : AllDatasets()) {
+    const size_t n = args.SampleSize(PaperTupleCount(id) / 100,
+                                     PaperTupleCount(id));
+    Dataset dataset = MakeDataset(id, n, args.seed);
+    const CoNoiseGenerator noise(dataset.data, dataset.constraints);
+    Rng run_rng = rng.Fork();
+    Database db = dataset.data;
+    const size_t iterations = std::max<size_t>(n / 1000, 1);
+    for (size_t i = 0; i < iterations; ++i) noise.Step(db, run_rng);
+
+    const ViolationDetector detector(dataset.schema, dataset.constraints);
+    std::vector<std::string> row = {DatasetName(id), std::to_string(n)};
+    for (const auto& m : measures) {
+      Timer timer;
+      const double value = m->EvaluateFresh(detector, db);
+      const double seconds = timer.Seconds();
+      (void)value;
+      row.push_back(TablePrinter::Num(seconds, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  Emit(args, "table3_runtimes", table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbim::bench
+
+int main(int argc, char** argv) {
+  return dbim::bench::Run(dbim::bench::BenchArgs::Parse(argc, argv));
+}

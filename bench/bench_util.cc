@@ -1,0 +1,117 @@
+#include "bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace dbim::bench {
+
+BenchArgs BenchArgs::Parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      args.full = true;
+    } else if (StartsWith(arg, "--scale=")) {
+      args.scale = std::strtod(arg.c_str() + 8, nullptr);
+    } else if (arg == "--csv") {
+      args.csv = true;
+    } else if (StartsWith(arg, "--out=")) {
+      args.out_dir = arg.substr(6);
+    } else if (StartsWith(arg, "--seed=")) {
+      args.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "flags: --full --scale=X --csv --out=DIR --seed=N\n"
+          "  --full uses the paper's sizes; default is a reduced scale\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+size_t BenchArgs::SampleSize(size_t base, size_t paper) const {
+  if (full) return paper;
+  const double scaled = static_cast<double>(base) * scale;
+  return static_cast<size_t>(std::max(scaled, 16.0));
+}
+
+void PrintHeader(const std::string& experiment, const std::string& about) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n%s\n", experiment.c_str(), about.c_str());
+  std::printf("================================================================\n");
+}
+
+void Emit(const BenchArgs& args, const std::string& name,
+          const TablePrinter& table) {
+  std::printf("%s\n", table.ToText().c_str());
+  if (!args.csv) return;
+  std::error_code ec;
+  std::filesystem::create_directories(args.out_dir, ec);
+  const std::string path = args.out_dir + "/" + name + ".csv";
+  if (table.WriteCsv(path)) {
+    std::printf("[csv] wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "[csv] FAILED to write %s\n", path.c_str());
+  }
+}
+
+TrajectoryResult RunTrajectory(
+    const Dataset& dataset,
+    const std::vector<std::unique_ptr<InconsistencyMeasure>>& measures,
+    const NoiseStep& step, size_t iterations, size_t sample_every, Rng& rng) {
+  const ViolationDetector detector(dataset.schema, dataset.constraints);
+  Database db = dataset.data;
+
+  std::vector<std::string> header = {"iteration"};
+  for (const auto& m : measures) header.push_back(m->name());
+
+  // Collect raw values first; normalization needs the final magnitudes.
+  std::vector<size_t> points;
+  std::vector<std::vector<double>> raw;
+  for (size_t iteration = 1; iteration <= iterations; ++iteration) {
+    step(db, rng);
+    if (iteration % sample_every != 0 && iteration != iterations) continue;
+    points.push_back(iteration);
+    std::vector<double> row;
+    MeasureContext context(detector, db);
+    for (const auto& m : measures) row.push_back(m->Evaluate(context));
+    raw.push_back(std::move(row));
+  }
+
+  std::vector<double> max_value(measures.size(), 0.0);
+  for (const auto& row : raw) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (!std::isnan(row[c])) max_value[c] = std::max(max_value[c], row[c]);
+    }
+  }
+
+  TrajectoryResult result{TablePrinter(header), 0.0};
+  for (size_t r = 0; r < raw.size(); ++r) {
+    std::vector<std::string> cells = {std::to_string(points[r])};
+    for (size_t c = 0; c < raw[r].size(); ++c) {
+      if (std::isnan(raw[r][c])) {
+        cells.push_back("timeout");
+      } else if (max_value[c] <= 0.0) {
+        cells.push_back("0.0");
+      } else {
+        cells.push_back(TablePrinter::Num(raw[r][c] / max_value[c], 3));
+      }
+    }
+    result.table.AddRow(std::move(cells));
+  }
+
+  const ViolationSet final_violations = detector.FindViolations(db);
+  result.final_violation_ratio =
+      final_violations.ViolatingPairRatio(db.size());
+  return result;
+}
+
+}  // namespace dbim::bench

@@ -1,0 +1,66 @@
+#ifndef DBIM_BENCH_BENCH_UTIL_H_
+#define DBIM_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "datagen/datasets.h"
+#include "datagen/noise.h"
+#include "measures/measure.h"
+#include "measures/registry.h"
+#include "violations/detector.h"
+
+namespace dbim::bench {
+
+/// Common command-line arguments shared by every harness binary.
+///
+///   --full          paper-scale sizes (default: reduced for minute-scale
+///                   total runtime; each bench documents both scales)
+///   --scale=X       multiply default sizes by X
+///   --csv           also write the series as CSV under --out
+///   --out=DIR       CSV directory (default bench/out relative to cwd)
+///   --seed=N        RNG seed (default 42)
+struct BenchArgs {
+  bool full = false;
+  double scale = 1.0;
+  bool csv = false;
+  std::string out_dir = "bench_out";
+  uint64_t seed = 42;
+
+  static BenchArgs Parse(int argc, char** argv);
+
+  /// Scaled sample size: `base` by default, the paper's size under --full.
+  size_t SampleSize(size_t base, size_t paper) const;
+};
+
+/// Prints a section header for a table/figure reproduction.
+void PrintHeader(const std::string& experiment, const std::string& about);
+
+/// Writes the table as CSV when requested; prints the text rendering
+/// unconditionally.
+void Emit(const BenchArgs& args, const std::string& name,
+          const TablePrinter& table);
+
+/// One step of a noise process (mutates the database).
+using NoiseStep = std::function<void(Database&, Rng&)>;
+
+/// Runs a measure-trajectory experiment in the style of Figures 4/5/8/9/10:
+/// applies `iterations` noise steps, evaluating every measure each
+/// `sample_every` steps, and returns one row per sample point with raw
+/// values normalized to each measure's final value (the paper plots
+/// normalized series). A trailing summary row carries the violation ratio.
+struct TrajectoryResult {
+  TablePrinter table;
+  double final_violation_ratio = 0.0;
+};
+TrajectoryResult RunTrajectory(
+    const Dataset& dataset,
+    const std::vector<std::unique_ptr<InconsistencyMeasure>>& measures,
+    const NoiseStep& step, size_t iterations, size_t sample_every, Rng& rng);
+
+}  // namespace dbim::bench
+
+#endif  // DBIM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,77 @@
+// The Theorem 1 dichotomy, live: classify single EGDs with two binary
+// atoms as PTIME or NP-hard, run the matching solver, and demonstrate the
+// MaxCut reduction from the hardness proof on a small graph.
+//
+//   ./egd_dichotomy
+#include <cstdio>
+
+#include "graph/max_cut.h"
+#include "measures/repair_measures.h"
+#include "properties/constructions.h"
+#include "repair/egd_classifier.h"
+#include "repair/maxcut_reduction.h"
+#include "violations/detector.h"
+
+int main() {
+  using namespace dbim;
+
+  // Example 8 of the paper: sigma_1 and sigma_4 are tractable, sigma_2 and
+  // sigma_3 NP-hard.
+  const Example8Egds egds = MakeExample8Egds();
+  std::printf("Example 8 classification (Theorem 1):\n");
+  const std::pair<const char*, const BinaryAtomEgd*> roster[] = {
+      {"sigma_1", &egds.sigma1},
+      {"sigma_2", &egds.sigma2},
+      {"sigma_3", &egds.sigma3},
+      {"sigma_4", &egds.sigma4},
+  };
+  for (const auto& [name, egd] : roster) {
+    std::printf("  %-8s %-38s -> %s\n", name,
+                egd->ToString(*egds.schema).c_str(),
+                DescribeEgdPattern(*egd).c_str());
+  }
+
+  // Tractable case in action: sigma_1 (an FD) on a small database, solved
+  // by the closed-form block algorithm and cross-checked against branch &
+  // bound.
+  Database db(egds.schema);
+  const RelationId r = *egds.schema->FindRelation("R");
+  auto add = [&](int64_t a, int64_t b) {
+    db.Insert(Fact(r, {Value(a), Value(b)}));
+  };
+  add(1, 10);
+  add(1, 11);
+  add(1, 11);
+  add(2, 20);
+  add(2, 21);
+  const auto fast = SolveTractableEgdRepair(egds.sigma1, db);
+  const ViolationDetector detector(egds.schema,
+                                   {egds.sigma1.ToDenialConstraint()});
+  MinRepairMeasure exact;
+  std::printf("\nsigma_1 on a 5-fact database: polynomial algorithm = %.0f, "
+              "branch & bound = %.0f\n",
+              *fast, exact.EvaluateFresh(detector, db));
+
+  // Hardness direction: the MaxCut reduction. I_R on the reduction
+  // database encodes the maximum cut of the source graph exactly.
+  SimpleGraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 0);
+  g.AddEdge(0, 2);
+  const MaxCutReduction reduction = BuildMaxCutReduction(g);
+  const auto cut = MaxCutExact(g);
+  const ViolationDetector rdetector(
+      reduction.schema, {reduction.egd.ToDenialConstraint()});
+  const double repair_cost = exact.EvaluateFresh(rdetector, reduction.db);
+  std::printf(
+      "\nMaxCut reduction on C5 + chord (%zu vertices, %zu edges):\n"
+      "  exhaustive MaxCut k* = %zu\n"
+      "  I_R on the reduction database        = %.0f\n"
+      "  (m+1)n + 2(m-k*) + k* (Theorem 1 identity) = %.0f\n",
+      reduction.num_vertices, reduction.num_edges, cut.cut_edges,
+      repair_cost, reduction.ExpectedRepairCost(cut.cut_edges));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reliability estimation for incoming datasets — the paper's third use
+// case: "estimating the potential usefulness and cost of incorporating
+// databases for downstream analytics" (Section 1, citing Kruse et al.).
+//
+// This example simulates an ingestion gate: batches of the Tax dataset
+// arrive with different noise levels, and each batch is admitted, flagged
+// for review, or rejected based on the *normalized* I_lin_R — inconsistency
+// per fact — which bounded continuity makes a stable score (a single bad
+// record cannot swing it).
+//
+//   ./reliability_gate [batch-size]
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/datasets.h"
+#include "datagen/noise.h"
+#include "measures/repair_measures.h"
+#include "violations/detector.h"
+
+int main(int argc, char** argv) {
+  using namespace dbim;
+  const size_t batch_size =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 400;
+
+  const Dataset reference = MakeDataset(DatasetId::kTax, batch_size, 9);
+  const ViolationDetector detector(reference.schema, reference.constraints);
+  LinRepairMeasure lin;
+
+  constexpr double kAdmit = 0.01;   // <= 1% of facts fractionally deleted
+  constexpr double kReview = 0.05;  // <= 5% -> manual review
+
+  std::printf("ingestion gate: admit < %.0f%%, review < %.0f%%, reject "
+              "otherwise (score = I_lin_R / #facts)\n\n",
+              100 * kAdmit, 100 * kReview);
+  std::printf("%-8s %-12s %12s %12s  %s\n", "batch", "noise", "I_lin_R",
+              "score", "decision");
+
+  Rng rng(17);
+  int batch_number = 0;
+  for (const double alpha : {0.0, 0.002, 0.01, 0.03, 0.08}) {
+    Dataset batch = MakeDataset(DatasetId::kTax, batch_size,
+                                1000 + static_cast<uint64_t>(batch_number));
+    const RNoiseGenerator noise(batch.data, batch.constraints, 1.0);
+    Database db = batch.data;
+    const size_t steps = noise.StepsForAlpha(db, alpha);
+    for (size_t i = 0; i < steps; ++i) noise.Step(db, rng);
+
+    const double value = lin.EvaluateFresh(detector, db);
+    const double score = value / static_cast<double>(db.size());
+    const char* decision = score <= kAdmit    ? "ADMIT"
+                           : score <= kReview ? "REVIEW"
+                                              : "REJECT";
+    std::printf("%-8d %-12s %12.2f %12.4f  %s\n", batch_number,
+                (std::to_string(100 * alpha) + "%").c_str(), value, score,
+                decision);
+    ++batch_number;
+  }
+  std::printf(
+      "\nWhy I_lin_R: positivity (zero iff clean), monotonicity (stricter\n"
+      "rules never lower the score), bounded continuity (one record moves\n"
+      "the score by at most its cost), and polynomial time (Theorem 2).\n");
+  return 0;
+}

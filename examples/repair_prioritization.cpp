@@ -1,0 +1,85 @@
+// Action prioritization — the paper's second motivating use case: "address
+// the tuples that have the highest responsibility to the inconsistency
+// level (e.g., Shapley value for inconsistency) or the ones that might
+// result in the greatest reduction in inconsistency" (Section 1).
+//
+// On a noisy Airport dataset this example ranks facts three ways and
+// compares the rankings:
+//   1. Shapley value of the fact for I_MI (closed form),
+//   2. marginal reduction of I_lin_R if the fact is deleted,
+//   3. the fact's fractional deletion weight x_i in the I_lin_R optimum.
+//
+//   ./repair_prioritization [facts] [noise-steps]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/datasets.h"
+#include "datagen/noise.h"
+#include "measures/repair_measures.h"
+#include "measures/shapley.h"
+#include "violations/detector.h"
+
+int main(int argc, char** argv) {
+  using namespace dbim;
+  const size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200;
+  const int noise_steps = argc > 2 ? std::atoi(argv[2]) : 12;
+
+  const Dataset dataset = MakeDataset(DatasetId::kAirport, n, 5);
+  const ViolationDetector detector(dataset.schema, dataset.constraints);
+  const CoNoiseGenerator noise(dataset.data, dataset.constraints);
+  Database db = dataset.data;
+  Rng rng(3);
+  for (int i = 0; i < noise_steps; ++i) noise.Step(db, rng);
+
+  MeasureContext context(detector, db);
+  LinRepairMeasure lin;
+  const double base = lin.Evaluate(context);
+  std::printf("noisy Airport sample: %zu facts, I_lin_R = %.2f, %zu minimal "
+              "inconsistent subsets\n\n",
+              db.size(), base, context.violations().num_minimal_subsets());
+
+  // 1. Shapley attribution for I_MI.
+  const auto shapley = ShapleyMiValues(context);
+
+  // 2. Marginal I_lin_R reduction per problematic fact.
+  // 3. Fractional deletion weight from the LP optimum.
+  const auto fractional = lin.FractionalSolution(context);
+
+  struct Ranked {
+    FactId id;
+    double shapley;
+    double marginal;
+    double lp_weight;
+  };
+  std::vector<Ranked> ranked;
+  for (const auto& [id, weight] : fractional) {
+    Database without = db;
+    without.Delete(id);
+    const double reduced = lin.EvaluateFresh(detector, without);
+    double sh = 0.0;
+    for (const auto& [sid, sv] : shapley) {
+      if (sid == id) sh = sv;
+    }
+    ranked.push_back(Ranked{id, sh, base - reduced, weight});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    return a.shapley > b.shapley;
+  });
+
+  std::printf("%-8s %-14s %-40s %10s %10s %10s\n", "fact", "municipality",
+              "country/continent", "Shapley", "marginal", "LP x_i");
+  const size_t top = std::min<size_t>(ranked.size(), 12);
+  for (size_t i = 0; i < top; ++i) {
+    const Fact& f = db.fact(ranked[i].id);
+    std::printf("%-8u %-14s %-40s %10.3f %10.3f %10.2f\n", ranked[i].id,
+                f.value(6).ToString().c_str(),
+                (f.value(5).ToString() + "/" + f.value(4).ToString()).c_str(),
+                ranked[i].shapley, ranked[i].marginal, ranked[i].lp_weight);
+  }
+  std::printf(
+      "\nReading: high-Shapley facts participate in many violations; a\n"
+      "cleaning UI would surface them first. The LP weight x_i is the\n"
+      "rational-and-tractable proxy the paper's I_lin_R provides.\n");
+  return 0;
+}

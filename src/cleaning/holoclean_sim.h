@@ -1,0 +1,57 @@
+#ifndef DBIM_CLEANING_HOLOCLEAN_SIM_H_
+#define DBIM_CLEANING_HOLOCLEAN_SIM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "constraints/dc.h"
+#include "relational/database.h"
+
+namespace dbim {
+
+/// A black-box stand-in for the HoloClean system used in the paper's case
+/// study (Section 6.2.2). The case study only relies on two behaviours of
+/// HoloClean: it repairs by *updating cells* using statistical signals
+/// (majority/co-occurrence within violation blocks), and, because its rules
+/// are soft, it significantly reduces but does not necessarily eliminate
+/// violations of the DC it is given.
+///
+/// This simulator repairs one constraint set pass at a time:
+///  * FD-style DCs (cross-variable equalities plus one cross-variable
+///    disequality): facts are grouped by the equality attributes; each
+///    minority value of the disequality attribute is reset to the block
+///    majority with probability `cell_accuracy` (soft rules: some cells
+///    remain dirty).
+///  * unary constant DCs: offending cells are redrawn from the satisfying
+///    active-domain values.
+///  * other DC shapes (order DCs across tuples): one side of a violated
+///    comparison is nudged to the other's value, with the same accuracy.
+struct HoloCleanOptions {
+  /// Probability that a dirty cell identified by the block-majority signal
+  /// is actually fixed (the paper reports HoloClean's accuracy on Hospital
+  /// is "very high").
+  double cell_accuracy = 0.95;
+};
+
+class SimulatedHoloClean {
+ public:
+  explicit SimulatedHoloClean(HoloCleanOptions options = {})
+      : options_(options) {}
+
+  /// One cleaning pass over `db` for the given constraints (the case study
+  /// feeds a growing prefix of the DC set, one new DC per step).
+  void Clean(Database& db, const std::vector<DenialConstraint>& constraints,
+             Rng& rng) const;
+
+ private:
+  void CleanFdStyle(Database& db, const DenialConstraint& dc, Rng& rng) const;
+  void CleanUnary(Database& db, const DenialConstraint& dc, Rng& rng) const;
+  void CleanGeneric(Database& db, const DenialConstraint& dc, Rng& rng) const;
+
+  HoloCleanOptions options_;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_CLEANING_HOLOCLEAN_SIM_H_

@@ -1,0 +1,36 @@
+#ifndef DBIM_COMMON_CHECK_H_
+#define DBIM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Lightweight invariant-checking macros. A failed check indicates a
+/// programmer error (broken precondition or internal invariant), never a data
+/// error; data errors are reported through return values.
+
+/// Aborts with a diagnostic if `cond` is false. Enabled in all build modes:
+/// the cost is negligible compared to the solver work this library does, and
+/// silent corruption of measure values is far worse than an abort.
+#define DBIM_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "DBIM_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+/// DBIM_CHECK with a printf-style explanation appended to the diagnostic.
+#define DBIM_CHECK_MSG(cond, ...)                                             \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "DBIM_CHECK failed at %s:%d: %s: ", __FILE__,      \
+                   __LINE__, #cond);                                          \
+      std::fprintf(stderr, __VA_ARGS__);                                      \
+      std::fprintf(stderr, "\n");                                             \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#endif  // DBIM_COMMON_CHECK_H_

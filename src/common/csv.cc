@@ -1,0 +1,97 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+namespace dbim {
+
+std::optional<std::vector<std::string>> Csv::ParseLine(
+    const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      cur.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!cur.empty()) return std::nullopt;  // quote not at field start
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+      ++i;
+      continue;
+    }
+    cur.push_back(c);
+    ++i;
+  }
+  if (in_quotes) return std::nullopt;  // unterminated quote
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string Csv::FormatLine(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t f = 0; f < fields.size(); ++f) {
+    if (f > 0) out.push_back(',');
+    const std::string& s = fields[f];
+    const bool needs_quotes =
+        s.find(',') != std::string::npos || s.find('"') != std::string::npos ||
+        (!s.empty() && (s.front() == ' ' || s.back() == ' '));
+    if (!needs_quotes) {
+      out += s;
+      continue;
+    }
+    out.push_back('"');
+    for (char c : s) {
+      if (c == '"') out.push_back('"');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+std::optional<std::vector<std::vector<std::string>>> Csv::ReadFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    auto fields = ParseLine(line);
+    if (!fields) return std::nullopt;
+    rows.push_back(std::move(*fields));
+  }
+  return rows;
+}
+
+bool Csv::WriteFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const auto& row : rows) {
+    out << FormatLine(row) << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace dbim

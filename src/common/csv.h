@@ -1,0 +1,37 @@
+#ifndef DBIM_COMMON_CSV_H_
+#define DBIM_COMMON_CSV_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dbim {
+
+/// Minimal RFC-4180-ish CSV support: comma separation, double-quote quoting
+/// with "" escapes, no embedded newlines inside quoted fields needed by this
+/// project (rejected if seen). Used to persist generated datasets and bench
+/// outputs.
+class Csv {
+ public:
+  /// Parses one CSV line into fields. Returns nullopt on malformed quoting.
+  static std::optional<std::vector<std::string>> ParseLine(
+      const std::string& line);
+
+  /// Renders fields as one CSV line (no trailing newline), quoting fields
+  /// that contain commas, quotes, or leading/trailing spaces.
+  static std::string FormatLine(const std::vector<std::string>& fields);
+
+  /// Reads a whole file; returns nullopt if the file cannot be opened or any
+  /// line is malformed. The first row is returned as-is (caller decides
+  /// whether it is a header).
+  static std::optional<std::vector<std::vector<std::string>>> ReadFile(
+      const std::string& path);
+
+  /// Writes rows to a file; returns false on I/O error.
+  static bool WriteFile(const std::string& path,
+                        const std::vector<std::vector<std::string>>& rows);
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_COMMON_CSV_H_

@@ -1,0 +1,56 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dbim {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DBIM_CHECK(lo <= hi);
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+size_t Rng::UniformIndex(size_t n) {
+  DBIM_CHECK(n > 0);
+  return std::uniform_int_distribution<size_t>(0, n - 1)(engine_);
+}
+
+double Rng::UniformDouble() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+Rng Rng::Fork() {
+  // Two draws decorrelate the child from the parent's next outputs.
+  const uint64_t a = engine_();
+  const uint64_t b = engine_();
+  return Rng(a ^ (b << 1) ^ 0x6a09e667f3bcc909ull);
+}
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) : s_(s) {
+  DBIM_CHECK(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -s);
+    cdf_[i] = total;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= total;
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace dbim

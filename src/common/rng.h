@@ -1,0 +1,60 @@
+#ifndef DBIM_COMMON_RNG_H_
+#define DBIM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dbim {
+
+/// Deterministic random number source. Every experiment and generator in
+/// this library takes an explicit `Rng` (or a seed) so that runs are
+/// reproducible bit-for-bit; nothing reads global entropy.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Underlying engine, for std distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+  /// Derives an independent child generator; used to give each experiment
+  /// repetition its own stream.
+  Rng Fork();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipfian sampler over ranks {0, 1, ..., n-1}: P(i) proportional to
+/// (i+1)^-s. Used by the RNoise generator, where `s` is the paper's skew
+/// parameter beta (beta = 0 degenerates to the uniform distribution).
+/// Sampling is by binary search over the precomputed CDF: O(log n).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_COMMON_RNG_H_

@@ -1,0 +1,71 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace dbim {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  std::string s = StrFormat("%.*f", precision, v);
+  // Trim trailing zeros but keep at least one digit after the point.
+  if (s.find('.') != std::string::npos) {
+    size_t last = s.find_last_not_of('0');
+    if (s[last] == '.') ++last;
+    s.erase(last + 1);
+  }
+  return s;
+}
+
+std::string TablePrinter::ToText() const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto render = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < header_.size(); ++c) {
+      if (c > 0) line += " | ";
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      line += cell;
+      line.append(width[c] - cell.size(), ' ');
+    }
+    line += "\n";
+    return line;
+  };
+  std::string out = render(header_);
+  size_t rule = 0;
+  for (size_t c = 0; c < header_.size(); ++c) rule += width[c] + (c > 0 ? 3 : 0);
+  out.append(rule, '-');
+  out += "\n";
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::string out = Csv::FormatLine(header_) + "\n";
+  for (const auto& row : rows_) out += Csv::FormatLine(row) + "\n";
+  return out;
+}
+
+bool TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << ToCsv();
+  return static_cast<bool>(f);
+}
+
+}  // namespace dbim

@@ -1,0 +1,39 @@
+#ifndef DBIM_COMMON_TABLE_PRINTER_H_
+#define DBIM_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace dbim {
+
+/// Accumulates rows and renders them as an aligned text table (for the
+/// terminal) and as CSV (for plotting). Every benchmark harness binary uses
+/// this to print the paper's tables and figure series.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string Num(double v, int precision = 4);
+
+  /// Aligned, pipe-separated text rendering with a header rule.
+  std::string ToText() const;
+
+  /// CSV rendering (header + rows).
+  std::string ToCsv() const;
+
+  /// Writes the CSV rendering to `path`; returns false on I/O error.
+  bool WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,52 @@
+#ifndef DBIM_COMMON_TIMER_H_
+#define DBIM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace dbim {
+
+/// Wall-clock stopwatch used by the benchmark harness and by solver
+/// deadlines (the paper imposes a 24-hour limit on I_MC; we mirror that with
+/// configurable deadlines).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock budget. `Expired()` is cheap enough to poll in inner loops
+/// of the enumeration algorithms. A non-positive budget never expires.
+class Deadline {
+ public:
+  explicit Deadline(double seconds) : seconds_(seconds) {}
+
+  bool Expired() const {
+    return seconds_ > 0.0 && timer_.Seconds() >= seconds_;
+  }
+
+  double RemainingSeconds() const {
+    if (seconds_ <= 0.0) return 1e18;
+    return seconds_ - timer_.Seconds();
+  }
+
+  static Deadline Infinite() { return Deadline(0.0); }
+
+ private:
+  double seconds_;
+  Timer timer_;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_COMMON_TIMER_H_

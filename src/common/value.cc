@@ -1,0 +1,128 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace dbim {
+
+Value::Kind Value::kind() const {
+  return static_cast<Kind>(rep_.index());
+}
+
+int64_t Value::as_int() const {
+  DBIM_CHECK(kind() == Kind::kInt);
+  return std::get<int64_t>(rep_);
+}
+
+double Value::as_double() const {
+  DBIM_CHECK(kind() == Kind::kDouble);
+  return std::get<double>(rep_);
+}
+
+const std::string& Value::as_string() const {
+  DBIM_CHECK(kind() == Kind::kString);
+  return std::get<std::string>(rep_);
+}
+
+double Value::numeric() const {
+  if (kind() == Kind::kInt) return static_cast<double>(std::get<int64_t>(rep_));
+  DBIM_CHECK(kind() == Kind::kDouble);
+  return std::get<double>(rep_);
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return "<null>";
+    case Kind::kInt:
+      return std::to_string(std::get<int64_t>(rep_));
+    case Kind::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(rep_));
+      return buf;
+    }
+    case Kind::kString:
+      return std::get<std::string>(rep_);
+  }
+  return "<invalid>";
+}
+
+namespace {
+
+// Rank used to order values of different kinds: null < numeric < string.
+int KindRank(Value::Kind k) {
+  switch (k) {
+    case Value::Kind::kNull:
+      return 0;
+    case Value::Kind::kInt:
+    case Value::Kind::kDouble:
+      return 1;
+    case Value::Kind::kString:
+      return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.kind() == Value::Kind::kInt && b.kind() == Value::Kind::kInt) {
+      return a.as_int() == b.as_int();
+    }
+    return a.numeric() == b.numeric();
+  }
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case Value::Kind::kNull:
+      return true;
+    case Value::Kind::kString:
+      return a.as_string() == b.as_string();
+    default:
+      return false;  // unreachable; numeric handled above
+  }
+}
+
+bool operator<(const Value& a, const Value& b) {
+  const int ra = KindRank(a.kind());
+  const int rb = KindRank(b.kind());
+  if (ra != rb) return ra < rb;
+  switch (a.kind()) {
+    case Value::Kind::kNull:
+      return false;
+    case Value::Kind::kInt:
+      if (b.kind() == Value::Kind::kInt) return a.as_int() < b.as_int();
+      return a.numeric() < b.numeric();
+    case Value::Kind::kDouble:
+      return a.numeric() < b.numeric();
+    case Value::Kind::kString:
+      return a.as_string() < b.as_string();
+  }
+  return false;
+}
+
+size_t Value::Hash() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return 0x9e3779b97f4a7c15ull;
+    case Kind::kInt: {
+      // Hash ints through double when they are exactly representable so that
+      // Value(2) and Value(2.0), which compare equal, hash alike.
+      const int64_t v = std::get<int64_t>(rep_);
+      const double d = static_cast<double>(v);
+      if (static_cast<int64_t>(d) == v) {
+        return std::hash<double>{}(d);
+      }
+      return std::hash<int64_t>{}(v);
+    }
+    case Kind::kDouble:
+      return std::hash<double>{}(std::get<double>(rep_));
+    case Kind::kString:
+      return std::hash<std::string>{}(std::get<std::string>(rep_));
+  }
+  return 0;
+}
+
+}  // namespace dbim

@@ -1,0 +1,78 @@
+#ifndef DBIM_COMMON_VALUE_H_
+#define DBIM_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace dbim {
+
+/// A database cell value: null, 64-bit integer, double, or string.
+///
+/// Values form the universal domain `Val` of the paper's relational model.
+/// They are totally ordered so that comparison predicates of denial
+/// constraints (`=, !=, <, <=, >, >=`) are well defined on any pair of
+/// values: the order is first by kind (null < int/double < string), then by
+/// the natural order within the kind. Integers and doubles compare
+/// numerically with each other, so a constraint such as `t[High] < t[Low]`
+/// behaves the same whether a generator produced ints or doubles.
+class Value {
+ public:
+  enum class Kind { kNull = 0, kInt = 1, kDouble = 2, kString = 3 };
+
+  /// Constructs the null value.
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(int v) : rep_(static_cast<int64_t>(v)) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  Kind kind() const;
+  bool is_null() const { return kind() == Kind::kNull; }
+  bool is_numeric() const {
+    return kind() == Kind::kInt || kind() == Kind::kDouble;
+  }
+
+  /// Accessors; it is a programmer error to call the wrong one (checked).
+  int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  /// Numeric view of an int or double value (checked).
+  double numeric() const;
+
+  /// Renders the value for display ("<null>" for null, numbers via
+  /// to_string with trailing-zero trimming for doubles).
+  std::string ToString() const;
+
+  /// Total order described in the class comment. Equality is exact: an int
+  /// and a double are equal iff they denote the same number.
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b);
+  friend bool operator<=(const Value& a, const Value& b) { return !(b < a); }
+  friend bool operator>(const Value& a, const Value& b) { return b < a; }
+  friend bool operator>=(const Value& a, const Value& b) { return !(a < b); }
+
+  /// Hash consistent with operator== (numerically equal int/double hash
+  /// alike).
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> rep_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_COMMON_VALUE_H_

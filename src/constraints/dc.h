@@ -1,0 +1,104 @@
+#ifndef DBIM_CONSTRAINTS_DC_H_
+#define DBIM_CONSTRAINTS_DC_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/predicate.h"
+#include "relational/database.h"
+#include "relational/fact.h"
+#include "relational/schema.h"
+
+namespace dbim {
+
+/// A denial constraint
+///   forall t_0, ..., t_{k-1} : NOT (P_1 AND ... AND P_m)
+/// where each tuple variable t_i ranges over one relation and each P_j is an
+/// atomic comparison between attributes of the variables or against a
+/// constant (paper Section 2). DCs are anti-monotonic: deleting tuples never
+/// introduces a violation.
+///
+/// Assignments may map distinct tuple variables to the *same* fact (the
+/// paper notes "it may be the case that t = t'"); a violation whose support
+/// is a single fact makes that fact self-inconsistent (a "contradictory
+/// tuple" in Parisi and Grant's terminology).
+class DenialConstraint {
+ public:
+  /// `var_relations[i]` is the relation tuple variable i ranges over.
+  DenialConstraint(std::vector<RelationId> var_relations,
+                   std::vector<Predicate> predicates);
+
+  size_t num_vars() const { return var_relations_.size(); }
+  RelationId var_relation(uint32_t var) const;
+  const std::vector<RelationId>& var_relations() const {
+    return var_relations_;
+  }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  /// Evaluates the (conjunctive) body on an assignment of facts to the tuple
+  /// variables; `assignment[i]` instantiates t_i. True means the assignment
+  /// witnesses a violation.
+  bool BodyHolds(const std::vector<const Fact*>& assignment) const;
+
+  /// Convenience for the dominant binary case.
+  bool BodyHolds(const Fact& t0, const Fact& t1) const;
+
+  /// True if the single-variable body holds on `f` (num_vars() == 1), or if
+  /// a k-variable body holds with every variable mapped to `f`. A fact with
+  /// this property is self-inconsistent.
+  bool MakesSelfInconsistent(const Fact& f) const;
+
+  /// True if some predicate can only be satisfied with t_i != t_j facts for
+  /// syntactic reasons (e.g. contains `t[A] != t'[A]` between the two vars),
+  /// meaning the DC can never yield unary violations. Used as a fast path.
+  bool TriviallyNotUnary() const;
+
+  /// Whether all cross-variable predicates are equalities and the body has
+  /// exactly two variables — the "FD-style" shape that enables pure hash
+  /// blocking in the detector.
+  bool IsEqualityOnly() const;
+
+  /// Renders as `!( P1 & P2 & ... )`.
+  std::string ToString(const Schema& schema) const;
+
+  friend bool operator==(const DenialConstraint& a, const DenialConstraint& b);
+
+ private:
+  std::vector<RelationId> var_relations_;
+  std::vector<Predicate> predicates_;
+};
+
+/// Builder for the common single-relation binary DC
+/// `forall t, t' : !(...)`, used pervasively by the dataset definitions.
+class DcBuilder {
+ public:
+  /// Both tuple variables range over `relation`.
+  DcBuilder(const Schema& schema, RelationId relation);
+
+  /// Adds `t[a] op t'[b]` (variable 0 on the left, variable 1 on the right).
+  DcBuilder& Cross(const std::string& a, CompareOp op, const std::string& b);
+
+  /// Adds `t[a] op t[b]` within variable `var`.
+  DcBuilder& Within(uint32_t var, const std::string& a, CompareOp op,
+                    const std::string& b);
+
+  /// Adds `t_var[a] op c`.
+  DcBuilder& Const(uint32_t var, const std::string& a, CompareOp op, Value c);
+
+  /// Finishes with two tuple variables.
+  DenialConstraint BuildBinary() const;
+
+  /// Finishes with one tuple variable.
+  DenialConstraint BuildUnary() const;
+
+ private:
+  AttrIndex Attr(const std::string& name) const;
+
+  const Schema& schema_;
+  RelationId relation_;
+  std::vector<Predicate> predicates_;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_CONSTRAINTS_DC_H_

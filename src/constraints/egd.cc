@@ -1,0 +1,62 @@
+#include "constraints/egd.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace dbim {
+
+BinaryAtomEgd::BinaryAtomEgd(RelationId rel1, RelationId rel2,
+                             std::array<int, 4> pos_vars, int eq_lhs,
+                             int eq_rhs)
+    : rel1_(rel1),
+      rel2_(rel2),
+      pos_vars_(pos_vars),
+      eq_lhs_(eq_lhs),
+      eq_rhs_(eq_rhs) {
+  DBIM_CHECK_MSG(eq_lhs_ != eq_rhs_, "vacuous conclusion x = x");
+  DBIM_CHECK_MSG(FirstPositionOf(eq_lhs_) >= 0,
+                 "conclusion variable %d not in body", eq_lhs_);
+  DBIM_CHECK_MSG(FirstPositionOf(eq_rhs_) >= 0,
+                 "conclusion variable %d not in body", eq_rhs_);
+}
+
+int BinaryAtomEgd::FirstPositionOf(int var) const {
+  for (int p = 0; p < 4; ++p) {
+    if (pos_vars_[p] == var) return p;
+  }
+  return -1;
+}
+
+DenialConstraint BinaryAtomEgd::ToDenialConstraint() const {
+  auto operand = [](int pos) {
+    return Operand{static_cast<uint32_t>(pos / 2),
+                   static_cast<AttrIndex>(pos % 2)};
+  };
+  std::vector<Predicate> preds;
+  // Equi-join conditions: each later occurrence of a variable equals its
+  // first occurrence.
+  for (int p = 0; p < 4; ++p) {
+    const int first = FirstPositionOf(pos_vars_[p]);
+    if (first < p) {
+      preds.emplace_back(operand(first), CompareOp::kEq, operand(p));
+    }
+  }
+  // Negated conclusion.
+  preds.emplace_back(operand(FirstPositionOf(eq_lhs_)), CompareOp::kNe,
+                     operand(FirstPositionOf(eq_rhs_)));
+  return DenialConstraint({rel1_, rel2_}, std::move(preds));
+}
+
+std::string BinaryAtomEgd::ToString(const Schema& schema) const {
+  auto var_name = [](int v) { return StrFormat("x%d", v); };
+  return StrFormat("%s(%s,%s), %s(%s,%s) => %s = %s",
+                   schema.relation(rel1_).name().c_str(),
+                   var_name(pos_vars_[0]).c_str(),
+                   var_name(pos_vars_[1]).c_str(),
+                   schema.relation(rel2_).name().c_str(),
+                   var_name(pos_vars_[2]).c_str(),
+                   var_name(pos_vars_[3]).c_str(), var_name(eq_lhs_).c_str(),
+                   var_name(eq_rhs_).c_str());
+}
+
+}  // namespace dbim

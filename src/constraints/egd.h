@@ -1,0 +1,59 @@
+#ifndef DBIM_CONSTRAINTS_EGD_H_
+#define DBIM_CONSTRAINTS_EGD_H_
+
+#include <array>
+#include <string>
+
+#include "constraints/dc.h"
+#include "relational/schema.h"
+
+namespace dbim {
+
+/// An equality-generating dependency with exactly two binary atoms:
+///
+///   forall vars [ R1(v0, v1), R2(v2, v3)  =>  (x = y) ]
+///
+/// where v0..v3 are variable identifiers (repetition expresses equi-joins,
+/// within an atom or across atoms) and x, y are variables occurring among
+/// v0..v3. This is the class of constraints for which the paper's Theorem 1
+/// gives a P-vs-NP-hard dichotomy of computing the minimum-repair measure
+/// I_R under tuple deletions.
+class BinaryAtomEgd {
+ public:
+  /// `pos_vars[p]` is the variable at position p: positions 0,1 are the
+  /// first atom's arguments, positions 2,3 the second's. `eq_lhs`/`eq_rhs`
+  /// are the conclusion variables and must occur among `pos_vars` and be
+  /// distinct (x = x would be vacuous).
+  BinaryAtomEgd(RelationId rel1, RelationId rel2,
+                std::array<int, 4> pos_vars, int eq_lhs, int eq_rhs);
+
+  RelationId rel1() const { return rel1_; }
+  RelationId rel2() const { return rel2_; }
+  const std::array<int, 4>& pos_vars() const { return pos_vars_; }
+  int eq_lhs() const { return eq_lhs_; }
+  int eq_rhs() const { return eq_rhs_; }
+
+  bool SameRelation() const { return rel1_ == rel2_; }
+
+  /// First position (0..3) where variable `var` occurs, or -1.
+  int FirstPositionOf(int var) const;
+
+  /// Equivalent denial constraint over two tuple variables (one per atom):
+  /// the equi-join conditions plus the negated conclusion. Violations of the
+  /// EGD and of the DC coincide, including "both atoms map to the same
+  /// fact" witnesses.
+  DenialConstraint ToDenialConstraint() const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  RelationId rel1_;
+  RelationId rel2_;
+  std::array<int, 4> pos_vars_;
+  int eq_lhs_;
+  int eq_rhs_;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_CONSTRAINTS_EGD_H_

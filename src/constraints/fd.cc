@@ -1,0 +1,129 @@
+#include "constraints/fd.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace dbim {
+
+namespace {
+
+std::vector<AttrIndex> SortedUnique(std::vector<AttrIndex> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+FunctionalDependency::FunctionalDependency(RelationId relation,
+                                           std::vector<AttrIndex> lhs,
+                                           std::vector<AttrIndex> rhs)
+    : relation_(relation),
+      lhs_(SortedUnique(std::move(lhs))),
+      rhs_(SortedUnique(std::move(rhs))) {
+  DBIM_CHECK(!rhs_.empty());
+}
+
+FunctionalDependency FunctionalDependency::Make(
+    const Schema& schema, RelationId relation,
+    const std::vector<std::string>& lhs, const std::vector<std::string>& rhs) {
+  const RelationSignature& sig = schema.relation(relation);
+  auto resolve = [&](const std::vector<std::string>& names) {
+    std::vector<AttrIndex> out;
+    for (const std::string& n : names) {
+      const auto idx = sig.FindAttribute(n);
+      DBIM_CHECK_MSG(idx.has_value(), "unknown attribute '%s'", n.c_str());
+      out.push_back(*idx);
+    }
+    return out;
+  };
+  return FunctionalDependency(relation, resolve(lhs), resolve(rhs));
+}
+
+std::vector<DenialConstraint> FunctionalDependency::ToDenialConstraints()
+    const {
+  std::vector<DenialConstraint> out;
+  for (const AttrIndex b : rhs_) {
+    // An FD with an empty LHS ("all facts agree on B") still needs at least
+    // one predicate on the left side of the implication; the inequality
+    // alone expresses it.
+    std::vector<Predicate> preds;
+    for (const AttrIndex a : lhs_) {
+      preds.emplace_back(Operand{0, a}, CompareOp::kEq, Operand{1, a});
+    }
+    preds.emplace_back(Operand{0, b}, CompareOp::kNe, Operand{1, b});
+    out.emplace_back(std::vector<RelationId>{relation_, relation_},
+                     std::move(preds));
+  }
+  return out;
+}
+
+std::string FunctionalDependency::ToString(const Schema& schema) const {
+  const RelationSignature& sig = schema.relation(relation_);
+  std::vector<std::string> lhs_names;
+  std::vector<std::string> rhs_names;
+  for (const AttrIndex a : lhs_) lhs_names.push_back(sig.attribute_name(a));
+  for (const AttrIndex a : rhs_) rhs_names.push_back(sig.attribute_name(a));
+  return StrFormat("%s : %s -> %s", sig.name().c_str(),
+                   Join(lhs_names, " ").c_str(), Join(rhs_names, " ").c_str());
+}
+
+std::vector<AttrIndex> AttributeClosure(
+    const std::vector<FunctionalDependency>& fds, RelationId relation,
+    std::vector<AttrIndex> attrs) {
+  std::vector<AttrIndex> closure = SortedUnique(std::move(attrs));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds) {
+      if (fd.relation() != relation) continue;
+      const bool lhs_subset =
+          std::includes(closure.begin(), closure.end(), fd.lhs().begin(),
+                        fd.lhs().end());
+      if (!lhs_subset) continue;
+      for (const AttrIndex b : fd.rhs()) {
+        const auto it = std::lower_bound(closure.begin(), closure.end(), b);
+        if (it == closure.end() || *it != b) {
+          closure.insert(it, b);
+          changed = true;
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+bool Entails(const std::vector<FunctionalDependency>& sigma,
+             const FunctionalDependency& fd) {
+  const std::vector<AttrIndex> closure =
+      AttributeClosure(sigma, fd.relation(), fd.lhs());
+  return std::includes(closure.begin(), closure.end(), fd.rhs().begin(),
+                       fd.rhs().end());
+}
+
+bool EntailsAll(const std::vector<FunctionalDependency>& sigma,
+                const std::vector<FunctionalDependency>& sigma_prime) {
+  for (const FunctionalDependency& fd : sigma_prime) {
+    if (!Entails(sigma, fd)) return false;
+  }
+  return true;
+}
+
+bool Equivalent(const std::vector<FunctionalDependency>& a,
+                const std::vector<FunctionalDependency>& b) {
+  return EntailsAll(a, b) && EntailsAll(b, a);
+}
+
+std::vector<DenialConstraint> ToDenialConstraints(
+    const std::vector<FunctionalDependency>& fds) {
+  std::vector<DenialConstraint> out;
+  for (const FunctionalDependency& fd : fds) {
+    auto dcs = fd.ToDenialConstraints();
+    out.insert(out.end(), dcs.begin(), dcs.end());
+  }
+  return out;
+}
+
+}  // namespace dbim

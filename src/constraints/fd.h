@@ -1,0 +1,69 @@
+#ifndef DBIM_CONSTRAINTS_FD_H_
+#define DBIM_CONSTRAINTS_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/dc.h"
+#include "relational/schema.h"
+
+namespace dbim {
+
+/// A functional dependency `R : X -> Y`: facts agreeing on every attribute
+/// of X must agree on every attribute of Y. FDs are the special case of
+/// EGDs/DCs used throughout the paper's examples and the constraint system
+/// C_FD.
+class FunctionalDependency {
+ public:
+  FunctionalDependency(RelationId relation, std::vector<AttrIndex> lhs,
+                       std::vector<AttrIndex> rhs);
+
+  /// Builds from attribute names, e.g. Make(schema, r, {"Municipality"},
+  /// {"Continent", "Country"}).
+  static FunctionalDependency Make(const Schema& schema, RelationId relation,
+                                   const std::vector<std::string>& lhs,
+                                   const std::vector<std::string>& rhs);
+
+  RelationId relation() const { return relation_; }
+  const std::vector<AttrIndex>& lhs() const { return lhs_; }
+  const std::vector<AttrIndex>& rhs() const { return rhs_; }
+
+  /// Equivalent denial constraints: one per RHS attribute,
+  /// `!( t[X]=t'[X] & t[B] != t'[B] )`. The union of their minimal
+  /// inconsistent subsets equals the FD's violating pairs.
+  std::vector<DenialConstraint> ToDenialConstraints() const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  RelationId relation_;
+  std::vector<AttrIndex> lhs_;  // sorted, distinct
+  std::vector<AttrIndex> rhs_;  // sorted, distinct
+};
+
+/// Closure of `attrs` under the FDs over one relation (Armstrong axioms):
+/// the largest attribute set functionally determined by `attrs`.
+std::vector<AttrIndex> AttributeClosure(
+    const std::vector<FunctionalDependency>& fds, RelationId relation,
+    std::vector<AttrIndex> attrs);
+
+/// Logical entailment `Sigma |= fd` for FDs over a single relation, decided
+/// via attribute closure.
+bool Entails(const std::vector<FunctionalDependency>& sigma,
+             const FunctionalDependency& fd);
+
+/// `Sigma |= Sigma'` (every FD of sigma_prime is entailed).
+bool EntailsAll(const std::vector<FunctionalDependency>& sigma,
+                const std::vector<FunctionalDependency>& sigma_prime);
+
+/// Logical equivalence of FD sets.
+bool Equivalent(const std::vector<FunctionalDependency>& a,
+                const std::vector<FunctionalDependency>& b);
+
+/// Flattens a set of FDs into denial constraints.
+std::vector<DenialConstraint> ToDenialConstraints(
+    const std::vector<FunctionalDependency>& fds);
+
+}  // namespace dbim
+
+#endif  // DBIM_CONSTRAINTS_FD_H_

@@ -1,0 +1,222 @@
+#include "constraints/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <variant>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace dbim {
+
+namespace {
+
+// A parsed term: either var.attr (by names, resolved later) or a constant.
+struct TermRef {
+  std::string var;
+  std::string attr;
+};
+using Term = std::variant<TermRef, Value>;
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  size_t pos() const { return pos_; }
+
+  // Identifier: [A-Za-z_][A-Za-z0-9_]* followed by optional apostrophes.
+  std::optional<std::string> Identifier() {
+    SkipSpace();
+    size_t p = pos_;
+    if (p >= text_.size() ||
+        !(std::isalpha(static_cast<unsigned char>(text_[p])) ||
+          text_[p] == '_')) {
+      return std::nullopt;
+    }
+    size_t end = p;
+    while (end < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '_')) {
+      ++end;
+    }
+    while (end < text_.size() && text_[end] == '\'') ++end;
+    pos_ = end;
+    return std::string(text_.substr(p, end - p));
+  }
+
+  std::optional<std::string> Operator() {
+    SkipSpace();
+    static const char* kOps[] = {"!=", "<>", "<=", ">=", "==",
+                                 "=",  "<",  ">"};
+    for (const char* op : kOps) {
+      const std::string_view sv(op);
+      if (text_.substr(pos_, sv.size()) == sv) {
+        pos_ += sv.size();
+        return std::string(sv);
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Value> QuotedString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || (text_[pos_] != '\'' && text_[pos_] != '"')) {
+      return std::nullopt;
+    }
+    const char quote = text_[pos_++];
+    std::string s;
+    while (pos_ < text_.size() && text_[pos_] != quote) {
+      s.push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) return std::nullopt;  // unterminated
+    ++pos_;                                         // closing quote
+    return Value(std::move(s));
+  }
+
+  std::optional<Value> Number() {
+    SkipSpace();
+    size_t p = pos_;
+    size_t end = p;
+    if (end < text_.size() && (text_[end] == '-' || text_[end] == '+')) ++end;
+    bool digits = false;
+    bool is_double = false;
+    while (end < text_.size()) {
+      const char c = text_[end];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        digits = true;
+        ++end;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        is_double = true;
+        ++end;
+        if ((c == 'e' || c == 'E') && end < text_.size() &&
+            (text_[end] == '-' || text_[end] == '+')) {
+          ++end;
+        }
+      } else {
+        break;
+      }
+    }
+    if (!digits) return std::nullopt;
+    const std::string tok(text_.substr(p, end - p));
+    pos_ = end;
+    if (is_double) return Value(std::strtod(tok.c_str(), nullptr));
+    return Value(static_cast<int64_t>(std::strtoll(tok.c_str(), nullptr, 10)));
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<DenialConstraint> ParseDc(const Schema& schema,
+                                        RelationId relation,
+                                        std::string_view text,
+                                        std::string* error) {
+  auto fail = [&](const std::string& msg,
+                  size_t pos) -> std::optional<DenialConstraint> {
+    if (error) *error = StrFormat("at offset %zu: %s", pos, msg.c_str());
+    return std::nullopt;
+  };
+
+  Scanner sc(text);
+  if (!sc.Consume('!')) return fail("expected '!'", sc.pos());
+  if (!sc.Consume('(')) return fail("expected '('", sc.pos());
+
+  const RelationSignature& sig = schema.relation(relation);
+  std::vector<std::string> var_names;  // order of first occurrence
+  auto var_index = [&](const std::string& name) -> uint32_t {
+    for (uint32_t i = 0; i < var_names.size(); ++i) {
+      if (var_names[i] == name) return i;
+    }
+    var_names.push_back(name);
+    return static_cast<uint32_t>(var_names.size() - 1);
+  };
+
+  auto parse_term = [&]() -> std::optional<Term> {
+    if (auto s = sc.QuotedString()) return Term(std::move(*s));
+    if (sc.Peek() == '-' || sc.Peek() == '+' ||
+        std::isdigit(static_cast<unsigned char>(sc.Peek()))) {
+      if (auto n = sc.Number()) return Term(std::move(*n));
+      return std::nullopt;
+    }
+    auto var = sc.Identifier();
+    if (!var) return std::nullopt;
+    if (!sc.Consume('.')) return std::nullopt;
+    auto attr = sc.Identifier();
+    if (!attr) return std::nullopt;
+    return Term(TermRef{std::move(*var), std::move(*attr)});
+  };
+
+  std::vector<Predicate> preds;
+  while (true) {
+    auto lhs = parse_term();
+    if (!lhs) return fail("expected term", sc.pos());
+    auto op_str = sc.Operator();
+    if (!op_str) return fail("expected comparison operator", sc.pos());
+    auto op = ParseCompareOp(*op_str);
+    if (!op) return fail("bad operator '" + *op_str + "'", sc.pos());
+    auto rhs = parse_term();
+    if (!rhs) return fail("expected term", sc.pos());
+
+    // Normalize so the left side is an attribute reference.
+    if (std::holds_alternative<Value>(*lhs)) {
+      if (std::holds_alternative<Value>(*rhs)) {
+        return fail("predicate comparing two constants", sc.pos());
+      }
+      std::swap(*lhs, *rhs);
+      *op = FlipOp(*op);
+    }
+    const TermRef& l = std::get<TermRef>(*lhs);
+    const auto l_attr = sig.FindAttribute(l.attr);
+    if (!l_attr) return fail("unknown attribute '" + l.attr + "'", sc.pos());
+    const Operand lop{var_index(l.var), *l_attr};
+
+    if (std::holds_alternative<Value>(*rhs)) {
+      preds.emplace_back(lop, *op, std::get<Value>(std::move(*rhs)));
+    } else {
+      const TermRef& r = std::get<TermRef>(*rhs);
+      const auto r_attr = sig.FindAttribute(r.attr);
+      if (!r_attr) return fail("unknown attribute '" + r.attr + "'", sc.pos());
+      preds.emplace_back(lop, *op, Operand{var_index(r.var), *r_attr});
+    }
+
+    if (sc.Consume('&')) continue;
+    if (sc.Consume(')')) break;
+    return fail("expected '&' or ')'", sc.pos());
+  }
+  if (!sc.AtEnd()) return fail("trailing input", sc.pos());
+  if (var_names.empty()) return fail("no tuple variables", sc.pos());
+
+  return DenialConstraint(
+      std::vector<RelationId>(var_names.size(), relation), std::move(preds));
+}
+
+}  // namespace dbim

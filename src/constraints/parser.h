@@ -1,0 +1,36 @@
+#ifndef DBIM_CONSTRAINTS_PARSER_H_
+#define DBIM_CONSTRAINTS_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "constraints/dc.h"
+#include "relational/schema.h"
+
+namespace dbim {
+
+/// Parses a denial constraint over a single relation from an ASCII syntax
+/// mirroring the paper's notation:
+///
+///   !(t.Country = t'.Country & t.Continent != t'.Continent)
+///   !(t.High < t.Low)
+///   !(t.Age > 150)
+///   !(t.State = t'.State & t.Salary > t'.Salary & t.Rate < t'.Rate)
+///
+/// Tuple variables are arbitrary identifiers (an apostrophe immediately
+/// after an identifier is part of its name, so `t` and `t'` are two
+/// variables); they are numbered in order of first occurrence and all range
+/// over `relation`. Operators: = != <> < <= > >=. Constants are integers,
+/// doubles, or quoted strings ('...' or "...").
+///
+/// Returns nullopt on a syntax error or unknown attribute and, if `error`
+/// is non-null, stores a human-readable description.
+std::optional<DenialConstraint> ParseDc(const Schema& schema,
+                                        RelationId relation,
+                                        std::string_view text,
+                                        std::string* error = nullptr);
+
+}  // namespace dbim
+
+#endif  // DBIM_CONSTRAINTS_PARSER_H_

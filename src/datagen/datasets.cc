@@ -1,0 +1,558 @@
+#include "datagen/datasets.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "constraints/parser.h"
+
+namespace dbim {
+
+namespace {
+
+std::vector<DenialConstraint> ParseAll(const Schema& schema, RelationId rel,
+                                       const std::vector<std::string>& texts) {
+  std::vector<DenialConstraint> out;
+  for (const std::string& text : texts) {
+    std::string error;
+    auto dc = ParseDc(schema, rel, text, &error);
+    DBIM_CHECK_MSG(dc.has_value(), "bad DC '%s': %s", text.c_str(),
+                   error.c_str());
+    out.push_back(std::move(*dc));
+  }
+  return out;
+}
+
+// Zipf-skewed categorical pick: "name<rank>".
+class Domain {
+ public:
+  Domain(std::string prefix, size_t size, double skew = 1.0)
+      : prefix_(std::move(prefix)), zipf_(std::max<size_t>(size, 2), skew) {}
+
+  size_t PickIndex(Rng& rng) const { return zipf_.Sample(rng); }
+
+  Value Pick(Rng& rng) const { return Render(PickIndex(rng)); }
+
+  Value Render(size_t index) const {
+    return Value(prefix_ + std::to_string(index));
+  }
+
+ private:
+  std::string prefix_;
+  ZipfDistribution zipf_;
+};
+
+Dataset MakeStock(size_t n, Rng& rng) {
+  Dataset d;
+  auto schema = std::make_shared<Schema>();
+  d.relation = schema->AddRelation(
+      "Stock", {"Ticker", "Date", "Open", "High", "Low", "Close", "Volume"});
+  d.schema = schema;
+  d.constraints = ParseAll(
+      *schema, d.relation,
+      {
+          "!(t.High < t.Low)",
+          "!(t.Open > t.High)",
+          "!(t.Open < t.Low)",
+          "!(t.Close > t.High)",
+          "!(t.Close < t.Low)",
+          "!(t.Ticker = t'.Ticker & t.Date = t'.Date & t.Close != t'.Close)",
+      });
+  d.data = Database(schema);
+  const Domain tickers("TK", 50);
+  std::unordered_map<size_t, int64_t> next_date;  // per ticker
+  for (size_t i = 0; i < n; ++i) {
+    const size_t ticker = tickers.PickIndex(rng);
+    const int64_t date = next_date[ticker]++;  // unique (ticker, date)
+    const int64_t open = rng.UniformInt(1000, 10000);
+    const int64_t close = rng.UniformInt(1000, 10000);
+    const int64_t high = std::max(open, close) + rng.UniformInt(0, 500);
+    const int64_t low = std::min(open, close) - rng.UniformInt(0, 500);
+    d.data.Insert(Fact(d.relation, {tickers.Render(ticker), Value(date),
+                                    Value(open), Value(high), Value(low),
+                                    Value(close),
+                                    Value(rng.UniformInt(100, 1000000))}));
+  }
+  return d;
+}
+
+Dataset MakeHospital(size_t n, Rng& rng) {
+  Dataset d;
+  auto schema = std::make_shared<Schema>();
+  d.relation = schema->AddRelation(
+      "Hospital",
+      {"ProviderId", "Name", "Address", "City", "State", "Zip", "County",
+       "Phone", "Type", "Owner", "Emergency", "Condition", "MeasureCode",
+       "MeasureName", "StateAvg"});
+  d.schema = schema;
+  d.constraints = ParseAll(
+      *schema, d.relation,
+      {
+          "!(t.State = t'.State & t.MeasureCode = t'.MeasureCode & "
+          "t.StateAvg != t'.StateAvg)",
+          "!(t.Zip = t'.Zip & t.State != t'.State)",
+          "!(t.MeasureCode = t'.MeasureCode & t.MeasureName != "
+          "t'.MeasureName)",
+          "!(t.ProviderId = t'.ProviderId & t.Name != t'.Name)",
+          "!(t.ProviderId = t'.ProviderId & t.Zip != t'.Zip)",
+          "!(t.City = t'.City & t.County != t'.County)",
+          "!(t.ProviderId = t'.ProviderId & t.Phone != t'.Phone)",
+      });
+  d.data = Database(schema);
+  const Domain providers("H", std::max<size_t>(n / 10, 8));
+  const Domain measures("MC", 30);
+  const Domain types("TYPE", 4, 0.5);
+  const Domain owners("OWN", 5, 0.5);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t p = providers.PickIndex(rng);
+    const size_t m = measures.PickIndex(rng);
+    const size_t zip = p % 200;
+    const size_t state = zip % 40;
+    const size_t city = zip % 120;
+    const size_t county = city % 60;
+    d.data.Insert(Fact(
+        d.relation,
+        {providers.Render(p), Value("NAME" + std::to_string(p)),
+         Value("ADDR" + std::to_string(p)), Value("C" + std::to_string(city)),
+         Value("ST" + std::to_string(state)), Value("Z" + std::to_string(zip)),
+         Value("CNTY" + std::to_string(county)),
+         Value("PH" + std::to_string(p)), types.Pick(rng), owners.Pick(rng),
+         Value(rng.Bernoulli(0.5) ? "Yes" : "No"),
+         Value("COND" + std::to_string(m % 10)),
+         Value("MC" + std::to_string(m)), Value("MN" + std::to_string(m)),
+         Value(static_cast<int64_t>((state * 31 + m * 7) % 997))}));
+  }
+  return d;
+}
+
+Dataset MakeFood(size_t n, Rng& rng) {
+  Dataset d;
+  auto schema = std::make_shared<Schema>();
+  d.relation = schema->AddRelation(
+      "Food", {"InspectionId", "Name", "AkaName", "License", "FacilityType",
+               "Risk", "Address", "City", "State", "Zip", "InspectionDate",
+               "InspectionType", "Results", "Violations", "Latitude",
+               "Longitude", "Location"});
+  d.schema = schema;
+  d.constraints = ParseAll(
+      *schema, d.relation,
+      {
+          "!(t.Location = t'.Location & t.City != t'.City)",
+          "!(t.Location = t'.Location & t.State != t'.State)",
+          "!(t.Location = t'.Location & t.Zip != t'.Zip)",
+          "!(t.License = t'.License & t.Name != t'.Name)",
+          "!(t.Zip = t'.Zip & t.State != t'.State)",
+          "!(t.InspectionId = t'.InspectionId & t.Results != t'.Results)",
+      });
+  d.data = Database(schema);
+  const Domain locations("LOC", std::max<size_t>(n / 8, 8));
+  const Domain licenses("LIC", std::max<size_t>(n / 12, 8));
+  const Domain risks("RISK", 3, 0.5);
+  const Domain results("RES", 5, 0.7);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t loc = locations.PickIndex(rng);
+    const size_t lic = licenses.PickIndex(rng);
+    const size_t zip = loc % 150;
+    const size_t state = zip % 25;
+    const size_t city = loc % 80;
+    d.data.Insert(Fact(
+        d.relation,
+        {Value(static_cast<int64_t>(i)),  // unique inspection id
+         Value("NAME" + std::to_string(lic)),
+         Value("AKA" + std::to_string(lic)), licenses.Render(lic),
+         Value("FT" + std::to_string(rng.UniformInt(0, 6))), risks.Pick(rng),
+         Value("ADDR" + std::to_string(loc)),
+         Value("C" + std::to_string(city)),
+         Value("ST" + std::to_string(state)),
+         Value("Z" + std::to_string(zip)),
+         Value(rng.UniformInt(20000, 22000)),
+         Value("IT" + std::to_string(rng.UniformInt(0, 4))),
+         results.Pick(rng), Value(rng.UniformInt(0, 20)),
+         Value(static_cast<int64_t>(4000 + loc % 100)),
+         Value(static_cast<int64_t>(-8000 - static_cast<int64_t>(loc % 100))),
+         locations.Render(loc)}));
+  }
+  return d;
+}
+
+Dataset MakeAirport(size_t n, Rng& rng) {
+  Dataset d;
+  auto schema = std::make_shared<Schema>();
+  d.relation = schema->AddRelation(
+      "Airport", {"Id", "Ident", "Type", "Name", "Continent", "Country",
+                  "Municipality", "GpsCode", "Elevation"});
+  d.schema = schema;
+  d.constraints = ParseAll(
+      *schema, d.relation,
+      {
+          "!(t.Country = t'.Country & t.Continent != t'.Continent)",
+          "!(t.Municipality = t'.Municipality & t.Country != t'.Country)",
+          "!(t.Municipality = t'.Municipality & t.Continent != "
+          "t'.Continent)",
+          "!(t.Ident = t'.Ident & t.Name != t'.Name)",
+          "!(t.Id = t'.Id & t.Ident != t'.Ident)",
+          "!(t.Elevation < -1300)",
+      });
+  d.data = Database(schema);
+  const Domain municipalities("M", std::max<size_t>(n / 6, 8));
+  const Domain types("TYPE", 5, 0.8);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t m = municipalities.PickIndex(rng);
+    const size_t country = m % 60;
+    const size_t continent = country % 6;
+    d.data.Insert(
+        Fact(d.relation,
+             {Value(static_cast<int64_t>(i)),
+              Value("ID" + std::to_string(i)), types.Pick(rng),
+              Value("NAME" + std::to_string(i)),
+              Value("CONT" + std::to_string(continent)),
+              Value("CTRY" + std::to_string(country)),
+              municipalities.Render(m), Value("GPS" + std::to_string(i)),
+              Value(rng.UniformInt(-1200, 9000))}));
+  }
+  return d;
+}
+
+Dataset MakeAdult(size_t n, Rng& rng) {
+  Dataset d;
+  auto schema = std::make_shared<Schema>();
+  d.relation = schema->AddRelation(
+      "Adult", {"Age", "Workclass", "Fnlwgt", "Education", "EducationNum",
+                "MaritalStatus", "Occupation", "Relationship", "Race", "Sex",
+                "Gain", "Loss", "Hours", "Country", "Income"});
+  d.schema = schema;
+  d.constraints = ParseAll(
+      *schema, d.relation,
+      {
+          "!(t.Gain < t'.Gain & t.Loss < t'.Loss)",
+          "!(t.Education = t'.Education & t.EducationNum != "
+          "t'.EducationNum)",
+          "!(t.Age < 0)",
+      });
+  d.data = Database(schema);
+  const Domain workclasses("WC", 8, 0.8);
+  const Domain occupations("OCC", 14, 0.6);
+  const Domain countries("CTRY", 40);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t edu = static_cast<size_t>(rng.UniformInt(1, 16));
+    // Loss is a non-increasing step function of Gain, so no pair can have
+    // both strictly increasing (the anti-chain DC holds by construction).
+    const int64_t gain = rng.UniformInt(0, 50) * 100;
+    const int64_t loss = 6000 - gain;
+    d.data.Insert(Fact(
+        d.relation,
+        {Value(rng.UniformInt(17, 90)), workclasses.Pick(rng),
+         Value(rng.UniformInt(10000, 900000)),
+         Value("EDU" + std::to_string(edu)), Value(static_cast<int64_t>(edu)),
+         Value(rng.Bernoulli(0.5) ? "Married" : "Single"),
+         occupations.Pick(rng),
+         Value("REL" + std::to_string(rng.UniformInt(0, 5))),
+         Value("RACE" + std::to_string(rng.UniformInt(0, 4))),
+         Value(rng.Bernoulli(0.5) ? "M" : "F"), Value(gain), Value(loss),
+         Value(rng.UniformInt(10, 80)), countries.Pick(rng),
+         Value(rng.Bernoulli(0.25) ? ">50K" : "<=50K")}));
+  }
+  return d;
+}
+
+Dataset MakeFlight(size_t n, Rng& rng) {
+  Dataset d;
+  auto schema = std::make_shared<Schema>();
+  d.relation = schema->AddRelation(
+      "Flight",
+      {"Airline", "Carrier", "FlightNo", "Origin", "OriginCity", "Dest",
+       "DestCity", "SchedDep", "ActDep", "SchedArr", "ActArr", "DepDelay",
+       "ArrDelay", "Distance", "AirTime", "TaxiIn", "TaxiOut", "Cancelled",
+       "Diverted", "TailNum"});
+  d.schema = schema;
+  d.constraints = ParseAll(
+      *schema, d.relation,
+      {
+          "!(t.Origin = t'.Origin & t.Dest = t'.Dest & t.Distance != "
+          "t'.Distance)",
+          "!(t.FlightNo = t'.FlightNo & t.Airline != t'.Airline)",
+          "!(t.FlightNo = t'.FlightNo & t.Origin != t'.Origin)",
+          "!(t.FlightNo = t'.FlightNo & t.Dest != t'.Dest)",
+          "!(t.Airline = t'.Airline & t.Carrier != t'.Carrier)",
+          "!(t.Origin = t'.Origin & t.OriginCity != t'.OriginCity)",
+          "!(t.Dest = t'.Dest & t.DestCity != t'.DestCity)",
+          "!(t.Distance > t'.Distance & t.AirTime < t'.AirTime)",
+          "!(t.AirTime < 0)",
+          "!(t.Distance < 0)",
+          "!(t.TaxiIn < 0)",
+          "!(t.TaxiOut < 0)",
+          "!(t.DepDelay > 3000)",
+      });
+  d.data = Database(schema);
+  const Domain flights("F", std::max<size_t>(n / 5, 8));
+  for (size_t i = 0; i < n; ++i) {
+    const size_t f = flights.PickIndex(rng);
+    const size_t airline = f % 20;
+    const size_t origin = f % 100;
+    const size_t dest = (f * 7 + 13) % 100;
+    const int64_t distance =
+        static_cast<int64_t>((origin * 131 + dest * 17) % 3000) + 200;
+    const int64_t airtime = distance / 6;
+    const int64_t sched_dep = rng.UniformInt(0, 1439);
+    const int64_t dep_delay = rng.UniformInt(-10, 300);
+    const int64_t sched_arr = sched_dep + airtime;
+    const int64_t arr_delay = dep_delay + rng.UniformInt(-20, 60);
+    d.data.Insert(Fact(
+        d.relation,
+        {Value("AL" + std::to_string(airline)),
+         Value("CR" + std::to_string(airline)), flights.Render(f),
+         Value("AP" + std::to_string(origin)),
+         Value("CITY" + std::to_string(origin % 40)),
+         Value("AP" + std::to_string(dest)),
+         Value("CITY" + std::to_string(dest % 40)), Value(sched_dep),
+         Value(sched_dep + dep_delay), Value(sched_arr),
+         Value(sched_arr + arr_delay), Value(dep_delay), Value(arr_delay),
+         Value(distance), Value(airtime), Value(rng.UniformInt(1, 30)),
+         Value(rng.UniformInt(1, 30)), Value(static_cast<int64_t>(0)),
+         Value(static_cast<int64_t>(rng.Bernoulli(0.02) ? 1 : 0)),
+         Value("TN" + std::to_string(rng.UniformInt(0, 2000)))}));
+  }
+  return d;
+}
+
+Dataset MakeVoter(size_t n, Rng& rng) {
+  Dataset d;
+  auto schema = std::make_shared<Schema>();
+  d.relation = schema->AddRelation(
+      "Voter",
+      {"VoterId", "FirstName", "LastName", "MiddleName", "Suffix", "Address",
+       "City", "County", "State", "Zip", "BirthYear", "Age", "Gender",
+       "Party", "RegDate", "Status", "Phone", "Email", "District", "Precinct",
+       "SchoolDist", "Ward"});
+  d.schema = schema;
+  d.constraints = ParseAll(
+      *schema, d.relation,
+      {
+          "!(t.BirthYear < t'.BirthYear & t.Age > t'.Age)",
+          "!(t.VoterId = t'.VoterId & t.LastName != t'.LastName)",
+          "!(t.Zip = t'.Zip & t.State != t'.State)",
+          "!(t.Age < 17)",
+          "!(t.Age > 120)",
+      });
+  d.data = Database(schema);
+  const Domain first_names("FN", 200, 0.9);
+  const Domain last_names("LN", 400, 0.9);
+  const Domain parties("PARTY", 4, 0.6);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t birth_year = rng.UniformInt(1900, 2003);
+    // The paper's mined DC !(BirthYear < BirthYear' & Age > Age') demands
+    // Age non-DEcreasing in BirthYear; this linear coding keeps Age within
+    // the unary bounds [17, 120] as well.
+    const int64_t age = birth_year - 1883;
+    const size_t zip = static_cast<size_t>(rng.UniformInt(0, 499));
+    const size_t state = zip % 50;
+    d.data.Insert(Fact(
+        d.relation,
+        {Value(static_cast<int64_t>(i)), first_names.Pick(rng),
+         last_names.Pick(rng), Value("MN" + std::to_string(i % 50)),
+         Value(""), Value("ADDR" + std::to_string(i)),
+         Value("C" + std::to_string(zip % 120)),
+         Value("CNTY" + std::to_string(zip % 60)),
+         Value("ST" + std::to_string(state)), Value("Z" + std::to_string(zip)),
+         Value(birth_year), Value(age),
+         Value(rng.Bernoulli(0.5) ? "F" : "M"), parties.Pick(rng),
+         Value(rng.UniformInt(19900, 20210)),
+         Value(rng.Bernoulli(0.9) ? "Active" : "Inactive"),
+         Value("PH" + std::to_string(i)), Value("E" + std::to_string(i)),
+         Value(rng.UniformInt(1, 13)), Value(rng.UniformInt(1, 99)),
+         Value(rng.UniformInt(1, 20)), Value(rng.UniformInt(1, 8))}));
+  }
+  return d;
+}
+
+Dataset MakeTax(size_t n, Rng& rng) {
+  Dataset d;
+  auto schema = std::make_shared<Schema>();
+  d.relation = schema->AddRelation(
+      "Tax", {"FName", "LName", "Gender", "AreaCode", "Phone", "City",
+              "State", "Zip", "MaritalStatus", "HasChild", "Salary", "Rate",
+              "SingleExemp", "ChildExemp", "MarriedExemp"});
+  d.schema = schema;
+  d.constraints = ParseAll(
+      *schema, d.relation,
+      {
+          "!(t.State = t'.State & t.Salary > t'.Salary & t.Rate < t'.Rate)",
+          "!(t.Zip = t'.Zip & t.State != t'.State)",
+          "!(t.Zip = t'.Zip & t.City != t'.City)",
+          "!(t.State = t'.State & t.HasChild = t'.HasChild & t.ChildExemp "
+          "!= t'.ChildExemp)",
+          "!(t.State = t'.State & t.MaritalStatus = t'.MaritalStatus & "
+          "t.SingleExemp != t'.SingleExemp)",
+          "!(t.AreaCode = t'.AreaCode & t.State != t'.State)",
+          "!(t.Salary < 0)",
+          "!(t.Rate < 0)",
+          "!(t.Rate > 100)",
+      });
+  d.data = Database(schema);
+  const Domain first_names("FN", 300, 0.9);
+  const Domain last_names("LN", 500, 0.9);
+  const Domain zips("Z", 400);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t zip = zips.PickIndex(rng);
+    const size_t state = zip % 50;
+    const size_t city = zip % 150;
+    const size_t area_code = state * 3 + zip % 3;  // area code -> state
+    const bool has_child = rng.Bernoulli(0.4);
+    const bool married = rng.Bernoulli(0.5);
+    const int64_t salary = rng.UniformInt(10, 200) * 1000;
+    // Rate is non-decreasing in salary within a state (bracket schedule),
+    // so the salary/rate order DC holds by construction.
+    const int64_t rate =
+        std::min<int64_t>(99, (salary / 20000) * (1 + state % 5));
+    d.data.Insert(Fact(
+        d.relation,
+        {first_names.Pick(rng), last_names.Pick(rng),
+         Value(rng.Bernoulli(0.5) ? "M" : "F"),
+         Value("AC" + std::to_string(area_code)),
+         Value("PH" + std::to_string(i)), Value("C" + std::to_string(city)),
+         Value("ST" + std::to_string(state)), zips.Render(zip),
+         Value(married ? "M" : "S"), Value(has_child ? "Y" : "N"),
+         Value(salary), Value(rate),
+         Value(static_cast<int64_t>((state * 2 + (married ? 1 : 0)) * 10)),
+         Value(static_cast<int64_t>((state * 2 + (has_child ? 1 : 0)) * 10)),
+         Value(rng.UniformInt(0, 5000))}));
+  }
+  return d;
+}
+
+}  // namespace
+
+Dataset MakeHospitalCaseStudy(size_t num_tuples, uint64_t seed) {
+  Rng rng(seed ^ 0x5bd1e995u);
+  Dataset d;
+  auto schema = std::make_shared<Schema>();
+  d.relation = schema->AddRelation(
+      "Hospital",
+      {"ProviderId", "Name", "Address", "City", "State", "Zip", "County",
+       "Phone", "Type", "Owner", "Emergency", "Condition", "MeasureCode",
+       "MeasureName", "StateAvg"});
+  d.schema = schema;
+  d.constraints = ParseAll(
+      *schema, d.relation,
+      {
+          "!(t.ProviderId = t'.ProviderId & t.Name != t'.Name)",
+          "!(t.ProviderId = t'.ProviderId & t.City != t'.City)",
+          "!(t.ProviderId = t'.ProviderId & t.State != t'.State)",
+          "!(t.ProviderId = t'.ProviderId & t.Zip != t'.Zip)",
+          "!(t.ProviderId = t'.ProviderId & t.County != t'.County)",
+          "!(t.ProviderId = t'.ProviderId & t.Phone != t'.Phone)",
+          "!(t.ProviderId = t'.ProviderId & t.Type != t'.Type)",
+          "!(t.ProviderId = t'.ProviderId & t.Owner != t'.Owner)",
+          "!(t.ProviderId = t'.ProviderId & t.Emergency != t'.Emergency)",
+          "!(t.Zip = t'.Zip & t.State != t'.State)",
+          "!(t.Zip = t'.Zip & t.City != t'.City)",
+          "!(t.City = t'.City & t.County != t'.County)",
+          "!(t.MeasureCode = t'.MeasureCode & t.MeasureName != "
+          "t'.MeasureName)",
+          "!(t.MeasureCode = t'.MeasureCode & t.Condition != t'.Condition)",
+          "!(t.State = t'.State & t.MeasureCode = t'.MeasureCode & "
+          "t.StateAvg != t'.StateAvg)",
+      });
+  d.data = Database(schema);
+  const Domain providers("H", std::max<size_t>(num_tuples / 12, 8));
+  const Domain measures("MC", 25);
+  for (size_t i = 0; i < num_tuples; ++i) {
+    const size_t p = providers.PickIndex(rng);
+    const size_t m = measures.PickIndex(rng);
+    const size_t zip = p % 180;
+    const size_t state = zip % 30;
+    const size_t city = zip % 110;
+    const size_t county = city % 55;
+    d.data.Insert(Fact(
+        d.relation,
+        {providers.Render(p), Value("NAME" + std::to_string(p)),
+         Value("ADDR" + std::to_string(p)), Value("C" + std::to_string(city)),
+         Value("ST" + std::to_string(state)), Value("Z" + std::to_string(zip)),
+         Value("CNTY" + std::to_string(county)),
+         Value("PH" + std::to_string(p)),
+         Value("TYPE" + std::to_string(p % 4)),
+         Value("OWN" + std::to_string(p % 5)),
+         Value(p % 2 == 0 ? "Yes" : "No"),
+         Value("COND" + std::to_string(m % 8)),
+         Value("MC" + std::to_string(m)), Value("MN" + std::to_string(m)),
+         Value(static_cast<int64_t>((state * 37 + m * 11) % 997))}));
+  }
+  return d;
+}
+
+std::vector<DatasetId> AllDatasets() {
+  return {DatasetId::kStock,  DatasetId::kHospital, DatasetId::kFood,
+          DatasetId::kAirport, DatasetId::kAdult,   DatasetId::kFlight,
+          DatasetId::kVoter,  DatasetId::kTax};
+}
+
+const char* DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kStock:
+      return "Stock";
+    case DatasetId::kHospital:
+      return "Hospital";
+    case DatasetId::kFood:
+      return "Food";
+    case DatasetId::kAirport:
+      return "Airport";
+    case DatasetId::kAdult:
+      return "Adult";
+    case DatasetId::kFlight:
+      return "Flight";
+    case DatasetId::kVoter:
+      return "Voter";
+    case DatasetId::kTax:
+      return "Tax";
+  }
+  return "?";
+}
+
+size_t PaperTupleCount(DatasetId id) {
+  switch (id) {
+    case DatasetId::kStock:
+      return 123000;
+    case DatasetId::kHospital:
+      return 115000;
+    case DatasetId::kFood:
+      return 200000;
+    case DatasetId::kAirport:
+      return 55000;
+    case DatasetId::kAdult:
+      return 32000;
+    case DatasetId::kFlight:
+      return 500000;
+    case DatasetId::kVoter:
+      return 950000;
+    case DatasetId::kTax:
+      return 1000000;
+  }
+  return 0;
+}
+
+Dataset MakeDataset(DatasetId id, size_t num_tuples, uint64_t seed) {
+  Rng rng(seed ^ (static_cast<uint64_t>(id) * 0x9e3779b97f4a7c15ull));
+  switch (id) {
+    case DatasetId::kStock:
+      return MakeStock(num_tuples, rng);
+    case DatasetId::kHospital:
+      return MakeHospital(num_tuples, rng);
+    case DatasetId::kFood:
+      return MakeFood(num_tuples, rng);
+    case DatasetId::kAirport:
+      return MakeAirport(num_tuples, rng);
+    case DatasetId::kAdult:
+      return MakeAdult(num_tuples, rng);
+    case DatasetId::kFlight:
+      return MakeFlight(num_tuples, rng);
+    case DatasetId::kVoter:
+      return MakeVoter(num_tuples, rng);
+    case DatasetId::kTax:
+      return MakeTax(num_tuples, rng);
+  }
+  DBIM_CHECK(false);
+  return Dataset();
+}
+
+}  // namespace dbim

@@ -1,0 +1,95 @@
+#include "datagen/io.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace dbim {
+
+namespace {
+
+std::string EncodeValue(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      return "?:";
+    case Value::Kind::kInt:
+      return "i:" + v.ToString();
+    case Value::Kind::kDouble:
+      return StrFormat("d:%.17g", v.as_double());
+    case Value::Kind::kString:
+      return "s:" + v.as_string();
+  }
+  return "?:";
+}
+
+Value DecodeValue(const std::string& field) {
+  if (field.size() >= 2 && field[1] == ':') {
+    const std::string payload = field.substr(2);
+    switch (field[0]) {
+      case 'i':
+        return Value(
+            static_cast<int64_t>(std::strtoll(payload.c_str(), nullptr, 10)));
+      case 'd':
+        return Value(std::strtod(payload.c_str(), nullptr));
+      case 's':
+        return Value(payload);
+      case '?':
+        return Value();
+      default:
+        break;  // fall through: treat as untagged string
+    }
+  }
+  return Value(field);
+}
+
+}  // namespace
+
+bool WriteDatabaseCsv(const Database& db, RelationId relation,
+                      const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back(db.schema().relation(relation).attributes());
+  for (const FactId id : db.ids()) {
+    const Fact& f = db.fact(id);
+    if (f.relation() != relation) continue;
+    std::vector<std::string> row;
+    row.reserve(f.arity());
+    for (const Value& v : f.values()) row.push_back(EncodeValue(v));
+    rows.push_back(std::move(row));
+  }
+  return Csv::WriteFile(path, rows);
+}
+
+std::optional<Database> ReadDatabaseCsv(std::shared_ptr<const Schema> schema,
+                                        RelationId relation,
+                                        const std::string& path,
+                                        std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<Database> {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+  const auto rows = Csv::ReadFile(path);
+  if (!rows) return fail("cannot read or parse " + path);
+  if (rows->empty()) return fail("empty file");
+  const size_t arity = schema->relation(relation).arity();
+  if ((*rows)[0].size() != arity) {
+    return fail(StrFormat("header has %zu columns, relation has %zu",
+                          (*rows)[0].size(), arity));
+  }
+  Database db(std::move(schema));
+  for (size_t r = 1; r < rows->size(); ++r) {
+    const auto& row = (*rows)[r];
+    if (row.size() != arity) {
+      return fail(StrFormat("row %zu has %zu columns, expected %zu", r,
+                            row.size(), arity));
+    }
+    std::vector<Value> values;
+    values.reserve(arity);
+    for (const std::string& field : row) values.push_back(DecodeValue(field));
+    db.Insert(Fact(relation, std::move(values)));
+  }
+  return db;
+}
+
+}  // namespace dbim

@@ -1,0 +1,35 @@
+#ifndef DBIM_DATAGEN_IO_H_
+#define DBIM_DATAGEN_IO_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "relational/database.h"
+#include "relational/schema.h"
+
+namespace dbim {
+
+/// CSV interchange for databases, so users can run the measures on their
+/// own data (and persist the synthetic datasets for inspection).
+///
+/// Format: a header row with the attribute names, one row per fact. Values
+/// are written with a one-character type tag so a round trip preserves
+/// kinds exactly: `i:42`, `d:2.5`, `s:text`, `?:` (null). Untagged fields
+/// are read as strings (so plain third-party CSVs load directly).
+
+/// Writes all facts of `relation` to `path`; returns false on I/O error.
+bool WriteDatabaseCsv(const Database& db, RelationId relation,
+                      const std::string& path);
+
+/// Reads facts for `relation` (column count must match the signature's
+/// arity). Returns nullopt on I/O or format errors and, if `error` is
+/// non-null, a description.
+std::optional<Database> ReadDatabaseCsv(std::shared_ptr<const Schema> schema,
+                                        RelationId relation,
+                                        const std::string& path,
+                                        std::string* error = nullptr);
+
+}  // namespace dbim
+
+#endif  // DBIM_DATAGEN_IO_H_

@@ -1,0 +1,70 @@
+#ifndef DBIM_DATAGEN_NOISE_H_
+#define DBIM_DATAGEN_NOISE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "constraints/dc.h"
+#include "relational/database.h"
+
+namespace dbim {
+
+/// CONoise (Constraint-Oriented Noise), paper Section 6.1: each step picks
+/// a random constraint and random tuples, and edits cell values so that
+/// every predicate of the constraint body becomes satisfied, deliberately
+/// manufacturing one violation (possibly introducing or resolving others as
+/// a side effect — the paper notes and embraces this).
+class CoNoiseGenerator {
+ public:
+  /// `reference` supplies the active domains used for value picks (the
+  /// paper draws replacement values from the clean dataset's domains).
+  CoNoiseGenerator(const Database& reference,
+                   std::vector<DenialConstraint> constraints);
+
+  /// Applies one CONoise iteration to `db`.
+  void Step(Database& db, Rng& rng) const;
+
+ private:
+  std::vector<DenialConstraint> constraints_;
+  // Active domain per (relation, attribute), sorted.
+  std::vector<std::vector<std::vector<Value>>> domains_;
+};
+
+/// RNoise (Random Noise), paper Section 6.1: each step picks a random cell
+/// in an attribute that occurs in at least one constraint, then either
+/// replaces it with an active-domain value drawn Zipf(beta) (skew grows
+/// with beta; beta = 0 is uniform) or injects a typo.
+class RNoiseGenerator {
+ public:
+  RNoiseGenerator(const Database& reference,
+                  std::vector<DenialConstraint> constraints, double beta,
+                  double typo_probability = 0.5);
+
+  /// Applies one RNoise iteration to `db`.
+  void Step(Database& db, Rng& rng) const;
+
+  /// Number of steps that modify a fraction `alpha` of the dataset's values
+  /// (alpha * #cells), the paper's stopping rule.
+  size_t StepsForAlpha(const Database& db, double alpha) const;
+
+ private:
+  std::vector<DenialConstraint> constraints_;
+  // Columns eligible for noise: attributes appearing in constraints.
+  struct Column {
+    RelationId relation;
+    AttrIndex attr;
+    std::vector<Value> domain;
+    std::unique_ptr<ZipfDistribution> zipf;
+  };
+  std::vector<Column> columns_;
+  double typo_probability_;
+};
+
+/// Makes a typo of `v`: a single-character mutation for strings, a small
+/// perturbation for numbers.
+Value MakeTypo(const Value& v, Rng& rng);
+
+}  // namespace dbim
+
+#endif  // DBIM_DATAGEN_NOISE_H_

@@ -1,0 +1,60 @@
+#include "datagen/running_example.h"
+
+namespace dbim {
+
+RunningExample MakeRunningExample() {
+  auto schema = std::make_shared<Schema>();
+  const RelationId rel = schema->AddRelation(
+      "Airport",
+      {"Id", "Type", "Name", "Continent", "Country", "Municipality"});
+
+  auto fact = [&](const char* id, const char* type, const char* name,
+                  const char* continent, const char* country,
+                  const char* municipality) {
+    return Fact(rel, {Value(id), Value(type), Value(name), Value(continent),
+                      Value(country), Value(municipality)});
+  };
+
+  Database d0(schema);
+  d0.InsertWithId(1, fact("00AA", "Small airport", "Aero B Ranch", "NAm",
+                          "US", "Leoti"));
+  d0.InsertWithId(2, fact("7FA0", "heliport", "Florida Keys Heliport", "NAm",
+                          "US", "Key West"));
+  d0.InsertWithId(3, fact("7FA1", "Small airport", "Sugar Loaf Shores", "NAm",
+                          "US", "Key West"));
+  d0.InsertWithId(4, fact("KEYW", "Medium airport", "Key West Intl", "NAm",
+                          "US", "Key West"));
+  d0.InsertWithId(5, fact("KNQX", "Medium airport", "NAS Key West", "NAm",
+                          "US", "Key West"));
+
+  const auto continent =
+      schema->relation(rel).FindAttribute("Continent").value();
+  const auto country = schema->relation(rel).FindAttribute("Country").value();
+
+  // D1: f2.Continent = Am, f2.Country = USA, f4.Country = USA,
+  //     f5.Continent = Am.
+  Database d1 = d0;
+  d1.UpdateValue(2, continent, Value("Am"));
+  d1.UpdateValue(2, country, Value("USA"));
+  d1.UpdateValue(4, country, Value("USA"));
+  d1.UpdateValue(5, continent, Value("Am"));
+
+  // D2: f2.Continent = Am, f2.Country = USA, f4.Country = USA.
+  Database d2 = d0;
+  d2.UpdateValue(2, continent, Value("Am"));
+  d2.UpdateValue(2, country, Value("USA"));
+  d2.UpdateValue(4, country, Value("USA"));
+
+  std::vector<FunctionalDependency> fds = {
+      FunctionalDependency::Make(*schema, rel, {"Municipality"},
+                                 {"Continent", "Country"}),
+      FunctionalDependency::Make(*schema, rel, {"Country"}, {"Continent"}),
+  };
+  std::vector<DenialConstraint> dcs = ToDenialConstraints(fds);
+
+  return RunningExample{schema,        rel,          std::move(fds),
+                        std::move(dcs), std::move(d0), std::move(d1),
+                        std::move(d2)};
+}
+
+}  // namespace dbim

@@ -1,0 +1,41 @@
+#ifndef DBIM_GRAPH_BRON_KERBOSCH_H_
+#define DBIM_GRAPH_BRON_KERBOSCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace dbim {
+
+struct MisCountOptions {
+  /// Wall-clock budget; 0 disables. An expired count is a lower bound and
+  /// `complete` is false — this mirrors the paper's 24-hour timeouts on
+  /// I_MC.
+  double deadline_seconds = 0.0;
+};
+
+struct MisCountResult {
+  /// Number of maximal independent sets, as a double (counts can be
+  /// exponential; 3^(n/3) at the Moon–Moser bound).
+  double count = 0.0;
+
+  /// Whether enumeration finished within the deadline.
+  bool complete = true;
+
+  /// Recursion nodes visited (diagnostics).
+  uint64_t nodes = 0;
+};
+
+/// Counts the maximal independent sets of `g` — equivalently the maximal
+/// cliques of its complement — with Bron–Kerbosch with pivoting over bitset
+/// adjacency, decomposed by connected component (the count multiplies across
+/// components). This is the engine behind I_MC; the paper computes it with a
+/// parallel maximal-clique enumerator on the complement of the conflict
+/// graph and observes #P-hardness in general.
+MisCountResult CountMaximalIndependentSets(const SimpleGraph& g,
+                                           const MisCountOptions& options = {});
+
+}  // namespace dbim
+
+#endif  // DBIM_GRAPH_BRON_KERBOSCH_H_

@@ -1,0 +1,34 @@
+#ifndef DBIM_GRAPH_FRACTIONAL_VC_H_
+#define DBIM_GRAPH_FRACTIONAL_VC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dbim {
+
+/// Result of the fractional weighted vertex-cover LP
+///   minimize   sum_v w_v x_v
+///   subject to x_u + x_v >= 1 for every edge {u, v},  0 <= x <= 1.
+struct FractionalVcResult {
+  /// LP optimum.
+  double value = 0.0;
+
+  /// A half-integral optimal solution: every entry is 0, 1/2, or 1.
+  std::vector<double> x;
+};
+
+/// Solves the LP exactly via its classical combinatorial characterization:
+/// the optimum is half the weight of a minimum vertex cover of the bipartite
+/// double cover, which is a minimum s-t cut (computed with Dinic). The LP
+/// always has a half-integral optimal solution, which this returns.
+///
+/// This is the I_lin_R fast path for binary denial constraints and the
+/// kernelization oracle (Nemhauser–Trotter) for exact I_R.
+FractionalVcResult FractionalVertexCover(const SimpleGraph& g,
+                                         const std::vector<double>& weights);
+
+}  // namespace dbim
+
+#endif  // DBIM_GRAPH_FRACTIONAL_VC_H_

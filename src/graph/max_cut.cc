@@ -1,0 +1,74 @@
+#include "graph/max_cut.h"
+
+#include "common/check.h"
+
+namespace dbim {
+
+namespace {
+
+size_t CutSize(const SimpleGraph& g, const std::vector<bool>& side) {
+  size_t cut = 0;
+  for (const auto& [a, b] : g.edges()) {
+    if (side[a] != side[b]) ++cut;
+  }
+  return cut;
+}
+
+}  // namespace
+
+MaxCutResult MaxCutExact(const SimpleGraph& g) {
+  const size_t n = g.num_vertices();
+  DBIM_CHECK_MSG(n <= 30, "MaxCutExact is exponential; use local search");
+  MaxCutResult best;
+  best.side.assign(n, false);
+  best.cut_edges = 0;
+  if (n == 0) return best;
+  // Vertex 0 is pinned to side S1 (cuts are symmetric under complement).
+  const uint64_t limit = n >= 1 ? (1ull << (n - 1)) : 1;
+  std::vector<bool> side(n, false);
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    for (size_t v = 1; v < n; ++v) side[v] = (mask >> (v - 1)) & 1;
+    const size_t cut = CutSize(g, side);
+    if (cut > best.cut_edges) {
+      best.cut_edges = cut;
+      best.side = side;
+    }
+  }
+  return best;
+}
+
+MaxCutResult MaxCutLocalSearch(const SimpleGraph& g, Rng& rng, int restarts) {
+  const size_t n = g.num_vertices();
+  const auto adj = g.AdjacencyLists();
+  MaxCutResult best;
+  best.side.assign(n, false);
+  best.cut_edges = 0;
+  best.optimal = false;
+  for (int r = 0; r < restarts; ++r) {
+    std::vector<bool> side(n);
+    for (size_t v = 0; v < n; ++v) side[v] = rng.Bernoulli(0.5);
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (uint32_t v = 0; v < n; ++v) {
+        // Gain of flipping v: (same-side neighbors) - (cross neighbors).
+        int gain = 0;
+        for (const uint32_t u : adj[v]) {
+          gain += (side[u] == side[v]) ? 1 : -1;
+        }
+        if (gain > 0) {
+          side[v] = !side[v];
+          improved = true;
+        }
+      }
+    }
+    const size_t cut = CutSize(g, side);
+    if (cut > best.cut_edges) {
+      best.cut_edges = cut;
+      best.side = side;
+    }
+  }
+  return best;
+}
+
+}  // namespace dbim

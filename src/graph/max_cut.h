@@ -1,0 +1,35 @@
+#ifndef DBIM_GRAPH_MAX_CUT_H_
+#define DBIM_GRAPH_MAX_CUT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace dbim {
+
+struct MaxCutResult {
+  /// Number of edges crossing the cut.
+  size_t cut_edges = 0;
+
+  /// Side of each vertex (false = S1, true = S2).
+  std::vector<bool> side;
+
+  /// Whether the value is the exact optimum.
+  bool optimal = true;
+};
+
+/// Exhaustive MaxCut for small graphs (n <= 30 enforced). MaxCut is the
+/// source problem of the paper's Theorem 1 hardness reduction; the tests use
+/// this to cross-validate I_R on reduction instances.
+MaxCutResult MaxCutExact(const SimpleGraph& g);
+
+/// Randomized 1-swap local search with restarts; `optimal` is reported
+/// false. Used to stress the reduction on graphs beyond exhaustive reach.
+MaxCutResult MaxCutLocalSearch(const SimpleGraph& g, Rng& rng,
+                               int restarts = 16);
+
+}  // namespace dbim
+
+#endif  // DBIM_GRAPH_MAX_CUT_H_

@@ -1,0 +1,75 @@
+#include "graph/max_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace dbim {
+
+MaxFlow::MaxFlow(size_t num_nodes) : adj_(num_nodes) {}
+
+size_t MaxFlow::AddEdge(uint32_t from, uint32_t to, double capacity) {
+  DBIM_CHECK(from < adj_.size() && to < adj_.size());
+  DBIM_CHECK(capacity >= 0.0);
+  adj_[from].push_back(Edge{to, capacity, adj_[to].size()});
+  adj_[to].push_back(Edge{from, 0.0, adj_[from].size() - 1});
+  return adj_[from].size() - 1;
+}
+
+bool MaxFlow::Bfs(uint32_t s, uint32_t t) {
+  level_.assign(adj_.size(), -1);
+  std::queue<uint32_t> queue;
+  level_[s] = 0;
+  queue.push(s);
+  while (!queue.empty()) {
+    const uint32_t v = queue.front();
+    queue.pop();
+    for (const Edge& e : adj_[v]) {
+      if (e.cap > kEps && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+double MaxFlow::Dfs(uint32_t v, uint32_t t, double pushed) {
+  if (v == t) return pushed;
+  for (size_t& i = iter_[v]; i < adj_[v].size(); ++i) {
+    Edge& e = adj_[v][i];
+    if (e.cap <= kEps || level_[e.to] != level_[v] + 1) continue;
+    const double got = Dfs(e.to, t, std::min(pushed, e.cap));
+    if (got > kEps) {
+      e.cap -= got;
+      adj_[e.to][e.rev].cap += got;
+      return got;
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::Solve(uint32_t s, uint32_t t) {
+  DBIM_CHECK(s != t);
+  double flow = 0.0;
+  while (Bfs(s, t)) {
+    iter_.assign(adj_.size(), 0);
+    while (true) {
+      const double pushed =
+          Dfs(s, t, std::numeric_limits<double>::infinity());
+      if (pushed <= kEps) break;
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+bool MaxFlow::SourceSide(uint32_t v) const {
+  // level_ holds the last (failed) BFS labelling: reachable from s in the
+  // residual network iff level >= 0.
+  return level_[v] >= 0;
+}
+
+}  // namespace dbim

@@ -1,0 +1,46 @@
+#ifndef DBIM_GRAPH_MAX_FLOW_H_
+#define DBIM_GRAPH_MAX_FLOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dbim {
+
+/// Dinic's maximum-flow algorithm with real-valued capacities. Used for the
+/// weighted fractional vertex-cover LP (min s-t cut on the bipartite double
+/// cover). Capacities are doubles because fact deletion costs are; a small
+/// epsilon guards residual comparisons.
+class MaxFlow {
+ public:
+  explicit MaxFlow(size_t num_nodes);
+
+  /// Adds a directed edge with the given capacity; returns its index.
+  size_t AddEdge(uint32_t from, uint32_t to, double capacity);
+
+  /// Runs Dinic from s to t and returns the max-flow value.
+  double Solve(uint32_t s, uint32_t t);
+
+  /// After Solve(): whether `v` is on the source side of the min cut.
+  bool SourceSide(uint32_t v) const;
+
+ private:
+  struct Edge {
+    uint32_t to;
+    double cap;
+    size_t rev;  // index of reverse edge in adj_[to]
+  };
+
+  bool Bfs(uint32_t s, uint32_t t);
+  double Dfs(uint32_t v, uint32_t t, double pushed);
+
+  static constexpr double kEps = 1e-9;
+
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<int32_t> level_;
+  std::vector<size_t> iter_;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_GRAPH_MAX_FLOW_H_

@@ -1,0 +1,261 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace dbim {
+
+int LpModel::AddVariable(double cost, double ub) {
+  objective.push_back(cost);
+  upper.push_back(ub);
+  return num_vars++;
+}
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense tableau simplex working on equality form with artificials.
+class Tableau {
+ public:
+  // Builds the phase-1 tableau from the model. Layout of columns:
+  // [structural vars | slack/surplus | artificials | rhs].
+  explicit Tableau(const LpModel& model) {
+    const int n = model.num_vars;
+    // Materialize finite upper bounds as rows x_j <= u_j.
+    std::vector<LpConstraint> rows = model.constraints;
+    for (int j = 0; j < n; ++j) {
+      if (std::isfinite(model.upper[j])) {
+        LpConstraint c;
+        c.terms = {{j, 1.0}};
+        c.sense = LpSense::kLessEq;
+        c.rhs = model.upper[j];
+        rows.push_back(std::move(c));
+      }
+    }
+    const size_t m = rows.size();
+    num_structural_ = n;
+
+    // Count auxiliary columns.
+    size_t num_slack = 0;
+    for (const LpConstraint& c : rows) {
+      if (c.sense != LpSense::kEqual) ++num_slack;
+    }
+    // One artificial per row keeps the construction uniform; unnecessary
+    // ones price out in phase 1.
+    const size_t num_art = m;
+    num_cols_ = static_cast<size_t>(n) + num_slack + num_art + 1;
+    rhs_col_ = num_cols_ - 1;
+    art_begin_ = static_cast<size_t>(n) + num_slack;
+
+    a_.assign(m, std::vector<double>(num_cols_, 0.0));
+    basis_.assign(m, 0);
+
+    size_t slack_idx = static_cast<size_t>(n);
+    for (size_t i = 0; i < m; ++i) {
+      const LpConstraint& c = rows[i];
+      double sign = 1.0;
+      if (c.rhs < 0.0) sign = -1.0;  // normalize rhs >= 0
+      for (const auto& [j, coef] : c.terms) {
+        DBIM_CHECK(j >= 0 && j < n);
+        a_[i][static_cast<size_t>(j)] += sign * coef;
+      }
+      a_[i][rhs_col_] = sign * c.rhs;
+      LpSense sense = c.sense;
+      if (sign < 0.0) {
+        if (sense == LpSense::kLessEq) {
+          sense = LpSense::kGreaterEq;
+        } else if (sense == LpSense::kGreaterEq) {
+          sense = LpSense::kLessEq;
+        }
+      }
+      if (sense == LpSense::kLessEq) {
+        a_[i][slack_idx] = 1.0;
+        ++slack_idx;
+      } else if (sense == LpSense::kGreaterEq) {
+        a_[i][slack_idx] = -1.0;
+        ++slack_idx;
+      }
+      a_[i][art_begin_ + i] = 1.0;
+      basis_[i] = art_begin_ + i;
+    }
+  }
+
+  size_t num_rows() const { return a_.size(); }
+  size_t art_begin() const { return art_begin_; }
+  size_t rhs_col() const { return rhs_col_; }
+  size_t num_structural() const { return num_structural_; }
+  const std::vector<size_t>& basis() const { return basis_; }
+  double rhs(size_t row) const { return a_[row][rhs_col_]; }
+
+  // Minimizes the objective given by `cost` over the current basis, where
+  // cost has one entry per column (excluding rhs). `allow` masks columns
+  // eligible to enter. Returns status.
+  LpStatus Minimize(const std::vector<double>& cost,
+                    const std::vector<bool>& allow, size_t* iterations) {
+    // Build reduced-cost row z_ = cost - c_B^T B^{-1} A via elimination.
+    z_.assign(num_cols_, 0.0);
+    for (size_t j = 0; j < num_cols_ - 1; ++j) z_[j] = cost[j];
+    for (size_t i = 0; i < num_rows(); ++i) {
+      const double cb = cost[basis_[i]];
+      if (cb == 0.0) continue;
+      for (size_t j = 0; j < num_cols_; ++j) z_[j] -= cb * a_[i][j];
+    }
+
+    const size_t max_iters = 50 * (num_rows() + num_cols_) + 10000;
+    size_t degenerate_streak = 0;
+    while (true) {
+      if (++*iterations > max_iters) return LpStatus::kIterationLimit;
+      // Pricing: Dantzig (most negative), Bland (smallest index) after a
+      // long degenerate streak to escape cycling.
+      const bool bland = degenerate_streak > num_rows() + 20;
+      size_t enter = SIZE_MAX;
+      double best = -kEps;
+      for (size_t j = 0; j < num_cols_ - 1; ++j) {
+        if (!allow[j]) continue;
+        if (z_[j] < best) {
+          if (bland) {
+            if (z_[j] < -kEps) {
+              enter = j;
+              break;
+            }
+          } else {
+            best = z_[j];
+            enter = j;
+          }
+        }
+      }
+      if (enter == SIZE_MAX) return LpStatus::kOptimal;
+
+      // Ratio test.
+      size_t leave = SIZE_MAX;
+      double best_ratio = 0.0;
+      for (size_t i = 0; i < num_rows(); ++i) {
+        if (a_[i][enter] > kEps) {
+          const double ratio = a_[i][rhs_col_] / a_[i][enter];
+          if (leave == SIZE_MAX || ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps && basis_[i] < basis_[leave])) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave == SIZE_MAX) return LpStatus::kUnbounded;
+      degenerate_streak = best_ratio < kEps ? degenerate_streak + 1 : 0;
+      Pivot(leave, enter);
+    }
+  }
+
+  void Pivot(size_t row, size_t col) {
+    const double p = a_[row][col];
+    DBIM_CHECK(std::fabs(p) > kEps);
+    for (size_t j = 0; j < num_cols_; ++j) a_[row][j] /= p;
+    for (size_t i = 0; i < num_rows(); ++i) {
+      if (i == row) continue;
+      const double f = a_[i][col];
+      if (std::fabs(f) < kEps) continue;
+      for (size_t j = 0; j < num_cols_; ++j) a_[i][j] -= f * a_[row][j];
+    }
+    const double fz = z_[col];
+    if (std::fabs(fz) > 0.0) {
+      for (size_t j = 0; j < num_cols_; ++j) z_[j] -= fz * a_[row][j];
+    }
+    basis_[row] = col;
+  }
+
+  // Drives artificial variables out of the basis where possible (after
+  // phase 1 at objective zero, any remaining basic artificial sits in a
+  // redundant row).
+  void EvictArtificials(const std::vector<bool>& allow) {
+    for (size_t i = 0; i < num_rows(); ++i) {
+      if (basis_[i] < art_begin_) continue;
+      for (size_t j = 0; j < art_begin_; ++j) {
+        if (allow[j] && std::fabs(a_[i][j]) > kEps) {
+          z_.assign(num_cols_, 0.0);  // z row is rebuilt by next Minimize
+          Pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<double> ExtractSolution() const {
+    std::vector<double> x(num_structural_, 0.0);
+    for (size_t i = 0; i < num_rows(); ++i) {
+      if (basis_[i] < num_structural_) {
+        x[basis_[i]] = a_[i][rhs_col_];
+      }
+    }
+    return x;
+  }
+
+ private:
+  std::vector<std::vector<double>> a_;
+  std::vector<double> z_;
+  std::vector<size_t> basis_;
+  size_t num_cols_ = 0;
+  size_t rhs_col_ = 0;
+  size_t art_begin_ = 0;
+  size_t num_structural_ = 0;
+};
+
+}  // namespace
+
+LpSolution SolveLp(const LpModel& model) {
+  DBIM_CHECK(static_cast<int>(model.objective.size()) == model.num_vars);
+  DBIM_CHECK(static_cast<int>(model.upper.size()) == model.num_vars);
+  LpSolution solution;
+
+  Tableau tableau(model);
+  const size_t total_cols = tableau.rhs_col();
+
+  // Phase 1: minimize the sum of artificials.
+  std::vector<double> phase1_cost(total_cols, 0.0);
+  for (size_t j = tableau.art_begin(); j < total_cols; ++j) {
+    phase1_cost[j] = 1.0;
+  }
+  std::vector<bool> allow_all(total_cols, true);
+  LpStatus status =
+      tableau.Minimize(phase1_cost, allow_all, &solution.iterations);
+  if (status == LpStatus::kIterationLimit) {
+    solution.status = status;
+    return solution;
+  }
+  double infeasibility = 0.0;
+  for (size_t i = 0; i < tableau.num_rows(); ++i) {
+    if (tableau.basis()[i] >= tableau.art_begin()) {
+      infeasibility += tableau.rhs(i);
+    }
+  }
+  if (infeasibility > 1e-7) {
+    solution.status = LpStatus::kInfeasible;
+    return solution;
+  }
+
+  // Phase 2: original objective with artificials barred from entering.
+  std::vector<bool> allow(total_cols, true);
+  for (size_t j = tableau.art_begin(); j < total_cols; ++j) allow[j] = false;
+  tableau.EvictArtificials(allow);
+  std::vector<double> phase2_cost(total_cols, 0.0);
+  for (int j = 0; j < model.num_vars; ++j) {
+    phase2_cost[static_cast<size_t>(j)] = model.objective[j];
+  }
+  status = tableau.Minimize(phase2_cost, allow, &solution.iterations);
+  if (status != LpStatus::kOptimal) {
+    solution.status = status;
+    return solution;
+  }
+
+  solution.status = LpStatus::kOptimal;
+  solution.x = tableau.ExtractSolution();
+  solution.objective = 0.0;
+  for (int j = 0; j < model.num_vars; ++j) {
+    solution.objective += model.objective[j] * solution.x[static_cast<size_t>(j)];
+  }
+  return solution;
+}
+
+}  // namespace dbim

@@ -1,0 +1,59 @@
+#ifndef DBIM_LP_SIMPLEX_H_
+#define DBIM_LP_SIMPLEX_H_
+
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace dbim {
+
+/// Relational sense of a linear constraint.
+enum class LpSense { kLessEq, kGreaterEq, kEqual };
+
+/// One linear constraint: sum of coefficient * variable  (sense)  rhs.
+struct LpConstraint {
+  std::vector<std::pair<int, double>> terms;  // (variable index, coefficient)
+  LpSense sense = LpSense::kGreaterEq;
+  double rhs = 0.0;
+};
+
+/// A linear program in minimization form. All variables are nonnegative;
+/// finite upper bounds are expressed internally as extra rows.
+struct LpModel {
+  int num_vars = 0;
+  std::vector<double> objective;  // size num_vars; minimized
+  std::vector<double> upper;      // size num_vars; +inf for unbounded
+  std::vector<LpConstraint> constraints;
+
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  /// Adds a variable with cost `cost` and upper bound `ub`; returns its
+  /// index.
+  int AddVariable(double cost, double ub = kInf);
+
+  void AddConstraint(LpConstraint c) { constraints.push_back(std::move(c)); }
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+  size_t iterations = 0;
+};
+
+/// Dense two-phase primal simplex with Dantzig pricing and a Bland
+/// anti-cycling fallback. Exact enough for the covering LPs this project
+/// builds (coefficients are 0/1, costs are small positive reals).
+///
+/// This is the general-purpose path for I_lin_R when minimal inconsistent
+/// subsets have size >= 3 (hyperedge constraints); the graph fast path
+/// (fractional vertex cover via max-flow) handles the binary case. Property
+/// tests cross-validate the two.
+LpSolution SolveLp(const LpModel& model);
+
+}  // namespace dbim
+
+#endif  // DBIM_LP_SIMPLEX_H_

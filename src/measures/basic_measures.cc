@@ -1,0 +1,21 @@
+#include "measures/basic_measures.h"
+
+namespace dbim {
+
+double DrasticMeasure::Evaluate(MeasureContext& context) const {
+  return context.violations().empty() ? 0.0 : 1.0;
+}
+
+double MiCountMeasure::Evaluate(MeasureContext& context) const {
+  return static_cast<double>(context.violations().num_minimal_subsets());
+}
+
+double ProblematicFactsMeasure::Evaluate(MeasureContext& context) const {
+  return static_cast<double>(context.violations().ProblematicFacts().size());
+}
+
+double MinimalViolationsMeasure::Evaluate(MeasureContext& context) const {
+  return static_cast<double>(context.violations().num_minimal_violations());
+}
+
+}  // namespace dbim

@@ -1,0 +1,49 @@
+#ifndef DBIM_MEASURES_BASIC_MEASURES_H_
+#define DBIM_MEASURES_BASIC_MEASURES_H_
+
+#include <string>
+
+#include "measures/measure.h"
+
+namespace dbim {
+
+/// I_d — the drastic measure: 1 if the database is inconsistent, else 0.
+/// Satisfies positivity and monotonicity; violates bounded continuity and
+/// progression (paper Table 2).
+class DrasticMeasure : public InconsistencyMeasure {
+ public:
+  std::string name() const override { return "I_d"; }
+  double Evaluate(MeasureContext& context) const override;
+};
+
+/// I_MI — the number of minimal inconsistent subsets (MI Shapley
+/// Inconsistency). Satisfies positivity and progression (under deletions);
+/// monotone for FDs but not for general DCs (paper Proposition 1); violates
+/// bounded continuity (Proposition 4).
+class MiCountMeasure : public InconsistencyMeasure {
+ public:
+  std::string name() const override { return "I_MI"; }
+  double Evaluate(MeasureContext& context) const override;
+};
+
+/// I_P — the number of problematic facts (facts occurring in a minimal
+/// inconsistent subset). Same property profile as I_MI.
+class ProblematicFactsMeasure : public InconsistencyMeasure {
+ public:
+  std::string name() const override { return "I_P"; }
+  double Evaluate(MeasureContext& context) const override;
+};
+
+/// The Section 5.3 variant that counts minimal *violations* (F, sigma)
+/// pairs rather than minimal inconsistent subsets: a fact set violating two
+/// constraints counts twice. Not part of the paper's Table 2 roster; used by
+/// the update-repair discussion (Example 11) and exposed for completeness.
+class MinimalViolationsMeasure : public InconsistencyMeasure {
+ public:
+  std::string name() const override { return "I_MV"; }
+  double Evaluate(MeasureContext& context) const override;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_MEASURES_BASIC_MEASURES_H_

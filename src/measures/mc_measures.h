@@ -1,0 +1,55 @@
+#ifndef DBIM_MEASURES_MC_MEASURES_H_
+#define DBIM_MEASURES_MC_MEASURES_H_
+
+#include <string>
+
+#include "measures/measure.h"
+
+namespace dbim {
+
+struct McOptions {
+  /// Wall-clock budget for counting maximal consistent subsets; expired
+  /// evaluations return NaN, mirroring the paper's 24-hour timeouts (I_MC
+  /// timed out even on some 100-tuple samples). 0 disables.
+  double deadline_seconds = 60.0;
+
+  /// Hyperedge instances fall back to subset enumeration, which is capped
+  /// at this many problematic facts (NaN beyond).
+  size_t max_hyper_vertices = 20;
+};
+
+/// I_MC — the number of maximal consistent subsets, minus one. Counted as
+/// maximal independent sets of the conflict graph (Bron–Kerbosch on the
+/// complement). Violates positivity for DCs, monotonicity, continuity and
+/// progression, and is #P-hard (paper Table 2); it is tractable exactly for
+/// FD sets whose conflict graphs are P4-free.
+class MaxConsistentSubsetsMeasure : public InconsistencyMeasure {
+ public:
+  explicit MaxConsistentSubsetsMeasure(McOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "I_MC"; }
+  double Evaluate(MeasureContext& context) const override;
+
+ protected:
+  /// |MC_Sigma(D)| or NaN on timeout.
+  double CountMaxConsistent(MeasureContext& context) const;
+
+  McOptions options_;
+};
+
+/// I'_MC — the variant counting self-inconsistencies (contradictory tuples)
+/// in addition: |MC_Sigma(D)| + |SelfInconsistencies(D)| - 1. Restores
+/// positivity for DCs; still violates monotonicity, continuity, progression.
+class McWithSelfInconsistenciesMeasure : public MaxConsistentSubsetsMeasure {
+ public:
+  explicit McWithSelfInconsistenciesMeasure(McOptions options = {})
+      : MaxConsistentSubsetsMeasure(options) {}
+
+  std::string name() const override { return "I'_MC"; }
+  double Evaluate(MeasureContext& context) const override;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_MEASURES_MC_MEASURES_H_

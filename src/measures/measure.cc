@@ -1,0 +1,19 @@
+#include "measures/measure.h"
+
+namespace dbim {
+
+const ViolationSet& MeasureContext::violations() {
+  if (!violations_.has_value()) {
+    violations_ = detector_.FindViolations(db_);
+  }
+  return *violations_;
+}
+
+const ConflictGraph& MeasureContext::conflict_graph() {
+  if (!conflict_graph_.has_value()) {
+    conflict_graph_ = ConflictGraph::Build(db_, violations());
+  }
+  return *conflict_graph_;
+}
+
+}  // namespace dbim

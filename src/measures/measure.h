@@ -1,0 +1,73 @@
+#ifndef DBIM_MEASURES_MEASURE_H_
+#define DBIM_MEASURES_MEASURE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "relational/database.h"
+#include "violations/conflict_graph.h"
+#include "violations/detector.h"
+#include "violations/violation.h"
+
+namespace dbim {
+
+/// Shared per-(Sigma, D) computation state. Detecting violations dominates
+/// the cost of most measures (the paper observes the SQL self-join dominates
+/// for large datasets); the context computes MI_Sigma(D) and the conflict
+/// graph once and lets every measure reuse them.
+class MeasureContext {
+ public:
+  MeasureContext(const ViolationDetector& detector, const Database& db)
+      : detector_(detector), db_(db) {}
+
+  const Database& db() const { return db_; }
+  const ViolationDetector& detector() const { return detector_; }
+
+  /// MI_Sigma(D), computed on first use.
+  const ViolationSet& violations();
+
+  /// Conflict structure of the database, computed on first use.
+  const ConflictGraph& conflict_graph();
+
+ private:
+  const ViolationDetector& detector_;
+  const Database& db_;
+  std::optional<ViolationSet> violations_;
+  std::optional<ConflictGraph> conflict_graph_;
+};
+
+/// An inconsistency measure I(Sigma, D) -> [0, inf) (paper Section 3). The
+/// constraint set Sigma lives in the ViolationDetector; implementations are
+/// pure functions of the context.
+///
+/// The two standard requirements hold for every implementation here:
+/// I(Sigma, D) = 0 whenever D |= Sigma, and invariance under logical
+/// equivalence of Sigma (all measures depend on Sigma only through its
+/// violation witnesses, which equivalent constraint sets share).
+class InconsistencyMeasure {
+ public:
+  virtual ~InconsistencyMeasure() = default;
+
+  /// Short identifier, e.g. "I_MI".
+  virtual std::string name() const = 0;
+
+  /// Evaluates on a prepared context.
+  virtual double Evaluate(MeasureContext& context) const = 0;
+
+  /// Convenience: builds a throwaway context. This prices in violation
+  /// detection, matching how the paper times each measure end to end.
+  double EvaluateFresh(const ViolationDetector& detector,
+                       const Database& db) const {
+    MeasureContext context(detector, db);
+    return Evaluate(context);
+  }
+
+  /// Whether the value is exact for hyperedge witnesses (minimal
+  /// inconsistent subsets of size >= 3) or only defined for binary ones.
+  virtual bool SupportsHyperedges() const { return true; }
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_MEASURES_MEASURE_H_

@@ -1,0 +1,24 @@
+#include "measures/registry.h"
+
+namespace dbim {
+
+std::vector<std::unique_ptr<InconsistencyMeasure>> CreateMeasures(
+    const RegistryOptions& options) {
+  std::vector<std::unique_ptr<InconsistencyMeasure>> measures;
+  measures.push_back(std::make_unique<DrasticMeasure>());
+  measures.push_back(std::make_unique<MiCountMeasure>());
+  measures.push_back(std::make_unique<ProblematicFactsMeasure>());
+  if (options.include_mc) {
+    McOptions mc;
+    mc.deadline_seconds = options.mc_deadline_seconds;
+    measures.push_back(std::make_unique<MaxConsistentSubsetsMeasure>(mc));
+    measures.push_back(std::make_unique<McWithSelfInconsistenciesMeasure>(mc));
+  }
+  RepairMeasureOptions repair;
+  repair.deadline_seconds = options.repair_deadline_seconds;
+  measures.push_back(std::make_unique<MinRepairMeasure>(repair));
+  measures.push_back(std::make_unique<LinRepairMeasure>());
+  return measures;
+}
+
+}  // namespace dbim

@@ -1,0 +1,33 @@
+#ifndef DBIM_MEASURES_REGISTRY_H_
+#define DBIM_MEASURES_REGISTRY_H_
+
+#include <memory>
+#include <vector>
+
+#include "measures/basic_measures.h"
+#include "measures/mc_measures.h"
+#include "measures/measure.h"
+#include "measures/repair_measures.h"
+
+namespace dbim {
+
+struct RegistryOptions {
+  /// Budget per I_MC evaluation (NaN past it).
+  double mc_deadline_seconds = 60.0;
+
+  /// Budget per I_R branch & bound (upper bound past it).
+  double repair_deadline_seconds = 0.0;
+
+  /// Include I_MC and I'_MC. The trajectory benches on 10K-tuple samples
+  /// exclude them, as the paper does (they time out beyond toy sizes).
+  bool include_mc = true;
+};
+
+/// All measures of the paper's Table 2, in its row order:
+/// I_d, I_MI, I_P, [I_MC, I'_MC,] I_R, I_lin_R.
+std::vector<std::unique_ptr<InconsistencyMeasure>> CreateMeasures(
+    const RegistryOptions& options = {});
+
+}  // namespace dbim
+
+#endif  // DBIM_MEASURES_REGISTRY_H_

@@ -1,0 +1,34 @@
+#ifndef DBIM_MEASURES_SHAPLEY_H_
+#define DBIM_MEASURES_SHAPLEY_H_
+
+#include <utility>
+#include <vector>
+
+#include "measures/measure.h"
+
+namespace dbim {
+
+/// Shapley-value attribution of inconsistency to individual facts — the
+/// action-prioritization use case from the paper's introduction ("address
+/// the tuples that have the highest responsibility to the inconsistency
+/// level", citing Hunter–Konieczny and Livshits–Kimelfeld).
+///
+/// For the I_MI measure the Shapley value has the known closed form
+///     Sh(f) = sum over E in MI_Sigma(D) with f in E of 1 / |E|,
+/// i.e., every minimal inconsistent subset spreads one unit of blame evenly
+/// over its members. Values sum to I_MI(Sigma, D).
+std::vector<std::pair<FactId, double>> ShapleyMiValues(
+    MeasureContext& context);
+
+/// Exact Shapley values for an arbitrary measure by permutation sampling:
+/// Sh(f) = E over random orders of [ I(prefix + f) - I(prefix) ]. Exact
+/// enumeration for databases of up to 10 facts, sampled beyond (with
+/// `samples` permutations). Used by tests to validate the closed form and
+/// by the prioritization example for I_R.
+std::vector<std::pair<FactId, double>> ShapleySampled(
+    const InconsistencyMeasure& measure, const ViolationDetector& detector,
+    const Database& db, size_t samples, uint64_t seed);
+
+}  // namespace dbim
+
+#endif  // DBIM_MEASURES_SHAPLEY_H_

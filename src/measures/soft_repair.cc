@@ -1,0 +1,44 @@
+#include "measures/soft_repair.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "lp/covering.h"
+
+namespace dbim {
+
+double SoftRepairMeasure::Evaluate(MeasureContext& context) const {
+  DBIM_CHECK(options_.violation_penalty >= 0.0);
+  const ConflictGraph& cg = context.conflict_graph();
+
+  // Variables: one deletion per problematic fact, then one slack per
+  // minimal inconsistent subset priced at the violation penalty. Each
+  // covering set is its witness plus its own slack; choosing the slack
+  // "pays the fine" instead of repairing.
+  CoveringProblem problem;
+  problem.costs = cg.weights();
+  auto add_set = [&](std::vector<uint32_t> base) {
+    const uint32_t slack = static_cast<uint32_t>(problem.costs.size());
+    problem.costs.push_back(options_.violation_penalty);
+    base.push_back(slack);
+    std::sort(base.begin(), base.end());
+    problem.sets.push_back(std::move(base));
+  };
+  for (uint32_t v = 0; v < cg.num_vertices(); ++v) {
+    if (cg.self_inconsistent()[v]) add_set({v});
+  }
+  for (const auto& [a, b] : cg.edges()) add_set({a, b});
+  for (const auto& he : cg.hyperedges()) add_set(he);
+
+  if (problem.sets.empty()) return 0.0;
+  if (options_.relaxed) {
+    const LpSolution lp = SolveCoveringLpRelaxation(problem);
+    DBIM_CHECK(lp.status == LpStatus::kOptimal);
+    return lp.objective;
+  }
+  CoveringOptions covering_options;
+  covering_options.deadline_seconds = options_.deadline_seconds;
+  return SolveCoveringIlp(problem, covering_options).value;
+}
+
+}  // namespace dbim

@@ -1,0 +1,48 @@
+#ifndef DBIM_MEASURES_SOFT_REPAIR_H_
+#define DBIM_MEASURES_SOFT_REPAIR_H_
+
+#include <string>
+
+#include "measures/measure.h"
+
+namespace dbim {
+
+/// Soft-rule variants of I_R and I_lin_R. The paper notes (Section 3) that
+/// the minimum-repair measure "could also naturally incorporate weighted
+/// (soft) rules"; this makes that concrete: every minimal inconsistent
+/// subset may be left unresolved at a fixed `violation_penalty`, so
+///
+///   I_R^soft(Sigma, D) = min over deletion sets S of
+///                        cost(S) + penalty * |{ E in MI : E not hit }|.
+///
+/// penalty -> infinity recovers I_R; penalty = 0 collapses to 0. The
+/// measure is computed exactly by the covering ILP after giving every set
+/// a private slack variable priced at the penalty (and the LP relaxation,
+/// for the soft I_lin_R, stays polynomial — Theorem 2 extends verbatim).
+struct SoftRepairOptions {
+  double violation_penalty = 1.0;
+
+  /// Solve the LP relaxation instead of the ILP (the soft I_lin_R).
+  bool relaxed = false;
+
+  /// Deadline for the ILP branch & bound (ignored when relaxed).
+  double deadline_seconds = 0.0;
+};
+
+class SoftRepairMeasure : public InconsistencyMeasure {
+ public:
+  explicit SoftRepairMeasure(SoftRepairOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override {
+    return options_.relaxed ? "I_lin_R^soft" : "I_R^soft";
+  }
+  double Evaluate(MeasureContext& context) const override;
+
+ private:
+  SoftRepairOptions options_;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_MEASURES_SOFT_REPAIR_H_

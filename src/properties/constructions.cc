@@ -1,0 +1,154 @@
+#include "properties/constructions.h"
+
+#include "common/check.h"
+#include "constraints/fd.h"
+
+namespace dbim {
+
+CardinalityDcInstance MakeCardinalityDcInstance(size_t num_facts, size_t k) {
+  DBIM_CHECK(k >= 2);
+  auto schema = std::make_shared<Schema>();
+  const RelationId r = schema->AddRelation("R", {"Id"});
+  Database db(schema);
+  for (size_t i = 0; i < num_facts; ++i) {
+    db.Insert(Fact(r, {Value(static_cast<int64_t>(i))}));
+  }
+  // "At most k-1 facts": forall t_0..t_{k-1} not( AND_{i<j} Id_i != Id_j ).
+  // With unique ids, every k-subset is a minimal witness.
+  std::vector<Predicate> preds;
+  for (uint32_t i = 0; i < k; ++i) {
+    for (uint32_t j = i + 1; j < k; ++j) {
+      preds.emplace_back(Operand{i, 0}, CompareOp::kNe, Operand{j, 0});
+    }
+  }
+  DenialConstraint dc(std::vector<RelationId>(k, r), std::move(preds));
+  return CardinalityDcInstance{schema, std::move(db), std::move(dc)};
+}
+
+IpMonotonicityInstance MakeIpMonotonicityInstance(size_t groups) {
+  auto schema = std::make_shared<Schema>();
+  const RelationId r = schema->AddRelation("R", {"A", "B"});
+  const RelationId s = schema->AddRelation("S", {"A", "B"});
+  Database db(schema);
+  // Per group g: R(g, b_g), S(g, c_g), S(g, d_g) with c_g != d_g: one
+  // sigma_1 witness {R, S, S} and one sigma_2 witness {S, S}.
+  for (size_t g = 0; g < groups; ++g) {
+    const Value key(static_cast<int64_t>(g));
+    db.Insert(Fact(r, {key, Value("b")}));
+    db.Insert(Fact(s, {key, Value("c")}));
+    db.Insert(Fact(s, {key, Value("d")}));
+  }
+  // sigma_1: R(x,y), S(x,z), S(x,w) => z = w. Three tuple variables:
+  // t0 over R, t1 and t2 over S.
+  std::vector<Predicate> p1;
+  p1.emplace_back(Operand{0, 0}, CompareOp::kEq, Operand{1, 0});
+  p1.emplace_back(Operand{0, 0}, CompareOp::kEq, Operand{2, 0});
+  p1.emplace_back(Operand{1, 1}, CompareOp::kNe, Operand{2, 1});
+  DenialConstraint sigma1({r, s, s}, std::move(p1));
+  // sigma_2: S(x,z), S(x,w) => z = w (the FD S: A -> B).
+  std::vector<Predicate> p2;
+  p2.emplace_back(Operand{0, 0}, CompareOp::kEq, Operand{1, 0});
+  p2.emplace_back(Operand{0, 1}, CompareOp::kNe, Operand{1, 1});
+  DenialConstraint sigma2({s, s}, std::move(p2));
+
+  IpMonotonicityInstance inst{schema, std::move(db), {sigma1},
+                              {sigma1, sigma2}};
+  return inst;
+}
+
+McCounterexample MakeMcCounterexample() {
+  auto schema = std::make_shared<Schema>();
+  const RelationId r = schema->AddRelation("R", {"A", "B", "C", "D"});
+  Database db(schema);
+  auto add = [&](int a, int b, int c, int d) {
+    db.Insert(Fact(r, {Value(static_cast<int64_t>(a)),
+                       Value(static_cast<int64_t>(b)),
+                       Value(static_cast<int64_t>(c)),
+                       Value(static_cast<int64_t>(d))}));
+  };
+  add(0, 0, 0, 0);  // f1
+  add(1, 0, 0, 0);  // f2
+  add(1, 1, 0, 1);  // f3
+  add(0, 1, 0, 1);  // f4
+  const FunctionalDependency a_to_b =
+      FunctionalDependency::Make(*schema, r, {"A"}, {"B"});
+  const FunctionalDependency c_to_d =
+      FunctionalDependency::Make(*schema, r, {"C"}, {"D"});
+  McCounterexample inst{schema, std::move(db),
+                        ToDenialConstraints({a_to_b}),
+                        ToDenialConstraints({a_to_b, c_to_d})};
+  return inst;
+}
+
+ContinuityStarInstance MakeContinuityStarInstance(size_t n) {
+  auto schema = std::make_shared<Schema>();
+  const RelationId r = schema->AddRelation("R", {"A", "B", "C"});
+  Database db(schema);
+  auto value = [](int64_t v) { return Value(v); };
+  const FactId hub = db.Insert(Fact(r, {value(0), value(0), value(0)}));
+  for (int64_t i = 1; i <= static_cast<int64_t>(n); ++i) {
+    db.Insert(Fact(r, {value(0), value(1), value(i)}));  // f_i
+  }
+  for (int64_t j = 1; j <= static_cast<int64_t>(n); ++j) {
+    db.Insert(Fact(r, {value(j), value(1), value(0)}));  // f^1_j
+    db.Insert(Fact(r, {value(j), value(2), value(0)}));  // f^2_j
+  }
+  const FunctionalDependency fd =
+      FunctionalDependency::Make(*schema, r, {"A"}, {"B"});
+  ContinuityStarInstance inst{schema, std::move(db),
+                              ToDenialConstraints({fd}), hub};
+  return inst;
+}
+
+UpdateProgressionExample10 MakeUpdateProgressionExample10() {
+  auto schema = std::make_shared<Schema>();
+  const RelationId r = schema->AddRelation("R", {"A", "B", "C", "D"});
+  Database db(schema);
+  db.Insert(Fact(r, {Value(0), Value(0), Value(0), Value(0)}));
+  db.Insert(Fact(r, {Value(0), Value(1), Value(0), Value(1)}));
+  const FunctionalDependency a_to_b =
+      FunctionalDependency::Make(*schema, r, {"A"}, {"B"});
+  const FunctionalDependency c_to_d =
+      FunctionalDependency::Make(*schema, r, {"C"}, {"D"});
+  UpdateProgressionExample10 inst{schema, std::move(db),
+                                  ToDenialConstraints({a_to_b, c_to_d})};
+  return inst;
+}
+
+UpdateProgressionExample11 MakeUpdateProgressionExample11() {
+  auto schema = std::make_shared<Schema>();
+  const RelationId r = schema->AddRelation("R", {"A", "B", "C", "D", "E"});
+  Database db(schema);
+  auto add = [&](int64_t a, int64_t b, int64_t c, int64_t d, int64_t e) {
+    db.Insert(Fact(r, {Value(a), Value(b), Value(c), Value(d), Value(e)}));
+  };
+  add(0, 0, 0, 0, 1);  // f0
+  add(0, 0, 0, 0, 2);  // f1
+  add(0, 1, 1, 0, 3);  // f2
+  add(0, 1, 1, 0, 4);  // f3
+  const FunctionalDependency a_to_b =
+      FunctionalDependency::Make(*schema, r, {"A"}, {"B"});
+  const FunctionalDependency b_to_c =
+      FunctionalDependency::Make(*schema, r, {"B"}, {"C"});
+  const FunctionalDependency d_to_a =
+      FunctionalDependency::Make(*schema, r, {"D"}, {"A"});
+  UpdateProgressionExample11 inst{
+      schema, std::move(db), ToDenialConstraints({a_to_b, b_to_c, d_to_a})};
+  return inst;
+}
+
+Example8Egds MakeExample8Egds() {
+  auto schema = std::make_shared<Schema>();
+  const RelationId r = schema->AddRelation("R", {"A", "B"});
+  const RelationId s = schema->AddRelation("S", {"A", "B"});
+  // Variable ids: x = 1, y = 2, z = 3.
+  return Example8Egds{
+      schema,
+      BinaryAtomEgd(r, r, {1, 2, 1, 3}, 2, 3),  // R(x,y), R(x,z) => y=z
+      BinaryAtomEgd(r, r, {1, 2, 2, 3}, 1, 3),  // R(x,y), R(y,z) => x=z
+      BinaryAtomEgd(r, r, {1, 2, 2, 3}, 1, 2),  // R(x,y), R(y,z) => x=y
+      BinaryAtomEgd(r, s, {1, 2, 2, 3}, 1, 3),  // R(x,y), S(y,z) => x=z
+  };
+}
+
+}  // namespace dbim

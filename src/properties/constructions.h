@@ -1,0 +1,104 @@
+#ifndef DBIM_PROPERTIES_CONSTRUCTIONS_H_
+#define DBIM_PROPERTIES_CONSTRUCTIONS_H_
+
+#include <memory>
+#include <vector>
+
+#include "constraints/dc.h"
+#include "constraints/egd.h"
+#include "relational/database.h"
+#include "relational/schema.h"
+
+namespace dbim {
+
+/// The counterexample constructions from the paper's proofs, packaged as
+/// generators so tests and ablation benches can instantiate them at any
+/// size. Each returns a schema, database, and the constraint set(s) of the
+/// corresponding proof.
+
+/// Proposition 1 (I_MI side): Sigma_k = "at most k-1 facts" as a k-ary DC
+/// over R(Id) with pairwise Id disequalities. Sigma_k |= Sigma_k' for
+/// k <= k', yet I_MI grows from C(n,k) to C(n,k'), violating monotonicity.
+struct CardinalityDcInstance {
+  std::shared_ptr<const Schema> schema;
+  Database db;
+  DenialConstraint at_most_k_minus_1;  // the Sigma_k constraint
+
+};
+CardinalityDcInstance MakeCardinalityDcInstance(size_t num_facts, size_t k);
+
+/// Proposition 1 (I_P side): sigma_1 = R(x,y), S(x,z), S(x,w) => z = w
+/// (3-ary witnesses) vs sigma_2 = S(x,z), S(x,w) => z = w (2-ary), with a
+/// database of `groups` independent witness groups where |MI| matches but
+/// |problematic| differs.
+struct IpMonotonicityInstance {
+  std::shared_ptr<const Schema> schema;
+  Database db;
+  std::vector<DenialConstraint> sigma1;  // weaker set {sigma_1}
+  std::vector<DenialConstraint> sigma2;  // stronger set {sigma_1, sigma_2}
+
+};
+IpMonotonicityInstance MakeIpMonotonicityInstance(size_t groups);
+
+/// Proposition 2 / Example 7: the 4-fact database over R(A,B,C,D) with
+/// Sigma_1 = {A->B} and Sigma_2 = {A->B, C->D}; I_MC drops from 3 to 1
+/// under strengthening, and under Sigma_2 no deletion changes I_MC
+/// (progression failure).
+struct McCounterexample {
+  std::shared_ptr<const Schema> schema;
+  Database db;
+  std::vector<DenialConstraint> sigma1;
+  std::vector<DenialConstraint> sigma2;
+
+};
+McCounterexample MakeMcCounterexample();
+
+/// Proposition 4: the star family over R(A,B,C) with Sigma = {A -> B}:
+/// f0 = R(0,0,0), f_i = R(0,1,i), f^k_j = R(j,k,0) for i,j in 1..n, k in
+/// {1,2}. Deleting f0 changes I_MI by n and I_P by n+1, while any operation
+/// afterwards changes them by at most 1 resp. 2 — the continuity ratio
+/// grows with n.
+struct ContinuityStarInstance {
+  std::shared_ptr<const Schema> schema;
+  Database db;
+  std::vector<DenialConstraint> sigma;  // the FD A -> B as a DC
+  FactId hub;                           // f0
+
+};
+ContinuityStarInstance MakeContinuityStarInstance(size_t n);
+
+/// Example 10: two facts over R(A,B,C,D), Sigma = {A->B, C->D}; no single
+/// attribute update resolves both conflicts, so I_MI and I_P violate
+/// progression under update repairs.
+struct UpdateProgressionExample10 {
+  std::shared_ptr<const Schema> schema;
+  Database db;
+  std::vector<DenialConstraint> sigma;
+
+};
+UpdateProgressionExample10 MakeUpdateProgressionExample10();
+
+/// Example 11: four facts over R(A,B,C,D,E) with Sigma = {A->B, B->C,
+/// D->A}; every single update increases the number of minimal violations.
+struct UpdateProgressionExample11 {
+  std::shared_ptr<const Schema> schema;
+  Database db;
+  std::vector<DenialConstraint> sigma;
+
+};
+UpdateProgressionExample11 MakeUpdateProgressionExample11();
+
+/// Example 8: the four EGDs sigma_1..sigma_4 over binary relations R (and S
+/// for sigma_4). sigma_1 and sigma_4 are PTIME, sigma_2 and sigma_3 NP-hard.
+struct Example8Egds {
+  std::shared_ptr<const Schema> schema;
+  BinaryAtomEgd sigma1;  // R(x,y), R(x,z) => y = z  (an FD)
+  BinaryAtomEgd sigma2;  // R(x,y), R(y,z) => x = z
+  BinaryAtomEgd sigma3;  // R(x,y), R(y,z) => x = y
+  BinaryAtomEgd sigma4;  // R(x,y), S(y,z) => x = z
+};
+Example8Egds MakeExample8Egds();
+
+}  // namespace dbim
+
+#endif  // DBIM_PROPERTIES_CONSTRUCTIONS_H_

@@ -1,0 +1,29 @@
+#include "properties/known_table.h"
+
+namespace dbim {
+
+const std::vector<PropertyProfile>& PaperTable2() {
+  // Columns: positivity, monotonicity, bounded continuity, progression,
+  // PTime — each split FD / DC.
+  static const std::vector<PropertyProfile>* kTable =
+      new std::vector<PropertyProfile>{
+          //            pos         mono        cont          prog        ptime
+          {"I_d",     true, true,  true, true,  false, false, false, false, true,  true},
+          {"I_MI",    true, true,  true, false, false, false, true,  true,  true,  true},
+          {"I_P",     true, true,  true, false, false, false, true,  true,  true,  true},
+          {"I_MC",    true, false, false, false, false, false, false, false, false, false},
+          {"I'_MC",   true, true,  false, false, false, false, false, false, false, false},
+          {"I_R",     true, true,  true, true,  true,  true,  true,  true,  false, false},
+          {"I_lin_R", true, true,  true, true,  true,  true,  true,  true,  true,  true},
+      };
+  return *kTable;
+}
+
+std::optional<PropertyProfile> FindProfile(const std::string& measure) {
+  for (const PropertyProfile& row : PaperTable2()) {
+    if (row.measure == measure) return row;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dbim

@@ -1,0 +1,38 @@
+#ifndef DBIM_PROPERTIES_KNOWN_TABLE_H_
+#define DBIM_PROPERTIES_KNOWN_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dbim {
+
+/// One row of the paper's Table 2: whether the measure satisfies each
+/// property for the constraint system C_FD / C_DC under the subset repair
+/// system R_subset, plus polynomial-time computability (data complexity,
+/// assuming P != NP).
+struct PropertyProfile {
+  std::string measure;  // registry name, e.g. "I_MI"
+  bool positivity_fd, positivity_dc;
+  bool monotonicity_fd, monotonicity_dc;
+  bool continuity_fd, continuity_dc;
+  bool progression_fd, progression_dc;
+  bool ptime_fd, ptime_dc;
+};
+
+/// The paper's Table 2 as ground truth (I_d, I_MI, I_P, I_MC, I'_MC, I_R,
+/// I_lin_R). The benches print it next to the empirically checked verdicts
+/// and the tests assert the checkers agree with it.
+///
+/// Note on I_MC's continuity: Proposition 4 (via Proposition 3 and
+/// Example 7) proves I_MC violates bounded continuity already for FDs —
+/// it satisfies positivity for FDs but not progression — so the continuity
+/// entry is false on both sides.
+const std::vector<PropertyProfile>& PaperTable2();
+
+/// Looks up a row by measure name.
+std::optional<PropertyProfile> FindProfile(const std::string& measure);
+
+}  // namespace dbim
+
+#endif  // DBIM_PROPERTIES_KNOWN_TABLE_H_

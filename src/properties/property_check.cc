@@ -1,0 +1,152 @@
+#include "properties/property_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dbim {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// NaN-tolerant evaluation: a timed-out measure value aborts the check as
+// "satisfied" is unknowable; we treat NaN cases as skipped.
+bool IsUsable(double v) { return !std::isnan(v); }
+
+}  // namespace
+
+PropertyCheckResult CheckPositivity(const InconsistencyMeasure& measure,
+                                    const ViolationDetector& detector,
+                                    const std::vector<Database>& databases) {
+  PropertyCheckResult result;
+  for (const Database& db : databases) {
+    const double value = measure.EvaluateFresh(detector, db);
+    if (!IsUsable(value)) continue;
+    const bool consistent = detector.Satisfies(db);
+    ++result.cases_checked;
+    if (consistent && value > kEps) {
+      result.satisfied = false;
+      result.counterexample = StrFormat(
+          "consistent database (n=%zu) has %s = %g > 0", db.size(),
+          measure.name().c_str(), value);
+      return result;
+    }
+    if (!consistent && value <= kEps) {
+      result.satisfied = false;
+      result.counterexample = StrFormat(
+          "inconsistent database (n=%zu) has %s = %g", db.size(),
+          measure.name().c_str(), value);
+      return result;
+    }
+  }
+  return result;
+}
+
+PropertyCheckResult CheckMonotonicity(const InconsistencyMeasure& measure,
+                                      const ViolationDetector& weaker,
+                                      const ViolationDetector& stronger,
+                                      const std::vector<Database>& databases) {
+  PropertyCheckResult result;
+  for (const Database& db : databases) {
+    const double weak_value = measure.EvaluateFresh(weaker, db);
+    const double strong_value = measure.EvaluateFresh(stronger, db);
+    if (!IsUsable(weak_value) || !IsUsable(strong_value)) continue;
+    ++result.cases_checked;
+    if (weak_value > strong_value + kEps) {
+      result.satisfied = false;
+      result.counterexample = StrFormat(
+          "strengthening constraints dropped %s from %g to %g (n=%zu)",
+          measure.name().c_str(), weak_value, strong_value, db.size());
+      return result;
+    }
+  }
+  return result;
+}
+
+PropertyCheckResult CheckProgression(const InconsistencyMeasure& measure,
+                                     const ViolationDetector& detector,
+                                     const RepairSystem& repair_system,
+                                     const std::vector<Database>& databases) {
+  PropertyCheckResult result;
+  for (const Database& db : databases) {
+    if (detector.Satisfies(db)) continue;
+    const double before = measure.EvaluateFresh(detector, db);
+    if (!IsUsable(before)) continue;
+    ++result.cases_checked;
+    bool progressed = false;
+    for (const RepairOperation& op : repair_system.EnumerateOperations(db)) {
+      const Database next = op.Apply(db);
+      const double after = measure.EvaluateFresh(detector, next);
+      if (IsUsable(after) && after < before - kEps) {
+        progressed = true;
+        break;
+      }
+    }
+    if (!progressed) {
+      result.satisfied = false;
+      result.counterexample = StrFormat(
+          "inconsistent database (n=%zu, %s=%g): no %s operation decreases "
+          "the measure",
+          db.size(), measure.name().c_str(), before,
+          repair_system.name().c_str());
+      return result;
+    }
+  }
+  return result;
+}
+
+ContinuityEstimate EstimateContinuity(const InconsistencyMeasure& measure,
+                                      const ViolationDetector& detector,
+                                      const RepairSystem& repair_system,
+                                      const std::vector<Database>& databases) {
+  ContinuityEstimate estimate;
+
+  // Best single-operation improvement per database.
+  struct BestDelta {
+    double best = 0.0;
+    double max_single = 0.0;  // largest improvement by any operation
+  };
+  std::vector<BestDelta> deltas(databases.size());
+  std::vector<double> base(databases.size());
+  for (size_t i = 0; i < databases.size(); ++i) {
+    base[i] = measure.EvaluateFresh(detector, databases[i]);
+    for (const RepairOperation& op :
+         repair_system.EnumerateOperations(databases[i])) {
+      const double after = measure.EvaluateFresh(detector,
+                                                 op.Apply(databases[i]));
+      if (!IsUsable(after) || !IsUsable(base[i])) continue;
+      deltas[i].max_single = std::max(deltas[i].max_single, base[i] - after);
+    }
+  }
+
+  for (size_t i = 0; i < databases.size(); ++i) {
+    if (deltas[i].max_single <= kEps) continue;  // o1 must have impact
+    for (size_t j = 0; j < databases.size(); ++j) {
+      if (i == j) continue;
+      ++estimate.cases_checked;
+      if (deltas[j].max_single <= kEps) {
+        // No operation on D2 reduces inconsistency at all: delta-continuity
+        // fails for every finite delta on this pair.
+        estimate.unbounded_hint = true;
+        estimate.worst_case = StrFormat(
+            "D1 (n=%zu) has an operation with impact %g but D2 (n=%zu) has "
+            "none",
+            databases[i].size(), deltas[i].max_single, databases[j].size());
+        continue;
+      }
+      const double ratio = deltas[i].max_single / deltas[j].max_single;
+      if (ratio > estimate.delta) {
+        estimate.delta = ratio;
+        estimate.worst_case = StrFormat(
+            "impact %g on D1 (n=%zu) vs best %g on D2 (n=%zu)",
+            deltas[i].max_single, databases[i].size(), deltas[j].max_single,
+            databases[j].size());
+      }
+    }
+  }
+  return estimate;
+}
+
+}  // namespace dbim

@@ -1,0 +1,63 @@
+#ifndef DBIM_PROPERTIES_PROPERTY_CHECK_H_
+#define DBIM_PROPERTIES_PROPERTY_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "measures/measure.h"
+#include "relational/repair_system.h"
+
+namespace dbim {
+
+/// Outcome of an empirical property check: a property "passes" when no
+/// counterexample was found across the supplied cases. Passing is evidence,
+/// not proof; failing carries a concrete counterexample description. The
+/// paper's Table 2 ground truth lives in known_table.h, and the tests pit
+/// these checkers against it in both directions.
+struct PropertyCheckResult {
+  bool satisfied = true;
+  std::string counterexample;  // empty when satisfied
+  size_t cases_checked = 0;
+};
+
+/// Positivity: I(Sigma, D) > 0 iff D violates Sigma (checked both ways;
+/// I = 0 on consistent databases is a definitional requirement).
+PropertyCheckResult CheckPositivity(const InconsistencyMeasure& measure,
+                                    const ViolationDetector& detector,
+                                    const std::vector<Database>& databases);
+
+/// Monotonicity: I(Sigma, D) <= I(Sigma', D) whenever Sigma' |= Sigma. The
+/// caller supplies the entailment pair; passing Sigma' as a superset of
+/// Sigma is the standard way to satisfy the precondition.
+PropertyCheckResult CheckMonotonicity(const InconsistencyMeasure& measure,
+                                      const ViolationDetector& weaker,
+                                      const ViolationDetector& stronger,
+                                      const std::vector<Database>& databases);
+
+/// Progression: every inconsistent database admits an operation of the
+/// repair system that strictly decreases the measure.
+PropertyCheckResult CheckProgression(const InconsistencyMeasure& measure,
+                                     const ViolationDetector& detector,
+                                     const RepairSystem& repair_system,
+                                     const std::vector<Database>& databases);
+
+/// Empirical continuity constant: the largest observed ratio
+///   Delta(o1, D1) / max_{o2} Delta(o2, D2)
+/// over all ordered database pairs and operations o1 with positive impact.
+/// delta-continuity holds with delta >= this value on the sample; an
+/// unbounded family (paper Proposition 4) makes it grow with instance size,
+/// which the ablation bench demonstrates.
+struct ContinuityEstimate {
+  double delta = 1.0;          // worst observed ratio
+  bool unbounded_hint = false; // some D2 had no improving operation at all
+  std::string worst_case;
+  size_t cases_checked = 0;
+};
+ContinuityEstimate EstimateContinuity(const InconsistencyMeasure& measure,
+                                      const ViolationDetector& detector,
+                                      const RepairSystem& repair_system,
+                                      const std::vector<Database>& databases);
+
+}  // namespace dbim
+
+#endif  // DBIM_PROPERTIES_PROPERTY_CHECK_H_

@@ -1,0 +1,121 @@
+#include "relational/database.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dbim {
+
+Database::Database(std::shared_ptr<const Schema> schema)
+    : schema_(std::move(schema)) {
+  DBIM_CHECK(schema_ != nullptr);
+}
+
+FactId Database::Insert(Fact fact) {
+  FactId id;
+  if (!free_ids_.empty()) {
+    id = *free_ids_.begin();
+    free_ids_.erase(free_ids_.begin());
+  } else {
+    id = static_cast<FactId>(slots_.size());
+    slots_.emplace_back();
+  }
+  DBIM_CHECK(!slots_[id].has_value());
+  slots_[id] = std::move(fact);
+  ++size_;
+  return id;
+}
+
+void Database::InsertWithId(FactId id, Fact fact) {
+  if (id >= slots_.size()) {
+    for (FactId i = static_cast<FactId>(slots_.size()); i < id; ++i) {
+      free_ids_.insert(i);
+    }
+    slots_.resize(id + 1);
+  } else {
+    DBIM_CHECK_MSG(!slots_[id].has_value(), "id %u already in use", id);
+    free_ids_.erase(id);
+  }
+  slots_[id] = std::move(fact);
+  ++size_;
+}
+
+void Database::Delete(FactId id) {
+  DBIM_CHECK(Contains(id));
+  slots_[id].reset();
+  free_ids_.insert(id);
+  costs_.erase(id);
+  --size_;
+}
+
+bool Database::Contains(FactId id) const {
+  return id < slots_.size() && slots_[id].has_value();
+}
+
+const Fact& Database::fact(FactId id) const {
+  DBIM_CHECK(Contains(id));
+  return *slots_[id];
+}
+
+void Database::UpdateValue(FactId id, AttrIndex attr, Value v) {
+  DBIM_CHECK(Contains(id));
+  slots_[id]->set_value(attr, std::move(v));
+}
+
+std::vector<FactId> Database::ids() const {
+  std::vector<FactId> out;
+  out.reserve(size_);
+  for (FactId i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].has_value()) out.push_back(i);
+  }
+  return out;
+}
+
+double Database::deletion_cost(FactId id) const {
+  DBIM_CHECK(Contains(id));
+  const auto it = costs_.find(id);
+  return it == costs_.end() ? 1.0 : it->second;
+}
+
+void Database::set_deletion_cost(FactId id, double cost) {
+  DBIM_CHECK(Contains(id));
+  DBIM_CHECK(cost > 0.0);
+  costs_[id] = cost;
+}
+
+bool Database::IsSubsetOf(const Database& other) const {
+  for (FactId i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].has_value()) continue;
+    if (!other.Contains(i) || other.fact(i) != *slots_[i]) return false;
+  }
+  return true;
+}
+
+Database Database::Restrict(const std::vector<FactId>& keep) const {
+  Database out(schema_);
+  for (const FactId id : keep) {
+    out.InsertWithId(id, fact(id));
+    const auto it = costs_.find(id);
+    if (it != costs_.end()) out.set_deletion_cost(id, it->second);
+  }
+  return out;
+}
+
+std::vector<Value> Database::ActiveDomain(RelationId relation,
+                                          AttrIndex attr) const {
+  std::vector<Value> values;
+  for (const auto& slot : slots_) {
+    if (!slot.has_value() || slot->relation() != relation) continue;
+    values.push_back(slot->value(attr));
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+bool operator==(const Database& a, const Database& b) {
+  if (a.size_ != b.size_) return false;
+  return a.IsSubsetOf(b);
+}
+
+}  // namespace dbim

@@ -1,0 +1,89 @@
+#ifndef DBIM_RELATIONAL_DATABASE_H_
+#define DBIM_RELATIONAL_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+#include "relational/fact.h"
+#include "relational/schema.h"
+
+namespace dbim {
+
+/// Record identifier, the paper's `i in ids(D)`.
+using FactId = uint32_t;
+
+/// A database `D`: a mapping from a finite set of record identifiers to
+/// facts over a schema (the paper's Section 2 formalization). Identifiers
+/// are stable across deletions; insertion assigns the minimal unused
+/// identifier, matching the paper's convention for the insertion operation.
+///
+/// Each fact optionally carries a deletion cost (the paper's special `cost`
+/// attribute for the subset repair system); facts without one have unit
+/// cost.
+class Database {
+ public:
+  explicit Database(std::shared_ptr<const Schema> schema);
+
+  const Schema& schema() const { return *schema_; }
+  std::shared_ptr<const Schema> schema_ptr() const { return schema_; }
+
+  /// Number of facts.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts a fact under the minimal unused identifier and returns it.
+  FactId Insert(Fact fact);
+
+  /// Inserts a fact under a caller-chosen identifier (must be unused).
+  void InsertWithId(FactId id, Fact fact);
+
+  /// Removes a fact (must exist).
+  void Delete(FactId id);
+
+  bool Contains(FactId id) const;
+
+  /// The fact mapped to `id` (must exist). The paper's `D[i]`.
+  const Fact& fact(FactId id) const;
+
+  /// In-place attribute update `D[i].A <- c` (must exist).
+  void UpdateValue(FactId id, AttrIndex attr, Value v);
+
+  /// All live identifiers in increasing order.
+  std::vector<FactId> ids() const;
+
+  /// Deletion cost of a fact: its explicit cost if set, otherwise 1.
+  double deletion_cost(FactId id) const;
+  void set_deletion_cost(FactId id, double cost);
+
+  /// Subset relation: ids(this) within ids(other) with equal facts.
+  bool IsSubsetOf(const Database& other) const;
+
+  /// Restriction of this database to the given identifiers (which must all
+  /// exist). Preserves identifiers and costs.
+  Database Restrict(const std::vector<FactId>& keep) const;
+
+  /// Distinct values appearing in column (relation, attr), sorted. This is
+  /// the active domain used by the noise generators and update repairs.
+  std::vector<Value> ActiveDomain(RelationId relation, AttrIndex attr) const;
+
+  friend bool operator==(const Database& a, const Database& b);
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  // Slot i holds the fact with id i, or nullopt if id i is unused. Unused
+  // slots below slots_.size() are also tracked in free_ids_ so that Insert
+  // can find the minimal unused id in O(log n).
+  std::vector<std::optional<Fact>> slots_;
+  std::set<FactId> free_ids_;
+  std::unordered_map<FactId, double> costs_;
+  size_t size_ = 0;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_RELATIONAL_DATABASE_H_

@@ -1,0 +1,28 @@
+#include "relational/fact.h"
+
+#include "common/check.h"
+
+namespace dbim {
+
+const Value& Fact::value(AttrIndex i) const {
+  DBIM_CHECK(i < values_.size());
+  return values_[i];
+}
+
+void Fact::set_value(AttrIndex i, Value v) {
+  DBIM_CHECK(i < values_.size());
+  values_[i] = std::move(v);
+}
+
+std::string Fact::ToString(const Schema& schema) const {
+  std::string out = schema.relation(relation_).name();
+  out += "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dbim

@@ -1,0 +1,42 @@
+#ifndef DBIM_RELATIONAL_FACT_H_
+#define DBIM_RELATIONAL_FACT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "relational/schema.h"
+
+namespace dbim {
+
+/// A fact `R(c1, ..., ck)`: a relation symbol plus one value per attribute
+/// of the relation's signature.
+class Fact {
+ public:
+  Fact(RelationId relation, std::vector<Value> values)
+      : relation_(relation), values_(std::move(values)) {}
+
+  RelationId relation() const { return relation_; }
+  size_t arity() const { return values_.size(); }
+
+  const Value& value(AttrIndex i) const;
+  void set_value(AttrIndex i, Value v);
+
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Renders the fact as `R(v1, v2, ...)` using the schema for the name.
+  std::string ToString(const Schema& schema) const;
+
+  friend bool operator==(const Fact& a, const Fact& b) {
+    return a.relation_ == b.relation_ && a.values_ == b.values_;
+  }
+  friend bool operator!=(const Fact& a, const Fact& b) { return !(a == b); }
+
+ private:
+  RelationId relation_;
+  std::vector<Value> values_;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_RELATIONAL_FACT_H_

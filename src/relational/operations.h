@@ -1,0 +1,74 @@
+#ifndef DBIM_RELATIONAL_OPERATIONS_H_
+#define DBIM_RELATIONAL_OPERATIONS_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "common/value.h"
+#include "relational/database.h"
+
+namespace dbim {
+
+/// Tuple deletion <-i>: removes identifier `i` and its fact.
+struct DeleteOp {
+  FactId id;
+};
+
+/// Tuple insertion <+f>: adds fact `f` under a fresh (minimal) identifier.
+struct InsertOp {
+  Fact fact;
+};
+
+/// Attribute update <i.A <- c>: sets D[i].A to `c`.
+struct UpdateOp {
+  FactId id;
+  AttrIndex attr;
+  Value value;
+};
+
+/// A repairing operation `o : DB(S) -> DB(S)` (paper Section 2). Following
+/// the paper's convention, an operation that is not applicable to a database
+/// (deleting or updating a missing identifier) leaves the database intact.
+class RepairOperation {
+ public:
+  explicit RepairOperation(DeleteOp op) : rep_(std::move(op)) {}
+  explicit RepairOperation(InsertOp op) : rep_(std::move(op)) {}
+  explicit RepairOperation(UpdateOp op) : rep_(std::move(op)) {}
+
+  static RepairOperation Deletion(FactId id) {
+    return RepairOperation(DeleteOp{id});
+  }
+  static RepairOperation Insertion(Fact fact) {
+    return RepairOperation(InsertOp{std::move(fact)});
+  }
+  static RepairOperation Update(FactId id, AttrIndex attr, Value value) {
+    return RepairOperation(UpdateOp{id, attr, std::move(value)});
+  }
+
+  bool is_deletion() const { return std::holds_alternative<DeleteOp>(rep_); }
+  bool is_insertion() const { return std::holds_alternative<InsertOp>(rep_); }
+  bool is_update() const { return std::holds_alternative<UpdateOp>(rep_); }
+
+  const DeleteOp& deletion() const { return std::get<DeleteOp>(rep_); }
+  const InsertOp& insertion() const { return std::get<InsertOp>(rep_); }
+  const UpdateOp& update() const { return std::get<UpdateOp>(rep_); }
+
+  /// Whether applying to `db` would change it.
+  bool IsApplicable(const Database& db) const;
+
+  /// Applies in place. Not-applicable operations are no-ops (`o(D) = D`).
+  void ApplyInPlace(Database& db) const;
+
+  /// Functional form `o(D)`.
+  Database Apply(const Database& db) const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::variant<DeleteOp, InsertOp, UpdateOp> rep_;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_RELATIONAL_OPERATIONS_H_

@@ -1,0 +1,81 @@
+#ifndef DBIM_RELATIONAL_REPAIR_SYSTEM_H_
+#define DBIM_RELATIONAL_REPAIR_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/operations.h"
+
+namespace dbim {
+
+/// A repair system R = (O, kappa): a space of repairing operations with a
+/// cost for applying each to a given database (paper Section 2). The cost is
+/// zero iff the operation leaves the database intact.
+///
+/// `EnumerateOperations` makes the operation space executable: it lists the
+/// applicable operations on a concrete database. The property checkers
+/// (progression, continuity) and the brute-force repair searches quantify
+/// over exactly this list.
+class RepairSystem {
+ public:
+  virtual ~RepairSystem() = default;
+
+  virtual std::string name() const = 0;
+
+  /// kappa(o, D). Zero iff o(D) = D.
+  virtual double Cost(const RepairOperation& op, const Database& db) const;
+
+  /// All applicable operations on `db`. For systems with infinite operation
+  /// spaces (updates over an infinite domain), the enumeration is restricted
+  /// to a finite complete subset: values from the column's active domain
+  /// plus one fresh value per cell, which is sufficient for denial
+  /// constraints because a DC cannot distinguish two values outside the
+  /// active domain.
+  virtual std::vector<RepairOperation> EnumerateOperations(
+      const Database& db) const = 0;
+
+  /// Applies a sequence o_n(...o_1(D)) and returns total cost (the cost
+  /// function kappa* of the sequence system R*). The database is modified.
+  double ApplySequence(const std::vector<RepairOperation>& ops,
+                       Database& db) const;
+};
+
+/// The subset system R_subset: operations are tuple deletions, the cost of
+/// deleting `i` is the fact's cost attribute (1 when unset).
+class SubsetRepairSystem : public RepairSystem {
+ public:
+  std::string name() const override { return "subset"; }
+  std::vector<RepairOperation> EnumerateOperations(
+      const Database& db) const override;
+};
+
+/// The update system: operations are attribute updates with unit cost.
+/// Enumerated candidate values for cell (i, A) are the active domain of A's
+/// column (minus the current value) plus one globally fresh integer value.
+class UpdateRepairSystem : public RepairSystem {
+ public:
+  std::string name() const override { return "update"; }
+  std::vector<RepairOperation> EnumerateOperations(
+      const Database& db) const override;
+
+  /// The fresh value used to represent "any value outside the active
+  /// domain" for a database (one shared sentinel is enough for DCs).
+  static Value FreshValue(const Database& db);
+};
+
+/// Deletions and insertions with unit cost. Insertions are not enumerated
+/// (the space is infinite and no property checker requires listing them);
+/// `Cost` still prices them so sequences that include insertions can be
+/// costed, giving the paper's "distance from satisfaction" setting.
+class InsertDeleteRepairSystem : public RepairSystem {
+ public:
+  std::string name() const override { return "insert-delete"; }
+  std::vector<RepairOperation> EnumerateOperations(
+      const Database& db) const override;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_RELATIONAL_REPAIR_SYSTEM_H_

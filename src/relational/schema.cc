@@ -1,0 +1,50 @@
+#include "relational/schema.h"
+
+#include "common/check.h"
+
+namespace dbim {
+
+RelationSignature::RelationSignature(std::string name,
+                                     std::vector<std::string> attributes)
+    : name_(std::move(name)), attributes_(std::move(attributes)) {
+  for (AttrIndex i = 0; i < attributes_.size(); ++i) {
+    const bool inserted = index_.emplace(attributes_[i], i).second;
+    DBIM_CHECK_MSG(inserted, "duplicate attribute '%s' in relation '%s'",
+                   attributes_[i].c_str(), name_.c_str());
+  }
+}
+
+const std::string& RelationSignature::attribute_name(AttrIndex i) const {
+  DBIM_CHECK(i < attributes_.size());
+  return attributes_[i];
+}
+
+std::optional<AttrIndex> RelationSignature::FindAttribute(
+    const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+RelationId Schema::AddRelation(std::string name,
+                               std::vector<std::string> attributes) {
+  DBIM_CHECK_MSG(index_.find(name) == index_.end(),
+                 "duplicate relation '%s'", name.c_str());
+  const RelationId id = static_cast<RelationId>(relations_.size());
+  index_.emplace(name, id);
+  relations_.emplace_back(std::move(name), std::move(attributes));
+  return id;
+}
+
+const RelationSignature& Schema::relation(RelationId id) const {
+  DBIM_CHECK(id < relations_.size());
+  return relations_[id];
+}
+
+std::optional<RelationId> Schema::FindRelation(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace dbim

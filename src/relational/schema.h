@@ -1,0 +1,60 @@
+#ifndef DBIM_RELATIONAL_SCHEMA_H_
+#define DBIM_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dbim {
+
+/// Index of a relation symbol within a Schema.
+using RelationId = uint32_t;
+
+/// Position of an attribute within a relation signature.
+using AttrIndex = uint32_t;
+
+/// A relation signature: an ordered sequence of distinct attribute names.
+/// (The paper's `sig(R) = (A1, ..., Ak)`; `k` is the arity.)
+class RelationSignature {
+ public:
+  RelationSignature(std::string name, std::vector<std::string> attributes);
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return attributes_.size(); }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  const std::string& attribute_name(AttrIndex i) const;
+
+  /// Looks up an attribute by name.
+  std::optional<AttrIndex> FindAttribute(const std::string& name) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> attributes_;
+  std::unordered_map<std::string, AttrIndex> index_;
+};
+
+/// A relational schema: a finite set of relation symbols, each with a
+/// signature. Immutable after construction except for AddRelation.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a relation; the name must be new (checked).
+  RelationId AddRelation(std::string name,
+                         std::vector<std::string> attributes);
+
+  size_t num_relations() const { return relations_.size(); }
+  const RelationSignature& relation(RelationId id) const;
+
+  std::optional<RelationId> FindRelation(const std::string& name) const;
+
+ private:
+  std::vector<RelationSignature> relations_;
+  std::unordered_map<std::string, RelationId> index_;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,47 @@
+#ifndef DBIM_REPAIR_EGD_CLASSIFIER_H_
+#define DBIM_REPAIR_EGD_CLASSIFIER_H_
+
+#include <optional>
+#include <string>
+
+#include "constraints/egd.h"
+#include "relational/database.h"
+
+namespace dbim {
+
+/// Complexity class of computing I_R(Sigma, D) under tuple deletions for a
+/// single EGD with two binary atoms — the paper's Theorem 1 dichotomy.
+enum class EgdComplexity {
+  /// The hard pattern R(x1,x2), R(x2,x3) => (xi = xj) with x1, x2, x3
+  /// distinct (up to reordering the atoms and reversing the relation's
+  /// columns). NP-hard via reduction from MaxCut.
+  kNpHard,
+
+  /// Atoms over two different relations (Lemma 2): the conflict graph is
+  /// bipartite, so minimum weighted vertex cover is polynomial (min cut).
+  kPolyDifferentRelations,
+
+  /// Same relation, tractable variable pattern (Lemmas 3 and 4 plus the
+  /// within-atom-repetition patterns): closed-form block algorithms.
+  kPolySameRelation,
+};
+
+/// Classifies a single binary-atom EGD per Theorem 1.
+EgdComplexity ClassifyEgd(const BinaryAtomEgd& egd);
+
+/// Human-readable canonical pattern, e.g. "R(a,b), R(b,c) => a=c [NP-hard]".
+std::string DescribeEgdPattern(const BinaryAtomEgd& egd);
+
+/// Computes I_R({egd}, D) for tuple deletions using the *polynomial*
+/// algorithm of the matching tractable case. Returns nullopt when the EGD is
+/// NP-hard (callers then fall back to the branch & bound of
+/// MinRepairMeasure, which is exact but exponential in the worst case).
+///
+/// All facts in `db` must belong to the EGD's relations; deletion costs are
+/// honored.
+std::optional<double> SolveTractableEgdRepair(const BinaryAtomEgd& egd,
+                                              const Database& db);
+
+}  // namespace dbim
+
+#endif  // DBIM_REPAIR_EGD_CLASSIFIER_H_

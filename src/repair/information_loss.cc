@@ -1,0 +1,52 @@
+#include "repair/information_loss.h"
+
+#include <cmath>
+#include <optional>
+
+namespace dbim {
+
+ResolutionResult GreedyResolutionPath(const InconsistencyMeasure& measure,
+                                      const ViolationDetector& detector,
+                                      const RepairSystem& repair_system,
+                                      Database db, double lambda,
+                                      size_t max_steps) {
+  ResolutionResult result;
+  double current = measure.EvaluateFresh(detector, db);
+
+  for (size_t step = 0; step < max_steps; ++step) {
+    if (std::isnan(current)) break;
+    if (current == 0.0) break;
+
+    std::optional<RepairOperation> best_op;
+    double best_utility = 0.0;  // demand strictly positive utility
+    double best_delta = 0.0;
+    double best_loss = 0.0;
+    double best_after = 0.0;
+    for (const RepairOperation& op : repair_system.EnumerateOperations(db)) {
+      const double after = measure.EvaluateFresh(detector, op.Apply(db));
+      if (std::isnan(after)) continue;
+      const double delta = current - after;
+      const double loss = repair_system.Cost(op, db);
+      const double utility = delta - lambda * loss;
+      if (utility > best_utility + 1e-12) {
+        best_utility = utility;
+        best_op = op;
+        best_delta = delta;
+        best_loss = loss;
+        best_after = after;
+      }
+    }
+    if (!best_op.has_value()) break;
+    best_op->ApplyInPlace(db);
+    result.steps.push_back(
+        ResolutionStep{*best_op, best_delta, best_loss});
+    result.total_loss += best_loss;
+    current = best_after;
+  }
+
+  result.final_inconsistency = std::isnan(current) ? 0.0 : current;
+  result.reached_consistency = detector.Satisfies(db);
+  return result;
+}
+
+}  // namespace dbim

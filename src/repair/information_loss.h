@@ -1,0 +1,46 @@
+#ifndef DBIM_REPAIR_INFORMATION_LOSS_H_
+#define DBIM_REPAIR_INFORMATION_LOSS_H_
+
+#include <vector>
+
+#include "measures/measure.h"
+#include "relational/repair_system.h"
+
+namespace dbim {
+
+/// Grant and Hunter's stepwise-resolution trade-off, which the paper names
+/// as a direction to adapt to database repairing (Section 7): an operation
+/// is beneficial when it buys a large inconsistency reduction at a small
+/// information loss. Here the loss of a repairing operation is its cost
+/// under the repair system (deleting a whole fact loses more than an
+/// update), and the utility of operation o on database D is
+///
+///   utility(o) = [I(Sigma, D) - I(Sigma, o(D))] - lambda * kappa(o, D).
+///
+/// GreedyResolutionPath repeatedly applies the highest-utility operation
+/// while one with strictly positive utility exists, returning the applied
+/// steps. With lambda = 0 and a measure satisfying progression this reaches
+/// consistency; raising lambda makes the policy stop early, trading
+/// residual inconsistency for retained information.
+struct ResolutionStep {
+  RepairOperation op;
+  double inconsistency_delta;  // I before - I after (> 0)
+  double loss;                 // kappa(o, D)
+};
+
+struct ResolutionResult {
+  std::vector<ResolutionStep> steps;
+  double final_inconsistency = 0.0;
+  double total_loss = 0.0;
+  bool reached_consistency = false;
+};
+
+ResolutionResult GreedyResolutionPath(const InconsistencyMeasure& measure,
+                                      const ViolationDetector& detector,
+                                      const RepairSystem& repair_system,
+                                      Database db, double lambda,
+                                      size_t max_steps = 1000);
+
+}  // namespace dbim
+
+#endif  // DBIM_REPAIR_INFORMATION_LOSS_H_

@@ -1,0 +1,40 @@
+#include "repair/maxcut_reduction.h"
+
+#include "common/string_util.h"
+
+namespace dbim {
+
+MaxCutReduction BuildMaxCutReduction(const SimpleGraph& g) {
+  auto schema = std::make_shared<Schema>();
+  const RelationId r = schema->AddRelation("R", {"A", "B"});
+
+  Database db(std::static_pointer_cast<const Schema>(schema));
+  const double edge_fact_cost = 1.0;
+  const double vertex_fact_cost = static_cast<double>(g.num_edges()) + 1.0;
+
+  auto vertex_value = [](uint32_t v) {
+    return Value(StrFormat("v%u", v));
+  };
+  const Value anchor1(static_cast<int64_t>(1));
+  const Value anchor2(static_cast<int64_t>(2));
+
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    const FactId f1 = db.Insert(Fact(r, {anchor1, vertex_value(v)}));
+    db.set_deletion_cost(f1, vertex_fact_cost);
+    const FactId f2 = db.Insert(Fact(r, {vertex_value(v), anchor2}));
+    db.set_deletion_cost(f2, vertex_fact_cost);
+  }
+  for (const auto& [u, v] : g.edges()) {
+    const FactId f1 = db.Insert(Fact(r, {vertex_value(v), vertex_value(u)}));
+    db.set_deletion_cost(f1, edge_fact_cost);
+    const FactId f2 = db.Insert(Fact(r, {vertex_value(u), vertex_value(v)}));
+    db.set_deletion_cost(f2, edge_fact_cost);
+  }
+
+  // sigma_2: R(x1,x2), R(x2,x3) => x1 = x3 (variables 1, 2, 3).
+  BinaryAtomEgd egd(r, r, {1, 2, 2, 3}, 1, 3);
+  return MaxCutReduction{std::move(schema), std::move(db), egd,
+                         g.num_vertices(), g.num_edges()};
+}
+
+}  // namespace dbim

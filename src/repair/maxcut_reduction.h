@@ -1,0 +1,45 @@
+#ifndef DBIM_REPAIR_MAXCUT_REDUCTION_H_
+#define DBIM_REPAIR_MAXCUT_REDUCTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "constraints/egd.h"
+#include "graph/graph.h"
+#include "relational/database.h"
+#include "relational/schema.h"
+
+namespace dbim {
+
+/// The MaxCut reduction from the hardness proof of Theorem 1 (Appendix B),
+/// made executable: given a graph, it constructs the database whose
+/// minimum-repair cost under the path EGD encodes the maximum cut.
+///
+/// Per vertex v: facts R(1, v) and R(v, 2), each with deletion cost m+1.
+/// Per edge (u, v): facts R(v, u) and R(u, v) with unit cost. Then
+///   I_R(Sigma, D) = (m+1)*n + 2*(m - k*) + k*
+/// where k* is the maximum cut size. Tests cross-validate I_R computed by
+/// branch & bound against exhaustive MaxCut through this identity.
+struct MaxCutReduction {
+  std::shared_ptr<Schema> schema;
+  Database db;
+  BinaryAtomEgd egd;
+  size_t num_vertices;
+  size_t num_edges;
+
+  /// The I_R value this reduction predicts for a cut of size k.
+  double ExpectedRepairCost(size_t k) const {
+    return (static_cast<double>(num_edges) + 1.0) *
+               static_cast<double>(num_vertices) +
+           2.0 * static_cast<double>(num_edges - k) + static_cast<double>(k);
+  }
+};
+
+/// Builds the reduction instance for `g`. Vertex v is encoded as the value
+/// "v<index>"; the anchor values are 1 and 2 as in the paper. The EGD is
+/// sigma_2 of Example 8: R(x,y), R(y,z) => x = z.
+MaxCutReduction BuildMaxCutReduction(const SimpleGraph& g);
+
+}  // namespace dbim
+
+#endif  // DBIM_REPAIR_MAXCUT_REDUCTION_H_

@@ -1,0 +1,16 @@
+#include "repair/update_repair_measure.h"
+
+#include <limits>
+
+namespace dbim {
+
+double UpdateRepairMeasure::Evaluate(MeasureContext& context) const {
+  const auto result = MinUpdateRepair(
+      context.db(), context.detector().constraints(), options_);
+  if (!result.has_value()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return static_cast<double>(*result);
+}
+
+}  // namespace dbim

@@ -1,0 +1,32 @@
+#ifndef DBIM_REPAIR_UPDATE_REPAIR_MEASURE_H_
+#define DBIM_REPAIR_UPDATE_REPAIR_MEASURE_H_
+
+#include <string>
+
+#include "measures/measure.h"
+#include "repair/update_repair.h"
+
+namespace dbim {
+
+/// I_R under the update repair system, as an InconsistencyMeasure: the
+/// minimum number of attribute updates to consistency (the paper's
+/// "I_R (updates)" row in Table 1 and the Section 5.3 discussion).
+///
+/// Exact search, exponential in the repair size — intended for the small
+/// databases of the examples, tests, and property checks. Returns NaN when
+/// no repair within `options.max_updates` is found in time.
+class UpdateRepairMeasure : public InconsistencyMeasure {
+ public:
+  explicit UpdateRepairMeasure(UpdateRepairOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "I_R(upd)"; }
+  double Evaluate(MeasureContext& context) const override;
+
+ private:
+  UpdateRepairOptions options_;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_REPAIR_UPDATE_REPAIR_MEASURE_H_

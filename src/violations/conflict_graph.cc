@@ -1,0 +1,61 @@
+#include "violations/conflict_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dbim {
+
+ConflictGraph ConflictGraph::Build(const Database& db,
+                                   const ViolationSet& violations) {
+  ConflictGraph g;
+  const std::vector<FactId> problematic = violations.ProblematicFacts();
+  g.fact_of_ = problematic;
+  g.vertex_of_.reserve(problematic.size());
+  for (uint32_t v = 0; v < problematic.size(); ++v) {
+    g.vertex_of_.emplace(problematic[v], v);
+  }
+  g.self_inconsistent_.assign(problematic.size(), false);
+  g.weights_.resize(problematic.size());
+  for (uint32_t v = 0; v < problematic.size(); ++v) {
+    g.weights_[v] = db.deletion_cost(problematic[v]);
+  }
+  for (const auto& subset : violations.minimal_subsets()) {
+    if (subset.size() == 1) {
+      const uint32_t v = g.vertex_of(subset[0]);
+      if (!g.self_inconsistent_[v]) {
+        g.self_inconsistent_[v] = true;
+        ++g.num_self_inconsistent_;
+      }
+    } else if (subset.size() == 2) {
+      g.edges_.emplace_back(g.vertex_of(subset[0]), g.vertex_of(subset[1]));
+    } else {
+      std::vector<uint32_t> he;
+      he.reserve(subset.size());
+      for (const FactId id : subset) he.push_back(g.vertex_of(id));
+      g.hyperedges_.push_back(std::move(he));
+    }
+  }
+  return g;
+}
+
+uint32_t ConflictGraph::vertex_of(FactId id) const {
+  const auto it = vertex_of_.find(id);
+  DBIM_CHECK_MSG(it != vertex_of_.end(), "fact %u is not problematic", id);
+  return it->second;
+}
+
+std::vector<std::vector<uint32_t>> ConflictGraph::AdjacencyLists() const {
+  std::vector<std::vector<uint32_t>> adj(num_vertices());
+  for (const auto& [a, b] : edges_) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  for (auto& nbrs : adj) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return adj;
+}
+
+}  // namespace dbim

@@ -1,0 +1,71 @@
+#ifndef DBIM_VIOLATIONS_CONFLICT_GRAPH_H_
+#define DBIM_VIOLATIONS_CONFLICT_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "relational/database.h"
+#include "violations/violation.h"
+
+namespace dbim {
+
+/// The conflict structure of a database w.r.t. a constraint set, built from
+/// MI_Sigma(D):
+///
+///  * vertices: the problematic facts (facts occurring in some minimal
+///    inconsistent subset) — non-problematic facts are irrelevant to every
+///    measure that consumes this structure;
+///  * edges: size-2 minimal subsets (the paper's conflict graph for FDs);
+///  * hyperedges: minimal subsets of size >= 3 (general DCs);
+///  * self-inconsistent flags: singleton minimal subsets; such facts belong
+///    to no consistent subset, so covers must include them and independent
+///    sets must exclude them;
+///  * weights: per-fact deletion costs, so that minimum weighted vertex
+///    cover equals I_R and the fractional relaxation equals I_lin_R.
+class ConflictGraph {
+ public:
+  static ConflictGraph Build(const Database& db,
+                             const ViolationSet& violations);
+
+  size_t num_vertices() const { return fact_of_.size(); }
+  FactId fact_of(uint32_t v) const { return fact_of_[v]; }
+
+  /// Vertex of a fact; the fact must be problematic.
+  uint32_t vertex_of(FactId id) const;
+  bool IsProblematic(FactId id) const {
+    return vertex_of_.count(id) > 0;
+  }
+
+  const std::vector<std::pair<uint32_t, uint32_t>>& edges() const {
+    return edges_;
+  }
+  const std::vector<std::vector<uint32_t>>& hyperedges() const {
+    return hyperedges_;
+  }
+  const std::vector<bool>& self_inconsistent() const {
+    return self_inconsistent_;
+  }
+  const std::vector<double>& weights() const { return weights_; }
+
+  bool HasHyperedges() const { return !hyperedges_.empty(); }
+  size_t num_self_inconsistent() const { return num_self_inconsistent_; }
+
+  /// Adjacency lists over the edge set (hyperedges not included), with
+  /// neighbor lists sorted and deduplicated.
+  std::vector<std::vector<uint32_t>> AdjacencyLists() const;
+
+ private:
+  std::vector<FactId> fact_of_;
+  std::unordered_map<FactId, uint32_t> vertex_of_;
+  std::vector<std::pair<uint32_t, uint32_t>> edges_;
+  std::vector<std::vector<uint32_t>> hyperedges_;
+  std::vector<bool> self_inconsistent_;
+  std::vector<double> weights_;
+  size_t num_self_inconsistent_ = 0;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_VIOLATIONS_CONFLICT_GRAPH_H_

@@ -1,0 +1,317 @@
+#include "violations/detector.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace dbim {
+
+namespace {
+
+// Facts of one relation, in id order.
+struct RelationIndex {
+  std::vector<FactId> ids;
+  std::vector<const Fact*> facts;
+};
+
+std::vector<RelationIndex> BuildIndices(const Database& db) {
+  std::vector<RelationIndex> idx(db.schema().num_relations());
+  for (const FactId id : db.ids()) {
+    const Fact& f = db.fact(id);
+    idx[f.relation()].ids.push_back(id);
+    idx[f.relation()].facts.push_back(&f);
+  }
+  return idx;
+}
+
+uint64_t HashValues(const Fact& f, const std::vector<AttrIndex>& attrs) {
+  uint64_t h = 1469598103934665603ull;
+  for (const AttrIndex a : attrs) {
+    h ^= f.value(a).Hash();
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool ValuesEqual(const Fact& a, const std::vector<AttrIndex>& attrs_a,
+                 const Fact& b, const std::vector<AttrIndex>& attrs_b) {
+  for (size_t i = 0; i < attrs_a.size(); ++i) {
+    if (a.value(attrs_a[i]) != b.value(attrs_b[i])) return false;
+  }
+  return true;
+}
+
+// The attribute lists of the cross-variable equality predicates of a binary
+// DC, one list per side. Key attribute k of side 0 must equal key attribute
+// k of side 1 for the body to possibly hold.
+struct BlockingKeys {
+  std::vector<AttrIndex> var0;
+  std::vector<AttrIndex> var1;
+  bool empty() const { return var0.empty(); }
+};
+
+BlockingKeys ExtractBlockingKeys(const DenialConstraint& dc) {
+  BlockingKeys keys;
+  for (const Predicate& p : dc.predicates()) {
+    if (!p.IsCrossVariable() || p.op() != CompareOp::kEq) continue;
+    if (p.lhs().var == 0) {
+      keys.var0.push_back(p.lhs().attr);
+      keys.var1.push_back(p.rhs_operand().attr);
+    } else {
+      keys.var0.push_back(p.rhs_operand().attr);
+      keys.var1.push_back(p.lhs().attr);
+    }
+  }
+  return keys;
+}
+
+// Shared mutable state threaded through the detection passes.
+struct DetectionState {
+  ViolationSet result;
+  std::unordered_set<FactId> self_inconsistent;
+  const DetectorOptions* options;
+  Deadline deadline{0.0};
+  bool stop = false;
+
+  void NoteLimits() {
+    if (options->max_subsets > 0 &&
+        result.num_minimal_subsets() >= options->max_subsets) {
+      result.set_truncated(true);
+      stop = true;
+    }
+    if (deadline.Expired()) {
+      result.set_truncated(true);
+      stop = true;
+    }
+  }
+};
+
+}  // namespace
+
+ViolationDetector::ViolationDetector(std::shared_ptr<const Schema> schema,
+                                     std::vector<DenialConstraint> constraints,
+                                     DetectorOptions options)
+    : schema_(std::move(schema)),
+      constraints_(std::move(constraints)),
+      options_(options) {
+  DBIM_CHECK(schema_ != nullptr);
+}
+
+namespace {
+
+// Enumerates all support sets of witnesses of a k-variable DC (k >= 3),
+// allowing repeated facts across variables. Candidates are minimality-
+// filtered by the caller.
+void EnumerateKAry(const DenialConstraint& dc,
+                   const std::vector<RelationIndex>& idx,
+                   std::vector<const Fact*>& assignment,
+                   std::vector<FactId>& chosen_ids, size_t var,
+                   std::vector<std::vector<FactId>>& candidates,
+                   DetectionState& state) {
+  if (state.stop) return;
+  if (var == dc.num_vars()) {
+    if (!dc.BodyHolds(assignment)) return;
+    std::vector<FactId> support = chosen_ids;
+    std::sort(support.begin(), support.end());
+    support.erase(std::unique(support.begin(), support.end()), support.end());
+    candidates.push_back(std::move(support));
+    if (state.deadline.Expired()) {
+      state.result.set_truncated(true);
+      state.stop = true;
+    }
+    return;
+  }
+  const RelationIndex& rel = idx[dc.var_relation(static_cast<uint32_t>(var))];
+  for (size_t i = 0; i < rel.ids.size() && !state.stop; ++i) {
+    assignment[var] = rel.facts[i];
+    chosen_ids[var] = rel.ids[i];
+    // Prune: predicates fully assigned so far must hold.
+    bool viable = true;
+    for (const Predicate& p : dc.predicates()) {
+      const uint32_t needed = p.MaxVar();
+      if (needed != var) continue;  // checked earlier or later
+      const Value& lhs = assignment[p.lhs().var]->value(p.lhs().attr);
+      const Value& rhs =
+          p.rhs_is_constant()
+              ? p.rhs_constant()
+              : assignment[p.rhs_operand().var]->value(p.rhs_operand().attr);
+      if (!EvalCompare(p.op(), lhs, rhs)) {
+        viable = false;
+        break;
+      }
+    }
+    if (!viable) continue;
+    EnumerateKAry(dc, idx, assignment, chosen_ids, var + 1, candidates,
+                  state);
+  }
+}
+
+}  // namespace
+
+ViolationSet ViolationDetector::FindViolations(const Database& db) const {
+  DetectionState state;
+  state.options = &options_;
+  state.deadline = Deadline(options_.deadline_seconds);
+
+  const std::vector<RelationIndex> idx = BuildIndices(db);
+
+  // Pass 1: self-inconsistent facts. These are the singleton minimal
+  // subsets, and they disqualify any larger subset containing them.
+  for (const DenialConstraint& dc : constraints_) {
+    if (dc.TriviallyNotUnary()) continue;
+    const RelationId rel0 = dc.var_relation(0);
+    bool single_relation = true;
+    for (const RelationId r : dc.var_relations()) {
+      if (r != rel0) single_relation = false;
+    }
+    if (!single_relation) continue;
+    for (size_t i = 0; i < idx[rel0].ids.size(); ++i) {
+      if (dc.MakesSelfInconsistent(*idx[rel0].facts[i])) {
+        state.self_inconsistent.insert(idx[rel0].ids[i]);
+      }
+    }
+  }
+  for (const FactId id : state.self_inconsistent) {
+    state.result.Add({id});
+    state.NoteLimits();
+    if (state.stop) return std::move(state.result);
+  }
+
+  // Pass 2: binary constraints, blocked or nested-loop.
+  std::vector<std::vector<FactId>> kary_candidates;
+  for (const DenialConstraint& dc : constraints_) {
+    if (state.stop) break;
+    if (dc.num_vars() == 1) continue;  // covered by pass 1
+    if (dc.num_vars() >= 3) {
+      std::vector<const Fact*> assignment(dc.num_vars(), nullptr);
+      std::vector<FactId> chosen(dc.num_vars(), 0);
+      EnumerateKAry(dc, idx, assignment, chosen, 0, kary_candidates, state);
+      continue;
+    }
+    const RelationIndex& r0 = idx[dc.var_relation(0)];
+    const RelationIndex& r1 = idx[dc.var_relation(1)];
+    // Symmetric bodies (e.g. FD-style DCs) match both orders of a pair; the
+    // per-constraint dedup keeps the (F, sigma) minimal-violation count
+    // honest.
+    std::unordered_set<uint64_t> seen_pairs;
+    auto consider = [&](size_t i, size_t j) {
+      // i indexes r0 (variable t), j indexes r1 (variable t').
+      const FactId a = r0.ids[i];
+      const FactId b = r1.ids[j];
+      if (a == b && dc.var_relation(0) == dc.var_relation(1)) return;
+      if (state.self_inconsistent.count(a) > 0 ||
+          state.self_inconsistent.count(b) > 0) {
+        return;
+      }
+      if (!dc.BodyHolds(*r0.facts[i], *r1.facts[j])) return;
+      const uint64_t key =
+          (static_cast<uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+      if (!seen_pairs.insert(key).second) return;
+      std::vector<FactId> pair = {std::min(a, b), std::max(a, b)};
+      state.result.Add(std::move(pair));
+      state.NoteLimits();
+    };
+
+    const BlockingKeys keys = ExtractBlockingKeys(dc);
+    if (options_.use_blocking && !keys.empty()) {
+      // Hash var-1 side, probe with var-0 side.
+      std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+      buckets.reserve(r1.ids.size());
+      for (size_t j = 0; j < r1.ids.size(); ++j) {
+        buckets[HashValues(*r1.facts[j], keys.var1)].push_back(j);
+      }
+      for (size_t i = 0; i < r0.ids.size() && !state.stop; ++i) {
+        const auto it = buckets.find(HashValues(*r0.facts[i], keys.var0));
+        if (it == buckets.end()) continue;
+        for (const size_t j : it->second) {
+          if (!ValuesEqual(*r0.facts[i], keys.var0, *r1.facts[j], keys.var1)) {
+            continue;  // hash collision
+          }
+          consider(i, j);
+          if (state.stop) break;
+        }
+      }
+    } else {
+      for (size_t i = 0; i < r0.ids.size() && !state.stop; ++i) {
+        for (size_t j = 0; j < r1.ids.size(); ++j) {
+          consider(i, j);
+          if (state.stop) break;
+        }
+      }
+    }
+  }
+
+  // Pass 3: minimality filter for k-ary candidate supports. A candidate
+  // survives iff no singleton/pair of the result and no other (smaller)
+  // candidate is a proper subset of it.
+  if (!kary_candidates.empty() && !state.stop) {
+    std::sort(kary_candidates.begin(), kary_candidates.end(),
+              [](const auto& a, const auto& b) {
+                if (a.size() != b.size()) return a.size() < b.size();
+                return a < b;
+              });
+    auto contains = [](const std::vector<FactId>& big,
+                       const std::vector<FactId>& small) {
+      return std::includes(big.begin(), big.end(), small.begin(), small.end());
+    };
+    std::vector<std::vector<FactId>> accepted;
+    for (const auto& cand : kary_candidates) {
+      bool minimal = true;
+      for (const FactId id : cand) {
+        if (state.self_inconsistent.count(id) > 0) {
+          minimal = cand.size() == 1;
+          break;
+        }
+      }
+      if (minimal) {
+        for (const auto& sub : state.result.minimal_subsets()) {
+          if (sub.size() < cand.size() && contains(cand, sub)) {
+            minimal = false;
+            break;
+          }
+        }
+      }
+      if (minimal) {
+        for (const auto& sub : accepted) {
+          if (sub.size() < cand.size() && contains(cand, sub)) {
+            minimal = false;
+            break;
+          }
+        }
+      }
+      if (!minimal) continue;
+      accepted.push_back(cand);
+      state.result.Add(cand);
+      state.NoteLimits();
+      if (state.stop) break;
+    }
+  }
+
+  return std::move(state.result);
+}
+
+bool ViolationDetector::Satisfies(const Database& db) const {
+  DetectorOptions fast = options_;
+  fast.max_subsets = 1;
+  ViolationDetector probe(schema_, constraints_, fast);
+  return probe.FindViolations(db).empty();
+}
+
+ViolationSet ViolationDetector::FindViolationsInvolving(const Database& db,
+                                                        FactId id) const {
+  DBIM_CHECK(db.Contains(id));
+  ViolationSet all = FindViolations(db);
+  ViolationSet out;
+  out.set_truncated(all.truncated());
+  for (const auto& subset : all.minimal_subsets()) {
+    if (std::binary_search(subset.begin(), subset.end(), id)) {
+      out.Add(subset);
+    }
+  }
+  return out;
+}
+
+}  // namespace dbim

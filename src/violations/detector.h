@@ -1,0 +1,63 @@
+#ifndef DBIM_VIOLATIONS_DETECTOR_H_
+#define DBIM_VIOLATIONS_DETECTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "constraints/dc.h"
+#include "relational/database.h"
+#include "violations/violation.h"
+
+namespace dbim {
+
+/// Knobs for violation detection.
+struct DetectorOptions {
+  /// Stop after this many minimal inconsistent subsets (0 = unlimited). A
+  /// truncated result is flagged on the ViolationSet.
+  size_t max_subsets = 0;
+
+  /// Wall-clock budget in seconds (0 = none).
+  double deadline_seconds = 0.0;
+
+  /// Hash-partition facts on the values of cross-variable equality
+  /// predicates before verifying bodies pairwise. Disabling this forces the
+  /// plain nested-loop join (used by the blocking ablation bench).
+  bool use_blocking = true;
+};
+
+/// Computes MI_Sigma(D) for a set of denial constraints — the exact result
+/// set of the paper's `SELECT DISTINCT R1.ID, R2.ID FROM R R1, R R2 WHERE
+/// <body>` self-join, generalized to unary and k-ary DCs, with minimality
+/// enforced across constraints (a pair containing a self-inconsistent fact
+/// is not a *minimal* subset).
+class ViolationDetector {
+ public:
+  ViolationDetector(std::shared_ptr<const Schema> schema,
+                    std::vector<DenialConstraint> constraints,
+                    DetectorOptions options = {});
+
+  const std::vector<DenialConstraint>& constraints() const {
+    return constraints_;
+  }
+  const Schema& schema() const { return *schema_; }
+
+  /// All minimal inconsistent subsets of `db`.
+  ViolationSet FindViolations(const Database& db) const;
+
+  /// Whether `db` satisfies every constraint (early exit on first witness).
+  bool Satisfies(const Database& db) const;
+
+  /// Minimal inconsistent subsets that include fact `id` — the witnesses a
+  /// deletion of `id` would resolve. Used by incremental measure updates and
+  /// the prioritization example.
+  ViolationSet FindViolationsInvolving(const Database& db, FactId id) const;
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::vector<DenialConstraint> constraints_;
+  DetectorOptions options_;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_VIOLATIONS_DETECTOR_H_

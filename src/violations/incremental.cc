@@ -1,0 +1,161 @@
+#include "violations/incremental.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dbim {
+
+IncrementalViolationIndex::IncrementalViolationIndex(
+    std::shared_ptr<const Schema> schema,
+    std::vector<DenialConstraint> constraints, Database db)
+    : schema_(std::move(schema)),
+      constraints_(std::move(constraints)),
+      db_(std::move(db)) {
+  for (const DenialConstraint& dc : constraints_) {
+    DBIM_CHECK_MSG(dc.num_vars() <= 2,
+                   "incremental maintenance supports <= 2 tuple variables");
+  }
+  const ViolationDetector detector(schema_, constraints_);
+  const ViolationSet initial = detector.FindViolations(db_);
+  for (const auto& subset : initial.minimal_subsets()) {
+    if (subset.size() == 1) self_inconsistent_.insert(subset[0]);
+    IndexSubset(subset);
+  }
+}
+
+uint64_t IncrementalViolationIndex::SubsetKey(
+    const std::vector<FactId>& subset) const {
+  uint64_t h = 1469598103934665603ull;
+  for (const FactId id : subset) {
+    h ^= id;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void IncrementalViolationIndex::IndexSubset(std::vector<FactId> subset) {
+  std::sort(subset.begin(), subset.end());
+  const uint64_t key = SubsetKey(subset);
+  if (by_key_.count(key) > 0) return;
+  const uint32_t slot = static_cast<uint32_t>(subsets_.size());
+  for (const FactId id : subset) {
+    postings_[id].push_back(slot);
+    ++problematic_count_[id];
+  }
+  by_key_.emplace(key, slot);
+  subsets_.push_back(StoredSubset{std::move(subset), true});
+  ++live_subsets_;
+}
+
+void IncrementalViolationIndex::RemoveSubsetsInvolving(FactId id) {
+  const auto it = postings_.find(id);
+  if (it == postings_.end()) return;
+  for (const uint32_t slot : it->second) {
+    StoredSubset& stored = subsets_[slot];
+    if (!stored.alive) continue;
+    stored.alive = false;
+    --live_subsets_;
+    by_key_.erase(SubsetKey(stored.facts));
+    for (const FactId member : stored.facts) {
+      const auto cnt = problematic_count_.find(member);
+      if (cnt != problematic_count_.end() && --cnt->second == 0) {
+        problematic_count_.erase(cnt);
+      }
+    }
+  }
+  postings_.erase(it);
+}
+
+void IncrementalViolationIndex::RecomputeSelfInconsistent(FactId id) {
+  const Fact& f = db_.fact(id);
+  bool selfinc = false;
+  for (const DenialConstraint& dc : constraints_) {
+    if (dc.TriviallyNotUnary()) continue;
+    bool single_relation = true;
+    for (const RelationId r : dc.var_relations()) {
+      if (r != f.relation()) single_relation = false;
+    }
+    if (single_relation && dc.MakesSelfInconsistent(f)) {
+      selfinc = true;
+      break;
+    }
+  }
+  if (selfinc) {
+    self_inconsistent_.insert(id);
+  } else {
+    self_inconsistent_.erase(id);
+  }
+}
+
+void IncrementalViolationIndex::ProbeFact(FactId id) {
+  if (self_inconsistent_.count(id) > 0) {
+    IndexSubset({id});
+    return;
+  }
+  const Fact& f = db_.fact(id);
+  for (const DenialConstraint& dc : constraints_) {
+    if (dc.num_vars() != 2) continue;
+    for (const FactId other : db_.ids()) {
+      if (other == id) continue;
+      if (self_inconsistent_.count(other) > 0) continue;
+      const Fact& g = db_.fact(other);
+      bool hit = false;
+      if (g.relation() == dc.var_relation(1) &&
+          f.relation() == dc.var_relation(0) && dc.BodyHolds(f, g)) {
+        hit = true;
+      } else if (g.relation() == dc.var_relation(0) &&
+                 f.relation() == dc.var_relation(1) && dc.BodyHolds(g, f)) {
+        hit = true;
+      }
+      if (hit) IndexSubset({id, other});
+    }
+  }
+}
+
+void IncrementalViolationIndex::Apply(const RepairOperation& op) {
+  if (!op.IsApplicable(db_)) return;
+  if (op.is_deletion()) {
+    const FactId id = op.deletion().id;
+    RemoveSubsetsInvolving(id);
+    self_inconsistent_.erase(id);
+    db_.Delete(id);
+    return;
+  }
+  if (op.is_insertion()) {
+    Database scratch = db_;  // learn the id insertion will take
+    const FactId id = scratch.Insert(op.insertion().fact);
+    db_.Insert(op.insertion().fact);
+    RecomputeSelfInconsistent(id);
+    ProbeFact(id);
+    return;
+  }
+  const UpdateOp& update = op.update();
+  const FactId id = update.id;
+  const bool was_selfinc = self_inconsistent_.count(id) > 0;
+  RemoveSubsetsInvolving(id);
+  db_.UpdateValue(id, update.attr, update.value);
+  RecomputeSelfInconsistent(id);
+  const bool now_selfinc = self_inconsistent_.count(id) > 0;
+  ProbeFact(id);
+  // If the fact's self-inconsistency flipped, pairs between it and others
+  // change minimality status; ProbeFact already handles both directions
+  // because it consults the updated flag. Pairs among *other* facts are
+  // unaffected by this fact's status.
+  (void)was_selfinc;
+  (void)now_selfinc;
+}
+
+size_t IncrementalViolationIndex::NumProblematicFacts() const {
+  return problematic_count_.size();
+}
+
+ViolationSet IncrementalViolationIndex::Snapshot() const {
+  ViolationSet out;
+  for (const StoredSubset& stored : subsets_) {
+    if (stored.alive) out.Add(stored.facts);
+  }
+  return out;
+}
+
+}  // namespace dbim

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+#include "datagen/noise.h"
+#include "violations/detector.h"
+
+namespace dbim {
+namespace {
+
+// ---- Dataset generators ----
+
+class DatasetSweep : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(DatasetSweep, GeneratedDataIsConsistent) {
+  const Dataset dataset = MakeDataset(GetParam(), 300, 42);
+  EXPECT_EQ(dataset.data.size(), 300u);
+  const ViolationDetector detector(dataset.schema, dataset.constraints);
+  EXPECT_TRUE(detector.Satisfies(dataset.data))
+      << dataset.name << " generator produced violations";
+}
+
+TEST_P(DatasetSweep, DeterministicPerSeed) {
+  const Dataset a = MakeDataset(GetParam(), 50, 7);
+  const Dataset b = MakeDataset(GetParam(), 50, 7);
+  EXPECT_EQ(a.data, b.data);
+  const Dataset c = MakeDataset(GetParam(), 50, 8);
+  EXPECT_FALSE(a.data == c.data);
+}
+
+TEST_P(DatasetSweep, ConstraintCountsMatchFigure3) {
+  const Dataset dataset = MakeDataset(GetParam(), 10, 1);
+  size_t expected = 0;
+  size_t expected_attrs = 0;
+  switch (GetParam()) {
+    case DatasetId::kStock:
+      expected = 6;
+      expected_attrs = 7;
+      break;
+    case DatasetId::kHospital:
+      expected = 7;
+      expected_attrs = 15;
+      break;
+    case DatasetId::kFood:
+      expected = 6;
+      expected_attrs = 17;
+      break;
+    case DatasetId::kAirport:
+      expected = 6;
+      expected_attrs = 9;
+      break;
+    case DatasetId::kAdult:
+      expected = 3;
+      expected_attrs = 15;
+      break;
+    case DatasetId::kFlight:
+      expected = 13;
+      expected_attrs = 20;
+      break;
+    case DatasetId::kVoter:
+      expected = 5;
+      expected_attrs = 22;
+      break;
+    case DatasetId::kTax:
+      expected = 9;
+      expected_attrs = 15;
+      break;
+  }
+  EXPECT_EQ(dataset.constraints.size(), expected);
+  EXPECT_EQ(dataset.schema->relation(dataset.relation).arity(),
+            expected_attrs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetSweep, ::testing::ValuesIn(AllDatasets()),
+    [](const ::testing::TestParamInfo<DatasetId>& info) {
+      return DatasetName(info.param);
+    });
+
+TEST(Datasets, PaperTupleCounts) {
+  EXPECT_EQ(PaperTupleCount(DatasetId::kTax), 1000000u);
+  EXPECT_EQ(PaperTupleCount(DatasetId::kStock), 123000u);
+  EXPECT_EQ(PaperTupleCount(DatasetId::kVoter), 950000u);
+}
+
+TEST(Datasets, HospitalCaseStudyHas15FdStyleDcs) {
+  const Dataset dataset = MakeHospitalCaseStudy(200, 3);
+  EXPECT_EQ(dataset.constraints.size(), 15u);
+  const ViolationDetector detector(dataset.schema, dataset.constraints);
+  EXPECT_TRUE(detector.Satisfies(dataset.data));
+}
+
+// ---- CONoise ----
+
+TEST(CoNoise, IntroducesViolations) {
+  const Dataset dataset = MakeDataset(DatasetId::kAirport, 200, 11);
+  const CoNoiseGenerator noise(dataset.data, dataset.constraints);
+  const ViolationDetector detector(dataset.schema, dataset.constraints);
+  Database noisy = dataset.data;
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) noise.Step(noisy, rng);
+  EXPECT_FALSE(detector.Satisfies(noisy));
+  EXPECT_EQ(noisy.size(), dataset.data.size());  // CONoise only updates
+}
+
+TEST(CoNoise, ViolationCountGrowsWithIterations) {
+  const Dataset dataset = MakeDataset(DatasetId::kHospital, 300, 13);
+  const CoNoiseGenerator noise(dataset.data, dataset.constraints);
+  const ViolationDetector detector(dataset.schema, dataset.constraints);
+  Database noisy = dataset.data;
+  Rng rng(17);
+  for (int i = 0; i < 5; ++i) noise.Step(noisy, rng);
+  const size_t early = detector.FindViolations(noisy).num_minimal_subsets();
+  for (int i = 0; i < 45; ++i) noise.Step(noisy, rng);
+  const size_t late = detector.FindViolations(noisy).num_minimal_subsets();
+  // The paper observes introduced violations dominate resolved ones.
+  EXPECT_GT(late, early);
+}
+
+TEST(CoNoise, WorksOnEveryDataset) {
+  for (const DatasetId id : AllDatasets()) {
+    const Dataset dataset = MakeDataset(id, 100, 23);
+    const CoNoiseGenerator noise(dataset.data, dataset.constraints);
+    const ViolationDetector detector(dataset.schema, dataset.constraints);
+    Database noisy = dataset.data;
+    Rng rng(29);
+    for (int i = 0; i < 20; ++i) noise.Step(noisy, rng);
+    EXPECT_FALSE(detector.Satisfies(noisy)) << DatasetName(id);
+  }
+}
+
+// ---- RNoise ----
+
+TEST(RNoise, ModifiesOnlyConstraintAttributes) {
+  const Dataset dataset = MakeDataset(DatasetId::kVoter, 150, 31);
+  const RNoiseGenerator noise(dataset.data, dataset.constraints,
+                              /*beta=*/0.0);
+  Database noisy = dataset.data;
+  Rng rng(37);
+  for (int i = 0; i < 200; ++i) noise.Step(noisy, rng);
+
+  // Collect the constrained attribute set.
+  std::vector<bool> constrained(
+      dataset.schema->relation(dataset.relation).arity(), false);
+  for (const DenialConstraint& dc : dataset.constraints) {
+    for (const Predicate& p : dc.predicates()) {
+      constrained[p.lhs().attr] = true;
+      if (!p.rhs_is_constant()) constrained[p.rhs_operand().attr] = true;
+    }
+  }
+  for (const FactId id : noisy.ids()) {
+    const Fact& before = dataset.data.fact(id);
+    const Fact& after = noisy.fact(id);
+    for (AttrIndex a = 0; a < before.arity(); ++a) {
+      if (!constrained[a]) {
+        EXPECT_EQ(before.value(a), after.value(a))
+            << "unconstrained attribute " << a << " was modified";
+      }
+    }
+  }
+}
+
+TEST(RNoise, StepsForAlphaCountsCells) {
+  const Dataset dataset = MakeDataset(DatasetId::kAdult, 100, 41);
+  const RNoiseGenerator noise(dataset.data, dataset.constraints, 0.0);
+  // 100 tuples * 15 attributes * 0.01 = 15.
+  EXPECT_EQ(noise.StepsForAlpha(dataset.data, 0.01), 15u);
+}
+
+TEST(RNoise, SkewConcentratesReplacementValues) {
+  // With beta = 2 the replacement draws concentrate on low ranks of the
+  // active domain; with beta = 0 they spread out. Count distinct values
+  // written into the State column.
+  const Dataset dataset = MakeDataset(DatasetId::kTax, 400, 43);
+  Rng rng_uniform(51);
+  Rng rng_skewed(51);
+  const RNoiseGenerator uniform(dataset.data, dataset.constraints, 0.0,
+                                /*typo_probability=*/0.0);
+  const RNoiseGenerator skewed(dataset.data, dataset.constraints, 2.0,
+                               /*typo_probability=*/0.0);
+  Database noisy_uniform = dataset.data;
+  Database noisy_skewed = dataset.data;
+  for (int i = 0; i < 600; ++i) uniform.Step(noisy_uniform, rng_uniform);
+  for (int i = 0; i < 600; ++i) skewed.Step(noisy_skewed, rng_skewed);
+  auto distinct_changed = [&](const Database& noisy) {
+    std::set<std::string> values;
+    for (const FactId id : noisy.ids()) {
+      const Fact& before = dataset.data.fact(id);
+      const Fact& after = noisy.fact(id);
+      for (AttrIndex a = 0; a < before.arity(); ++a) {
+        if (before.value(a) != after.value(a)) {
+          values.insert(after.value(a).ToString());
+        }
+      }
+    }
+    return values.size();
+  };
+  EXPECT_GT(distinct_changed(noisy_uniform), distinct_changed(noisy_skewed));
+}
+
+TEST(RNoise, TypoProbabilityOneAlwaysMutates) {
+  const Dataset dataset = MakeDataset(DatasetId::kStock, 50, 47);
+  const RNoiseGenerator noise(dataset.data, dataset.constraints, 0.0,
+                              /*typo_probability=*/1.0);
+  Database noisy = dataset.data;
+  Rng rng(53);
+  for (int i = 0; i < 50; ++i) noise.Step(noisy, rng);
+  EXPECT_FALSE(noisy == dataset.data);
+}
+
+TEST(MakeTypo, MutatesEveryKind) {
+  Rng rng(59);
+  EXPECT_NE(MakeTypo(Value("hello"), rng), Value("hello"));
+  EXPECT_NE(MakeTypo(Value(100), rng), Value(100));
+  EXPECT_NE(MakeTypo(Value(1.5), rng), Value(1.5));
+}
+
+}  // namespace
+}  // namespace dbim

@@ -1,0 +1,170 @@
+// Tests for the extension features the paper sketches but does not build:
+// soft (weighted) rules for I_R (Section 3) and the Grant–Hunter
+// inconsistency-vs-information-loss trade-off (Section 7 future work).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "measures/basic_measures.h"
+#include "measures/repair_measures.h"
+#include "measures/soft_repair.h"
+#include "repair/information_loss.h"
+#include "test_util.h"
+#include "violations/detector.h"
+
+namespace dbim {
+namespace {
+
+using testing::MakeRunningExample;
+
+// ---- Soft repair ----
+
+class SoftRepairFixture : public ::testing::Test {
+ protected:
+  SoftRepairFixture()
+      : example_(MakeRunningExample()),
+        detector_(example_.schema, example_.dcs) {}
+
+  double Soft(double penalty, const Database& db, bool relaxed = false) {
+    SoftRepairOptions options;
+    options.violation_penalty = penalty;
+    options.relaxed = relaxed;
+    SoftRepairMeasure measure(options);
+    return measure.EvaluateFresh(detector_, db);
+  }
+
+  RunningExample example_;
+  ViolationDetector detector_;
+};
+
+TEST_F(SoftRepairFixture, HighPenaltyRecoversHardRepair) {
+  // With the fine far above any deletion cost, paying it never helps.
+  MinRepairMeasure hard;
+  EXPECT_DOUBLE_EQ(Soft(100.0, example_.d1),
+                   hard.EvaluateFresh(detector_, example_.d1));
+  EXPECT_DOUBLE_EQ(Soft(100.0, example_.d2),
+                   hard.EvaluateFresh(detector_, example_.d2));
+}
+
+TEST_F(SoftRepairFixture, ZeroPenaltyIsFree) {
+  EXPECT_DOUBLE_EQ(Soft(0.0, example_.d1), 0.0);
+}
+
+TEST_F(SoftRepairFixture, LowPenaltyPaysFinesInstead) {
+  // At penalty 0.1, paying 7 fines (0.7) beats deleting 3 facts (3.0).
+  EXPECT_NEAR(Soft(0.1, example_.d1), 0.7, 1e-9);
+}
+
+TEST_F(SoftRepairFixture, IntermediatePenaltyMixes) {
+  // D1's conflict graph is K4 on {f2..f5} plus the edge {f1,f5}. At
+  // penalty 0.6: deleting f4, f5 (cost 2) resolves all but edge {f2,f3},
+  // whose fine (0.6) beats a third deletion: total 2.6 < I_R = 3 and
+  // < 7 * 0.6 = 4.2.
+  EXPECT_NEAR(Soft(0.6, example_.d1), 2.6, 1e-9);
+}
+
+TEST_F(SoftRepairFixture, MonotoneInPenalty) {
+  double previous = 0.0;
+  for (const double penalty : {0.0, 0.2, 0.5, 1.0, 2.0, 10.0}) {
+    const double value = Soft(penalty, example_.d1);
+    EXPECT_GE(value, previous - 1e-9) << "penalty " << penalty;
+    previous = value;
+  }
+}
+
+TEST_F(SoftRepairFixture, UpperBoundedByFineForEverything) {
+  MiCountMeasure mi;
+  const double fines_only =
+      0.5 * mi.EvaluateFresh(detector_, example_.d1);
+  EXPECT_LE(Soft(0.5, example_.d1), fines_only + 1e-9);
+}
+
+TEST_F(SoftRepairFixture, RelaxationLowerBoundsIlp) {
+  for (const double penalty : {0.3, 0.6, 1.5}) {
+    EXPECT_LE(Soft(penalty, example_.d1, /*relaxed=*/true),
+              Soft(penalty, example_.d1) + 1e-9);
+  }
+}
+
+TEST_F(SoftRepairFixture, ZeroOnConsistent) {
+  EXPECT_DOUBLE_EQ(Soft(1.0, example_.d0), 0.0);
+  EXPECT_DOUBLE_EQ(Soft(1.0, example_.d0, /*relaxed=*/true), 0.0);
+}
+
+// ---- Information-loss trade-off ----
+
+class ResolutionFixture : public ::testing::Test {
+ protected:
+  ResolutionFixture()
+      : example_(MakeRunningExample()),
+        detector_(example_.schema, example_.dcs) {}
+
+  RunningExample example_;
+  ViolationDetector detector_;
+  SubsetRepairSystem subset_;
+  LinRepairMeasure lin_;
+};
+
+TEST_F(ResolutionFixture, LambdaZeroReachesConsistency) {
+  const auto result = GreedyResolutionPath(lin_, detector_, subset_,
+                                           example_.d1, /*lambda=*/0.0);
+  EXPECT_TRUE(result.reached_consistency);
+  EXPECT_DOUBLE_EQ(result.final_inconsistency, 0.0);
+  // I_lin_R satisfies progression, so greedy needs exactly the minimum
+  // repair's worth of deletions here.
+  EXPECT_EQ(result.steps.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.total_loss, 3.0);
+}
+
+TEST_F(ResolutionFixture, HighLambdaRefusesToDelete) {
+  // Every deletion reduces I_lin_R by at most 1 (its own LP weight), so a
+  // lambda above 1 makes every operation's utility negative.
+  const auto result = GreedyResolutionPath(lin_, detector_, subset_,
+                                           example_.d1, /*lambda=*/1.5);
+  EXPECT_TRUE(result.steps.empty());
+  EXPECT_FALSE(result.reached_consistency);
+  EXPECT_DOUBLE_EQ(result.final_inconsistency, 2.5);
+}
+
+TEST_F(ResolutionFixture, StepsHaveDecreasingInconsistency) {
+  const auto result = GreedyResolutionPath(lin_, detector_, subset_,
+                                           example_.d1, 0.0);
+  for (const auto& step : result.steps) {
+    EXPECT_GT(step.inconsistency_delta, 0.0);
+    EXPECT_DOUBLE_EQ(step.loss, 1.0);
+  }
+}
+
+TEST_F(ResolutionFixture, WeightedFactsAreKeptLonger) {
+  // Making f5 expensive: with lambda = 0.4, deleting a unit-cost fact
+  // with delta 1 has utility 0.6 while deleting f5 (cost 5) has utility
+  // 1 - 2 = -1; the path must avoid f5.
+  Database weighted = example_.d1;
+  weighted.set_deletion_cost(5, 5.0);
+  const auto result = GreedyResolutionPath(lin_, detector_, subset_,
+                                           weighted, /*lambda=*/0.4);
+  for (const auto& step : result.steps) {
+    EXPECT_NE(step.op.deletion().id, 5u);
+  }
+}
+
+TEST_F(ResolutionFixture, ConsistentInputNeedsNoSteps) {
+  const auto result =
+      GreedyResolutionPath(lin_, detector_, subset_, example_.d0, 0.0);
+  EXPECT_TRUE(result.steps.empty());
+  EXPECT_TRUE(result.reached_consistency);
+}
+
+TEST_F(ResolutionFixture, DrasticMeasureStallsImmediately) {
+  // I_d gives no gradient: no single deletion on D1 reaches consistency,
+  // so no operation has positive utility and the path is empty — the
+  // progress-indication failure of I_d, phrased as resolution.
+  DrasticMeasure drastic;
+  const auto result =
+      GreedyResolutionPath(drastic, detector_, subset_, example_.d1, 0.0);
+  EXPECT_TRUE(result.steps.empty());
+  EXPECT_FALSE(result.reached_consistency);
+}
+
+}  // namespace
+}  // namespace dbim

@@ -1,0 +1,176 @@
+// Tests for incremental violation maintenance: the index must agree with a
+// from-scratch detection after every operation, across operation kinds,
+// constraint shapes, and long randomized sequences.
+#include <gtest/gtest.h>
+
+#include "constraints/parser.h"
+#include "datagen/datasets.h"
+#include "datagen/noise.h"
+#include "test_util.h"
+#include "violations/incremental.h"
+
+namespace dbim {
+namespace {
+
+using testing::MakeRunningExample;
+
+// Full-recompute reference.
+ViolationSet Reference(const IncrementalViolationIndex& index,
+                       std::shared_ptr<const Schema> schema,
+                       const std::vector<DenialConstraint>& dcs) {
+  const ViolationDetector detector(std::move(schema), dcs);
+  return detector.FindViolations(index.db());
+}
+
+void ExpectAgrees(const IncrementalViolationIndex& index,
+                  std::shared_ptr<const Schema> schema,
+                  const std::vector<DenialConstraint>& dcs,
+                  const std::string& where) {
+  const ViolationSet expected = Reference(index, std::move(schema), dcs);
+  EXPECT_EQ(index.NumMinimalSubsets(), expected.num_minimal_subsets())
+      << where;
+  EXPECT_EQ(index.NumProblematicFacts(), expected.ProblematicFacts().size())
+      << where;
+  // Snapshot contents match as sets.
+  auto a = index.Snapshot().minimal_subsets();
+  auto b = expected.minimal_subsets();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b) << where;
+}
+
+TEST(Incremental, InitialStateMatchesDetector) {
+  const auto example = MakeRunningExample();
+  IncrementalViolationIndex index(example.schema, example.dcs, example.d1);
+  EXPECT_EQ(index.NumMinimalSubsets(), 7u);
+  EXPECT_EQ(index.NumProblematicFacts(), 5u);
+  EXPECT_FALSE(index.IsConsistent());
+}
+
+TEST(Incremental, DeletionRemovesItsSubsets) {
+  const auto example = MakeRunningExample();
+  IncrementalViolationIndex index(example.schema, example.dcs, example.d1);
+  index.Apply(RepairOperation::Deletion(5));
+  ExpectAgrees(index, example.schema, example.dcs, "after deleting f5");
+  // f5 was in 4 of the 7 pairs.
+  EXPECT_EQ(index.NumMinimalSubsets(), 3u);
+}
+
+TEST(Incremental, DeletionSequenceReachesConsistency) {
+  const auto example = MakeRunningExample();
+  IncrementalViolationIndex index(example.schema, example.dcs, example.d1);
+  for (const FactId id : {2u, 4u, 5u}) {
+    index.Apply(RepairOperation::Deletion(id));
+    ExpectAgrees(index, example.schema, example.dcs,
+                 "after deleting " + std::to_string(id));
+  }
+  EXPECT_TRUE(index.IsConsistent());
+}
+
+TEST(Incremental, UpdateRepairsAndIntroducesViolations) {
+  const auto example = MakeRunningExample();
+  const auto continent =
+      example.schema->relation(example.relation).FindAttribute("Continent");
+  const auto country =
+      example.schema->relation(example.relation).FindAttribute("Country");
+  IncrementalViolationIndex index(example.schema, example.dcs, example.d2);
+  // Repair D2 back towards D0.
+  index.Apply(RepairOperation::Update(2, *continent, Value("NAm")));
+  ExpectAgrees(index, example.schema, example.dcs, "after fixing continent");
+  index.Apply(RepairOperation::Update(2, *country, Value("US")));
+  ExpectAgrees(index, example.schema, example.dcs, "after fixing country");
+  index.Apply(RepairOperation::Update(4, *country, Value("US")));
+  ExpectAgrees(index, example.schema, example.dcs, "after fixing f4");
+  EXPECT_TRUE(index.IsConsistent());
+  // Now dirty it again.
+  index.Apply(RepairOperation::Update(3, *continent, Value("Mars")));
+  ExpectAgrees(index, example.schema, example.dcs, "after new noise");
+  EXPECT_FALSE(index.IsConsistent());
+}
+
+TEST(Incremental, InsertionProbesNewFact) {
+  const auto example = MakeRunningExample();
+  IncrementalViolationIndex index(example.schema, example.dcs, example.d0);
+  EXPECT_TRUE(index.IsConsistent());
+  // A fact conflicting with the Key West block on Continent.
+  index.Apply(RepairOperation::Insertion(
+      Fact(example.relation,
+           {Value("X"), Value("t"), Value("n"), Value("Pluto"), Value("US"),
+            Value("Key West")})));
+  ExpectAgrees(index, example.schema, example.dcs, "after insertion");
+  EXPECT_FALSE(index.IsConsistent());
+}
+
+TEST(Incremental, SelfInconsistencyTransitions) {
+  auto schema = std::make_shared<Schema>();
+  const RelationId r = schema->AddRelation("R", {"High", "Low"});
+  const auto unary = ParseDc(*schema, r, "!(t.High < t.Low)");
+  const auto fd = ParseDc(*schema, r, "!(t.High = t'.High & t.Low != t'.Low)");
+  const std::vector<DenialConstraint> dcs = {*unary, *fd};
+  Database db(schema);
+  const FactId a = db.Insert(Fact(r, {Value(5), Value(1)}));
+  db.Insert(Fact(r, {Value(5), Value(2)}));  // FD-conflicts with a
+  IncrementalViolationIndex index(schema, dcs, db);
+  ExpectAgrees(index, schema, dcs, "initial");
+
+  // Make fact a self-inconsistent: its FD pair stops being minimal.
+  index.Apply(RepairOperation::Update(a, 0, Value(0)));  // High=0 < Low=1
+  ExpectAgrees(index, schema, dcs, "after becoming self-inconsistent");
+  EXPECT_EQ(index.NumMinimalSubsets(), 1u);
+
+  // And back: singleton goes, the FD pair returns.
+  index.Apply(RepairOperation::Update(a, 0, Value(5)));
+  ExpectAgrees(index, schema, dcs, "after recovering");
+  EXPECT_EQ(index.NumMinimalSubsets(), 1u);  // the FD pair again
+}
+
+class IncrementalSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalSweep, RandomOperationSequencesAgreeWithScratch) {
+  const DatasetId id =
+      AllDatasets()[static_cast<size_t>(GetParam()) % AllDatasets().size()];
+  const Dataset dataset = MakeDataset(id, 60, GetParam());
+  IncrementalViolationIndex index(dataset.schema, dataset.constraints,
+                                  dataset.data);
+  const RNoiseGenerator noise(dataset.data, dataset.constraints, 0.0);
+  Rng rng(GetParam() * 7 + 1);
+
+  // Mixed workload: noise updates (applied through the index), deletions,
+  // and insertions of copies of existing facts.
+  for (int step = 0; step < 12; ++step) {
+    const int kind = static_cast<int>(rng.UniformIndex(4));
+    const std::vector<FactId> ids = index.db().ids();
+    if (ids.empty()) break;
+    if (kind == 0) {
+      index.Apply(
+          RepairOperation::Deletion(ids[rng.UniformIndex(ids.size())]));
+    } else if (kind == 1) {
+      index.Apply(RepairOperation::Insertion(
+          index.db().fact(ids[rng.UniformIndex(ids.size())])));
+    } else {
+      // A noise step on a scratch copy tells us which update to apply.
+      Database scratch = index.db();
+      Rng probe = rng.Fork();
+      noise.Step(scratch, probe);
+      for (const FactId fid : scratch.ids()) {
+        const Fact& before = index.db().fact(fid);
+        const Fact& after = scratch.fact(fid);
+        for (AttrIndex attr = 0; attr < before.arity(); ++attr) {
+          if (before.value(attr) != after.value(attr)) {
+            index.Apply(
+                RepairOperation::Update(fid, attr, after.value(attr)));
+          }
+        }
+      }
+    }
+    ExpectAgrees(index, dataset.schema, dataset.constraints,
+                 std::string(DatasetName(id)) + " step " +
+                     std::to_string(step));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, IncrementalSweep,
+                         ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace dbim

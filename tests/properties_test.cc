@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "measures/basic_measures.h"
+#include "measures/mc_measures.h"
+#include "measures/registry.h"
+#include "measures/repair_measures.h"
+#include "properties/constructions.h"
+#include "properties/known_table.h"
+#include "properties/property_check.h"
+#include "repair/update_repair_measure.h"
+#include "test_util.h"
+#include "violations/detector.h"
+
+namespace dbim {
+namespace {
+
+using testing::MakeRunningExample;
+
+std::vector<Database> RunningExampleCorpus() {
+  const auto example = MakeRunningExample();
+  return {example.d0, example.d1, example.d2};
+}
+
+// ---- Positivity ----
+
+TEST(Positivity, AllMeasuresOnFdCorpus) {
+  const auto example = MakeRunningExample();
+  const ViolationDetector detector(example.schema, example.dcs);
+  const auto corpus = RunningExampleCorpus();
+  for (const auto& measure : CreateMeasures()) {
+    const auto result = CheckPositivity(*measure, detector, corpus);
+    // Every measure satisfies positivity for FDs (Table 2, first column).
+    EXPECT_TRUE(result.satisfied)
+        << measure->name() << ": " << result.counterexample;
+    EXPECT_EQ(result.cases_checked, 3u);
+  }
+}
+
+TEST(Positivity, McFailsOnDcCounterexample) {
+  // The Section 4 example: Sigma = { !R(a) }, D = {R(a), R(b)}.
+  auto schema = std::make_shared<Schema>();
+  const RelationId r = schema->AddRelation("R", {"A"});
+  Database db(schema);
+  db.Insert(Fact(r, {Value("a")}));
+  db.Insert(Fact(r, {Value("b")}));
+  std::vector<Predicate> preds;
+  preds.emplace_back(Operand{0, 0}, CompareOp::kEq, Value("a"));
+  const DenialConstraint not_a({r}, std::move(preds));
+  const ViolationDetector detector(schema, {not_a});
+
+  MaxConsistentSubsetsMeasure mc;
+  const auto bad = CheckPositivity(mc, detector, {db});
+  EXPECT_FALSE(bad.satisfied);
+  McWithSelfInconsistenciesMeasure mc_prime;
+  EXPECT_TRUE(CheckPositivity(mc_prime, detector, {db}).satisfied);
+}
+
+// ---- Monotonicity ----
+
+TEST(Monotonicity, Proposition1MiViolation) {
+  // Sigma_2 |= Sigma_3 ("at most 1 fact" entails "at most 2 facts"), yet
+  // I_MI grows from C(n,2) to C(n,3) for n >= 6.
+  const auto inst2 = MakeCardinalityDcInstance(8, 2);
+  const auto inst3 = MakeCardinalityDcInstance(8, 3);
+  const ViolationDetector weaker(inst2.schema, {inst2.at_most_k_minus_1});
+  const ViolationDetector stronger(inst3.schema, {inst3.at_most_k_minus_1});
+  // Note the direction: Sigma_2 is the *stronger* set here.
+  MiCountMeasure mi;
+  const double strong_value = mi.EvaluateFresh(weaker, inst2.db);   // C(8,2)
+  const double weak_value = mi.EvaluateFresh(stronger, inst2.db);   // C(8,3)
+  EXPECT_DOUBLE_EQ(strong_value, 28.0);
+  EXPECT_DOUBLE_EQ(weak_value, 56.0);
+  // Monotonicity demands I(weaker Sigma) <= I(stronger Sigma): violated.
+  const auto result =
+      CheckMonotonicity(mi, stronger, weaker, {inst2.db});
+  EXPECT_FALSE(result.satisfied);
+}
+
+TEST(Monotonicity, Proposition1IpViolation) {
+  const auto inst = MakeIpMonotonicityInstance(3);
+  const ViolationDetector weaker(inst.schema, inst.sigma1);
+  const ViolationDetector stronger(inst.schema, inst.sigma2);
+  ProblematicFactsMeasure ip;
+  // sigma_1 witnesses have 3 problematic facts per group, sigma_1+sigma_2
+  // reduce the *minimal* witnesses to the S-pairs (2 facts per group).
+  EXPECT_DOUBLE_EQ(ip.EvaluateFresh(weaker, inst.db), 9.0);
+  EXPECT_DOUBLE_EQ(ip.EvaluateFresh(stronger, inst.db), 6.0);
+  const auto result = CheckMonotonicity(ip, weaker, stronger, {inst.db});
+  EXPECT_FALSE(result.satisfied);
+}
+
+TEST(Monotonicity, Proposition2McViolation) {
+  const auto inst = MakeMcCounterexample();
+  const ViolationDetector weaker(inst.schema, inst.sigma1);
+  const ViolationDetector stronger(inst.schema, inst.sigma2);
+  MaxConsistentSubsetsMeasure mc;
+  // The proof's values: I_MC drops from 3 to 1 under strengthening.
+  EXPECT_DOUBLE_EQ(mc.EvaluateFresh(weaker, inst.db), 3.0);
+  EXPECT_DOUBLE_EQ(mc.EvaluateFresh(stronger, inst.db), 1.0);
+  const auto result = CheckMonotonicity(mc, weaker, stronger, {inst.db});
+  EXPECT_FALSE(result.satisfied);
+}
+
+TEST(Monotonicity, RationalMeasuresHoldOnStrengthenedFds) {
+  // Adding an FD can only increase I_d, I_R and I_lin_R.
+  const auto example = MakeRunningExample();
+  const std::vector<DenialConstraint> weaker_set = {example.dcs[0]};
+  const ViolationDetector weaker(example.schema, weaker_set);
+  const ViolationDetector stronger(example.schema, example.dcs);
+  const auto corpus = RunningExampleCorpus();
+  DrasticMeasure drastic;
+  MinRepairMeasure repair;
+  LinRepairMeasure lin;
+  EXPECT_TRUE(CheckMonotonicity(drastic, weaker, stronger, corpus).satisfied);
+  EXPECT_TRUE(CheckMonotonicity(repair, weaker, stronger, corpus).satisfied);
+  EXPECT_TRUE(CheckMonotonicity(lin, weaker, stronger, corpus).satisfied);
+}
+
+// ---- Progression ----
+
+TEST(Progression, DrasticViolates) {
+  const auto example = MakeRunningExample();
+  const ViolationDetector detector(example.schema, example.dcs);
+  SubsetRepairSystem subset;
+  DrasticMeasure drastic;
+  const auto result =
+      CheckProgression(drastic, detector, subset, {example.d1});
+  EXPECT_FALSE(result.satisfied);
+}
+
+TEST(Progression, RationalMeasuresSatisfyUnderDeletions) {
+  const auto example = MakeRunningExample();
+  const ViolationDetector detector(example.schema, example.dcs);
+  SubsetRepairSystem subset;
+  const auto corpus = RunningExampleCorpus();
+  MiCountMeasure mi;
+  ProblematicFactsMeasure ip;
+  MinRepairMeasure repair;
+  LinRepairMeasure lin;
+  EXPECT_TRUE(CheckProgression(mi, detector, subset, corpus).satisfied);
+  EXPECT_TRUE(CheckProgression(ip, detector, subset, corpus).satisfied);
+  EXPECT_TRUE(CheckProgression(repair, detector, subset, corpus).satisfied);
+  EXPECT_TRUE(CheckProgression(lin, detector, subset, corpus).satisfied);
+}
+
+TEST(Progression, Example7McFailsUnderDeletions) {
+  const auto inst = MakeMcCounterexample();
+  const ViolationDetector detector(inst.schema, inst.sigma2);
+  SubsetRepairSystem subset;
+  MaxConsistentSubsetsMeasure mc;
+  const auto result = CheckProgression(mc, detector, subset, {inst.db});
+  EXPECT_FALSE(result.satisfied);
+  // The proof's claim: every deletion leaves I_MC at 1.
+  MaxConsistentSubsetsMeasure measure;
+  for (const FactId id : inst.db.ids()) {
+    Database next = inst.db;
+    next.Delete(id);
+    EXPECT_DOUBLE_EQ(measure.EvaluateFresh(detector, next), 1.0);
+  }
+}
+
+TEST(Progression, Example10MiFailsUnderUpdates) {
+  const auto inst = MakeUpdateProgressionExample10();
+  const ViolationDetector detector(inst.schema, inst.sigma);
+  UpdateRepairSystem updates;
+  MiCountMeasure mi;
+  ProblematicFactsMeasure ip;
+  MinimalViolationsMeasure mv;
+  // The two facts form ONE minimal inconsistent subset that violates BOTH
+  // FDs: I_MI (subset count) is 1, while the (F, sigma) violation count the
+  // example's prose refers to is 2.
+  EXPECT_DOUBLE_EQ(mi.EvaluateFresh(detector, inst.db), 1.0);
+  EXPECT_DOUBLE_EQ(mv.EvaluateFresh(detector, inst.db), 2.0);
+  EXPECT_FALSE(CheckProgression(mi, detector, updates, {inst.db}).satisfied);
+  EXPECT_FALSE(CheckProgression(ip, detector, updates, {inst.db}).satisfied);
+}
+
+TEST(Progression, Example11MinimalViolationsFailUnderUpdates) {
+  const auto inst = MakeUpdateProgressionExample11();
+  const ViolationDetector detector(inst.schema, inst.sigma);
+  UpdateRepairSystem updates;
+  MinimalViolationsMeasure mv;
+  // Four minimal violations of A -> B initially.
+  EXPECT_DOUBLE_EQ(mv.EvaluateFresh(detector, inst.db), 4.0);
+  const auto result = CheckProgression(mv, detector, updates, {inst.db});
+  EXPECT_FALSE(result.satisfied);
+}
+
+TEST(Progression, UpdateRepairMeasureSatisfiesUnderUpdates) {
+  // I_R under updates satisfies progression (Section 5.3): updating an
+  // attribute from the minimum repair always helps. Verified empirically
+  // on the Example 10/11 instances where the violation-counting measures
+  // fail.
+  UpdateRepairSystem updates;
+  UpdateRepairMeasure repair;
+  {
+    const auto inst = MakeUpdateProgressionExample10();
+    const ViolationDetector detector(inst.schema, inst.sigma);
+    EXPECT_TRUE(
+        CheckProgression(repair, detector, updates, {inst.db}).satisfied);
+  }
+  {
+    const auto inst = MakeUpdateProgressionExample11();
+    const ViolationDetector detector(inst.schema, inst.sigma);
+    EXPECT_TRUE(
+        CheckProgression(repair, detector, updates, {inst.db}).satisfied);
+  }
+}
+
+// ---- Continuity ----
+
+TEST(Continuity, Proposition4StarFamilyBlowsUpMiAndIp) {
+  // The ratio between the hub deletion's impact and the best impact on the
+  // post-deletion database grows linearly with n.
+  for (const size_t n : {4u, 8u}) {
+    const auto inst = MakeContinuityStarInstance(n);
+    const ViolationDetector detector(inst.schema, inst.sigma);
+    MiCountMeasure mi;
+    const double before = mi.EvaluateFresh(detector, inst.db);
+    EXPECT_DOUBLE_EQ(before, 2.0 * n);
+    Database without_hub = inst.db;
+    without_hub.Delete(inst.hub);
+    const double after = mi.EvaluateFresh(detector, without_hub);
+    EXPECT_DOUBLE_EQ(after, static_cast<double>(n));  // hub hit n pairs
+
+    SubsetRepairSystem subset;
+    const auto estimate =
+        EstimateContinuity(mi, detector, subset, {inst.db, without_hub});
+    EXPECT_GE(estimate.delta, static_cast<double>(n) - 1e-9)
+        << estimate.worst_case;
+  }
+}
+
+TEST(Continuity, MinRepairStaysBoundedOnStarFamily) {
+  const auto inst = MakeContinuityStarInstance(8);
+  const ViolationDetector detector(inst.schema, inst.sigma);
+  Database without_hub = inst.db;
+  without_hub.Delete(inst.hub);
+  SubsetRepairSystem subset;
+  MinRepairMeasure repair;
+  const auto estimate = EstimateContinuity(repair, detector, subset,
+                                           {inst.db, without_hub});
+  // Every deletion changes I_R by at most 1 (its cost): delta stays 1.
+  EXPECT_NEAR(estimate.delta, 1.0, 1e-9) << estimate.worst_case;
+  EXPECT_FALSE(estimate.unbounded_hint);
+}
+
+TEST(Continuity, LinRepairStaysBoundedOnStarFamily) {
+  const auto inst = MakeContinuityStarInstance(6);
+  const ViolationDetector detector(inst.schema, inst.sigma);
+  Database without_hub = inst.db;
+  without_hub.Delete(inst.hub);
+  SubsetRepairSystem subset;
+  LinRepairMeasure lin;
+  const auto estimate = EstimateContinuity(lin, detector, subset,
+                                           {inst.db, without_hub});
+  EXPECT_LE(estimate.delta, 2.0 + 1e-9) << estimate.worst_case;
+}
+
+// ---- Proposition 3 cross-checks ----
+
+TEST(Proposition3, ProgressionImpliesPositivityEmpirically) {
+  // For every measure and corpus where progression holds, positivity must
+  // hold as well (first implication of Proposition 3).
+  const auto example = MakeRunningExample();
+  const ViolationDetector detector(example.schema, example.dcs);
+  SubsetRepairSystem subset;
+  const auto corpus = RunningExampleCorpus();
+  for (const auto& measure : CreateMeasures()) {
+    const auto progression =
+        CheckProgression(*measure, detector, subset, corpus);
+    if (progression.satisfied && progression.cases_checked > 0) {
+      EXPECT_TRUE(CheckPositivity(*measure, detector, corpus).satisfied)
+          << measure->name();
+    }
+  }
+}
+
+// ---- Table 2 ground truth ----
+
+TEST(KnownTable, HasAllSevenMeasures) {
+  EXPECT_EQ(PaperTable2().size(), 7u);
+  for (const auto& measure : CreateMeasures()) {
+    EXPECT_TRUE(FindProfile(measure->name()).has_value()) << measure->name();
+  }
+  EXPECT_FALSE(FindProfile("nonsense").has_value());
+}
+
+TEST(KnownTable, RationalTractableRowIsLinR) {
+  const auto profile = FindProfile("I_lin_R");
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_TRUE(profile->positivity_dc && profile->monotonicity_dc &&
+              profile->continuity_dc && profile->progression_dc &&
+              profile->ptime_dc);
+}
+
+TEST(KnownTable, OnlyMinRepairAndLinRepairSatisfyEverythingForDcs) {
+  for (const auto& row : PaperTable2()) {
+    const bool all = row.positivity_dc && row.monotonicity_dc &&
+                     row.continuity_dc && row.progression_dc;
+    EXPECT_EQ(all, row.measure == "I_R" || row.measure == "I_lin_R")
+        << row.measure;
+  }
+}
+
+}  // namespace
+}  // namespace dbim

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "relational/operations.h"
+#include "relational/repair_system.h"
+#include "test_util.h"
+
+namespace dbim {
+namespace {
+
+std::shared_ptr<const Schema> AbSchema() {
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("R", {"A", "B"});
+  return schema;
+}
+
+Fact Ab(int64_t a, int64_t b) { return Fact(0, {Value(a), Value(b)}); }
+
+// ---- Schema ----
+
+TEST(Schema, AttributeLookup) {
+  Schema schema;
+  const RelationId r = schema.AddRelation("R", {"A", "B", "C"});
+  EXPECT_EQ(schema.relation(r).arity(), 3u);
+  EXPECT_EQ(schema.relation(r).FindAttribute("B"), AttrIndex{1});
+  EXPECT_FALSE(schema.relation(r).FindAttribute("Z").has_value());
+  EXPECT_EQ(schema.FindRelation("R"), r);
+  EXPECT_FALSE(schema.FindRelation("S").has_value());
+}
+
+TEST(Schema, MultipleRelations) {
+  Schema schema;
+  const RelationId r = schema.AddRelation("R", {"A"});
+  const RelationId s = schema.AddRelation("S", {"A", "B"});
+  EXPECT_NE(r, s);
+  EXPECT_EQ(schema.num_relations(), 2u);
+  EXPECT_EQ(schema.relation(s).name(), "S");
+}
+
+// ---- Database ----
+
+TEST(Database, InsertAssignsMinimalFreeId) {
+  Database db(AbSchema());
+  EXPECT_EQ(db.Insert(Ab(1, 1)), 0u);
+  EXPECT_EQ(db.Insert(Ab(2, 2)), 1u);
+  EXPECT_EQ(db.Insert(Ab(3, 3)), 2u);
+  db.Delete(1);
+  // The paper's convention: insertion reuses the minimal unused identifier.
+  EXPECT_EQ(db.Insert(Ab(4, 4)), 1u);
+  EXPECT_EQ(db.Insert(Ab(5, 5)), 3u);
+}
+
+TEST(Database, InsertWithIdAndGaps) {
+  Database db(AbSchema());
+  db.InsertWithId(5, Ab(1, 1));
+  EXPECT_TRUE(db.Contains(5));
+  EXPECT_EQ(db.size(), 1u);
+  // Ids 0..4 are free; minimal-id insertion fills them first.
+  EXPECT_EQ(db.Insert(Ab(2, 2)), 0u);
+}
+
+TEST(Database, DeleteRemovesFactAndCost) {
+  Database db(AbSchema());
+  const FactId id = db.Insert(Ab(1, 2));
+  db.set_deletion_cost(id, 5.0);
+  EXPECT_DOUBLE_EQ(db.deletion_cost(id), 5.0);
+  db.Delete(id);
+  EXPECT_FALSE(db.Contains(id));
+  const FactId id2 = db.Insert(Ab(1, 2));
+  EXPECT_EQ(id2, id);  // reused
+  EXPECT_DOUBLE_EQ(db.deletion_cost(id2), 1.0);  // cost did not leak
+}
+
+TEST(Database, UpdateValue) {
+  Database db(AbSchema());
+  const FactId id = db.Insert(Ab(1, 2));
+  db.UpdateValue(id, 1, Value(9));
+  EXPECT_EQ(db.fact(id).value(1), Value(9));
+}
+
+TEST(Database, SubsetRelation) {
+  Database big(AbSchema());
+  const FactId a = big.Insert(Ab(1, 1));
+  big.Insert(Ab(2, 2));
+  Database small = big.Restrict({a});
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  small.UpdateValue(a, 0, Value(99));
+  EXPECT_FALSE(small.IsSubsetOf(big));  // same id, different fact
+}
+
+TEST(Database, RestrictPreservesIdsAndCosts) {
+  Database db(AbSchema());
+  const FactId a = db.Insert(Ab(1, 1));
+  const FactId b = db.Insert(Ab(2, 2));
+  db.set_deletion_cost(b, 3.5);
+  const Database restricted = db.Restrict({b});
+  EXPECT_FALSE(restricted.Contains(a));
+  EXPECT_TRUE(restricted.Contains(b));
+  EXPECT_DOUBLE_EQ(restricted.deletion_cost(b), 3.5);
+}
+
+TEST(Database, ActiveDomainSortedDistinct) {
+  Database db(AbSchema());
+  db.Insert(Ab(3, 0));
+  db.Insert(Ab(1, 0));
+  db.Insert(Ab(3, 0));
+  const auto domain = db.ActiveDomain(0, 0);
+  ASSERT_EQ(domain.size(), 2u);
+  EXPECT_EQ(domain[0], Value(1));
+  EXPECT_EQ(domain[1], Value(3));
+}
+
+TEST(Database, EqualityComparesContent) {
+  Database a(AbSchema());
+  Database b(AbSchema());
+  a.Insert(Ab(1, 2));
+  b.Insert(Ab(1, 2));
+  EXPECT_EQ(a, b);
+  b.UpdateValue(0, 0, Value(9));
+  EXPECT_FALSE(a == b);
+}
+
+// ---- Operations ----
+
+TEST(Operations, DeletionAppliesAndIsIdempotentWhenMissing) {
+  Database db(AbSchema());
+  const FactId id = db.Insert(Ab(1, 2));
+  const RepairOperation del = RepairOperation::Deletion(id);
+  EXPECT_TRUE(del.IsApplicable(db));
+  Database after = del.Apply(db);
+  EXPECT_EQ(after.size(), 0u);
+  // Applying again: o(D) = D for inapplicable operations.
+  const Database again = del.Apply(after);
+  EXPECT_EQ(again, after);
+}
+
+TEST(Operations, InsertionUsesMinimalId) {
+  Database db(AbSchema());
+  db.Insert(Ab(1, 1));
+  const RepairOperation ins = RepairOperation::Insertion(Ab(2, 2));
+  const Database after = ins.Apply(db);
+  EXPECT_EQ(after.size(), 2u);
+  EXPECT_TRUE(after.Contains(1));
+}
+
+TEST(Operations, UpdateToSameValueIsNotApplicable) {
+  Database db(AbSchema());
+  const FactId id = db.Insert(Ab(1, 2));
+  // kappa(o, D) = 0 iff o(D) = D: a no-change update must not be a change.
+  EXPECT_FALSE(RepairOperation::Update(id, 0, Value(1)).IsApplicable(db));
+  EXPECT_TRUE(RepairOperation::Update(id, 0, Value(7)).IsApplicable(db));
+}
+
+// ---- Repair systems ----
+
+TEST(SubsetRepairSystem, EnumeratesAllDeletions) {
+  Database db(AbSchema());
+  db.Insert(Ab(1, 1));
+  db.Insert(Ab(2, 2));
+  SubsetRepairSystem system;
+  const auto ops = system.EnumerateOperations(db);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_TRUE(ops[0].is_deletion());
+}
+
+TEST(SubsetRepairSystem, CostUsesDeletionCosts) {
+  Database db(AbSchema());
+  const FactId id = db.Insert(Ab(1, 1));
+  db.set_deletion_cost(id, 4.0);
+  SubsetRepairSystem system;
+  EXPECT_DOUBLE_EQ(system.Cost(RepairOperation::Deletion(id), db), 4.0);
+  // Inapplicable => zero cost.
+  EXPECT_DOUBLE_EQ(system.Cost(RepairOperation::Deletion(77), db), 0.0);
+}
+
+TEST(UpdateRepairSystem, EnumeratesDomainPlusFreshValues) {
+  Database db(AbSchema());
+  db.Insert(Ab(1, 10));
+  db.Insert(Ab(2, 20));
+  UpdateRepairSystem system;
+  const auto ops = system.EnumerateOperations(db);
+  // Per fact and attribute: the other fact's value + one fresh = 2 ops,
+  // so 2 facts * 2 attrs * 2 = 8.
+  EXPECT_EQ(ops.size(), 8u);
+  for (const auto& op : ops) {
+    EXPECT_TRUE(op.is_update());
+    EXPECT_TRUE(op.IsApplicable(db));
+  }
+}
+
+TEST(RepairSystem, SequenceCostSumsStepCosts) {
+  Database db(AbSchema());
+  const FactId a = db.Insert(Ab(1, 1));
+  const FactId b = db.Insert(Ab(2, 2));
+  db.set_deletion_cost(a, 2.0);
+  db.set_deletion_cost(b, 3.0);
+  SubsetRepairSystem system;
+  Database work = db;
+  const double cost = system.ApplySequence(
+      {RepairOperation::Deletion(a), RepairOperation::Deletion(b),
+       RepairOperation::Deletion(a)},  // third op is a no-op
+      work);
+  EXPECT_DOUBLE_EQ(cost, 5.0);
+  EXPECT_EQ(work.size(), 0u);
+}
+
+TEST(RunningExample, UpdateSequenceFromExample3ReachesD1) {
+  // Example 3: D1 is obtained from D0 by four attribute updates.
+  const auto example = testing::MakeRunningExample();
+  const auto continent =
+      example.schema->relation(example.relation).FindAttribute("Continent");
+  const auto country =
+      example.schema->relation(example.relation).FindAttribute("Country");
+  Database work = example.d0;
+  UpdateRepairSystem system;
+  const double cost = system.ApplySequence(
+      {RepairOperation::Update(2, *continent, Value("Am")),
+       RepairOperation::Update(2, *country, Value("USA")),
+       RepairOperation::Update(4, *country, Value("USA")),
+       RepairOperation::Update(5, *continent, Value("Am"))},
+      work);
+  EXPECT_DOUBLE_EQ(cost, 4.0);
+  EXPECT_EQ(work, example.d1);
+}
+
+}  // namespace
+}  // namespace dbim

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/max_cut.h"
+#include "measures/repair_measures.h"
+#include "properties/constructions.h"
+#include "repair/egd_classifier.h"
+#include "repair/maxcut_reduction.h"
+#include "repair/update_repair.h"
+#include "test_util.h"
+#include "violations/detector.h"
+
+namespace dbim {
+namespace {
+
+// I_R via the general pipeline (detector + vertex cover / covering B&B),
+// used as the reference for cross-checking the polynomial algorithms.
+double ReferenceRepair(const BinaryAtomEgd& egd, const Database& db,
+                       std::shared_ptr<const Schema> schema) {
+  const ViolationDetector detector(std::move(schema),
+                                   {egd.ToDenialConstraint()});
+  MinRepairMeasure measure;
+  return measure.EvaluateFresh(detector, db);
+}
+
+// ---- Theorem 1 classification ----
+
+TEST(EgdClassifier, Example8Classification) {
+  const Example8Egds egds = MakeExample8Egds();
+  EXPECT_EQ(ClassifyEgd(egds.sigma1), EgdComplexity::kPolySameRelation);
+  EXPECT_EQ(ClassifyEgd(egds.sigma2), EgdComplexity::kNpHard);
+  EXPECT_EQ(ClassifyEgd(egds.sigma3), EgdComplexity::kNpHard);
+  EXPECT_EQ(ClassifyEgd(egds.sigma4), EgdComplexity::kPolyDifferentRelations);
+}
+
+TEST(EgdClassifier, PathPatternHardForEveryConclusion) {
+  auto schema = std::make_shared<Schema>();
+  const RelationId r = schema->AddRelation("R", {"A", "B"});
+  for (const auto& [lhs, rhs] : std::vector<std::pair<int, int>>{
+           {1, 2}, {1, 3}, {2, 3}}) {
+    const BinaryAtomEgd egd(r, r, {1, 2, 2, 3}, lhs, rhs);
+    EXPECT_EQ(ClassifyEgd(egd), EgdComplexity::kNpHard)
+        << DescribeEgdPattern(egd);
+  }
+}
+
+TEST(EgdClassifier, AtomOrderAndColumnFlipAreNormalized) {
+  auto schema = std::make_shared<Schema>();
+  const RelationId r = schema->AddRelation("R", {"A", "B"});
+  // R(y,z), R(x,y) => x=z is the path pattern with atoms swapped.
+  EXPECT_EQ(ClassifyEgd(BinaryAtomEgd(r, r, {2, 3, 1, 2}, 1, 3)),
+            EgdComplexity::kNpHard);
+  // R(y,x), R(z,y) => x=z is the path pattern with columns flipped.
+  EXPECT_EQ(ClassifyEgd(BinaryAtomEgd(r, r, {2, 1, 3, 2}, 1, 3)),
+            EgdComplexity::kNpHard);
+  // Shared-second-position FD (flip of shared-first) is tractable.
+  EXPECT_EQ(ClassifyEgd(BinaryAtomEgd(r, r, {1, 2, 3, 2}, 1, 3)),
+            EgdComplexity::kPolySameRelation);
+}
+
+TEST(EgdClassifier, WithinAtomRepetitionIsTractable) {
+  auto schema = std::make_shared<Schema>();
+  const RelationId r = schema->AddRelation("R", {"A", "B"});
+  // R(x,x), R(y,z) variants are never the hard pattern.
+  EXPECT_EQ(ClassifyEgd(BinaryAtomEgd(r, r, {1, 1, 2, 3}, 1, 2)),
+            EgdComplexity::kPolySameRelation);
+  EXPECT_EQ(ClassifyEgd(BinaryAtomEgd(r, r, {1, 1, 1, 2}, 1, 2)),
+            EgdComplexity::kPolySameRelation);
+  EXPECT_EQ(ClassifyEgd(BinaryAtomEgd(r, r, {1, 1, 2, 2}, 1, 2)),
+            EgdComplexity::kPolySameRelation);
+  EXPECT_EQ(ClassifyEgd(BinaryAtomEgd(r, r, {1, 2, 2, 1}, 1, 2)),
+            EgdComplexity::kPolySameRelation);
+}
+
+TEST(EgdClassifier, DescribePattern) {
+  const Example8Egds egds = MakeExample8Egds();
+  EXPECT_NE(DescribeEgdPattern(egds.sigma2).find("NP-hard"),
+            std::string::npos);
+  EXPECT_NE(DescribeEgdPattern(egds.sigma1).find("PTIME"), std::string::npos);
+}
+
+// ---- Tractable solvers vs reference B&B ----
+
+class TractableEgdSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TractableEgdSweep, PolynomialAlgorithmsMatchBranchAndBound) {
+  auto schema = std::make_shared<Schema>();
+  const RelationId r = schema->AddRelation("R", {"A", "B"});
+  Rng rng(GetParam() * 101 + 13);
+
+  // All tractable same-relation patterns with all valid conclusions.
+  std::vector<BinaryAtomEgd> egds;
+  auto add_all_conclusions = [&](std::array<int, 4> vars) {
+    std::vector<int> distinct;
+    for (const int v : vars) {
+      if (std::find(distinct.begin(), distinct.end(), v) == distinct.end()) {
+        distinct.push_back(v);
+      }
+    }
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      for (size_t j = i + 1; j < distinct.size(); ++j) {
+        const BinaryAtomEgd egd(r, r, vars, distinct[i], distinct[j]);
+        if (ClassifyEgd(egd) != EgdComplexity::kNpHard) egds.push_back(egd);
+      }
+    }
+  };
+  add_all_conclusions({1, 2, 3, 4});  // distinct
+  add_all_conclusions({1, 2, 1, 2});  // identical
+  add_all_conclusions({1, 2, 1, 3});  // shared first (FD-like)
+  add_all_conclusions({1, 2, 3, 2});  // shared second (flip)
+  add_all_conclusions({1, 2, 2, 1});  // reversed
+  add_all_conclusions({1, 1, 2, 3});  // diagonal first atom
+  add_all_conclusions({1, 1, 1, 2});  // diagonal, join on first
+  add_all_conclusions({1, 1, 2, 1});  // diagonal, join on second
+  add_all_conclusions({1, 1, 2, 2});  // both diagonal
+  add_all_conclusions({2, 3, 1, 1});  // diagonal second atom (swap)
+
+  // Small random database over a tiny domain to provoke collisions.
+  Database db(schema);
+  const size_t n = 4 + rng.UniformIndex(5);
+  for (size_t i = 0; i < n; ++i) {
+    db.Insert(Fact(r, {Value(rng.UniformInt(0, 3)),
+                       Value(rng.UniformInt(0, 3))}));
+  }
+
+  for (const BinaryAtomEgd& egd : egds) {
+    const auto fast = SolveTractableEgdRepair(egd, db);
+    ASSERT_TRUE(fast.has_value()) << DescribeEgdPattern(egd);
+    const double reference = ReferenceRepair(egd, db, schema);
+    EXPECT_NEAR(*fast, reference, 1e-7)
+        << DescribeEgdPattern(egd) << " on " << n << " facts";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatabases, TractableEgdSweep,
+                         ::testing::Range(1, 21));
+
+TEST(EgdSolver, DifferentRelationsBipartiteCut) {
+  const Example8Egds egds = MakeExample8Egds();
+  auto schema = egds.schema;
+  const RelationId r = *schema->FindRelation("R");
+  const RelationId s = *schema->FindRelation("S");
+  Database db(schema);
+  // sigma_4: R(x,y), S(y,z) => x = z. Violation: R(1,2), S(2,3).
+  db.Insert(Fact(r, {Value(1), Value(2)}));
+  db.Insert(Fact(s, {Value(2), Value(3)}));
+  db.Insert(Fact(s, {Value(2), Value(1)}));  // satisfies conclusion (x=1=z)
+  const auto fast = SolveTractableEgdRepair(egds.sigma4, db);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_NEAR(*fast, 1.0, 1e-9);
+  EXPECT_NEAR(*fast, ReferenceRepair(egds.sigma4, db, schema), 1e-9);
+}
+
+class DifferentRelationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentRelationSweep, MatchesReferenceWithWeights) {
+  const Example8Egds egds = MakeExample8Egds();
+  auto schema = egds.schema;
+  const RelationId r = *schema->FindRelation("R");
+  const RelationId s = *schema->FindRelation("S");
+  Rng rng(GetParam() * 57 + 3);
+  Database db(schema);
+  for (size_t i = 0; i < 6; ++i) {
+    const FactId id = db.Insert(Fact(
+        r, {Value(rng.UniformInt(0, 2)), Value(rng.UniformInt(0, 2))}));
+    db.set_deletion_cost(id, 1.0 + rng.UniformIndex(3));
+  }
+  for (size_t i = 0; i < 6; ++i) {
+    const FactId id = db.Insert(Fact(
+        s, {Value(rng.UniformInt(0, 2)), Value(rng.UniformInt(0, 2))}));
+    db.set_deletion_cost(id, 1.0 + rng.UniformIndex(3));
+  }
+  const auto fast = SolveTractableEgdRepair(egds.sigma4, db);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_NEAR(*fast, ReferenceRepair(egds.sigma4, db, schema), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatabases, DifferentRelationSweep,
+                         ::testing::Range(1, 16));
+
+TEST(EgdSolver, NpHardPatternReturnsNullopt) {
+  const Example8Egds egds = MakeExample8Egds();
+  Database db(egds.schema);
+  EXPECT_FALSE(SolveTractableEgdRepair(egds.sigma2, db).has_value());
+}
+
+// ---- MaxCut reduction (Theorem 1 hardness direction) ----
+
+class MaxCutReductionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxCutReductionSweep, RepairCostEncodesMaxCut) {
+  Rng rng(GetParam() * 7919 + 23);
+  const size_t n = 3 + rng.UniformIndex(3);
+  SimpleGraph g(n);
+  for (uint32_t a = 0; a < n; ++a) {
+    for (uint32_t b = a + 1; b < n; ++b) {
+      if (rng.Bernoulli(0.6)) g.AddEdge(a, b);
+    }
+  }
+  g.Normalize();
+  if (g.num_edges() == 0) return;
+
+  const MaxCutReduction reduction = BuildMaxCutReduction(g);
+  EXPECT_EQ(ClassifyEgd(reduction.egd), EgdComplexity::kNpHard);
+
+  const auto exact_cut = MaxCutExact(g);
+  const double expected = reduction.ExpectedRepairCost(exact_cut.cut_edges);
+  const ViolationDetector detector(
+      reduction.schema, {reduction.egd.ToDenialConstraint()});
+  MinRepairMeasure measure;
+  EXPECT_NEAR(measure.EvaluateFresh(detector, reduction.db), expected, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, MaxCutReductionSweep,
+                         ::testing::Range(1, 16));
+
+// ---- Update repairs ----
+
+TEST(UpdateRepair, RunningExampleTable1ValuesWithFrozenLhs) {
+  // Table 1: I_R (updates) = 4 on D1 and 3 on D2 — under the paper's
+  // implicit convention that repairs fix the dependent attributes. Freezing
+  // the FD left-hand side (Municipality) reproduces the table exactly.
+  const auto example = testing::MakeRunningExample();
+  const auto municipality = example.schema->relation(example.relation)
+                                .FindAttribute("Municipality");
+  UpdateRepairOptions options;
+  options.frozen_columns = {{example.relation, *municipality}};
+  EXPECT_EQ(MinUpdateRepair(example.d1, example.dcs, options), 4u);
+  EXPECT_EQ(MinUpdateRepair(example.d2, example.dcs, options), 3u);
+  EXPECT_EQ(MinUpdateRepair(example.d0, example.dcs, options), 0u);
+}
+
+TEST(UpdateRepair, UnrestrictedOptimumBeatsTable1) {
+  // Allowing updates on Municipality moves a fact out of the violating
+  // block: e.g. on D1, {f3.Municipality <- fresh, f4.Continent <- Am,
+  // f5.Country <- USA} reaches consistency in 3 updates (verified by the
+  // exhaustive search), one below the paper's Table 1 value. Documented in
+  // EXPERIMENTS.md as a deviation.
+  const auto example = testing::MakeRunningExample();
+  EXPECT_EQ(MinUpdateRepair(example.d1, example.dcs), 3u);
+  EXPECT_EQ(MinUpdateRepair(example.d2, example.dcs), 2u);
+  EXPECT_EQ(MinUpdateRepair(example.d0, example.dcs), 0u);
+}
+
+TEST(UpdateRepair, SingleCellFix) {
+  auto schema = std::make_shared<Schema>();
+  const RelationId r = schema->AddRelation("R", {"A", "B"});
+  Database db(schema);
+  db.Insert(Fact(r, {Value(1), Value(10)}));
+  db.Insert(Fact(r, {Value(1), Value(20)}));
+  const FunctionalDependency fd =
+      FunctionalDependency::Make(*schema, r, {"A"}, {"B"});
+  EXPECT_EQ(MinUpdateRepair(db, ToDenialConstraints({fd})), 1u);
+}
+
+TEST(UpdateRepair, Example10NeedsTwoUpdates) {
+  const auto example = MakeUpdateProgressionExample10();
+  EXPECT_EQ(MinUpdateRepair(example.db, example.sigma), 2u);
+}
+
+TEST(UpdateRepair, RespectsMaxUpdates) {
+  const auto example = testing::MakeRunningExample();
+  UpdateRepairOptions options;
+  options.max_updates = 2;
+  EXPECT_FALSE(MinUpdateRepair(example.d1, example.dcs, options).has_value());
+}
+
+TEST(UpdateRepair, UpdateRepairLowerBoundsDeletionRepairTimesArity) {
+  // Sanity relation: deleting a fact can be simulated by updating all its
+  // cells, so min-updates <= arity * min-deletions on these examples.
+  const auto example = testing::MakeRunningExample();
+  const ViolationDetector detector(example.schema, example.dcs);
+  MinRepairMeasure deletions;
+  const double del = deletions.EvaluateFresh(detector, example.d2);
+  const auto upd = MinUpdateRepair(example.d2, example.dcs);
+  ASSERT_TRUE(upd.has_value());
+  EXPECT_LE(static_cast<double>(*upd), del * 6.0);
+}
+
+}  // namespace
+}  // namespace dbim

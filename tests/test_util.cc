@@ -1,0 +1,30 @@
+#include "test_util.h"
+
+#include "common/rng.h"
+
+namespace dbim::testing {
+
+std::shared_ptr<const Schema> MakeAbcSchema() {
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("R", {"A", "B", "C"});
+  return schema;
+}
+
+Database MakeRandomDatabase(std::shared_ptr<const Schema> schema,
+                            RelationId relation, size_t num_facts,
+                            int64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  Database db(std::move(schema));
+  for (size_t i = 0; i < num_facts; ++i) {
+    std::vector<Value> values;
+    const size_t arity = db.schema().relation(relation).arity();
+    values.reserve(arity);
+    for (size_t a = 0; a < arity; ++a) {
+      values.emplace_back(rng.UniformInt(0, domain - 1));
+    }
+    db.Insert(Fact(relation, std::move(values)));
+  }
+  return db;
+}
+
+}  // namespace dbim::testing

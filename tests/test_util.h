@@ -1,0 +1,30 @@
+#ifndef DBIM_TESTS_TEST_UTIL_H_
+#define DBIM_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "constraints/dc.h"
+#include "constraints/fd.h"
+#include "datagen/running_example.h"
+#include "relational/database.h"
+#include "relational/schema.h"
+
+namespace dbim::testing {
+
+/// Re-exported from the library (datagen/running_example.h) for tests.
+using dbim::MakeRunningExample;
+using dbim::RunningExample;
+
+/// A small random database over R(A,B,C) with values in [0, domain), used
+/// by the parameterized property sweeps.
+Database MakeRandomDatabase(std::shared_ptr<const Schema> schema,
+                            RelationId relation, size_t num_facts,
+                            int64_t domain, uint64_t seed);
+
+/// Schema with a single relation R(A,B,C).
+std::shared_ptr<const Schema> MakeAbcSchema();
+
+}  // namespace dbim::testing
+
+#endif  // DBIM_TESTS_TEST_UTIL_H_

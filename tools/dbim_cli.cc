@@ -1,0 +1,219 @@
+// dbim — command-line inconsistency measurement for user data.
+//
+// Usage:
+//   dbim_cli --spec=constraints.dcs --data=facts.csv
+//            [--measures=I_d,I_MI,I_P,I_R,I_lin_R] [--mc]
+//            [--shapley=N] [--repair] [--export=clean.csv]
+//
+// The spec file declares one relation and its denial constraints:
+//
+//   # comments and blank lines are ignored
+//   relation Airport(Id, Type, Name, Continent, Country, Municipality)
+//   !(t.Country = t'.Country & t.Continent != t'.Continent)
+//   !(t.Municipality = t'.Municipality & t.Country != t'.Country)
+//
+// The data file is a CSV whose header matches the declared attributes
+// (values may use the typed `i:`/`d:`/`s:` tags of datagen/io.h; untagged
+// fields load as strings).
+//
+// Output: one line per requested measure; with --shapley=N the top-N
+// facts by I_MI Shapley blame; with --repair an optimal deletion repair;
+// with --export the repaired database is written back as CSV.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "constraints/parser.h"
+#include "datagen/io.h"
+#include "measures/registry.h"
+#include "measures/repair_measures.h"
+#include "measures/shapley.h"
+#include "violations/detector.h"
+
+namespace {
+
+using namespace dbim;
+
+struct Spec {
+  std::shared_ptr<Schema> schema;
+  RelationId relation = 0;
+  std::vector<DenialConstraint> constraints;
+};
+
+// Parses "relation Name(Attr1, Attr2, ...)".
+bool ParseRelationLine(const std::string& line, Spec* spec,
+                       std::string* error) {
+  const size_t open = line.find('(');
+  const size_t close = line.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    *error = "malformed relation declaration: " + line;
+    return false;
+  }
+  const std::string name(
+      Trim(line.substr(strlen("relation"), open - strlen("relation"))));
+  std::vector<std::string> attributes;
+  for (const std::string& piece :
+       Split(line.substr(open + 1, close - open - 1), ',')) {
+    attributes.emplace_back(Trim(piece));
+  }
+  if (name.empty() || attributes.empty()) {
+    *error = "relation needs a name and attributes: " + line;
+    return false;
+  }
+  spec->schema = std::make_shared<Schema>();
+  spec->relation = spec->schema->AddRelation(name, attributes);
+  return true;
+}
+
+bool LoadSpec(const std::string& path, Spec* spec, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open spec file " + path;
+    return false;
+  }
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string trimmed(Trim(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (StartsWith(trimmed, "relation")) {
+      if (!ParseRelationLine(trimmed, spec, error)) return false;
+      continue;
+    }
+    if (spec->schema == nullptr) {
+      *error = StrFormat("line %zu: constraint before relation declaration",
+                         line_number);
+      return false;
+    }
+    std::string parse_error;
+    auto dc = ParseDc(*spec->schema, spec->relation, trimmed, &parse_error);
+    if (!dc) {
+      *error = StrFormat("line %zu: %s", line_number, parse_error.c_str());
+      return false;
+    }
+    spec->constraints.push_back(std::move(*dc));
+  }
+  if (spec->schema == nullptr) {
+    *error = "spec has no relation declaration";
+    return false;
+  }
+  if (spec->constraints.empty()) {
+    *error = "spec has no constraints";
+    return false;
+  }
+  return true;
+}
+
+std::string FlagValue(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (StartsWith(argv[i], prefix)) return argv[i] + prefix.size();
+  }
+  return "";
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dbim_cli --spec=constraints.dcs --data=facts.csv\n"
+      "                [--measures=I_d,I_MI,...] [--mc] [--shapley=N]\n"
+      "                [--repair] [--export=out.csv]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string spec_path = FlagValue(argc, argv, "spec");
+  const std::string data_path = FlagValue(argc, argv, "data");
+  if (spec_path.empty() || data_path.empty()) return Usage();
+
+  Spec spec;
+  std::string error;
+  if (!LoadSpec(spec_path, &spec, &error)) {
+    std::fprintf(stderr, "spec error: %s\n", error.c_str());
+    return 1;
+  }
+  auto db = ReadDatabaseCsv(spec.schema, spec.relation, data_path, &error);
+  if (!db) {
+    std::fprintf(stderr, "data error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu facts, %zu constraints\n",
+              spec.schema->relation(spec.relation).name().c_str(), db->size(),
+              spec.constraints.size());
+
+  const ViolationDetector detector(spec.schema, spec.constraints);
+  MeasureContext context(detector, *db);
+  std::printf("minimal inconsistent subsets: %zu (violating-pair ratio "
+              "%.5f%%)\n",
+              context.violations().num_minimal_subsets(),
+              100.0 * context.violations().ViolatingPairRatio(db->size()));
+
+  RegistryOptions options;
+  options.include_mc = HasFlag(argc, argv, "mc");
+  options.repair_deadline_seconds = 30.0;
+  std::set<std::string> wanted;
+  for (const std::string& name :
+       Split(FlagValue(argc, argv, "measures"), ',')) {
+    if (!name.empty()) wanted.insert(name);
+  }
+  for (const auto& measure : CreateMeasures(options)) {
+    if (!wanted.empty() && wanted.count(measure->name()) == 0) continue;
+    std::printf("  %-8s = %g\n", measure->name().c_str(),
+                measure->Evaluate(context));
+  }
+
+  const std::string shapley_flag = FlagValue(argc, argv, "shapley");
+  if (!shapley_flag.empty()) {
+    const size_t top = std::strtoull(shapley_flag.c_str(), nullptr, 10);
+    auto shares = ShapleyMiValues(context);
+    std::sort(shares.begin(), shares.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::printf("top %zu facts by I_MI Shapley blame:\n", top);
+    for (size_t i = 0; i < std::min(top, shares.size()); ++i) {
+      if (shares[i].second <= 0.0) break;
+      std::printf("  #%-6u blame %-8g %s\n", shares[i].first,
+                  shares[i].second,
+                  db->fact(shares[i].first).ToString(*spec.schema).c_str());
+    }
+  }
+
+  if (HasFlag(argc, argv, "repair") ||
+      !FlagValue(argc, argv, "export").empty()) {
+    MinRepairMeasure repair;
+    const std::vector<FactId> to_delete = repair.OptimalRepair(context);
+    std::printf("optimal deletion repair: %zu facts\n", to_delete.size());
+    for (const FactId id : to_delete) {
+      std::printf("  delete #%u %s\n", id,
+                  db->fact(id).ToString(*spec.schema).c_str());
+    }
+    const std::string export_path = FlagValue(argc, argv, "export");
+    if (!export_path.empty()) {
+      Database repaired = *db;
+      for (const FactId id : to_delete) repaired.Delete(id);
+      if (!WriteDatabaseCsv(repaired, spec.relation, export_path)) {
+        std::fprintf(stderr, "cannot write %s\n", export_path.c_str());
+        return 1;
+      }
+      std::printf("wrote repaired database to %s\n", export_path.c_str());
+    }
+  }
+  return 0;
+}
