@@ -1,0 +1,112 @@
+#include "common/value_pool.h"
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dbim {
+
+size_t ValuePool::RepHashOf(const Value& v) {
+  const size_t seed =
+      (static_cast<size_t>(v.kind()) + 1) * 0x9e3779b97f4a7c15ull;
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      return seed;
+    case Value::Kind::kInt:
+      return seed ^ std::hash<int64_t>{}(v.as_int());
+    case Value::Kind::kDouble:
+      return seed ^ std::hash<double>{}(v.as_double());
+    case Value::Kind::kString:
+      return seed ^ std::hash<std::string>{}(v.as_string());
+  }
+  return seed;
+}
+
+bool ValuePool::RepEqual(const Value& a, const Value& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case Value::Kind::kNull:
+      return true;
+    case Value::Kind::kInt:
+      return a.as_int() == b.as_int();
+    case Value::Kind::kDouble:
+      return a.as_double() == b.as_double();
+    case Value::Kind::kString:
+      return a.as_string() == b.as_string();
+  }
+  return false;
+}
+
+ValuePool::ValuePool() {
+  const ValueId null_id = InternImpl(Value());
+  DBIM_CHECK(null_id == kNullValueId);
+}
+
+ValueId ValuePool::Intern(const Value& v) { return InternImpl(v); }
+
+ValueId ValuePool::Intern(Value&& v) { return InternImpl(std::move(v)); }
+
+ValueId ValuePool::InternImpl(Value v) {
+  const size_t rep_hash = RepHashOf(v);
+  std::vector<ValueId>& rep_bucket = index_[rep_hash];
+  for (const ValueId id : rep_bucket) {
+    if (RepEqual(values_[id], v)) return id;
+  }
+  DBIM_CHECK_MSG(values_.size() < UINT32_MAX, "value pool exhausted");
+  const ValueId id = static_cast<ValueId>(values_.size());
+  const size_t sem_hash = v.Hash();
+  // First representation of a semantic class becomes its representative.
+  ValueId class_id = id;
+  std::vector<ValueId>& class_bucket = class_index_[sem_hash];
+  bool found_class = false;
+  for (const ValueId rep : class_bucket) {
+    if (values_[rep] == v) {
+      class_id = rep;
+      found_class = true;
+      break;
+    }
+  }
+  if (!found_class) class_bucket.push_back(id);
+  rep_bucket.push_back(id);
+  values_.push_back(std::move(v));
+  hashes_.push_back(sem_hash);
+  classes_.push_back(class_id);
+  return id;
+}
+
+std::optional<ValueId> ValuePool::Find(const Value& v) const {
+  const auto it = index_.find(RepHashOf(v));
+  if (it == index_.end()) return std::nullopt;
+  for (const ValueId id : it->second) {
+    if (RepEqual(values_[id], v)) return id;
+  }
+  return std::nullopt;
+}
+
+std::optional<ValueId> ValuePool::FindClass(const Value& v) const {
+  const auto it = class_index_.find(v.Hash());
+  if (it == class_index_.end()) return std::nullopt;
+  for (const ValueId rep : it->second) {
+    if (values_[rep] == v) return rep;
+  }
+  return std::nullopt;
+}
+
+const Value& ValuePool::value(ValueId id) const {
+  DBIM_CHECK(id < values_.size());
+  return values_[id];
+}
+
+ValueId ValuePool::class_of(ValueId id) const {
+  DBIM_CHECK(id < classes_.size());
+  return classes_[id];
+}
+
+size_t ValuePool::hash(ValueId id) const {
+  DBIM_CHECK(id < hashes_.size());
+  return hashes_[id];
+}
+
+}  // namespace dbim

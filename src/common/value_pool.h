@@ -1,0 +1,88 @@
+#ifndef DBIM_COMMON_VALUE_POOL_H_
+#define DBIM_COMMON_VALUE_POOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+
+namespace dbim {
+
+/// Dense identifier of an interned value within a ValuePool.
+using ValueId = uint32_t;
+
+/// Id of the null value; every pool interns null at construction so columns
+/// can be default-initialized to a valid id.
+inline constexpr ValueId kNullValueId = 0;
+
+/// A dictionary that interns `Value`s into dense `ValueId`s.
+///
+/// Interning is by *exact representation* (kind + payload), so a cell read
+/// back through `value(id)` round-trips bit-for-bit — Value(2) and
+/// Value(2.0) get distinct ids and keep their kinds. On top of that the
+/// pool assigns every id a *semantic class*: ids whose canonical values
+/// compare equal under the paper's total order on `Val` (where 2 == 2.0)
+/// share one class id. `class_of(a) == class_of(b)` iff
+/// `value(a) == value(b)`, which makes value equality on the violation
+/// detector's hot probe path a single integer compare, and lets blocking
+/// hash `uint32_t` class ids instead of variant values. Ordered
+/// comparisons (`<`, `<=`, ...) go through `value(id)`, an array index.
+///
+/// The pool is append-only: ids and `const Value&` references stay valid
+/// for the pool's lifetime, so databases can be copied/restricted while
+/// sharing one pool. (Overwritten values are not reclaimed; sustained
+/// value churn grows the dictionary — see ROADMAP.) Not synchronized;
+/// share across threads only read-only.
+class ValuePool {
+ public:
+  ValuePool();
+
+  /// Returns the id of `v`, interning it if new.
+  ValueId Intern(const Value& v);
+  ValueId Intern(Value&& v);
+
+  /// The id of `v` if a value with `v`'s exact representation is interned.
+  std::optional<ValueId> Find(const Value& v) const;
+
+  /// The semantic class of `v` if any interned value compares equal to it
+  /// (e.g. FindClass(Value(2.0)) hits when Value(2) is interned).
+  std::optional<ValueId> FindClass(const Value& v) const;
+
+  /// Canonical value for an id (must be valid).
+  const Value& value(ValueId id) const;
+
+  /// Semantic class of an id: equal across ids iff the values are equal.
+  ValueId class_of(ValueId id) const;
+
+  /// Precomputed `Value::Hash()` of the canonical value (consistent with
+  /// semantic equality: values in one class hash alike).
+  size_t hash(ValueId id) const;
+
+  /// Number of distinct interned representations.
+  size_t size() const { return values_.size(); }
+
+ private:
+  // Representation-exact hash/equality for the interning index (the
+  // Value's own hash/== are semantic and would merge int/double).
+  static size_t RepHashOf(const Value& v);
+  static bool RepEqual(const Value& a, const Value& b);
+
+  ValueId InternImpl(Value v);
+
+  // Each value is stored exactly once, in values_; both indices bucket ids
+  // by hash and verify with the real equality against values_, so string
+  // payloads are not duplicated into map keys.
+  std::vector<Value> values_;     // id -> canonical value
+  std::vector<size_t> hashes_;    // id -> values_[id].Hash() (semantic)
+  std::vector<ValueId> classes_;  // id -> semantic class id
+  // Representation hash -> ids with that hash (verified with RepEqual).
+  std::unordered_map<size_t, std::vector<ValueId>> index_;
+  // Semantic hash -> class representatives (verified with Value::==).
+  std::unordered_map<size_t, std::vector<ValueId>> class_index_;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_COMMON_VALUE_POOL_H_

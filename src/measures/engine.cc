@@ -1,0 +1,58 @@
+#include "measures/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace dbim {
+
+const MeasureResult* BatchReport::Find(const std::string& name) const {
+  for (const MeasureResult& r : measures) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+MeasureEngine::MeasureEngine(std::shared_ptr<const Schema> schema,
+                             std::vector<DenialConstraint> constraints,
+                             MeasureEngineOptions options)
+    : detector_(std::move(schema), std::move(constraints), options.detector),
+      measures_(CreateMeasures(options.registry)),
+      options_(std::move(options)) {}
+
+bool MeasureEngine::Selected(const std::string& name) const {
+  if (options_.only.empty()) return true;
+  return std::find(options_.only.begin(), options_.only.end(), name) !=
+         options_.only.end();
+}
+
+BatchReport MeasureEngine::EvaluateAll(const Database& db) const {
+  BatchReport report;
+  MeasureContext context(detector_, db);
+  Timer detection;
+  const ViolationSet& violations = context.violations();
+  report.detection_seconds = detection.Seconds();
+  report.num_minimal_subsets = violations.num_minimal_subsets();
+  report.truncated = violations.truncated();
+  report.measures = Evaluate(context);
+  return report;
+}
+
+std::vector<MeasureResult> MeasureEngine::Evaluate(
+    MeasureContext& context) const {
+  std::vector<MeasureResult> results;
+  results.reserve(measures_.size());
+  for (const auto& measure : measures_) {
+    if (!Selected(measure->name())) continue;
+    MeasureResult r;
+    r.name = measure->name();
+    Timer timer;
+    r.value = measure->Evaluate(context);
+    r.seconds = timer.Seconds();
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace dbim

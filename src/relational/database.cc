@@ -1,14 +1,68 @@
 #include "relational/database.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 
 namespace dbim {
 
 Database::Database(std::shared_ptr<const Schema> schema)
-    : schema_(std::move(schema)) {
+    : schema_(std::move(schema)), pool_(std::make_shared<ValuePool>()) {
   DBIM_CHECK(schema_ != nullptr);
+  blocks_.resize(schema_->num_relations());
+  domain_counts_.resize(schema_->num_relations());
+  for (RelationId r = 0; r < schema_->num_relations(); ++r) {
+    const size_t arity = schema_->relation(r).arity();
+    blocks_[r].columns.resize(arity);
+    blocks_[r].class_columns.resize(arity);
+    domain_counts_[r].resize(arity);
+  }
+}
+
+Database::Database(const Database& other)
+    : schema_(other.schema_),
+      pool_(other.pool_),  // append-only, safely shared
+      blocks_(other.blocks_),
+      locators_(other.locators_),
+      free_ids_(other.free_ids_),
+      costs_(other.costs_),
+      domain_counts_(other.domain_counts_),
+      size_(other.size_) {}
+
+Database& Database::operator=(const Database& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  pool_ = other.pool_;
+  blocks_ = other.blocks_;
+  locators_ = other.locators_;
+  free_ids_ = other.free_ids_;
+  costs_ = other.costs_;
+  domain_counts_ = other.domain_counts_;
+  size_ = other.size_;
+  fact_cache_.clear();
+  return *this;
+}
+
+void Database::Emplace(FactId id, Fact fact) {
+  const RelationId rel = fact.relation();
+  DBIM_CHECK_MSG(rel < blocks_.size(), "unknown relation %u", rel);
+  RelationBlock& block = blocks_[rel];
+  DBIM_CHECK_MSG(fact.arity() == block.columns.size(),
+                 "fact arity %zu != relation arity %zu", fact.arity(),
+                 block.columns.size());
+  const uint32_t row = static_cast<uint32_t>(block.row_ids.size());
+  block.row_ids.push_back(id);
+  for (AttrIndex a = 0; a < block.columns.size(); ++a) {
+    const ValueId v = pool_->Intern(fact.value(a));
+    block.columns[a].push_back(v);
+    block.class_columns[a].push_back(pool_->class_of(v));
+    ++domain_counts_[rel][a][v];
+  }
+  if (id >= locators_.size()) locators_.resize(id + 1);
+  locators_[id] = Locator{rel, row, true};
+  if (id < fact_cache_.size() && fact_cache_[id]) fact_cache_[id].reset();
+  ++size_;
 }
 
 FactId Database::Insert(Fact fact) {
@@ -17,57 +71,115 @@ FactId Database::Insert(Fact fact) {
     id = *free_ids_.begin();
     free_ids_.erase(free_ids_.begin());
   } else {
-    id = static_cast<FactId>(slots_.size());
-    slots_.emplace_back();
+    id = static_cast<FactId>(locators_.size());
   }
-  DBIM_CHECK(!slots_[id].has_value());
-  slots_[id] = std::move(fact);
-  ++size_;
+  DBIM_CHECK(!Contains(id));
+  Emplace(id, std::move(fact));
   return id;
 }
 
 void Database::InsertWithId(FactId id, Fact fact) {
-  if (id >= slots_.size()) {
-    for (FactId i = static_cast<FactId>(slots_.size()); i < id; ++i) {
+  if (id >= locators_.size()) {
+    for (FactId i = static_cast<FactId>(locators_.size()); i < id; ++i) {
       free_ids_.insert(i);
     }
-    slots_.resize(id + 1);
   } else {
-    DBIM_CHECK_MSG(!slots_[id].has_value(), "id %u already in use", id);
+    DBIM_CHECK_MSG(!locators_[id].live, "id %u already in use", id);
     free_ids_.erase(id);
   }
-  slots_[id] = std::move(fact);
-  ++size_;
+  Emplace(id, std::move(fact));
 }
 
 void Database::Delete(FactId id) {
   DBIM_CHECK(Contains(id));
-  slots_[id].reset();
+  const Locator loc = locators_[id];
+  RelationBlock& block = blocks_[loc.relation];
+  const uint32_t last = static_cast<uint32_t>(block.row_ids.size()) - 1;
+  for (AttrIndex a = 0; a < block.columns.size(); ++a) {
+    auto& column = block.columns[a];
+    auto& class_column = block.class_columns[a];
+    auto& counts = domain_counts_[loc.relation][a];
+    const auto it = counts.find(column[loc.row]);
+    DBIM_CHECK(it != counts.end());
+    if (--it->second == 0) counts.erase(it);
+    column[loc.row] = column[last];
+    column.pop_back();
+    class_column[loc.row] = class_column[last];
+    class_column.pop_back();
+  }
+  if (loc.row != last) {
+    const FactId moved = block.row_ids[last];
+    block.row_ids[loc.row] = moved;
+    locators_[moved].row = loc.row;
+  }
+  block.row_ids.pop_back();
+  locators_[id].live = false;
   free_ids_.insert(id);
   costs_.erase(id);
+  if (id < fact_cache_.size()) fact_cache_[id].reset();
   --size_;
-}
-
-bool Database::Contains(FactId id) const {
-  return id < slots_.size() && slots_[id].has_value();
 }
 
 const Fact& Database::fact(FactId id) const {
   DBIM_CHECK(Contains(id));
-  return *slots_[id];
+  if (fact_cache_.size() < locators_.size()) {
+    fact_cache_.resize(locators_.size());
+  }
+  if (!fact_cache_[id]) {
+    const Locator& loc = locators_[id];
+    const RelationBlock& block = blocks_[loc.relation];
+    std::vector<Value> values;
+    values.reserve(block.columns.size());
+    for (AttrIndex a = 0; a < block.columns.size(); ++a) {
+      values.push_back(pool_->value(block.columns[a][loc.row]));
+    }
+    fact_cache_[id] =
+        std::make_unique<Fact>(loc.relation, std::move(values));
+  }
+  return *fact_cache_[id];
 }
 
 void Database::UpdateValue(FactId id, AttrIndex attr, Value v) {
   DBIM_CHECK(Contains(id));
-  slots_[id]->set_value(attr, std::move(v));
+  const Locator& loc = locators_[id];
+  RelationBlock& block = blocks_[loc.relation];
+  DBIM_CHECK(attr < block.columns.size());
+  const ValueId fresh = pool_->Intern(std::move(v));
+  ValueId& cell = block.columns[attr][loc.row];
+  block.class_columns[attr][loc.row] = pool_->class_of(fresh);
+  if (cell != fresh) {
+    auto& counts = domain_counts_[loc.relation][attr];
+    const auto it = counts.find(cell);
+    DBIM_CHECK(it != counts.end());
+    if (--it->second == 0) counts.erase(it);
+    ++counts[fresh];
+    cell = fresh;
+  }
+  // Update the materialized fact in place (rather than dropping it) so that
+  // outstanding `const Fact&` references observe the new value, matching the
+  // behavior of the previous row-major storage.
+  if (id < fact_cache_.size() && fact_cache_[id]) {
+    fact_cache_[id]->set_value(attr, pool_->value(blocks_[loc.relation]
+                                                      .columns[attr][loc.row]));
+  }
+}
+
+ValueId Database::value_id(FactId id, AttrIndex attr) const {
+  DBIM_CHECK(Contains(id));
+  const Locator& loc = locators_[id];
+  return blocks_[loc.relation].at(attr, loc.row);
+}
+
+const Database::RelationBlock& Database::relation_block(
+    RelationId relation) const {
+  DBIM_CHECK(relation < blocks_.size());
+  return blocks_[relation];
 }
 
 std::vector<FactId> Database::ids() const {
   std::vector<FactId> out;
   out.reserve(size_);
-  for (FactId i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].has_value()) out.push_back(i);
-  }
+  ForEachId([&out](FactId id) { out.push_back(id); });
   return out;
 }
 
@@ -83,32 +195,93 @@ void Database::set_deletion_cost(FactId id, double cost) {
   costs_[id] = cost;
 }
 
-bool Database::IsSubsetOf(const Database& other) const {
-  for (FactId i = 0; i < slots_.size(); ++i) {
-    if (!slots_[i].has_value()) continue;
-    if (!other.Contains(i) || other.fact(i) != *slots_[i]) return false;
+bool Database::RowsEqual(const Database& a, RelationId relation,
+                         uint32_t row_a, const Database& b, uint32_t row_b) {
+  const RelationBlock& block_a = a.blocks_[relation];
+  const RelationBlock& block_b = b.blocks_[relation];
+  // Different schemas can give the same RelationId different arities;
+  // facts of different arity are never equal.
+  if (block_a.columns.size() != block_b.columns.size()) return false;
+  if (a.pool_ == b.pool_) {
+    // Fact equality is Value equality, i.e. semantic-class equality.
+    for (AttrIndex attr = 0; attr < block_a.columns.size(); ++attr) {
+      if (block_a.class_columns[attr][row_a] !=
+          block_b.class_columns[attr][row_b]) {
+        return false;
+      }
+    }
+    return true;
+  }
+  for (AttrIndex attr = 0; attr < block_a.columns.size(); ++attr) {
+    if (a.pool_->value(block_a.columns[attr][row_a]) !=
+        b.pool_->value(block_b.columns[attr][row_b])) {
+      return false;
+    }
   }
   return true;
 }
 
+bool Database::IsSubsetOf(const Database& other) const {
+  for (FactId i = 0; i < locators_.size(); ++i) {
+    if (!locators_[i].live) continue;
+    if (!other.Contains(i)) return false;
+    const Locator& mine = locators_[i];
+    const Locator& theirs = other.locators_[i];
+    if (mine.relation != theirs.relation) return false;
+    if (!RowsEqual(*this, mine.relation, mine.row, other, theirs.row)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Database::EmplaceRow(FactId id, RelationId relation,
+                          const RelationBlock& source, uint32_t source_row) {
+  RelationBlock& block = blocks_[relation];
+  const uint32_t row = static_cast<uint32_t>(block.row_ids.size());
+  block.row_ids.push_back(id);
+  for (AttrIndex a = 0; a < block.columns.size(); ++a) {
+    const ValueId v = source.columns[a][source_row];
+    block.columns[a].push_back(v);
+    block.class_columns[a].push_back(source.class_columns[a][source_row]);
+    ++domain_counts_[relation][a][v];
+  }
+  if (id >= locators_.size()) locators_.resize(id + 1);
+  locators_[id] = Locator{relation, row, true};
+  ++size_;
+}
+
 Database Database::Restrict(const std::vector<FactId>& keep) const {
   Database out(schema_);
+  out.pool_ = pool_;  // rows below copy interned ids verbatim
   for (const FactId id : keep) {
-    out.InsertWithId(id, fact(id));
+    DBIM_CHECK(Contains(id));
+    DBIM_CHECK(!out.Contains(id));
+    const Locator& loc = locators_[id];
+    out.EmplaceRow(id, loc.relation, blocks_[loc.relation], loc.row);
     const auto it = costs_.find(id);
-    if (it != costs_.end()) out.set_deletion_cost(id, it->second);
+    if (it != costs_.end()) out.costs_[id] = it->second;
+  }
+  // Rebuild the free-id set so Insert on the restriction stays minimal.
+  for (FactId i = 0; i < out.locators_.size(); ++i) {
+    if (!out.locators_[i].live) out.free_ids_.insert(i);
   }
   return out;
 }
 
 std::vector<Value> Database::ActiveDomain(RelationId relation,
                                           AttrIndex attr) const {
+  DBIM_CHECK(relation < domain_counts_.size());
+  DBIM_CHECK(attr < domain_counts_[relation].size());
   std::vector<Value> values;
-  for (const auto& slot : slots_) {
-    if (!slot.has_value() || slot->relation() != relation) continue;
-    values.push_back(slot->value(attr));
+  values.reserve(domain_counts_[relation][attr].size());
+  for (const auto& [id, count] : domain_counts_[relation][attr]) {
+    (void)count;
+    values.push_back(pool_->value(id));
   }
   std::sort(values.begin(), values.end());
+  // Distinct representations can be semantically equal (Value(2) vs
+  // Value(2.0)); the active domain is a set of *values*, so dedupe.
   values.erase(std::unique(values.begin(), values.end()), values.end());
   return values;
 }

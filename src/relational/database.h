@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "common/value.h"
+#include "common/value_pool.h"
 #include "relational/fact.h"
 #include "relational/schema.h"
 
@@ -22,15 +22,51 @@ using FactId = uint32_t;
 /// are stable across deletions; insertion assigns the minimal unused
 /// identifier, matching the paper's convention for the insertion operation.
 ///
+/// Storage is dictionary-encoded and columnar: every cell value is interned
+/// into a shared ValuePool and each relation keeps a struct-of-arrays of
+/// ValueId columns (one `std::vector<ValueId>` per attribute). Row-major
+/// `Fact`s are materialized on demand by `fact(id)` and cached until the
+/// fact mutates; the hot paths (violation detection, restriction, equality)
+/// run directly on the interned columns. Copies and restrictions share the
+/// (append-only) pool, so their cells remain id-comparable.
+///
 /// Each fact optionally carries a deletion cost (the paper's special `cost`
 /// attribute for the subset repair system); facts without one have unit
 /// cost.
 class Database {
  public:
+  /// All live facts of one relation in struct-of-arrays layout. Row order
+  /// is insertion order, perturbed by swap-removal on Delete; `row_ids`
+  /// maps each row back to its stable FactId. Each cell is stored twice:
+  /// its representation-exact ValueId (`columns`, what fact() materializes
+  /// from) and its semantic class id (`class_columns`, what the violation
+  /// detector hashes and compares — equal class iff equal value).
+  struct RelationBlock {
+    std::vector<FactId> row_ids;                // row -> fact id
+    std::vector<std::vector<ValueId>> columns;  // [attr][row], exact
+    std::vector<std::vector<ValueId>> class_columns;  // [attr][row]
+
+    size_t num_rows() const { return row_ids.size(); }
+    ValueId at(AttrIndex attr, size_t row) const { return columns[attr][row]; }
+    ValueId class_at(AttrIndex attr, size_t row) const {
+      return class_columns[attr][row];
+    }
+  };
+
   explicit Database(std::shared_ptr<const Schema> schema);
+
+  Database(const Database& other);
+  Database& operator=(const Database& other);
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
 
   const Schema& schema() const { return *schema_; }
   std::shared_ptr<const Schema> schema_ptr() const { return schema_; }
+
+  /// The value dictionary backing this database (shared by copies and
+  /// restrictions).
+  const ValuePool& pool() const { return *pool_; }
+  const std::shared_ptr<ValuePool>& pool_ptr() const { return pool_; }
 
   /// Number of facts.
   size_t size() const { return size_; }
@@ -45,16 +81,38 @@ class Database {
   /// Removes a fact (must exist).
   void Delete(FactId id);
 
-  bool Contains(FactId id) const;
+  bool Contains(FactId id) const {
+    return id < locators_.size() && locators_[id].live;
+  }
 
-  /// The fact mapped to `id` (must exist). The paper's `D[i]`.
+  /// The fact mapped to `id` (must exist). The paper's `D[i]`. Materialized
+  /// from the columns on first use and cached; the reference stays valid
+  /// until the fact is deleted, and observes in-place UpdateValue calls.
   const Fact& fact(FactId id) const;
 
   /// In-place attribute update `D[i].A <- c` (must exist).
   void UpdateValue(FactId id, AttrIndex attr, Value v);
 
-  /// All live identifiers in increasing order.
+  /// Interned cell value (must exist). Ids are representation-exact; for
+  /// databases sharing a pool, `pool().class_of(x) == pool().class_of(y)`
+  /// iff the cell values are equal.
+  ValueId value_id(FactId id, AttrIndex attr) const;
+
+  /// Columnar view of one relation's live facts (for detection hot paths).
+  const RelationBlock& relation_block(RelationId relation) const;
+
+  /// All live identifiers in increasing order. Materializes a vector; hot
+  /// loops should prefer ForEachId or relation_block.
   std::vector<FactId> ids() const;
+
+  /// Calls `fn(FactId)` for every live identifier in increasing order
+  /// without materializing a vector.
+  template <typename Fn>
+  void ForEachId(Fn&& fn) const {
+    for (FactId i = 0; i < locators_.size(); ++i) {
+      if (locators_[i].live) fn(i);
+    }
+  }
 
   /// Deletion cost of a fact: its explicit cost if set, otherwise 1.
   double deletion_cost(FactId id) const;
@@ -64,23 +122,51 @@ class Database {
   bool IsSubsetOf(const Database& other) const;
 
   /// Restriction of this database to the given identifiers (which must all
-  /// exist). Preserves identifiers and costs.
+  /// exist). Preserves identifiers and costs; shares the value pool.
   Database Restrict(const std::vector<FactId>& keep) const;
 
   /// Distinct values appearing in column (relation, attr), sorted. This is
-  /// the active domain used by the noise generators and update repairs.
+  /// the active domain used by the noise generators and update repairs; it
+  /// reads the per-column distinct-id counts, not the rows.
   std::vector<Value> ActiveDomain(RelationId relation, AttrIndex attr) const;
 
   friend bool operator==(const Database& a, const Database& b);
 
  private:
+  struct Locator {
+    RelationId relation = 0;
+    uint32_t row = 0;
+    bool live = false;
+  };
+
+  /// Shared insert path: interns `fact`'s values into a new row of its
+  /// relation's block and points locators_[id] at it.
+  void Emplace(FactId id, Fact fact);
+
+  /// Raw insert of pre-interned ids (same pool only; used by Restrict).
+  void EmplaceRow(FactId id, RelationId relation,
+                  const RelationBlock& source, uint32_t source_row);
+
+  /// Rows (relation, row_a) of `a` and (relation, row_b) of `b` hold equal
+  /// facts. Compares ids when the pools are shared, values otherwise.
+  static bool RowsEqual(const Database& a, RelationId relation, uint32_t row_a,
+                        const Database& b, uint32_t row_b);
+
   std::shared_ptr<const Schema> schema_;
-  // Slot i holds the fact with id i, or nullopt if id i is unused. Unused
-  // slots below slots_.size() are also tracked in free_ids_ so that Insert
-  // can find the minimal unused id in O(log n).
-  std::vector<std::optional<Fact>> slots_;
+  std::shared_ptr<ValuePool> pool_;
+  std::vector<RelationBlock> blocks_;  // indexed by RelationId
+  std::vector<Locator> locators_;      // indexed by FactId
+  // Unused ids below locators_.size(), so Insert finds the minimal unused
+  // id in O(log n).
   std::set<FactId> free_ids_;
   std::unordered_map<FactId, double> costs_;
+  // Per [relation][attr]: refcount of each distinct ValueId in the column,
+  // maintained on insert/delete/update, backing ActiveDomain.
+  std::vector<std::vector<std::unordered_map<ValueId, uint32_t>>>
+      domain_counts_;
+  // Lazily materialized row-major facts; entry reset on mutation. Not part
+  // of logical state (copies start empty).
+  mutable std::vector<std::unique_ptr<Fact>> fact_cache_;
   size_t size_ = 0;
 };
 

@@ -1,45 +1,124 @@
 #include "violations/detector.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "common/value_pool.h"
 
 namespace dbim {
 
 namespace {
 
-// Facts of one relation, in id order.
-struct RelationIndex {
-  std::vector<FactId> ids;
-  std::vector<const Fact*> facts;
+// A tuple-variable binding: one row of one relation's column block. The
+// whole detection pipeline runs on interned semantic-class ids (equal
+// class iff equal value); row-major Facts are never materialized. Ordered
+// comparisons read the class representative from the pool — semantically
+// equal to the cell's exact value, so the total order is unaffected.
+struct RowRef {
+  const Database::RelationBlock* block = nullptr;
+  uint32_t row = 0;
+
+  ValueId class_at(AttrIndex attr) const {
+    return block->class_columns[attr][row];
+  }
+  FactId fact_id() const { return block->row_ids[row]; }
 };
 
-std::vector<RelationIndex> BuildIndices(const Database& db) {
-  std::vector<RelationIndex> idx(db.schema().num_relations());
-  for (const FactId id : db.ids()) {
-    const Fact& f = db.fact(id);
-    idx[f.relation()].ids.push_back(id);
-    idx[f.relation()].facts.push_back(&f);
+// Per-predicate evaluation plan, resolved once per (constraint, database)
+// at the top of Detect: equality-type comparisons against a constant are
+// pre-interned into the pool's class space so the per-row check is an
+// integer compare (or a foregone conclusion when no value in the pool
+// equals the constant).
+struct PredicatePlan {
+  bool const_eq = false;  // rhs is a constant and op is kEq/kNe
+  bool const_present = false;
+  ValueId const_class = 0;
+};
+using DcPlan = std::vector<PredicatePlan>;
+
+DcPlan PlanPredicates(const DenialConstraint& dc, const ValuePool& pool) {
+  DcPlan plan(dc.predicates().size());
+  for (size_t i = 0; i < dc.predicates().size(); ++i) {
+    const Predicate& p = dc.predicates()[i];
+    if (!p.rhs_is_constant()) continue;
+    if (p.op() != CompareOp::kEq && p.op() != CompareOp::kNe) continue;
+    plan[i].const_eq = true;
+    const std::optional<ValueId> cls = pool.FindClass(p.rhs_constant());
+    plan[i].const_present = cls.has_value();
+    if (cls.has_value()) plan[i].const_class = *cls;
   }
-  return idx;
+  return plan;
 }
 
-uint64_t HashValues(const Fact& f, const std::vector<AttrIndex>& attrs) {
+// Evaluates one predicate on interned rows. Interning is by exact
+// representation, but every id carries a semantic class with
+// class_of(a) == class_of(b) iff value(a) == value(b) — so equality-type
+// operators resolve with integer compares and never touch a Value. Ordered
+// operators short-circuit on equal classes and otherwise compare the
+// pool's canonical values (an array index, no hashing).
+bool EvalPredicateInterned(const Predicate& p, const PredicatePlan& plan,
+                           const RowRef* assignment, const ValuePool& pool) {
+  const ValueId lhs = assignment[p.lhs().var].class_at(p.lhs().attr);
+  if (p.rhs_is_constant()) {
+    if (plan.const_eq) {
+      if (!plan.const_present) return p.op() == CompareOp::kNe;
+      const bool equal = lhs == plan.const_class;
+      return p.op() == CompareOp::kEq ? equal : !equal;
+    }
+    return EvalCompare(p.op(), pool.value(lhs), p.rhs_constant());
+  }
+  const ValueId rhs =
+      assignment[p.rhs_operand().var].class_at(p.rhs_operand().attr);
+  const bool same_class = lhs == rhs;
+  switch (p.op()) {
+    case CompareOp::kEq:
+      return same_class;
+    case CompareOp::kNe:
+      return !same_class;
+    case CompareOp::kLe:
+    case CompareOp::kGe:
+      if (same_class) return true;
+      break;
+    case CompareOp::kLt:
+    case CompareOp::kGt:
+      if (same_class) return false;
+      break;
+  }
+  return EvalCompare(p.op(), pool.value(lhs), pool.value(rhs));
+}
+
+bool BodyHoldsInterned(const DenialConstraint& dc, const DcPlan& plan,
+                       const RowRef* assignment, const ValuePool& pool) {
+  for (size_t i = 0; i < dc.predicates().size(); ++i) {
+    if (!EvalPredicateInterned(dc.predicates()[i], plan[i], assignment,
+                               pool)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// FNV-1a over the semantic class ids of the blocking-key attributes. Equal
+// key tuples have equal class ids, so hashing the two uint32 class ids
+// partitions exactly like hashing the underlying values — without a single
+// Value::Hash call.
+uint64_t HashKeyIds(const RowRef& r, const std::vector<AttrIndex>& attrs) {
   uint64_t h = 1469598103934665603ull;
   for (const AttrIndex a : attrs) {
-    h ^= f.value(a).Hash();
+    h ^= r.class_at(a);
     h *= 1099511628211ull;
   }
   return h;
 }
 
-bool ValuesEqual(const Fact& a, const std::vector<AttrIndex>& attrs_a,
-                 const Fact& b, const std::vector<AttrIndex>& attrs_b) {
+bool KeyIdsEqual(const RowRef& a, const std::vector<AttrIndex>& attrs_a,
+                 const RowRef& b, const std::vector<AttrIndex>& attrs_b) {
   for (size_t i = 0; i < attrs_a.size(); ++i) {
-    if (a.value(attrs_a[i]) != b.value(attrs_b[i])) return false;
+    if (a.class_at(attrs_a[i]) != b.class_at(attrs_b[i])) return false;
   }
   return true;
 }
@@ -89,6 +168,50 @@ struct DetectionState {
   }
 };
 
+// Enumerates all support sets of witnesses of a k-variable DC (k >= 3),
+// allowing repeated facts across variables. Candidates are minimality-
+// filtered by the caller.
+void EnumerateKAry(const DenialConstraint& dc, const DcPlan& plan,
+                   const Database& db, std::vector<RowRef>& assignment,
+                   std::vector<FactId>& chosen_ids, size_t var,
+                   std::vector<std::vector<FactId>>& candidates,
+                   DetectionState& state) {
+  if (state.stop) return;
+  const ValuePool& pool = db.pool();
+  if (var == dc.num_vars()) {
+    if (!BodyHoldsInterned(dc, plan, assignment.data(), pool)) return;
+    std::vector<FactId> support = chosen_ids;
+    std::sort(support.begin(), support.end());
+    support.erase(std::unique(support.begin(), support.end()), support.end());
+    candidates.push_back(std::move(support));
+    if (state.deadline.Expired()) {
+      state.result.set_truncated(true);
+      state.stop = true;
+    }
+    return;
+  }
+  const Database::RelationBlock& rel =
+      db.relation_block(dc.var_relation(static_cast<uint32_t>(var)));
+  for (uint32_t i = 0; i < rel.num_rows() && !state.stop; ++i) {
+    assignment[var] = RowRef{&rel, i};
+    chosen_ids[var] = rel.row_ids[i];
+    // Prune: predicates fully assigned so far must hold.
+    bool viable = true;
+    for (size_t pi = 0; pi < dc.predicates().size(); ++pi) {
+      const Predicate& p = dc.predicates()[pi];
+      const uint32_t needed = p.MaxVar();
+      if (needed != var) continue;  // checked earlier or later
+      if (!EvalPredicateInterned(p, plan[pi], assignment.data(), pool)) {
+        viable = false;
+        break;
+      }
+    }
+    if (!viable) continue;
+    EnumerateKAry(dc, plan, db, assignment, chosen_ids, var + 1, candidates,
+                  state);
+  }
+}
+
 }  // namespace
 
 ViolationDetector::ViolationDetector(std::shared_ptr<const Schema> schema,
@@ -100,66 +223,17 @@ ViolationDetector::ViolationDetector(std::shared_ptr<const Schema> schema,
   DBIM_CHECK(schema_ != nullptr);
 }
 
-namespace {
-
-// Enumerates all support sets of witnesses of a k-variable DC (k >= 3),
-// allowing repeated facts across variables. Candidates are minimality-
-// filtered by the caller.
-void EnumerateKAry(const DenialConstraint& dc,
-                   const std::vector<RelationIndex>& idx,
-                   std::vector<const Fact*>& assignment,
-                   std::vector<FactId>& chosen_ids, size_t var,
-                   std::vector<std::vector<FactId>>& candidates,
-                   DetectionState& state) {
-  if (state.stop) return;
-  if (var == dc.num_vars()) {
-    if (!dc.BodyHolds(assignment)) return;
-    std::vector<FactId> support = chosen_ids;
-    std::sort(support.begin(), support.end());
-    support.erase(std::unique(support.begin(), support.end()), support.end());
-    candidates.push_back(std::move(support));
-    if (state.deadline.Expired()) {
-      state.result.set_truncated(true);
-      state.stop = true;
-    }
-    return;
-  }
-  const RelationIndex& rel = idx[dc.var_relation(static_cast<uint32_t>(var))];
-  for (size_t i = 0; i < rel.ids.size() && !state.stop; ++i) {
-    assignment[var] = rel.facts[i];
-    chosen_ids[var] = rel.ids[i];
-    // Prune: predicates fully assigned so far must hold.
-    bool viable = true;
-    for (const Predicate& p : dc.predicates()) {
-      const uint32_t needed = p.MaxVar();
-      if (needed != var) continue;  // checked earlier or later
-      const Value& lhs = assignment[p.lhs().var]->value(p.lhs().attr);
-      const Value& rhs =
-          p.rhs_is_constant()
-              ? p.rhs_constant()
-              : assignment[p.rhs_operand().var]->value(p.rhs_operand().attr);
-      if (!EvalCompare(p.op(), lhs, rhs)) {
-        viable = false;
-        break;
-      }
-    }
-    if (!viable) continue;
-    EnumerateKAry(dc, idx, assignment, chosen_ids, var + 1, candidates,
-                  state);
-  }
-}
-
-}  // namespace
-
-ViolationSet ViolationDetector::FindViolations(const Database& db) const {
+ViolationSet ViolationDetector::Detect(const Database& db,
+                                       const DetectorOptions& options) const {
   DetectionState state;
-  state.options = &options_;
-  state.deadline = Deadline(options_.deadline_seconds);
+  state.options = &options;
+  state.deadline = Deadline(options.deadline_seconds);
 
-  const std::vector<RelationIndex> idx = BuildIndices(db);
+  const ValuePool& pool = db.pool();
 
   // Pass 1: self-inconsistent facts. These are the singleton minimal
   // subsets, and they disqualify any larger subset containing them.
+  std::vector<RowRef> self_assignment;
   for (const DenialConstraint& dc : constraints_) {
     if (dc.TriviallyNotUnary()) continue;
     const RelationId rel0 = dc.var_relation(0);
@@ -168,9 +242,12 @@ ViolationSet ViolationDetector::FindViolations(const Database& db) const {
       if (r != rel0) single_relation = false;
     }
     if (!single_relation) continue;
-    for (size_t i = 0; i < idx[rel0].ids.size(); ++i) {
-      if (dc.MakesSelfInconsistent(*idx[rel0].facts[i])) {
-        state.self_inconsistent.insert(idx[rel0].ids[i]);
+    const DcPlan plan = PlanPredicates(dc, pool);
+    const Database::RelationBlock& block = db.relation_block(rel0);
+    for (uint32_t i = 0; i < block.num_rows(); ++i) {
+      self_assignment.assign(dc.num_vars(), RowRef{&block, i});
+      if (BodyHoldsInterned(dc, plan, self_assignment.data(), pool)) {
+        state.self_inconsistent.insert(block.row_ids[i]);
       }
     }
   }
@@ -185,28 +262,31 @@ ViolationSet ViolationDetector::FindViolations(const Database& db) const {
   for (const DenialConstraint& dc : constraints_) {
     if (state.stop) break;
     if (dc.num_vars() == 1) continue;  // covered by pass 1
+    const DcPlan plan = PlanPredicates(dc, pool);
     if (dc.num_vars() >= 3) {
-      std::vector<const Fact*> assignment(dc.num_vars(), nullptr);
+      std::vector<RowRef> assignment(dc.num_vars());
       std::vector<FactId> chosen(dc.num_vars(), 0);
-      EnumerateKAry(dc, idx, assignment, chosen, 0, kary_candidates, state);
+      EnumerateKAry(dc, plan, db, assignment, chosen, 0, kary_candidates,
+                    state);
       continue;
     }
-    const RelationIndex& r0 = idx[dc.var_relation(0)];
-    const RelationIndex& r1 = idx[dc.var_relation(1)];
+    const Database::RelationBlock& r0 = db.relation_block(dc.var_relation(0));
+    const Database::RelationBlock& r1 = db.relation_block(dc.var_relation(1));
     // Symmetric bodies (e.g. FD-style DCs) match both orders of a pair; the
     // per-constraint dedup keeps the (F, sigma) minimal-violation count
     // honest.
     std::unordered_set<uint64_t> seen_pairs;
-    auto consider = [&](size_t i, size_t j) {
+    auto consider = [&](uint32_t i, uint32_t j) {
       // i indexes r0 (variable t), j indexes r1 (variable t').
-      const FactId a = r0.ids[i];
-      const FactId b = r1.ids[j];
+      const FactId a = r0.row_ids[i];
+      const FactId b = r1.row_ids[j];
       if (a == b && dc.var_relation(0) == dc.var_relation(1)) return;
       if (state.self_inconsistent.count(a) > 0 ||
           state.self_inconsistent.count(b) > 0) {
         return;
       }
-      if (!dc.BodyHolds(*r0.facts[i], *r1.facts[j])) return;
+      const RowRef assignment[2] = {RowRef{&r0, i}, RowRef{&r1, j}};
+      if (!BodyHoldsInterned(dc, plan, assignment, pool)) return;
       const uint64_t key =
           (static_cast<uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
       if (!seen_pairs.insert(key).second) return;
@@ -216,18 +296,21 @@ ViolationSet ViolationDetector::FindViolations(const Database& db) const {
     };
 
     const BlockingKeys keys = ExtractBlockingKeys(dc);
-    if (options_.use_blocking && !keys.empty()) {
-      // Hash var-1 side, probe with var-0 side.
-      std::unordered_map<uint64_t, std::vector<size_t>> buckets;
-      buckets.reserve(r1.ids.size());
-      for (size_t j = 0; j < r1.ids.size(); ++j) {
-        buckets[HashValues(*r1.facts[j], keys.var1)].push_back(j);
+    if (options.use_blocking && !keys.empty()) {
+      // Hash var-1 side, probe with var-0 side. Bucket keys are FNV mixes
+      // of interned ids; bucket membership is verified with id compares, so
+      // the whole probe path is free of Value hashing and comparison.
+      std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+      buckets.reserve(r1.num_rows());
+      for (uint32_t j = 0; j < r1.num_rows(); ++j) {
+        buckets[HashKeyIds(RowRef{&r1, j}, keys.var1)].push_back(j);
       }
-      for (size_t i = 0; i < r0.ids.size() && !state.stop; ++i) {
-        const auto it = buckets.find(HashValues(*r0.facts[i], keys.var0));
+      for (uint32_t i = 0; i < r0.num_rows() && !state.stop; ++i) {
+        const RowRef probe{&r0, i};
+        const auto it = buckets.find(HashKeyIds(probe, keys.var0));
         if (it == buckets.end()) continue;
-        for (const size_t j : it->second) {
-          if (!ValuesEqual(*r0.facts[i], keys.var0, *r1.facts[j], keys.var1)) {
+        for (const uint32_t j : it->second) {
+          if (!KeyIdsEqual(probe, keys.var0, RowRef{&r1, j}, keys.var1)) {
             continue;  // hash collision
           }
           consider(i, j);
@@ -235,8 +318,8 @@ ViolationSet ViolationDetector::FindViolations(const Database& db) const {
         }
       }
     } else {
-      for (size_t i = 0; i < r0.ids.size() && !state.stop; ++i) {
-        for (size_t j = 0; j < r1.ids.size(); ++j) {
+      for (uint32_t i = 0; i < r0.num_rows() && !state.stop; ++i) {
+        for (uint32_t j = 0; j < r1.num_rows(); ++j) {
           consider(i, j);
           if (state.stop) break;
         }
@@ -293,11 +376,16 @@ ViolationSet ViolationDetector::FindViolations(const Database& db) const {
   return std::move(state.result);
 }
 
+ViolationSet ViolationDetector::FindViolations(const Database& db) const {
+  return Detect(db, options_);
+}
+
 bool ViolationDetector::Satisfies(const Database& db) const {
+  // Early exit on the first witness; runs the shared detection pipeline
+  // directly instead of copying the constraint set into a probe detector.
   DetectorOptions fast = options_;
   fast.max_subsets = 1;
-  ViolationDetector probe(schema_, constraints_, fast);
-  return probe.FindViolations(db).empty();
+  return Detect(db, fast).empty();
 }
 
 ViolationSet ViolationDetector::FindViolationsInvolving(const Database& db,

@@ -53,6 +53,11 @@ class ViolationDetector {
   ViolationSet FindViolationsInvolving(const Database& db, FactId id) const;
 
  private:
+  /// Shared detection pipeline; `options` may differ from options_ (e.g.
+  /// Satisfies caps max_subsets at 1 without copying the constraint set
+  /// into a throwaway probe detector).
+  ViolationSet Detect(const Database& db, const DetectorOptions& options) const;
+
   std::shared_ptr<const Schema> schema_;
   std::vector<DenialConstraint> constraints_;
   DetectorOptions options_;

@@ -1,0 +1,382 @@
+// Tests for the interned-value columnar storage engine: ValuePool
+// semantics, equivalence of the columnar Database with a row-major
+// reference model under randomized operation sequences, randomized
+// blocking/nested-loop detector parity, and MeasureEngine batch
+// evaluation.
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/value_pool.h"
+#include "constraints/fd.h"
+#include "measures/engine.h"
+#include "relational/database.h"
+#include "test_util.h"
+#include "violations/detector.h"
+
+namespace dbim {
+namespace {
+
+using dbim::testing::MakeAbcSchema;
+using dbim::testing::MakeRandomDatabase;
+using dbim::testing::MakeRunningExample;
+
+// ---- ValuePool ----
+
+TEST(ValuePool, InternsDistinctValuesToDistinctIds) {
+  ValuePool pool;
+  const ValueId a = pool.Intern(Value(1));
+  const ValueId b = pool.Intern(Value("x"));
+  const ValueId c = pool.Intern(Value(2.5));
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(pool.Intern(Value(1)), a);
+  EXPECT_EQ(pool.Intern(Value("x")), b);
+  EXPECT_EQ(pool.value(a), Value(1));
+  EXPECT_EQ(pool.value(b), Value("x"));
+}
+
+TEST(ValuePool, NullIsPreInterned) {
+  ValuePool pool;
+  EXPECT_EQ(pool.Intern(Value()), kNullValueId);
+  EXPECT_TRUE(pool.value(kNullValueId).is_null());
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ValuePool, ClassEqualityMatchesValueEquality) {
+  // Value(2) == Value(2.0): distinct representations (ids round-trip the
+  // kind exactly) but one semantic class — class comparison is what makes
+  // integer compares a sound equality test in the detector.
+  ValuePool pool;
+  const ValueId i = pool.Intern(Value(2));
+  const ValueId d = pool.Intern(Value(2.0));
+  EXPECT_NE(i, d);
+  EXPECT_EQ(pool.class_of(i), pool.class_of(d));
+  EXPECT_EQ(pool.value(i).kind(), Value::Kind::kInt);
+  EXPECT_EQ(pool.value(d).kind(), Value::Kind::kDouble);
+  const ValueId other = pool.Intern(Value(3));
+  EXPECT_NE(pool.class_of(i), pool.class_of(other));
+  ASSERT_TRUE(pool.FindClass(Value(2.0)).has_value());
+  EXPECT_EQ(*pool.FindClass(Value(2.0)), pool.class_of(i));
+  EXPECT_FALSE(pool.FindClass(Value(99)).has_value());
+}
+
+TEST(ValuePool, HashMatchesValueHash) {
+  ValuePool pool;
+  for (const Value& v :
+       {Value(7), Value(-1.25), Value("hello"), Value(), Value("")}) {
+    const ValueId id = pool.Intern(v);
+    EXPECT_EQ(pool.hash(id), v.Hash());
+  }
+}
+
+TEST(ValuePool, FindDoesNotIntern) {
+  ValuePool pool;
+  EXPECT_FALSE(pool.Find(Value(42)).has_value());
+  const size_t before = pool.size();
+  EXPECT_EQ(pool.size(), before);
+  const ValueId id = pool.Intern(Value(42));
+  ASSERT_TRUE(pool.Find(Value(42)).has_value());
+  EXPECT_EQ(*pool.Find(Value(42)), id);
+}
+
+// ---- Columnar database vs row-major reference model ----
+
+// A trivially correct reference implementation of the Database contract.
+struct ReferenceModel {
+  std::map<FactId, Fact> facts;
+
+  FactId Insert(const Fact& f) {
+    FactId id = 0;
+    while (facts.count(id) > 0) ++id;
+    facts.emplace(id, f);
+    return id;
+  }
+  void Delete(FactId id) { facts.erase(id); }
+  void UpdateValue(FactId id, AttrIndex attr, const Value& v) {
+    facts.at(id).set_value(attr, v);
+  }
+  std::vector<Value> ActiveDomain(RelationId rel, AttrIndex attr) const {
+    std::vector<Value> out;
+    for (const auto& [id, f] : facts) {
+      if (f.relation() != rel) continue;
+      out.push_back(f.value(attr));
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+};
+
+void ExpectMatchesModel(const Database& db, const ReferenceModel& model,
+                        RelationId relation) {
+  ASSERT_EQ(db.size(), model.facts.size());
+  std::vector<FactId> expected_ids;
+  for (const auto& [id, f] : model.facts) expected_ids.push_back(id);
+  EXPECT_EQ(db.ids(), expected_ids);
+  for (const auto& [id, f] : model.facts) {
+    ASSERT_TRUE(db.Contains(id));
+    EXPECT_EQ(db.fact(id), f) << "fact " << id;
+    for (AttrIndex a = 0; a < f.arity(); ++a) {
+      // value_id round-trips through the pool to the same value.
+      EXPECT_EQ(db.pool().value(db.value_id(id, a)), f.value(a));
+    }
+  }
+  const size_t arity = db.schema().relation(relation).arity();
+  for (AttrIndex a = 0; a < arity; ++a) {
+    EXPECT_EQ(db.ActiveDomain(relation, a), model.ActiveDomain(relation, a))
+        << "active domain of attr " << a;
+  }
+  // The columnar blocks cover exactly the live facts.
+  const auto& block = db.relation_block(relation);
+  EXPECT_EQ(block.num_rows(), model.facts.size());
+  for (uint32_t row = 0; row < block.num_rows(); ++row) {
+    const FactId id = block.row_ids[row];
+    ASSERT_TRUE(model.facts.count(id) > 0);
+    for (AttrIndex a = 0; a < arity; ++a) {
+      EXPECT_EQ(db.pool().value(block.at(a, row)),
+                model.facts.at(id).value(a));
+    }
+  }
+}
+
+TEST(ColumnarDatabase, RandomizedOperationEquivalence) {
+  const auto schema = MakeAbcSchema();
+  const RelationId r = 0;
+  Rng rng(2024);
+  Database db(schema);
+  ReferenceModel model;
+  std::vector<FactId> live;
+
+  auto random_fact = [&]() {
+    std::vector<Value> values;
+    for (int a = 0; a < 3; ++a) {
+      if (rng.Bernoulli(0.2)) {
+        values.emplace_back("s" + std::to_string(rng.UniformInt(0, 5)));
+      } else {
+        values.emplace_back(rng.UniformInt(0, 9));
+      }
+    }
+    return Fact(r, std::move(values));
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    const double dice = rng.UniformDouble();
+    if (dice < 0.45 || live.empty()) {
+      const Fact f = random_fact();
+      const FactId id = db.Insert(f);
+      EXPECT_EQ(id, model.Insert(f));  // minimal-unused-id convention
+      live.push_back(id);
+    } else if (dice < 0.65) {
+      const size_t pick = rng.UniformIndex(live.size());
+      const FactId id = live[pick];
+      db.Delete(id);
+      model.Delete(id);
+      live.erase(live.begin() + pick);
+    } else {
+      const FactId id = live[rng.UniformIndex(live.size())];
+      const AttrIndex attr = static_cast<AttrIndex>(rng.UniformInt(0, 2));
+      const Value v = Value(rng.UniformInt(0, 9));
+      db.UpdateValue(id, attr, v);
+      model.UpdateValue(id, attr, v);
+    }
+    if (step % 37 == 0) ExpectMatchesModel(db, model, r);
+  }
+  ExpectMatchesModel(db, model, r);
+
+  // Restrict to a random subset, preserving ids and values.
+  std::vector<FactId> keep;
+  for (const FactId id : live) {
+    if (rng.Bernoulli(0.5)) keep.push_back(id);
+  }
+  std::sort(keep.begin(), keep.end());
+  const Database restricted = db.Restrict(keep);
+  ReferenceModel restricted_model;
+  for (const FactId id : keep) {
+    restricted_model.facts.emplace(id, model.facts.at(id));
+  }
+  ExpectMatchesModel(restricted, restricted_model, r);
+  EXPECT_TRUE(restricted.IsSubsetOf(db));
+}
+
+TEST(ColumnarDatabase, FactReferenceObservesInPlaceUpdate) {
+  const auto schema = MakeAbcSchema();
+  Database db(schema);
+  const FactId id = db.Insert(Fact(0, {Value(1), Value(2), Value(3)}));
+  const Fact& ref = db.fact(id);
+  EXPECT_EQ(ref.value(1), Value(2));
+  db.UpdateValue(id, 1, Value(99));
+  // The previously materialized reference stays valid and reflects the
+  // update, matching the old row-major storage semantics.
+  EXPECT_EQ(ref.value(1), Value(99));
+}
+
+TEST(ColumnarDatabase, PreservesValueKindsThroughInterning) {
+  // A numerically equal int and double elsewhere in the database must not
+  // change a cell's observed representation (CSV round-trips and typed
+  // noise depend on the kind).
+  const auto schema = MakeAbcSchema();
+  Database db(schema);
+  const FactId a = db.Insert(Fact(0, {Value(5.0), Value(1), Value(1)}));
+  const FactId b = db.Insert(Fact(0, {Value(5), Value(2), Value(2)}));
+  EXPECT_EQ(db.fact(a).value(0).kind(), Value::Kind::kDouble);
+  EXPECT_EQ(db.fact(b).value(0).kind(), Value::Kind::kInt);
+  // ...while the active domain treats them as one value.
+  EXPECT_EQ(db.ActiveDomain(0, 0).size(), 1u);
+}
+
+TEST(ColumnarDatabase, EqualityAcrossSchemasWithDifferentArity) {
+  auto narrow = std::make_shared<Schema>();
+  narrow->AddRelation("R", {"A"});
+  auto wide = std::make_shared<Schema>();
+  wide->AddRelation("R", {"A", "B"});
+  Database a(narrow);
+  Database b(wide);
+  a.Insert(Fact(0, {Value(1)}));
+  b.Insert(Fact(0, {Value(1), Value(2)}));
+  EXPECT_FALSE(a == b);  // same ids, different arity: never equal
+  EXPECT_FALSE(a.IsSubsetOf(b));
+}
+
+TEST(ColumnarDatabase, CopiesShareThePoolAndCompareById) {
+  Database db = MakeRandomDatabase(MakeAbcSchema(), 0, 50, 6, 7);
+  const Database copy = db;
+  EXPECT_EQ(copy.pool_ptr().get(), db.pool_ptr().get());
+  EXPECT_TRUE(copy == db);
+  db.UpdateValue(db.ids().front(), 0, Value(12345));
+  EXPECT_FALSE(copy == db);
+}
+
+TEST(ColumnarDatabase, EqualityAcrossIndependentPools) {
+  // Databases built separately (disjoint pools, different interning order)
+  // must still compare by value.
+  const auto schema = MakeAbcSchema();
+  Database a(schema);
+  Database b(schema);
+  a.Insert(Fact(0, {Value(1), Value("x"), Value(2.0)}));
+  b.Insert(Fact(0, {Value(1), Value("x"), Value(2)}));  // 2 == 2.0
+  EXPECT_TRUE(a == b);
+  b.UpdateValue(0, 1, Value("y"));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ColumnarDatabase, RestrictPreservesDeletionCosts) {
+  Database db = MakeRandomDatabase(MakeAbcSchema(), 0, 10, 4, 11);
+  db.set_deletion_cost(3, 2.5);
+  const Database restricted = db.Restrict({1, 3, 7});
+  EXPECT_DOUBLE_EQ(restricted.deletion_cost(3), 2.5);
+  EXPECT_DOUBLE_EQ(restricted.deletion_cost(1), 1.0);
+}
+
+// ---- Randomized blocking / nested-loop parity ----
+
+std::vector<std::vector<FactId>> SortedSubsets(const ViolationSet& v) {
+  std::vector<std::vector<FactId>> out = v.minimal_subsets();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(DetectorParity, RandomizedBlockingMatchesNestedLoop) {
+  const auto schema = MakeAbcSchema();
+  const RelationId r = 0;
+  // An FD-style DC (pure hash blocking), a mixed equality/order DC, and a
+  // constant predicate: covers blocked and residual-predicate paths.
+  std::vector<DenialConstraint> dcs;
+  dcs.push_back(DcBuilder(*schema, r)
+                    .Cross("A", CompareOp::kEq, "A")
+                    .Cross("B", CompareOp::kNe, "B")
+                    .BuildBinary());
+  dcs.push_back(DcBuilder(*schema, r)
+                    .Cross("B", CompareOp::kEq, "B")
+                    .Cross("C", CompareOp::kLt, "C")
+                    .Const(0, "A", CompareOp::kGe, Value(2))
+                    .BuildBinary());
+
+  DetectorOptions no_blocking;
+  no_blocking.use_blocking = false;
+  const ViolationDetector blocked(schema, dcs);
+  const ViolationDetector nested(schema, dcs, no_blocking);
+
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Database db = MakeRandomDatabase(schema, r, 60, 5, seed);
+    // Churn the database so column rows are swap-permuted relative to ids.
+    Rng rng(seed * 31);
+    for (int i = 0; i < 15; ++i) {
+      const auto ids = db.ids();
+      db.Delete(ids[rng.UniformIndex(ids.size())]);
+    }
+    const ViolationSet a = blocked.FindViolations(db);
+    const ViolationSet b = nested.FindViolations(db);
+    EXPECT_EQ(SortedSubsets(a), SortedSubsets(b)) << "seed " << seed;
+    EXPECT_EQ(a.num_minimal_violations(), b.num_minimal_violations())
+        << "seed " << seed;
+    EXPECT_EQ(blocked.Satisfies(db), a.empty()) << "seed " << seed;
+  }
+}
+
+TEST(DetectorParity, RunningExampleMatchesAcrossStrategies) {
+  const auto example = MakeRunningExample();
+  DetectorOptions no_blocking;
+  no_blocking.use_blocking = false;
+  const ViolationDetector blocked(example.schema, example.dcs);
+  const ViolationDetector nested(example.schema, example.dcs, no_blocking);
+  for (const Database* db : {&example.d0, &example.d1, &example.d2}) {
+    EXPECT_EQ(SortedSubsets(blocked.FindViolations(*db)),
+              SortedSubsets(nested.FindViolations(*db)));
+  }
+}
+
+// ---- MeasureEngine ----
+
+TEST(MeasureEngine, MatchesPerMeasureFreshEvaluation) {
+  const auto example = MakeRunningExample();
+  MeasureEngineOptions options;
+  options.registry.include_mc = true;
+  const MeasureEngine engine(example.schema, example.dcs, options);
+  const BatchReport report = engine.EvaluateAll(example.d2);
+
+  const ViolationDetector detector(example.schema, example.dcs);
+  const auto measures = CreateMeasures(options.registry);
+  ASSERT_EQ(report.measures.size(), measures.size());
+  for (size_t i = 0; i < measures.size(); ++i) {
+    EXPECT_EQ(report.measures[i].name, measures[i]->name());
+    EXPECT_DOUBLE_EQ(report.measures[i].value,
+                     measures[i]->EvaluateFresh(detector, example.d2))
+        << measures[i]->name();
+  }
+  EXPECT_FALSE(report.truncated);
+  EXPECT_GT(report.num_minimal_subsets, 0u);
+  ASSERT_NE(report.Find("I_MI"), nullptr);
+  EXPECT_DOUBLE_EQ(report.Find("I_MI")->value,
+                   static_cast<double>(report.num_minimal_subsets));
+  EXPECT_EQ(report.Find("no_such_measure"), nullptr);
+}
+
+TEST(MeasureEngine, OnlyFilterSelectsMeasures) {
+  const auto example = MakeRunningExample();
+  MeasureEngineOptions options;
+  options.only = {"I_MI", "I_d"};
+  const MeasureEngine engine(example.schema, example.dcs, options);
+  const BatchReport report = engine.EvaluateAll(example.d1);
+  ASSERT_EQ(report.measures.size(), 2u);
+  EXPECT_EQ(report.measures[0].name, "I_d");
+  EXPECT_EQ(report.measures[1].name, "I_MI");
+}
+
+TEST(MeasureEngine, ConsistentDatabaseScoresZeroEverywhere) {
+  const auto example = MakeRunningExample();
+  const MeasureEngine engine(example.schema, example.dcs);
+  const BatchReport report = engine.EvaluateAll(example.d0);
+  EXPECT_EQ(report.num_minimal_subsets, 0u);
+  for (const MeasureResult& r : report.measures) {
+    EXPECT_DOUBLE_EQ(r.value, 0.0) << r.name;
+  }
+}
+
+}  // namespace
+}  // namespace dbim

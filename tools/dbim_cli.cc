@@ -24,14 +24,13 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "common/string_util.h"
 #include "constraints/parser.h"
 #include "datagen/io.h"
-#include "measures/registry.h"
+#include "measures/engine.h"
 #include "measures/repair_measures.h"
 #include "measures/shapley.h"
 #include "violations/detector.h"
@@ -159,25 +158,25 @@ int main(int argc, char** argv) {
               spec.schema->relation(spec.relation).name().c_str(), db->size(),
               spec.constraints.size());
 
-  const ViolationDetector detector(spec.schema, spec.constraints);
-  MeasureContext context(detector, *db);
+  // One engine, one shared context: violation detection — the dominating
+  // cost — runs once, and the measure loop, Shapley ranking, and repair all
+  // reuse it.
+  MeasureEngineOptions options;
+  options.registry.include_mc = HasFlag(argc, argv, "mc");
+  options.registry.repair_deadline_seconds = 30.0;
+  for (const std::string& name :
+       Split(FlagValue(argc, argv, "measures"), ',')) {
+    if (!name.empty()) options.only.push_back(name);
+  }
+  const MeasureEngine engine(spec.schema, spec.constraints, options);
+  MeasureContext context(engine.detector(), *db);
   std::printf("minimal inconsistent subsets: %zu (violating-pair ratio "
               "%.5f%%)\n",
               context.violations().num_minimal_subsets(),
               100.0 * context.violations().ViolatingPairRatio(db->size()));
 
-  RegistryOptions options;
-  options.include_mc = HasFlag(argc, argv, "mc");
-  options.repair_deadline_seconds = 30.0;
-  std::set<std::string> wanted;
-  for (const std::string& name :
-       Split(FlagValue(argc, argv, "measures"), ',')) {
-    if (!name.empty()) wanted.insert(name);
-  }
-  for (const auto& measure : CreateMeasures(options)) {
-    if (!wanted.empty() && wanted.count(measure->name()) == 0) continue;
-    std::printf("  %-8s = %g\n", measure->name().c_str(),
-                measure->Evaluate(context));
+  for (const MeasureResult& result : engine.Evaluate(context)) {
+    std::printf("  %-8s = %g\n", result.name.c_str(), result.value);
   }
 
   const std::string shapley_flag = FlagValue(argc, argv, "shapley");
