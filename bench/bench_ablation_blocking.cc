@@ -17,8 +17,8 @@ int Run(const BenchArgs& args) {
               "Violation detection seconds per dataset, hash blocking\n"
               "enabled vs disabled (plain nested loop).");
 
-  TablePrinter table({"dataset", "#tuples", "#subsets", "blocked (s)",
-                      "nested loop (s)", "speedup"});
+  TablePrinter table({"dataset", "#tuples", "threads", "#subsets",
+                      "blocked (s)", "nested loop (s)", "speedup"});
   Rng rng(args.seed);
   for (const DatasetId id : AllDatasets()) {
     const size_t n = args.SampleSize(1200, 10000);
@@ -30,8 +30,10 @@ int Run(const BenchArgs& args) {
 
     DetectorOptions blocked_options;
     blocked_options.use_blocking = true;
+    blocked_options.num_threads = args.threads;
     DetectorOptions nested_options;
     nested_options.use_blocking = false;
+    nested_options.num_threads = args.threads;
     const ViolationDetector blocked(dataset.schema, dataset.constraints,
                                     blocked_options);
     const ViolationDetector nested(dataset.schema, dataset.constraints,
@@ -51,6 +53,7 @@ int Run(const BenchArgs& args) {
       return 1;
     }
     table.AddRow({DatasetName(id), std::to_string(n),
+                  std::to_string(args.threads),
                   std::to_string(blocked_result.num_minimal_subsets()),
                   TablePrinter::Num(blocked_seconds, 4),
                   TablePrinter::Num(nested_seconds, 4),

@@ -21,6 +21,7 @@ int Run(const BenchArgs& args) {
   // I_R's branch & bound gets expensive on dense high-error conflict
   // graphs; past the deadline it reports its incumbent (an upper bound).
   options.registry.repair_deadline_seconds = 30.0;
+  options.detector.num_threads = args.threads;
 
   std::vector<size_t> sizes;
   if (args.full) {
@@ -45,14 +46,14 @@ int Run(const BenchArgs& args) {
 
   // The header comes from the reports themselves so columns can never
   // drift from the engine's measure selection.
-  std::vector<std::string> header = {"#tuples", "detect"};
+  std::vector<std::string> header = {"#tuples", "threads", "detect"};
   for (const MeasureResult& r : reports.front().measures) {
     header.push_back(r.name);
   }
   TablePrinter table(header);
   for (size_t s = 0; s < sizes.size(); ++s) {
     std::vector<std::string> row = {
-        std::to_string(sizes[s]),
+        std::to_string(sizes[s]), std::to_string(args.threads),
         TablePrinter::Num(reports[s].detection_seconds, 3)};
     for (const MeasureResult& r : reports[s].measures) {
       row.push_back(TablePrinter::Num(r.seconds, 3));

@@ -28,6 +28,7 @@ int Run(const BenchArgs& args) {
   // I_R's branch & bound gets expensive on dense high-error conflict
   // graphs; past the deadline it reports its incumbent (an upper bound).
   options.registry.repair_deadline_seconds = 10.0;
+  options.detector.num_threads = args.threads;
 
   struct DatasetRow {
     std::string name;
@@ -53,7 +54,8 @@ int Run(const BenchArgs& args) {
 
   // The header comes from the reports themselves so columns can never
   // drift from the engine's measure selection.
-  std::vector<std::string> header = {"dataset", "#tuples", "detect"};
+  std::vector<std::string> header = {"dataset", "#tuples", "threads",
+                                     "detect"};
   for (const MeasureResult& r : rows.front().report.measures) {
     header.push_back(r.name);
   }
@@ -61,6 +63,7 @@ int Run(const BenchArgs& args) {
   for (const DatasetRow& entry : rows) {
     std::vector<std::string> row = {
         entry.name, std::to_string(entry.tuples),
+        std::to_string(args.threads),
         TablePrinter::Num(entry.report.detection_seconds, 3)};
     for (const MeasureResult& r : entry.report.measures) {
       row.push_back(TablePrinter::Num(r.seconds, 3));

@@ -24,10 +24,13 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.out_dir = arg.substr(6);
     } else if (StartsWith(arg, "--seed=")) {
       args.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (StartsWith(arg, "--threads=")) {
+      args.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "flags: --full --scale=X --csv --out=DIR --seed=N\n"
-          "  --full uses the paper's sizes; default is a reduced scale\n");
+          "flags: --full --scale=X --csv --out=DIR --seed=N --threads=N\n"
+          "  --full uses the paper's sizes; default is a reduced scale\n"
+          "  --threads sets detector worker threads (0 = hardware)\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());

@@ -23,12 +23,14 @@ namespace dbim::bench {
 ///   --csv           also write the series as CSV under --out
 ///   --out=DIR       CSV directory (default bench/out relative to cwd)
 ///   --seed=N        RNG seed (default 42)
+///   --threads=N     detector worker threads (default 1; 0 = hardware)
 struct BenchArgs {
   bool full = false;
   double scale = 1.0;
   bool csv = false;
   std::string out_dir = "bench_out";
   uint64_t seed = 42;
+  size_t threads = 1;
 
   static BenchArgs Parse(int argc, char** argv);
 

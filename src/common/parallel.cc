@@ -1,0 +1,182 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dbim {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  EnsureWorkers(num_workers);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DBIM_CHECK(!shutting_down_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::EnsureWorkers(size_t num_workers) {
+  num_workers = std::min(num_workers, kMaxWorkers);
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (workers_.size() < num_workers) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+size_t ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Never destroyed: worker threads must outlive every static whose
+  // destructor might still submit work during process teardown.
+  static ThreadPool* pool = new ThreadPool(0);
+  return *pool;
+}
+
+size_t ThreadPool::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::vector<IndexRange> SplitRange(size_t n, size_t max_chunks,
+                                   size_t min_chunk) {
+  std::vector<IndexRange> chunks;
+  if (n == 0) return chunks;
+  max_chunks = std::max<size_t>(max_chunks, 1);
+  min_chunk = std::max<size_t>(min_chunk, 1);
+  const size_t num_chunks =
+      std::min(max_chunks, std::max<size_t>(n / min_chunk, 1));
+  chunks.reserve(num_chunks);
+  const size_t base = n / num_chunks;
+  const size_t extra = n % num_chunks;  // first `extra` chunks get one more
+  size_t begin = 0;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t len = base + (c < extra ? 1 : 0);
+    chunks.push_back(IndexRange{begin, begin + len});
+    begin += len;
+  }
+  return chunks;
+}
+
+namespace {
+
+// Shared coordination state of one OrderedParallelFor run. Lives on the
+// calling thread's stack; the caller does not return until every claimed
+// chunk has finished, so worker references stay valid.
+struct ForState {
+  std::mutex mutex;
+  std::condition_variable done_changed;
+  std::vector<char> done;          // guarded by mutex
+  std::atomic<size_t> next{0};     // next unclaimed chunk
+  std::atomic<bool> cancel{false};
+  size_t active_workers = 0;       // guarded by mutex
+};
+
+}  // namespace
+
+void OrderedParallelFor(size_t num_threads, size_t num_chunks,
+                        const std::function<void(size_t)>& compute,
+                        const std::function<bool(size_t)>& consume) {
+  if (num_chunks == 0) return;
+  if (num_threads <= 1 || num_chunks == 1) {
+    for (size_t c = 0; c < num_chunks; ++c) {
+      compute(c);
+      if (!consume(c)) break;
+    }
+    return;
+  }
+
+  ForState state;
+  state.done.assign(num_chunks, 0);
+
+  ThreadPool& pool = ThreadPool::Global();
+  pool.EnsureWorkers(num_threads);
+  const size_t num_workers = std::min(num_threads, num_chunks);
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.active_workers = num_workers;
+  }
+  for (size_t w = 0; w < num_workers; ++w) {
+    pool.Submit([&state, &compute, num_chunks] {
+      for (;;) {
+        if (state.cancel.load(std::memory_order_acquire)) break;
+        const size_t c = state.next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= num_chunks) break;
+        compute(c);
+        {
+          std::lock_guard<std::mutex> lock(state.mutex);
+          state.done[c] = 1;
+          state.done_changed.notify_all();
+        }
+      }
+      // The final notification must happen while holding the mutex: the
+      // moment active_workers hits 0 the consumer may return and destroy
+      // `state`, and a waiter can only leave the wait after reacquiring
+      // the mutex — i.e. strictly after this notify_all completed.
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        --state.active_workers;
+        state.done_changed.notify_all();
+      }
+    });
+  }
+
+  // Consume in canonical ascending order. The wait can only release with
+  // the chunk computed: workers exit either by exhausting fetch_add past
+  // num_chunks (every claimed chunk marked done first) or by observing
+  // cancel — which only this thread sets, right before it stops
+  // consuming. So active_workers == 0 here implies done[c] != 0.
+  bool cancelled = false;
+  for (size_t c = 0; c < num_chunks && !cancelled; ++c) {
+    {
+      std::unique_lock<std::mutex> lock(state.mutex);
+      state.done_changed.wait(lock, [&] {
+        return state.done[c] != 0 || state.active_workers == 0;
+      });
+      DBIM_CHECK(state.done[c] != 0);
+    }
+    if (!consume(c)) {
+      state.cancel.store(true, std::memory_order_release);
+      cancelled = true;
+    }
+  }
+  // Always drain the workers before returning: they hold references to
+  // `state`, `compute` and caller buffers on this stack frame, and may
+  // still be between their last chunk and their exit bookkeeping even
+  // after every chunk has been consumed.
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done_changed.wait(lock, [&] { return state.active_workers == 0; });
+}
+
+}  // namespace dbim

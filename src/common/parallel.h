@@ -1,0 +1,88 @@
+#ifndef DBIM_COMMON_PARALLEL_H_
+#define DBIM_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbim {
+
+/// A small reusable worker pool. Tasks are fire-and-forget closures;
+/// callers coordinate completion themselves (see OrderedParallelFor, which
+/// is the intended way to consume the pool). The process-wide pool behind
+/// `Global()` is created lazily and grows on demand, so single-threaded
+/// callers never pay for a thread spawn.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for any idle worker.
+  void Submit(std::function<void()> task);
+
+  /// Grows the pool to at least `num_workers` (capped at kMaxWorkers).
+  void EnsureWorkers(size_t num_workers);
+
+  size_t num_workers() const;
+
+  /// The lazily created process-wide pool.
+  static ThreadPool& Global();
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static size_t HardwareThreads();
+
+  /// Upper bound on pool size; requests beyond it are clamped. Generous so
+  /// determinism tests can oversubscribe a small machine.
+  static constexpr size_t kMaxWorkers = 64;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;
+};
+
+/// A contiguous half-open index range [begin, end).
+struct IndexRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+};
+
+/// Splits [0, n) into up to `max_chunks` contiguous ranges of at least
+/// `min_chunk` indices each (except possibly the last); returns no ranges
+/// when n == 0. Chunk boundaries depend only on (n, max_chunks, min_chunk),
+/// never on thread scheduling.
+std::vector<IndexRange> SplitRange(size_t n, size_t max_chunks,
+                                   size_t min_chunk = 1);
+
+/// Deterministic ordered parallel-for over `num_chunks` chunks.
+///
+/// `compute(chunk)` runs on pool workers in any order and must only write
+/// state owned by its chunk (e.g. a per-chunk output buffer preallocated by
+/// the caller). `consume(chunk)` runs on the calling thread in ascending
+/// chunk order, after that chunk's compute finished; returning false
+/// cancels chunks that have not started yet and stops consumption. Because
+/// every cross-chunk effect goes through `consume` in canonical order, the
+/// observable result is identical for every `num_threads`, including 1.
+///
+/// With `num_threads <= 1` (or a single chunk) everything runs inline on
+/// the calling thread — no pool, no synchronization.
+void OrderedParallelFor(size_t num_threads, size_t num_chunks,
+                        const std::function<void(size_t)>& compute,
+                        const std::function<bool(size_t)>& consume);
+
+}  // namespace dbim
+
+#endif  // DBIM_COMMON_PARALLEL_H_

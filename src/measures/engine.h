@@ -19,7 +19,9 @@ struct MeasureEngineOptions {
   /// Measure selection and per-measure budgets (I_MC / I_R deadlines).
   RegistryOptions registry;
 
-  /// Knobs for the one shared detection pass (blocking, caps, deadline).
+  /// Knobs for the one shared detection pass (blocking, caps, deadline,
+  /// and `num_threads` for the sharded probe phase — reports are identical
+  /// for every thread count; see DetectorOptions).
   DetectorOptions detector;
 
   /// Restrict evaluation to these measure names (empty = the full

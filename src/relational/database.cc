@@ -286,6 +286,61 @@ std::vector<Value> Database::ActiveDomain(RelationId relation,
   return values;
 }
 
+double Database::PoolWaste() const {
+  std::vector<char> used(pool_->size(), 0);
+  used[kNullValueId] = 1;
+  size_t used_count = 1;
+  for (const auto& relation : domain_counts_) {
+    for (const auto& column : relation) {
+      for (const auto& [id, count] : column) {
+        (void)count;
+        if (!used[id]) {
+          used[id] = 1;
+          ++used_count;
+        }
+      }
+    }
+  }
+  return 1.0 - static_cast<double>(used_count) /
+                   static_cast<double>(pool_->size());
+}
+
+bool Database::VacuumPool(double waste_threshold) {
+  if (pool_.use_count() != 1) return false;  // shared ids would dangle
+  if (PoolWaste() <= waste_threshold) return false;
+  auto fresh = std::make_shared<ValuePool>();
+  // Lazily remap live ids in column-scan order. Interning is
+  // representation-exact, so the remap is injective on live ids and every
+  // cell round-trips bit-for-bit.
+  std::vector<ValueId> remap(pool_->size(), kNullValueId);
+  std::vector<char> mapped(pool_->size(), 0);
+  mapped[kNullValueId] = 1;  // null is pre-interned as id 0 in every pool
+  for (RelationId rel = 0; rel < blocks_.size(); ++rel) {
+    RelationBlock& block = blocks_[rel];
+    for (AttrIndex a = 0; a < block.columns.size(); ++a) {
+      auto& column = block.columns[a];
+      auto& class_column = block.class_columns[a];
+      for (size_t row = 0; row < column.size(); ++row) {
+        ValueId& cell = column[row];
+        if (!mapped[cell]) {
+          remap[cell] = fresh->Intern(pool_->value(cell));
+          mapped[cell] = 1;
+        }
+        cell = remap[cell];
+        class_column[row] = fresh->class_of(cell);
+      }
+      std::unordered_map<ValueId, uint32_t> counts;
+      counts.reserve(domain_counts_[rel][a].size());
+      for (const auto& [id, count] : domain_counts_[rel][a]) {
+        counts.emplace(remap[id], count);
+      }
+      domain_counts_[rel][a] = std::move(counts);
+    }
+  }
+  pool_ = std::move(fresh);
+  return true;
+}
+
 bool operator==(const Database& a, const Database& b) {
   if (a.size_ != b.size_) return false;
   return a.IsSubsetOf(b);

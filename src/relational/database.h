@@ -130,6 +130,21 @@ class Database {
   /// reads the per-column distinct-id counts, not the rows.
   std::vector<Value> ActiveDomain(RelationId relation, AttrIndex attr) const;
 
+  /// Fraction of pool entries no live cell references — the dead-value
+  /// waste of sustained churn (the pool itself is append-only). In [0, 1);
+  /// the pre-interned null sentinel counts as referenced.
+  double PoolWaste() const;
+
+  /// Rebuilds the value pool without dead entries and remaps every column
+  /// when PoolWaste() exceeds `waste_threshold`. Only runs when this
+  /// database is the pool's sole owner: copies and restrictions sharing
+  /// the pool pin the old ids, so compaction is refused (returns false)
+  /// while any are alive. ValueIds and semantic class ids change;
+  /// previously materialized `Fact`s hold value copies and stay valid, but
+  /// raw ValueIds or `const Value&`s obtained from the old pool must not
+  /// be used across a successful vacuum. Returns whether compaction ran.
+  bool VacuumPool(double waste_threshold = 0.5);
+
   friend bool operator==(const Database& a, const Database& b);
 
  private:

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "common/value_pool.h"
 
@@ -168,6 +169,81 @@ struct DetectionState {
   }
 };
 
+// Probe-phase sharding granularity: up to kProbeChunksPerThread chunks per
+// worker (oversubscription smooths skewed buckets and tightens early-exit
+// latency under caps), never smaller than kMinProbeChunkRows rows (bounds
+// per-chunk scheduling overhead).
+constexpr size_t kProbeChunksPerThread = 4;
+constexpr size_t kMinProbeChunkRows = 64;
+
+// One shard of the binary-constraint probe phase: probes rows
+// [range.begin, range.end) of the variable-0 relation block and feeds
+// every surviving candidate pair — body verified, self-inconsistent facts
+// and reflexive matches filtered — to `emit(a, b)` (a < b or a == b
+// cross-relation) in the sequential path's discovery order (probe row
+// ascending, bucket/inner row order within). `emit` returning false stops
+// the shard; worker shards never stop (they buffer into chunk-private
+// vectors, and deduplication, the subset cap and the deadline — all
+// global-order-dependent — are applied by the ordered merge, making
+// results bit-identical for any thread count), while the sequential fast
+// path merges inline and keeps the first-witness early exit that
+// Satisfies' max_subsets = 1 probes rely on. Reads shared state (blocks,
+// pool, plan, buckets) strictly read-only.
+struct ProbeShardInput {
+  const DenialConstraint* dc;
+  const DcPlan* plan;
+  const ValuePool* pool;
+  const Database::RelationBlock* r0;
+  const Database::RelationBlock* r1;
+  const BlockingKeys* keys;
+  const std::unordered_map<uint64_t, std::vector<uint32_t>>* buckets;
+  const std::unordered_set<FactId>* self_inconsistent;
+  bool blocked = false;
+};
+
+template <typename Emit>
+void ProbeShard(const ProbeShardInput& in, IndexRange range, Emit&& emit) {
+  const bool same_relation = in.dc->var_relation(0) == in.dc->var_relation(1);
+  auto consider = [&](uint32_t i, uint32_t j) {
+    // i indexes r0 (variable t), j indexes r1 (variable t'). Returns
+    // false to stop the shard.
+    const FactId a = in.r0->row_ids[i];
+    const FactId b = in.r1->row_ids[j];
+    if (a == b && same_relation) return true;
+    if (in.self_inconsistent->count(a) > 0 ||
+        in.self_inconsistent->count(b) > 0) {
+      return true;
+    }
+    const RowRef assignment[2] = {RowRef{in.r0, i}, RowRef{in.r1, j}};
+    if (!BodyHoldsInterned(*in.dc, *in.plan, assignment, *in.pool)) {
+      return true;
+    }
+    return emit(std::min(a, b), std::max(a, b));
+  };
+  if (in.blocked) {
+    for (uint32_t i = static_cast<uint32_t>(range.begin);
+         i < static_cast<uint32_t>(range.end); ++i) {
+      const RowRef probe{in.r0, i};
+      const auto it = in.buckets->find(HashKeyIds(probe, in.keys->var0));
+      if (it == in.buckets->end()) continue;
+      for (const uint32_t j : it->second) {
+        if (!KeyIdsEqual(probe, in.keys->var0, RowRef{in.r1, j},
+                         in.keys->var1)) {
+          continue;  // hash collision
+        }
+        if (!consider(i, j)) return;
+      }
+    }
+  } else {
+    for (uint32_t i = static_cast<uint32_t>(range.begin);
+         i < static_cast<uint32_t>(range.end); ++i) {
+      for (uint32_t j = 0; j < in.r1->num_rows(); ++j) {
+        if (!consider(i, j)) return;
+      }
+    }
+  }
+}
+
 // Enumerates all support sets of witnesses of a k-variable DC (k >= 3),
 // allowing repeated facts across variables. Candidates are minimality-
 // filtered by the caller.
@@ -251,11 +327,21 @@ ViolationSet ViolationDetector::Detect(const Database& db,
       }
     }
   }
-  for (const FactId id : state.self_inconsistent) {
+  // Singleton subsets are emitted in id order so the result layout is a
+  // pure function of (Sigma, D) — the anchor of the parallel-parity
+  // guarantee below.
+  std::vector<FactId> singletons(state.self_inconsistent.begin(),
+                                 state.self_inconsistent.end());
+  std::sort(singletons.begin(), singletons.end());
+  for (const FactId id : singletons) {
     state.result.Add({id});
     state.NoteLimits();
     if (state.stop) return std::move(state.result);
   }
+
+  const size_t num_threads = options.num_threads == 0
+                                 ? ThreadPool::HardwareThreads()
+                                 : options.num_threads;
 
   // Pass 2: binary constraints, blocked or nested-loop.
   std::vector<std::vector<FactId>> kary_candidates;
@@ -272,59 +358,81 @@ ViolationSet ViolationDetector::Detect(const Database& db,
     }
     const Database::RelationBlock& r0 = db.relation_block(dc.var_relation(0));
     const Database::RelationBlock& r1 = db.relation_block(dc.var_relation(1));
-    // Symmetric bodies (e.g. FD-style DCs) match both orders of a pair; the
-    // per-constraint dedup keeps the (F, sigma) minimal-violation count
-    // honest.
-    std::unordered_set<uint64_t> seen_pairs;
-    auto consider = [&](uint32_t i, uint32_t j) {
-      // i indexes r0 (variable t), j indexes r1 (variable t').
-      const FactId a = r0.row_ids[i];
-      const FactId b = r1.row_ids[j];
-      if (a == b && dc.var_relation(0) == dc.var_relation(1)) return;
-      if (state.self_inconsistent.count(a) > 0 ||
-          state.self_inconsistent.count(b) > 0) {
-        return;
-      }
-      const RowRef assignment[2] = {RowRef{&r0, i}, RowRef{&r1, j}};
-      if (!BodyHoldsInterned(dc, plan, assignment, pool)) return;
-      const uint64_t key =
-          (static_cast<uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
-      if (!seen_pairs.insert(key).second) return;
-      std::vector<FactId> pair = {std::min(a, b), std::max(a, b)};
-      state.result.Add(std::move(pair));
-      state.NoteLimits();
-    };
 
     const BlockingKeys keys = ExtractBlockingKeys(dc);
-    if (options.use_blocking && !keys.empty()) {
-      // Hash var-1 side, probe with var-0 side. Bucket keys are FNV mixes
-      // of interned ids; bucket membership is verified with id compares, so
-      // the whole probe path is free of Value hashing and comparison.
-      std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+    ProbeShardInput shard_input;
+    shard_input.dc = &dc;
+    shard_input.plan = &plan;
+    shard_input.pool = &pool;
+    shard_input.r0 = &r0;
+    shard_input.r1 = &r1;
+    shard_input.keys = &keys;
+    shard_input.self_inconsistent = &state.self_inconsistent;
+    shard_input.blocked = options.use_blocking && !keys.empty();
+
+    // Hash var-1 side, probe with var-0 side. Bucket keys are FNV mixes
+    // of interned ids; bucket membership is verified with id compares, so
+    // the whole probe path is free of Value hashing and comparison. The
+    // build stays sequential (O(|r1|) hashing) so bucket vectors list rows
+    // in ascending j — part of the canonical discovery order.
+    std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+    if (shard_input.blocked) {
       buckets.reserve(r1.num_rows());
       for (uint32_t j = 0; j < r1.num_rows(); ++j) {
         buckets[HashKeyIds(RowRef{&r1, j}, keys.var1)].push_back(j);
       }
-      for (uint32_t i = 0; i < r0.num_rows() && !state.stop; ++i) {
-        const RowRef probe{&r0, i};
-        const auto it = buckets.find(HashKeyIds(probe, keys.var0));
-        if (it == buckets.end()) continue;
-        for (const uint32_t j : it->second) {
-          if (!KeyIdsEqual(probe, keys.var0, RowRef{&r1, j}, keys.var1)) {
-            continue;  // hash collision
-          }
-          consider(i, j);
-          if (state.stop) break;
-        }
-      }
-    } else {
-      for (uint32_t i = 0; i < r0.num_rows() && !state.stop; ++i) {
-        for (uint32_t j = 0; j < r1.num_rows(); ++j) {
-          consider(i, j);
-          if (state.stop) break;
-        }
-      }
     }
+    shard_input.buckets = &buckets;
+
+    // Symmetric-pair dedup (FD-style bodies match both orders of a pair;
+    // the per-constraint dedup keeps the (F, sigma) minimal-violation
+    // count honest), the subset cap and the deadline all depend on global
+    // candidate order, so they only ever advance on this thread, in
+    // canonical discovery order.
+    std::unordered_set<uint64_t> seen_pairs;
+    auto merge_candidate = [&](FactId a, FactId b) {
+      const uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+      if (!seen_pairs.insert(key).second) return true;
+      state.result.Add({a, b});
+      state.NoteLimits();
+      return !state.stop;
+    };
+
+    if (num_threads <= 1) {
+      // Sequential fast path: candidates merge inline, pair by pair, so a
+      // max_subsets stop (e.g. Satisfies' cap of 1) exits at the first
+      // witness with no buffering — the pre-sharding behavior.
+      ProbeShard(shard_input, IndexRange{0, r0.num_rows()}, merge_candidate);
+      continue;
+    }
+
+    // Parallel path: the probe phase is sharded by probe-row range.
+    // Shards run on worker threads and fill private candidate buffers;
+    // the ordered merge below consumes them on this thread in ascending
+    // chunk order. Concatenating chunks in order reproduces the
+    // sequential discovery order exactly, so the resulting ViolationSet
+    // is bit-identical for every thread count; a merge-time stop cancels
+    // unstarted chunks (started chunks finish and are discarded, a
+    // bounded overshoot).
+    const std::vector<IndexRange> chunks =
+        SplitRange(r0.num_rows(), num_threads * kProbeChunksPerThread,
+                   kMinProbeChunkRows);
+    std::vector<std::vector<std::pair<FactId, FactId>>> found(chunks.size());
+    OrderedParallelFor(
+        num_threads, chunks.size(),
+        [&](size_t c) {
+          ProbeShard(shard_input, chunks[c], [&](FactId a, FactId b) {
+            found[c].emplace_back(a, b);
+            return true;
+          });
+        },
+        [&](size_t c) {
+          for (const auto& [a, b] : found[c]) {
+            if (!merge_candidate(a, b)) return false;
+          }
+          std::vector<std::pair<FactId, FactId>>().swap(found[c]);
+          return true;
+        });
   }
 
   // Pass 3: minimality filter for k-ary candidate supports. A candidate
@@ -385,6 +493,11 @@ bool ViolationDetector::Satisfies(const Database& db) const {
   // directly instead of copying the constraint set into a probe detector.
   DetectorOptions fast = options_;
   fast.max_subsets = 1;
+  // Force the sequential inline-merge path: worker shards never stop
+  // mid-chunk, so a threaded probe would compute and buffer every
+  // in-flight chunk before the merge sees the first witness — pure waste
+  // when one pair answers the question.
+  fast.num_threads = 1;
   return Detect(db, fast).empty();
 }
 

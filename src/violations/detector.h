@@ -23,6 +23,18 @@ struct DetectorOptions {
   /// predicates before verifying bodies pairwise. Disabling this forces the
   /// plain nested-loop join (used by the blocking ablation bench).
   bool use_blocking = true;
+
+  /// Worker threads for the binary-constraint probe phase (blocking probe
+  /// and nested-loop fallback). 1 = fully sequential on the calling thread
+  /// (no pool involvement); 0 = one per hardware thread. Results are
+  /// bit-identical for every value: shards emit candidates into per-shard
+  /// buffers that are merged — dedup, caps and deadline included — in the
+  /// sequential path's canonical order. Caveat: a finite deadline_seconds
+  /// that expires *mid-run* truncates at a wall-clock-dependent point of
+  /// that canonical order, so only runs whose deadline never fires (or is
+  /// already expired at entry) are reproducible across thread counts —
+  /// the same nondeterminism a re-run of the sequential path has.
+  size_t num_threads = 1;
 };
 
 /// Computes MI_Sigma(D) for a set of denial constraints — the exact result

@@ -1,0 +1,291 @@
+// Randomized parity suite for the sharded violation detector: for every
+// thread count the detection result must be bit-identical — the subsets
+// list order included — to the single-threaded path. This is the
+// enforcement arm of the deterministic-merge guarantee in
+// DetectorOptions::num_threads; any scheduling-dependent ordering,
+// deduplication, cap or deadline decision shows up here as a diff.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "constraints/parser.h"
+#include "datagen/datasets.h"
+#include "datagen/noise.h"
+#include "measures/engine.h"
+#include "properties/constructions.h"
+#include "test_util.h"
+#include "violations/detector.h"
+
+namespace dbim {
+namespace {
+
+using testing::MakeAbcSchema;
+using testing::MakeRandomDatabase;
+
+const size_t kThreadCounts[] = {1, 2, 4, 8};
+
+// Full observable state of a ViolationSet, order included.
+void ExpectIdentical(const ViolationSet& expected, const ViolationSet& actual,
+                     const std::string& where) {
+  EXPECT_EQ(expected.minimal_subsets(), actual.minimal_subsets()) << where;
+  EXPECT_EQ(expected.num_minimal_violations(),
+            actual.num_minimal_violations())
+      << where;
+  EXPECT_EQ(expected.truncated(), actual.truncated()) << where;
+  EXPECT_EQ(expected.SelfInconsistentFacts(), actual.SelfInconsistentFacts())
+      << where;
+  EXPECT_EQ(expected.ProblematicFacts(), actual.ProblematicFacts()) << where;
+}
+
+// Runs FindViolations under every thread count and checks each result
+// against the 1-thread reference. Returns the reference for further
+// assertions.
+ViolationSet CheckParity(std::shared_ptr<const Schema> schema,
+                         const std::vector<DenialConstraint>& dcs,
+                         const Database& db, DetectorOptions base,
+                         const std::string& where) {
+  base.num_threads = 1;
+  const ViolationDetector reference(schema, dcs, base);
+  ViolationSet expected = reference.FindViolations(db);
+  for (const size_t threads : kThreadCounts) {
+    DetectorOptions options = base;
+    options.num_threads = threads;
+    const ViolationDetector detector(schema, dcs, options);
+    ExpectIdentical(expected, detector.FindViolations(db),
+                    where + " threads=" + std::to_string(threads));
+    EXPECT_EQ(reference.Satisfies(db), detector.Satisfies(db))
+        << where << " Satisfies threads=" << threads;
+  }
+  return expected;
+}
+
+std::vector<DenialConstraint> AbcFds(const Schema& schema) {
+  std::vector<DenialConstraint> dcs;
+  dcs.push_back(*ParseDc(schema, 0, "!(t.A = t'.A & t.B != t'.B)"));
+  dcs.push_back(*ParseDc(schema, 0, "!(t.B = t'.B & t.C != t'.C)"));
+  return dcs;
+}
+
+// Seeds x sizes x domains (noise level: small domains collide constantly,
+// large domains rarely), blocking on and off.
+TEST(ParallelParity, RandomizedFdSweep) {
+  const auto schema = MakeAbcSchema();
+  const auto dcs = AbcFds(*schema);
+  for (const uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    for (const size_t facts : {7u, 40u, 150u}) {
+      for (const int64_t domain : {2, 5, 25}) {
+        const Database db =
+            MakeRandomDatabase(schema, 0, facts, domain, seed);
+        for (const bool blocking : {true, false}) {
+          DetectorOptions options;
+          options.use_blocking = blocking;
+          CheckParity(schema, dcs, db, options,
+                      "seed=" + std::to_string(seed) +
+                          " facts=" + std::to_string(facts) +
+                          " domain=" + std::to_string(domain) +
+                          " blocking=" + std::to_string(blocking));
+        }
+      }
+    }
+  }
+}
+
+// Unary constraints produce self-inconsistent facts, which both gate the
+// pair phase (minimality) and exercise the singleton ordering.
+TEST(ParallelParity, SelfInconsistentFacts) {
+  const auto schema = MakeAbcSchema();
+  std::vector<DenialConstraint> dcs = AbcFds(*schema);
+  dcs.push_back(*ParseDc(*schema, 0, "!(t.A < t.B)"));
+  for (const uint64_t seed : {11u, 12u, 13u}) {
+    const Database db = MakeRandomDatabase(schema, 0, 60, 4, seed);
+    CheckParity(schema, dcs, db, DetectorOptions{},
+                "self-inconsistent seed=" + std::to_string(seed));
+  }
+}
+
+// K-ary (here 3-ary and 4-ary) constraints run through the sequential
+// enumeration + minimality filter, which must interleave deterministically
+// with the sharded binary phase.
+TEST(ParallelParity, KAryConstraints) {
+  for (const size_t k : {3u, 4u}) {
+    const auto inst = MakeCardinalityDcInstance(9, k);
+    const ViolationSet expected =
+        CheckParity(inst.schema, {inst.at_most_k_minus_1}, inst.db,
+                    DetectorOptions{}, "cardinality k=" + std::to_string(k));
+    EXPECT_FALSE(expected.empty());
+  }
+}
+
+// Paper datasets after noise: realistic schemas, mixed predicate shapes
+// (equalities, disequalities, order comparisons, constants).
+TEST(ParallelParity, NoisyPaperDatasets) {
+  Rng rng(99);
+  for (const DatasetId id : AllDatasets()) {
+    const Dataset dataset = MakeDataset(id, 80, 7);
+    const CoNoiseGenerator noise(dataset.data, dataset.constraints);
+    Database db = dataset.data;
+    Rng run = rng.Fork();
+    for (int i = 0; i < 25; ++i) noise.Step(db, run);
+    CheckParity(dataset.schema, dataset.constraints, db, DetectorOptions{},
+                std::string("dataset ") + DatasetName(id));
+  }
+}
+
+// max_subsets truncation must stop at the same canonical prefix for every
+// thread count — chunks computed beyond the stop point are discarded by
+// the ordered merge, never emitted.
+TEST(ParallelParity, TruncationByMaxSubsets) {
+  const auto schema = MakeAbcSchema();
+  const auto dcs = AbcFds(*schema);
+  const Database db = MakeRandomDatabase(schema, 0, 120, 3, 21);
+  DetectorOptions unlimited;
+  const ViolationDetector full(schema, dcs, unlimited);
+  const ViolationSet everything = full.FindViolations(db);
+  ASSERT_GT(everything.num_minimal_subsets(), 10u);
+
+  for (const size_t cap : {1u, 3u, 9u}) {
+    DetectorOptions options;
+    options.max_subsets = cap;
+    const ViolationSet expected = CheckParity(
+        schema, dcs, db, options, "cap=" + std::to_string(cap));
+    EXPECT_TRUE(expected.truncated());
+    EXPECT_EQ(expected.num_minimal_subsets(), cap);
+    // The truncated result is exactly the canonical prefix of the full one.
+    for (size_t s = 0; s < cap; ++s) {
+      EXPECT_EQ(expected.minimal_subsets()[s], everything.minimal_subsets()[s]);
+    }
+  }
+}
+
+// Deadlines are consulted only at merge points (canonical order), so the
+// two regimes every test can rely on — already expired and never expiring
+// — are exactly deterministic across thread counts too.
+TEST(ParallelParity, DeadlineRegimes) {
+  const auto schema = MakeAbcSchema();
+  const auto dcs = AbcFds(*schema);
+  const Database db = MakeRandomDatabase(schema, 0, 90, 3, 33);
+
+  DetectorOptions generous;
+  generous.deadline_seconds = 3600.0;
+  const ViolationSet untruncated =
+      CheckParity(schema, dcs, db, generous, "generous deadline");
+  EXPECT_FALSE(untruncated.truncated());
+
+  DetectorOptions expired;
+  expired.deadline_seconds = 1e-9;
+  const ViolationSet tiny = CheckParity(schema, dcs, db, expired,
+                                        "expired deadline");
+  EXPECT_TRUE(tiny.truncated());
+  EXPECT_EQ(tiny.num_minimal_subsets(), 1u);  // stops after the first Add
+  EXPECT_EQ(tiny.minimal_subsets()[0], untruncated.minimal_subsets()[0]);
+}
+
+// num_threads = 0 resolves to the hardware thread count and must agree
+// with the explicit counts.
+TEST(ParallelParity, AutoThreadCount) {
+  const auto schema = MakeAbcSchema();
+  const auto dcs = AbcFds(*schema);
+  const Database db = MakeRandomDatabase(schema, 0, 70, 4, 55);
+  DetectorOptions sequential;
+  const ViolationDetector reference(schema, dcs, sequential);
+  DetectorOptions automatic;
+  automatic.num_threads = 0;
+  const ViolationDetector detector(schema, dcs, automatic);
+  ExpectIdentical(reference.FindViolations(db), detector.FindViolations(db),
+                  "auto threads");
+}
+
+// End-to-end: identical BatchReports from MeasureEngine::EvaluateAll for
+// every thread count, including a truncated detection pass. Measure values
+// must match bit-for-bit (same violations in, same arithmetic out);
+// timings are ignored.
+TEST(ParallelParity, MeasureEngineBatchReports) {
+  const auto schema = MakeAbcSchema();
+  const auto dcs = AbcFds(*schema);
+  const Database db = MakeRandomDatabase(schema, 0, 100, 4, 77);
+  for (const size_t cap : {0u, 5u}) {
+    MeasureEngineOptions options;
+    options.registry.include_mc = false;
+    options.detector.max_subsets = cap;
+    options.detector.num_threads = 1;
+    const MeasureEngine reference(schema, dcs, options);
+    const BatchReport expected = reference.EvaluateAll(db);
+    for (const size_t threads : kThreadCounts) {
+      options.detector.num_threads = threads;
+      const MeasureEngine engine(schema, dcs, options);
+      const BatchReport report = engine.EvaluateAll(db);
+      const std::string where =
+          "cap=" + std::to_string(cap) + " threads=" + std::to_string(threads);
+      EXPECT_EQ(expected.num_minimal_subsets, report.num_minimal_subsets)
+          << where;
+      EXPECT_EQ(expected.truncated, report.truncated) << where;
+      ASSERT_EQ(expected.measures.size(), report.measures.size()) << where;
+      for (size_t m = 0; m < expected.measures.size(); ++m) {
+        EXPECT_EQ(expected.measures[m].name, report.measures[m].name) << where;
+        EXPECT_EQ(expected.measures[m].value, report.measures[m].value)
+            << where << " measure " << expected.measures[m].name;
+      }
+    }
+  }
+}
+
+// FindViolationsInvolving filters the full result; parity transfers.
+TEST(ParallelParity, FindViolationsInvolving) {
+  const auto schema = MakeAbcSchema();
+  const auto dcs = AbcFds(*schema);
+  const Database db = MakeRandomDatabase(schema, 0, 50, 3, 88);
+  DetectorOptions sequential;
+  const ViolationDetector reference(schema, dcs, sequential);
+  DetectorOptions parallel;
+  parallel.num_threads = 8;
+  const ViolationDetector detector(schema, dcs, parallel);
+  for (const FactId id : db.ids()) {
+    ExpectIdentical(reference.FindViolationsInvolving(db, id),
+                    detector.FindViolationsInvolving(db, id),
+                    "involving fact " + std::to_string(id));
+  }
+}
+
+// The utility itself: ordered consumption with cancellation, every shape.
+TEST(OrderedParallelForTest, ConsumesInOrderAndCancels) {
+  for (const size_t threads : kThreadCounts) {
+    for (const size_t chunks : {0u, 1u, 7u, 64u}) {
+      std::vector<size_t> consumed;
+      std::vector<size_t> computed(chunks, 0);
+      OrderedParallelFor(
+          threads, chunks, [&](size_t c) { computed[c] = c + 1; },
+          [&](size_t c) {
+            EXPECT_EQ(computed[c], c + 1);  // compute happened-before
+            consumed.push_back(c);
+            return consumed.size() < 5;  // cancel after 5 chunks
+          });
+      const size_t expected = std::min<size_t>(chunks, 5);
+      ASSERT_EQ(consumed.size(), expected);
+      for (size_t c = 0; c < expected; ++c) EXPECT_EQ(consumed[c], c);
+    }
+  }
+}
+
+TEST(OrderedParallelForTest, SplitRangeCoversExactly) {
+  for (const size_t n : {0u, 1u, 63u, 64u, 65u, 1000u}) {
+    for (const size_t max_chunks : {1u, 3u, 16u}) {
+      const auto chunks = SplitRange(n, max_chunks, 64);
+      size_t covered = 0;
+      size_t expected_begin = 0;
+      for (const IndexRange& r : chunks) {
+        EXPECT_EQ(r.begin, expected_begin);
+        EXPECT_LT(r.begin, r.end);
+        covered += r.size();
+        expected_begin = r.end;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_LE(chunks.size(), max_chunks);
+      if (n > 0) EXPECT_EQ(chunks.back().end, n);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbim

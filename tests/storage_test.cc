@@ -273,6 +273,96 @@ TEST(ColumnarDatabase, RestrictPreservesDeletionCosts) {
   EXPECT_DOUBLE_EQ(restricted.deletion_cost(1), 1.0);
 }
 
+// ---- ValuePool vacuum ----
+
+TEST(PoolVacuum, ChurnStaysBoundedAndQueriesAreUnchanged) {
+  const auto schema = MakeAbcSchema();
+  const std::vector<DenialConstraint> dcs =
+      FunctionalDependency(0, {0}, {1}).ToDenialConstraints();
+  Database db = MakeRandomDatabase(schema, 0, 30, 4, 123);
+  const ViolationDetector detector(schema, dcs);
+  Rng rng(321);
+
+  // Sustained value churn: every step overwrites one cell with a value the
+  // database has never seen, so an append-only pool grows linearly. The
+  // periodic vacuum must keep it bounded without disturbing any query.
+  size_t max_pool_size = 0;
+  int64_t fresh_value = 1000;
+  for (int step = 0; step < 300; ++step) {
+    const std::vector<FactId> ids = db.ids();
+    db.UpdateValue(ids[rng.UniformIndex(ids.size())],
+                   static_cast<AttrIndex>(rng.UniformIndex(3)),
+                   Value(fresh_value++));
+    if (step % 25 == 24) {
+      const ViolationSet before = detector.FindViolations(db);
+      const std::vector<Value> domain_before = db.ActiveDomain(0, 1);
+      std::vector<Fact> facts_before;
+      for (const FactId id : ids) facts_before.push_back(db.fact(id));
+
+      const bool ran = db.VacuumPool(0.3);
+      if (ran) {
+        EXPECT_LE(db.PoolWaste(), 0.3);
+      }
+
+      const ViolationSet after = detector.FindViolations(db);
+      EXPECT_EQ(before.minimal_subsets(), after.minimal_subsets())
+          << "step " << step;
+      EXPECT_EQ(domain_before, db.ActiveDomain(0, 1)) << "step " << step;
+      for (size_t i = 0; i < ids.size(); ++i) {
+        EXPECT_TRUE(facts_before[i] == db.fact(ids[i]))
+            << "step " << step << " fact " << ids[i];
+      }
+    }
+    max_pool_size = std::max(max_pool_size, db.pool().size());
+  }
+  // 300 churned-in distinct values plus the initial interning would grow an
+  // append-only pool past 300 entries; the vacuum cadence (every 25 steps,
+  // 30 live facts x 3 attrs <= 90 live distinct values) keeps it far below.
+  EXPECT_LT(max_pool_size, 200u);
+
+  // A final full compaction (a no-op when the loop's last vacuum already
+  // ran) leaves exactly the referenced values + null.
+  db.VacuumPool(0.0);
+  EXPECT_DOUBLE_EQ(db.PoolWaste(), 0.0);
+  std::vector<char> seen(db.pool().size(), 0);
+  size_t distinct_live = 0;
+  for (const FactId id : db.ids()) {
+    for (AttrIndex a = 0; a < 3; ++a) {
+      const ValueId v = db.value_id(id, a);
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++distinct_live;
+      }
+    }
+  }
+  EXPECT_EQ(db.pool().size(), distinct_live + 1);  // + pre-interned null
+}
+
+TEST(PoolVacuum, RefusesWhileThePoolIsShared) {
+  Database db = MakeRandomDatabase(MakeAbcSchema(), 0, 10, 3, 9);
+  for (int i = 0; i < 50; ++i) db.UpdateValue(1, 0, Value(10000 + i));
+  EXPECT_GT(db.PoolWaste(), 0.5);
+  {
+    const Database copy = db;  // shares the pool, pins the old ids
+    EXPECT_FALSE(db.VacuumPool(0.5));
+    EXPECT_TRUE(copy == db);
+  }
+  EXPECT_TRUE(db.VacuumPool(0.5));  // sole owner again
+  EXPECT_DOUBLE_EQ(db.PoolWaste(), 0.0);
+}
+
+TEST(PoolVacuum, EqualityAcrossVacuumedAndUnvacuumedCopies) {
+  Database db = MakeRandomDatabase(MakeAbcSchema(), 0, 20, 3, 17);
+  // An independent rebuild with its own pool and interning order.
+  Database rebuilt(MakeAbcSchema());
+  for (const FactId id : db.ids()) rebuilt.InsertWithId(id, db.fact(id));
+  for (int i = 0; i < 100; ++i) db.UpdateValue(2, 1, Value(777000 + i));
+  db.UpdateValue(2, 1, rebuilt.fact(2).value(1));  // churn, then restore
+  ASSERT_TRUE(db.VacuumPool(0.1));
+  // Different pools, different interning orders — equality is by value.
+  EXPECT_TRUE(db == rebuilt);
+}
+
 // ---- Randomized blocking / nested-loop parity ----
 
 std::vector<std::vector<FactId>> SortedSubsets(const ViolationSet& v) {

@@ -2,7 +2,7 @@
 //
 // Usage:
 //   dbim_cli --spec=constraints.dcs --data=facts.csv
-//            [--measures=I_d,I_MI,I_P,I_R,I_lin_R] [--mc]
+//            [--measures=I_d,I_MI,I_P,I_R,I_lin_R] [--mc] [--threads=N]
 //            [--shapley=N] [--repair] [--export=clean.csv]
 //
 // The spec file declares one relation and its denial constraints:
@@ -131,8 +131,10 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: dbim_cli --spec=constraints.dcs --data=facts.csv\n"
-      "                [--measures=I_d,I_MI,...] [--mc] [--shapley=N]\n"
-      "                [--repair] [--export=out.csv]\n");
+      "                [--measures=I_d,I_MI,...] [--mc] [--threads=N]\n"
+      "                [--shapley=N] [--repair] [--export=out.csv]\n"
+      "  --threads=N  detection worker threads (default 1, 0 = hardware);\n"
+      "               results are identical for every thread count\n");
   return 2;
 }
 
@@ -164,6 +166,11 @@ int main(int argc, char** argv) {
   MeasureEngineOptions options;
   options.registry.include_mc = HasFlag(argc, argv, "mc");
   options.registry.repair_deadline_seconds = 30.0;
+  const std::string threads_flag = FlagValue(argc, argv, "threads");
+  if (!threads_flag.empty()) {
+    options.detector.num_threads =
+        std::strtoull(threads_flag.c_str(), nullptr, 10);
+  }
   for (const std::string& name :
        Split(FlagValue(argc, argv, "measures"), ',')) {
     if (!name.empty()) options.only.push_back(name);
