@@ -22,6 +22,7 @@ int Run(const BenchArgs& args) {
   // graphs; past the deadline it reports its incumbent (an upper bound).
   options.registry.repair_deadline_seconds = 30.0;
   options.detector.num_threads = args.threads;
+  options.parallel_measures = args.parallel_measures;
 
   std::vector<size_t> sizes;
   if (args.full) {

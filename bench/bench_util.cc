@@ -26,11 +26,18 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (StartsWith(arg, "--threads=")) {
       args.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg == "--parallel-measures") {
+      args.parallel_measures = true;
+    } else if (StartsWith(arg, "--json=")) {
+      args.json_out = arg.substr(7);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "flags: --full --scale=X --csv --out=DIR --seed=N --threads=N\n"
+          "       --parallel-measures --json=PATH\n"
           "  --full uses the paper's sizes; default is a reduced scale\n"
-          "  --threads sets detector worker threads (0 = hardware)\n");
+          "  --threads sets detector worker threads (0 = hardware)\n"
+          "  --parallel-measures evaluates measures concurrently\n"
+          "  --json also writes the table as JSON to PATH\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
@@ -55,6 +62,14 @@ void PrintHeader(const std::string& experiment, const std::string& about) {
 void Emit(const BenchArgs& args, const std::string& name,
           const TablePrinter& table) {
   std::printf("%s\n", table.ToText().c_str());
+  if (!args.json_out.empty()) {
+    if (table.WriteJson(name, args.json_out)) {
+      std::printf("[json] wrote %s\n", args.json_out.c_str());
+    } else {
+      std::fprintf(stderr, "[json] FAILED to write %s\n",
+                   args.json_out.c_str());
+    }
+  }
   if (!args.csv) return;
   std::error_code ec;
   std::filesystem::create_directories(args.out_dir, ec);

@@ -24,6 +24,10 @@ namespace dbim::bench {
 ///   --out=DIR       CSV directory (default bench/out relative to cwd)
 ///   --seed=N        RNG seed (default 42)
 ///   --threads=N     detector worker threads (default 1; 0 = hardware)
+///   --parallel-measures  evaluate registry measures concurrently on the
+///                   shared context (same values, overlapped wall time)
+///   --json=PATH     also write the table as JSON to PATH (the machine-
+///                   readable record the CI bench-regression gate diffs)
 struct BenchArgs {
   bool full = false;
   double scale = 1.0;
@@ -31,6 +35,8 @@ struct BenchArgs {
   std::string out_dir = "bench_out";
   uint64_t seed = 42;
   size_t threads = 1;
+  bool parallel_measures = false;
+  std::string json_out;
 
   static BenchArgs Parse(int argc, char** argv);
 

@@ -1,7 +1,7 @@
 #include "common/parallel.h"
 
 #include <algorithm>
-#include <atomic>
+#include <memory>
 #include <utility>
 
 #include "common/check.h"
@@ -91,16 +91,50 @@ std::vector<IndexRange> SplitRange(size_t n, size_t max_chunks,
 
 namespace {
 
-// Shared coordination state of one OrderedParallelFor run. Lives on the
-// calling thread's stack; the caller does not return until every claimed
-// chunk has finished, so worker references stay valid.
+// Shared coordination state of one OrderedParallelFor run. Heap-allocated
+// and captured by shared_ptr in every submitted pool task, because on a
+// saturated pool (e.g. nested fan-out occupying every worker) some tasks
+// may only get to run long after the call returned: such stragglers must
+// be able to lock the state, observe "nothing left to claim", and exit
+// without touching the caller's stack. The copied `compute` function may
+// hold caller-stack references, but it is only ever invoked for a
+// successfully claimed chunk, and the caller does not return while any
+// claimed chunk is still in flight.
 struct ForState {
   std::mutex mutex;
   std::condition_variable done_changed;
-  std::vector<char> done;          // guarded by mutex
-  std::atomic<size_t> next{0};     // next unclaimed chunk
-  std::atomic<bool> cancel{false};
-  size_t active_workers = 0;       // guarded by mutex
+  std::vector<char> done;     // guarded by mutex
+  size_t next = 0;            // next unclaimed chunk; guarded by mutex
+  size_t computing = 0;       // claimed chunks in flight; guarded by mutex
+  bool cancel = false;        // guarded by mutex
+  size_t num_chunks = 0;
+  std::function<void(size_t)> compute;
+
+  // Claims the next chunk, or returns num_chunks when cancelled or
+  // exhausted. Claim and in-flight accounting are one critical section, so
+  // the caller's drain ("computing == 0") can never miss a claimed chunk.
+  size_t Claim() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (cancel || next >= num_chunks) return num_chunks;
+    ++computing;
+    return next++;
+  }
+
+  void MarkDone(size_t c) {
+    std::lock_guard<std::mutex> lock(mutex);
+    done[c] = 1;
+    --computing;
+    done_changed.notify_all();
+  }
+
+  void RunWorker() {
+    for (;;) {
+      const size_t c = Claim();
+      if (c >= num_chunks) return;
+      compute(c);
+      MarkDone(c);
+    }
+  }
 };
 
 }  // namespace
@@ -117,66 +151,59 @@ void OrderedParallelFor(size_t num_threads, size_t num_chunks,
     return;
   }
 
-  ForState state;
-  state.done.assign(num_chunks, 0);
+  auto state = std::make_shared<ForState>();
+  state->done.assign(num_chunks, 0);
+  state->num_chunks = num_chunks;
+  state->compute = compute;
 
   ThreadPool& pool = ThreadPool::Global();
   pool.EnsureWorkers(num_threads);
   const size_t num_workers = std::min(num_threads, num_chunks);
-  {
-    std::lock_guard<std::mutex> lock(state.mutex);
-    state.active_workers = num_workers;
-  }
   for (size_t w = 0; w < num_workers; ++w) {
-    pool.Submit([&state, &compute, num_chunks] {
-      for (;;) {
-        if (state.cancel.load(std::memory_order_acquire)) break;
-        const size_t c = state.next.fetch_add(1, std::memory_order_relaxed);
-        if (c >= num_chunks) break;
-        compute(c);
-        {
-          std::lock_guard<std::mutex> lock(state.mutex);
-          state.done[c] = 1;
-          state.done_changed.notify_all();
-        }
-      }
-      // The final notification must happen while holding the mutex: the
-      // moment active_workers hits 0 the consumer may return and destroy
-      // `state`, and a waiter can only leave the wait after reacquiring
-      // the mutex — i.e. strictly after this notify_all completed.
-      {
-        std::lock_guard<std::mutex> lock(state.mutex);
-        --state.active_workers;
-        state.done_changed.notify_all();
-      }
-    });
+    pool.Submit([state] { state->RunWorker(); });
   }
 
-  // Consume in canonical ascending order. The wait can only release with
-  // the chunk computed: workers exit either by exhausting fetch_add past
-  // num_chunks (every claimed chunk marked done first) or by observing
-  // cancel — which only this thread sets, right before it stops
-  // consuming. So active_workers == 0 here implies done[c] != 0.
+  // Consume in canonical ascending order. Before blocking on a chunk, the
+  // consumer helps: it claims and computes unstarted chunks through the
+  // same Claim() the workers use. This keeps the otherwise-idle consumer
+  // productive and — more importantly — guarantees progress when a pool
+  // worker's task is itself an OrderedParallelFor (nested fan-out, e.g. a
+  // parallel measure evaluation that triggers parallel detection): even
+  // with every pool worker occupied, each nested consumer drives its own
+  // chunks to completion instead of waiting on a saturated queue, and the
+  // starved tasks exit as no-ops whenever they eventually run.
+  //
+  // The wait below can only release with the chunk computed: once Claim()
+  // runs dry every chunk up to num_chunks has an owner (this thread or a
+  // running worker), and owners always finish with MarkDone.
   bool cancelled = false;
   for (size_t c = 0; c < num_chunks && !cancelled; ++c) {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (state->done[c] != 0) break;
+      }
+      const size_t h = state->Claim();
+      if (h >= num_chunks) break;  // all claimed; wait for the owner
+      compute(h);
+      state->MarkDone(h);
+    }
     {
-      std::unique_lock<std::mutex> lock(state.mutex);
-      state.done_changed.wait(lock, [&] {
-        return state.done[c] != 0 || state.active_workers == 0;
-      });
-      DBIM_CHECK(state.done[c] != 0);
+      std::unique_lock<std::mutex> lock(state->mutex);
+      state->done_changed.wait(lock, [&] { return state->done[c] != 0; });
     }
     if (!consume(c)) {
-      state.cancel.store(true, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->cancel = true;
       cancelled = true;
     }
   }
-  // Always drain the workers before returning: they hold references to
-  // `state`, `compute` and caller buffers on this stack frame, and may
-  // still be between their last chunk and their exit bookkeeping even
-  // after every chunk has been consumed.
-  std::unique_lock<std::mutex> lock(state.mutex);
-  state.done_changed.wait(lock, [&] { return state.active_workers == 0; });
+  // Drain in-flight computes before returning: a worker mid-compute on a
+  // cancelled-but-claimed chunk still references caller buffers. Tasks
+  // that never started are NOT waited for — they hold only the shared
+  // state and exit via Claim() when the pool gets to them.
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_changed.wait(lock, [&] { return state->computing == 0; });
 }
 
 }  // namespace dbim

@@ -77,6 +77,11 @@ std::vector<IndexRange> SplitRange(size_t n, size_t max_chunks,
 /// every cross-chunk effect goes through `consume` in canonical order, the
 /// observable result is identical for every `num_threads`, including 1.
 ///
+/// The calling thread helps compute unstarted chunks while waiting, so a
+/// `compute` that itself calls OrderedParallelFor (nested fan-out from a
+/// pool worker) cannot deadlock on a saturated pool: every consumer can
+/// drive its own chunks to completion single-handedly.
+///
 /// With `num_threads <= 1` (or a single chunk) everything runs inline on
 /// the calling thread — no pool, no synchronization.
 void OrderedParallelFor(size_t num_threads, size_t num_chunks,

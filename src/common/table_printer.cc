@@ -68,4 +68,67 @@ bool TablePrinter::WriteCsv(const std::string& path) const {
   return static_cast<bool>(f);
 }
 
+namespace {
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += StrFormat("\\u%04x", ch);
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string JsonStringArray(const std::vector<std::string>& cells) {
+  std::string out = "[";
+  for (size_t c = 0; c < cells.size(); ++c) {
+    if (c > 0) out += ", ";
+    out += JsonString(cells[c]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string TablePrinter::ToJson(const std::string& name) const {
+  std::string out = "{\n  \"name\": " + JsonString(name) + ",\n";
+  out += "  \"header\": " + JsonStringArray(header_) + ",\n";
+  out += "  \"rows\": [\n";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    out += "    " + JsonStringArray(rows_[r]);
+    if (r + 1 < rows_.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool TablePrinter::WriteJson(const std::string& name,
+                             const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << ToJson(name);
+  return static_cast<bool>(f);
+}
+
 }  // namespace dbim

@@ -27,6 +27,14 @@ class TablePrinter {
   /// Writes the CSV rendering to `path`; returns false on I/O error.
   bool WriteCsv(const std::string& path) const;
 
+  /// JSON rendering: {"name": name, "header": [...], "rows": [[...]]} with
+  /// every cell a string, exactly as rendered. Machine-readable companion
+  /// of ToCsv, consumed by tools/check_bench_regression.py.
+  std::string ToJson(const std::string& name) const;
+
+  /// Writes the JSON rendering to `path`; returns false on I/O error.
+  bool WriteJson(const std::string& name, const std::string& path) const;
+
   size_t num_rows() const { return rows_.size(); }
 
  private:

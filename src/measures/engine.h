@@ -27,6 +27,15 @@ struct MeasureEngineOptions {
   /// Restrict evaluation to these measure names (empty = the full
   /// registry). Unknown names are ignored.
   std::vector<std::string> only;
+
+  /// Evaluate independent measures concurrently on the shared context (one
+  /// task per selected measure on the process-wide pool, capped at the
+  /// hardware thread count). The context is materialized first, so workers
+  /// only read shared state; every measure is a pure function of it, so
+  /// values and result order are bit-identical to sequential evaluation —
+  /// only the per-measure wall times overlap. Orthogonal to
+  /// detector.num_threads, which parallelizes the detection pass itself.
+  bool parallel_measures = false;
 };
 
 /// Value of one measure plus the time evaluation took on the shared

@@ -3,17 +3,20 @@
 namespace dbim {
 
 const ViolationSet& MeasureContext::violations() {
-  if (!violations_.has_value()) {
-    violations_ = detector_.FindViolations(db_);
-  }
+  std::call_once(violations_once_,
+                 [&] { violations_ = detector_.FindViolations(db_); });
   return *violations_;
 }
 
 const ConflictGraph& MeasureContext::conflict_graph() {
-  if (!conflict_graph_.has_value()) {
+  std::call_once(conflict_graph_once_, [&] {
     conflict_graph_ = ConflictGraph::Build(db_, violations());
-  }
+  });
   return *conflict_graph_;
+}
+
+void MeasureContext::Materialize() {
+  conflict_graph();  // transitively materializes violations()
 }
 
 }  // namespace dbim

@@ -2,6 +2,7 @@
 #define DBIM_MEASURES_MEASURE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -16,6 +17,16 @@ namespace dbim {
 /// the cost of most measures (the paper observes the SQL self-join dominates
 /// for large datasets); the context computes MI_Sigma(D) and the conflict
 /// graph once and lets every measure reuse them.
+///
+/// Thread safety: the lazy members memoize through std::call_once, so
+/// concurrent measure evaluations on one shared context (see
+/// MeasureEngineOptions::parallel_measures) race neither on first
+/// materialization nor afterwards — once set, both are only ever read.
+/// Everything else a measure reaches through the context is const:
+/// detection, ids()/deletion_cost()/pool() on the database, and the graph
+/// accessors. (The Database's lazily cached row-major fact(id) view is NOT
+/// part of that const surface and must not be called concurrently; no
+/// registry measure uses it.)
 class MeasureContext {
  public:
   MeasureContext(const ViolationDetector& detector, const Database& db)
@@ -30,9 +41,18 @@ class MeasureContext {
   /// Conflict structure of the database, computed on first use.
   const ConflictGraph& conflict_graph();
 
+  /// Eagerly computes both lazy members on the calling thread. call_once
+  /// already makes lazy first use safe under concurrency, but stragglers
+  /// would block on the one thread doing the work — materializing before a
+  /// parallel evaluation keeps workers compute-bound and keeps the first
+  /// graph consumer's timing from absorbing the build.
+  void Materialize();
+
  private:
   const ViolationDetector& detector_;
   const Database& db_;
+  std::once_flag violations_once_;
+  std::once_flag conflict_graph_once_;
   std::optional<ViolationSet> violations_;
   std::optional<ConflictGraph> conflict_graph_;
 };

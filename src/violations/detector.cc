@@ -169,12 +169,60 @@ struct DetectionState {
   }
 };
 
-// Probe-phase sharding granularity: up to kProbeChunksPerThread chunks per
+// Sharding granularity shared by every parallel phase (pass-1 scan, bucket
+// build, probe, k-ary enumeration): up to kProbeChunksPerThread chunks per
 // worker (oversubscription smooths skewed buckets and tightens early-exit
 // latency under caps), never smaller than kMinProbeChunkRows rows (bounds
 // per-chunk scheduling overhead).
 constexpr size_t kProbeChunksPerThread = 4;
 constexpr size_t kMinProbeChunkRows = 64;
+
+// Cooperative deadline polling: enumeration shards consult the wall clock
+// every kDeadlinePollInterval iterations so a violation-free phase (which
+// never reaches a merge point) still honors the deadline. Poll points are
+// aligned to *global* iteration indices — multiples of the interval within
+// [0, n), independent of shard boundaries — and a shard that observes
+// expiry stops there, so the ordered merge truncates at a canonical prefix
+// of the discovery order for every thread count. Index 0 is never a poll
+// point: an already-expired deadline still lets the first witness through,
+// preserving the "truncated result carries its first subset" behavior the
+// deadline tests and callers rely on.
+constexpr size_t kDeadlinePollInterval = 1024;
+
+bool PollDeadline(size_t global_index, const Deadline& deadline) {
+  return global_index != 0 && global_index % kDeadlinePollInterval == 0 &&
+         deadline.Expired();
+}
+
+// Parallel-path scaffolding shared by the sharded phases (pass-1 scan,
+// bucket build, k-ary enumeration, binary probe): runs
+// `shard(chunks[c], buffers[c])` on pool workers — `shard` returns true
+// when it stopped at an expired cooperative deadline poll — and consumes
+// the chunk-private buffers in canonical ascending order with `merge`
+// (which returns false to stop consumption: a cap or deadline decision at
+// a merge point). A consumed chunk whose shard expired has its partial
+// buffer merged first — a canonical prefix, since poll points are
+// global-index-aligned — then `on_expired()` runs and consumption stops,
+// cancelling unstarted chunks.
+template <typename Buffer, typename ShardFn, typename MergeFn,
+          typename ExpiredFn>
+void ParallelPhase(size_t num_threads, const std::vector<IndexRange>& chunks,
+                   ShardFn&& shard, MergeFn&& merge, ExpiredFn&& on_expired) {
+  std::vector<Buffer> buffers(chunks.size());
+  std::vector<char> expired(chunks.size(), 0);
+  OrderedParallelFor(
+      num_threads, chunks.size(),
+      [&](size_t c) { expired[c] = shard(chunks[c], buffers[c]) ? 1 : 0; },
+      [&](size_t c) {
+        if (!merge(buffers[c])) return false;
+        Buffer().swap(buffers[c]);  // chunk consumed; free it eagerly
+        if (expired[c]) {
+          on_expired();
+          return false;
+        }
+        return true;
+      });
+}
 
 // One shard of the binary-constraint probe phase: probes rows
 // [range.begin, range.end) of the variable-0 relation block and feeds
@@ -201,8 +249,14 @@ struct ProbeShardInput {
   bool blocked = false;
 };
 
+// Returns true when the shard stopped early because `deadline` expired at
+// a cooperative poll point (blocked mode polls per probe row, nested-loop
+// mode per (i, j) pair — both aligned to global indices, see
+// kDeadlinePollInterval); false when the shard ran to completion or was
+// stopped by `emit`.
 template <typename Emit>
-void ProbeShard(const ProbeShardInput& in, IndexRange range, Emit&& emit) {
+bool ProbeShard(const ProbeShardInput& in, IndexRange range,
+                const Deadline& deadline, Emit&& emit) {
   const bool same_relation = in.dc->var_relation(0) == in.dc->var_relation(1);
   auto consider = [&](uint32_t i, uint32_t j) {
     // i indexes r0 (variable t), j indexes r1 (variable t'). Returns
@@ -223,6 +277,7 @@ void ProbeShard(const ProbeShardInput& in, IndexRange range, Emit&& emit) {
   if (in.blocked) {
     for (uint32_t i = static_cast<uint32_t>(range.begin);
          i < static_cast<uint32_t>(range.end); ++i) {
+      if (PollDeadline(i, deadline)) return true;
       const RowRef probe{in.r0, i};
       const auto it = in.buckets->find(HashKeyIds(probe, in.keys->var0));
       if (it == in.buckets->end()) continue;
@@ -231,61 +286,99 @@ void ProbeShard(const ProbeShardInput& in, IndexRange range, Emit&& emit) {
                          in.keys->var1)) {
           continue;  // hash collision
         }
-        if (!consider(i, j)) return;
+        if (!consider(i, j)) return false;
       }
     }
   } else {
+    // Nested-loop work is quadratic, so per-row polls could leave O(|r1|)
+    // work between clock checks; poll on the global pair index instead.
+    const uint64_t inner = in.r1->num_rows();
     for (uint32_t i = static_cast<uint32_t>(range.begin);
          i < static_cast<uint32_t>(range.end); ++i) {
-      for (uint32_t j = 0; j < in.r1->num_rows(); ++j) {
-        if (!consider(i, j)) return;
+      for (uint32_t j = 0; j < inner; ++j) {
+        if (PollDeadline(i * inner + j, deadline)) return true;
+        if (!consider(i, j)) return false;
       }
     }
   }
+  return false;
 }
 
-// Enumerates all support sets of witnesses of a k-variable DC (k >= 3),
-// allowing repeated facts across variables. Candidates are minimality-
-// filtered by the caller.
-void EnumerateKAry(const DenialConstraint& dc, const DcPlan& plan,
-                   const Database& db, std::vector<RowRef>& assignment,
-                   std::vector<FactId>& chosen_ids, size_t var,
-                   std::vector<std::vector<FactId>>& candidates,
-                   DetectionState& state) {
-  if (state.stop) return;
-  const ValuePool& pool = db.pool();
-  if (var == dc.num_vars()) {
-    if (!BodyHoldsInterned(dc, plan, assignment.data(), pool)) return;
-    std::vector<FactId> support = chosen_ids;
-    std::sort(support.begin(), support.end());
-    support.erase(std::unique(support.begin(), support.end()), support.end());
-    candidates.push_back(std::move(support));
-    if (state.deadline.Expired()) {
-      state.result.set_truncated(true);
-      state.stop = true;
-    }
-    return;
-  }
-  const Database::RelationBlock& rel =
-      db.relation_block(dc.var_relation(static_cast<uint32_t>(var)));
-  for (uint32_t i = 0; i < rel.num_rows() && !state.stop; ++i) {
-    assignment[var] = RowRef{&rel, i};
-    chosen_ids[var] = rel.row_ids[i];
-    // Prune: predicates fully assigned so far must hold.
-    bool viable = true;
+// One shard of the k-ary (k >= 3) support-set enumeration: the outermost
+// variable ranges over rows [range.begin, range.end) of its relation;
+// inner variables range over their full relations, allowing repeated facts
+// across variables. Candidate supports (sorted, deduplicated fact ids, in
+// the sequential enumeration's discovery order) go to `emit`, which
+// returns false to stop the shard; candidates are minimality-filtered by
+// the caller. Returns true when the shard stopped at a cooperative
+// deadline poll (per outermost row, globally aligned), false otherwise.
+template <typename Emit>
+struct KAryEnumerator {
+  const DenialConstraint& dc;
+  const DcPlan& plan;
+  const Database& db;
+  const ValuePool& pool;
+  Emit& emit;
+  std::vector<RowRef> assignment;
+  std::vector<FactId> chosen_ids;
+  bool stopped = false;  // emit returned false
+
+  // Predicates whose deepest variable is `var` must hold for the partial
+  // assignment to remain viable.
+  bool Viable(size_t var) {
     for (size_t pi = 0; pi < dc.predicates().size(); ++pi) {
       const Predicate& p = dc.predicates()[pi];
-      const uint32_t needed = p.MaxVar();
-      if (needed != var) continue;  // checked earlier or later
+      if (p.MaxVar() != var) continue;  // checked earlier or later
       if (!EvalPredicateInterned(p, plan[pi], assignment.data(), pool)) {
-        viable = false;
-        break;
+        return false;
       }
     }
-    if (!viable) continue;
-    EnumerateKAry(dc, plan, db, assignment, chosen_ids, var + 1, candidates,
-                  state);
+    return true;
   }
+
+  void Recurse(size_t var) {
+    if (var == dc.num_vars()) {
+      if (!BodyHoldsInterned(dc, plan, assignment.data(), pool)) return;
+      std::vector<FactId> support = chosen_ids;
+      std::sort(support.begin(), support.end());
+      support.erase(std::unique(support.begin(), support.end()),
+                    support.end());
+      if (!emit(std::move(support))) stopped = true;
+      return;
+    }
+    const Database::RelationBlock& rel =
+        db.relation_block(dc.var_relation(static_cast<uint32_t>(var)));
+    for (uint32_t i = 0; i < rel.num_rows() && !stopped; ++i) {
+      assignment[var] = RowRef{&rel, i};
+      chosen_ids[var] = rel.row_ids[i];
+      if (!Viable(var)) continue;
+      Recurse(var + 1);
+    }
+  }
+};
+
+template <typename Emit>
+bool KAryShard(const DenialConstraint& dc, const DcPlan& plan,
+               const Database& db, IndexRange range, const Deadline& deadline,
+               Emit&& emit) {
+  KAryEnumerator<Emit> en{dc,
+                          plan,
+                          db,
+                          db.pool(),
+                          emit,
+                          std::vector<RowRef>(dc.num_vars()),
+                          std::vector<FactId>(dc.num_vars(), 0)};
+  const Database::RelationBlock& outer = db.relation_block(dc.var_relation(0));
+  for (uint32_t i = static_cast<uint32_t>(range.begin);
+       i < static_cast<uint32_t>(range.end); ++i) {
+    if (PollDeadline(i, deadline)) return true;
+    en.assignment[0] = RowRef{&outer, i};
+    en.chosen_ids[0] = outer.row_ids[i];
+    if (!en.Viable(0)) continue;
+    en.Recurse(1);
+    if (en.stopped) return false;
+  }
+  return false;
 }
 
 }  // namespace
@@ -306,11 +399,21 @@ ViolationSet ViolationDetector::Detect(const Database& db,
   state.deadline = Deadline(options.deadline_seconds);
 
   const ValuePool& pool = db.pool();
+  const size_t num_threads = options.num_threads == 0
+                                 ? ThreadPool::HardwareThreads()
+                                 : options.num_threads;
+  const size_t max_chunks = num_threads * kProbeChunksPerThread;
 
   // Pass 1: self-inconsistent facts. These are the singleton minimal
-  // subsets, and they disqualify any larger subset containing them.
-  std::vector<RowRef> self_assignment;
+  // subsets, and they disqualify any larger subset containing them. The
+  // scan over each constraint's relation block is sharded by row range;
+  // chunk-private hit buffers merge (set inserts, order-insensitive) in
+  // canonical ascending order, so the set content — and where a
+  // cooperative deadline poll lands, if one fires — is the same for every
+  // thread count.
+  bool scan_expired = false;
   for (const DenialConstraint& dc : constraints_) {
+    if (scan_expired) break;
     if (dc.TriviallyNotUnary()) continue;
     const RelationId rel0 = dc.var_relation(0);
     bool single_relation = true;
@@ -320,12 +423,37 @@ ViolationSet ViolationDetector::Detect(const Database& db,
     if (!single_relation) continue;
     const DcPlan plan = PlanPredicates(dc, pool);
     const Database::RelationBlock& block = db.relation_block(rel0);
-    for (uint32_t i = 0; i < block.num_rows(); ++i) {
-      self_assignment.assign(dc.num_vars(), RowRef{&block, i});
-      if (BodyHoldsInterned(dc, plan, self_assignment.data(), pool)) {
-        state.self_inconsistent.insert(block.row_ids[i]);
+    // Returns true when the deadline expired at a poll point mid-scan.
+    auto scan_rows = [&](IndexRange range, std::vector<FactId>& hits) {
+      std::vector<RowRef> assignment;
+      for (uint32_t i = static_cast<uint32_t>(range.begin);
+           i < static_cast<uint32_t>(range.end); ++i) {
+        if (PollDeadline(i, state.deadline)) return true;
+        assignment.assign(dc.num_vars(), RowRef{&block, i});
+        if (BodyHoldsInterned(dc, plan, assignment.data(), pool)) {
+          hits.push_back(block.row_ids[i]);
+        }
       }
+      return false;
+    };
+    const std::vector<IndexRange> chunks =
+        SplitRange(block.num_rows(), max_chunks, kMinProbeChunkRows);
+    if (num_threads <= 1 || chunks.size() <= 1) {
+      std::vector<FactId> hits;
+      scan_expired = scan_rows(IndexRange{0, block.num_rows()}, hits);
+      state.self_inconsistent.insert(hits.begin(), hits.end());
+      continue;
     }
+    ParallelPhase<std::vector<FactId>>(
+        num_threads, chunks,
+        [&](IndexRange range, std::vector<FactId>& hits) {
+          return scan_rows(range, hits);
+        },
+        [&](std::vector<FactId>& hits) {
+          state.self_inconsistent.insert(hits.begin(), hits.end());
+          return true;
+        },
+        [&] { scan_expired = true; });
   }
   // Singleton subsets are emitted in id order so the result layout is a
   // pure function of (Sigma, D) — the anchor of the parallel-parity
@@ -338,22 +466,64 @@ ViolationSet ViolationDetector::Detect(const Database& db,
     state.NoteLimits();
     if (state.stop) return std::move(state.result);
   }
+  if (scan_expired) {
+    state.result.set_truncated(true);
+    return std::move(state.result);
+  }
 
-  const size_t num_threads = options.num_threads == 0
-                                 ? ThreadPool::HardwareThreads()
-                                 : options.num_threads;
-
-  // Pass 2: binary constraints, blocked or nested-loop.
+  // Pass 2: binary constraints, blocked or nested-loop; k-ary constraints
+  // through the sharded enumeration.
   std::vector<std::vector<FactId>> kary_candidates;
   for (const DenialConstraint& dc : constraints_) {
     if (state.stop) break;
     if (dc.num_vars() == 1) continue;  // covered by pass 1
     const DcPlan plan = PlanPredicates(dc, pool);
     if (dc.num_vars() >= 3) {
-      std::vector<RowRef> assignment(dc.num_vars());
-      std::vector<FactId> chosen(dc.num_vars(), 0);
-      EnumerateKAry(dc, plan, db, assignment, chosen, 0, kary_candidates,
-                    state);
+      // The enumeration is sharded over outermost-variable row ranges;
+      // inner variables stay exhaustive, so concatenating shard outputs in
+      // ascending chunk order reproduces the sequential discovery order.
+      // The deadline is polled once per merged candidate (as the
+      // sequential path always did) plus cooperatively per outermost row.
+      const Database::RelationBlock& outer =
+          db.relation_block(dc.var_relation(0));
+      auto merge_support = [&](std::vector<FactId> support) {
+        kary_candidates.push_back(std::move(support));
+        if (state.deadline.Expired()) {
+          state.result.set_truncated(true);
+          state.stop = true;
+          return false;
+        }
+        return true;
+      };
+      const std::vector<IndexRange> chunks =
+          SplitRange(outer.num_rows(), max_chunks, kMinProbeChunkRows);
+      if (num_threads <= 1 || chunks.size() <= 1) {
+        if (KAryShard(dc, plan, db, IndexRange{0, outer.num_rows()},
+                      state.deadline, merge_support)) {
+          state.result.set_truncated(true);
+          state.stop = true;
+        }
+        continue;
+      }
+      ParallelPhase<std::vector<std::vector<FactId>>>(
+          num_threads, chunks,
+          [&](IndexRange range, std::vector<std::vector<FactId>>& found) {
+            return KAryShard(dc, plan, db, range, state.deadline,
+                             [&](std::vector<FactId> support) {
+                               found.push_back(std::move(support));
+                               return true;
+                             });
+          },
+          [&](std::vector<std::vector<FactId>>& found) {
+            for (auto& support : found) {
+              if (!merge_support(std::move(support))) return false;
+            }
+            return true;
+          },
+          [&] {
+            state.result.set_truncated(true);
+            state.stop = true;
+          });
       continue;
     }
     const Database::RelationBlock& r0 = db.relation_block(dc.var_relation(0));
@@ -373,13 +543,46 @@ ViolationSet ViolationDetector::Detect(const Database& db,
     // Hash var-1 side, probe with var-0 side. Bucket keys are FNV mixes
     // of interned ids; bucket membership is verified with id compares, so
     // the whole probe path is free of Value hashing and comparison. The
-    // build stays sequential (O(|r1|) hashing) so bucket vectors list rows
-    // in ascending j — part of the canonical discovery order.
+    // build is sharded by j range into chunk-private maps; merging them in
+    // canonical ascending chunk order concatenates each bucket's row lists
+    // with ascending j — exactly the sequential build's bucket layout, so
+    // the probe's discovery order is untouched. (Which bucket a key lands
+    // in is key-determined, so per-chunk map iteration order is
+    // irrelevant.)
     std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
     if (shard_input.blocked) {
-      buckets.reserve(r1.num_rows());
-      for (uint32_t j = 0; j < r1.num_rows(); ++j) {
-        buckets[HashKeyIds(RowRef{&r1, j}, keys.var1)].push_back(j);
+      const std::vector<IndexRange> build_chunks =
+          SplitRange(r1.num_rows(), max_chunks, kMinProbeChunkRows);
+      if (num_threads <= 1 || build_chunks.size() <= 1) {
+        buckets.reserve(r1.num_rows());
+        for (uint32_t j = 0; j < r1.num_rows(); ++j) {
+          buckets[HashKeyIds(RowRef{&r1, j}, keys.var1)].push_back(j);
+        }
+      } else {
+        using BucketMap = std::unordered_map<uint64_t, std::vector<uint32_t>>;
+        buckets.reserve(r1.num_rows());
+        ParallelPhase<BucketMap>(
+            num_threads, build_chunks,
+            [&](IndexRange range, BucketMap& map) {
+              map.reserve(range.size());
+              for (uint32_t j = static_cast<uint32_t>(range.begin);
+                   j < static_cast<uint32_t>(range.end); ++j) {
+                map[HashKeyIds(RowRef{&r1, j}, keys.var1)].push_back(j);
+              }
+              return false;  // the build is linear and unpolled
+            },
+            [&](BucketMap& map) {
+              for (auto& [key, rows] : map) {
+                auto& dst = buckets[key];
+                if (dst.empty()) {
+                  dst = std::move(rows);
+                } else {
+                  dst.insert(dst.end(), rows.begin(), rows.end());
+                }
+              }
+              return true;
+            },
+            [] {});
       }
     }
     shard_input.buckets = &buckets;
@@ -402,7 +605,11 @@ ViolationSet ViolationDetector::Detect(const Database& db,
       // Sequential fast path: candidates merge inline, pair by pair, so a
       // max_subsets stop (e.g. Satisfies' cap of 1) exits at the first
       // witness with no buffering — the pre-sharding behavior.
-      ProbeShard(shard_input, IndexRange{0, r0.num_rows()}, merge_candidate);
+      if (ProbeShard(shard_input, IndexRange{0, r0.num_rows()},
+                     state.deadline, merge_candidate)) {
+        state.result.set_truncated(true);
+        state.stop = true;
+      }
       continue;
     }
 
@@ -413,25 +620,29 @@ ViolationSet ViolationDetector::Detect(const Database& db,
     // sequential discovery order exactly, so the resulting ViolationSet
     // is bit-identical for every thread count; a merge-time stop cancels
     // unstarted chunks (started chunks finish and are discarded, a
-    // bounded overshoot).
+    // bounded overshoot). A shard that stopped at a cooperative deadline
+    // poll keeps its partial buffer — a canonical prefix, since poll
+    // points are global-index-aligned — and the merge truncates there.
     const std::vector<IndexRange> chunks =
-        SplitRange(r0.num_rows(), num_threads * kProbeChunksPerThread,
-                   kMinProbeChunkRows);
-    std::vector<std::vector<std::pair<FactId, FactId>>> found(chunks.size());
-    OrderedParallelFor(
-        num_threads, chunks.size(),
-        [&](size_t c) {
-          ProbeShard(shard_input, chunks[c], [&](FactId a, FactId b) {
-            found[c].emplace_back(a, b);
-            return true;
-          });
+        SplitRange(r0.num_rows(), max_chunks, kMinProbeChunkRows);
+    ParallelPhase<std::vector<std::pair<FactId, FactId>>>(
+        num_threads, chunks,
+        [&](IndexRange range, std::vector<std::pair<FactId, FactId>>& found) {
+          return ProbeShard(shard_input, range, state.deadline,
+                            [&](FactId a, FactId b) {
+                              found.emplace_back(a, b);
+                              return true;
+                            });
         },
-        [&](size_t c) {
-          for (const auto& [a, b] : found[c]) {
+        [&](const std::vector<std::pair<FactId, FactId>>& found) {
+          for (const auto& [a, b] : found) {
             if (!merge_candidate(a, b)) return false;
           }
-          std::vector<std::pair<FactId, FactId>>().swap(found[c]);
           return true;
+        },
+        [&] {
+          state.result.set_truncated(true);
+          state.stop = true;
         });
   }
 

@@ -16,7 +16,11 @@ struct DetectorOptions {
   /// truncated result is flagged on the ViolationSet.
   size_t max_subsets = 0;
 
-  /// Wall-clock budget in seconds (0 = none).
+  /// Wall-clock budget in seconds (0 = none). Checked at every merge point
+  /// (each emitted subset) and cooperatively inside enumeration shards —
+  /// every 1024 probe/scan rows, at poll points aligned to global row
+  /// indices — so even a violation-free run stops within a bounded slice
+  /// of the budget.
   double deadline_seconds = 0.0;
 
   /// Hash-partition facts on the values of cross-variable equality
@@ -24,16 +28,21 @@ struct DetectorOptions {
   /// plain nested-loop join (used by the blocking ablation bench).
   bool use_blocking = true;
 
-  /// Worker threads for the binary-constraint probe phase (blocking probe
-  /// and nested-loop fallback). 1 = fully sequential on the calling thread
-  /// (no pool involvement); 0 = one per hardware thread. Results are
-  /// bit-identical for every value: shards emit candidates into per-shard
-  /// buffers that are merged — dedup, caps and deadline included — in the
-  /// sequential path's canonical order. Caveat: a finite deadline_seconds
-  /// that expires *mid-run* truncates at a wall-clock-dependent point of
-  /// that canonical order, so only runs whose deadline never fires (or is
-  /// already expired at entry) are reproducible across thread counts —
-  /// the same nondeterminism a re-run of the sequential path has.
+  /// Worker threads for every enumeration phase of detection: the pass-1
+  /// self-inconsistency scan, the blocking bucket build, the
+  /// binary-constraint probe (blocking probe and nested-loop fallback),
+  /// and the k-ary enumeration (sharded over outermost-variable rows).
+  /// 1 = fully sequential on the calling thread (no pool involvement);
+  /// 0 = one per hardware thread. Results are bit-identical for every
+  /// value: shards write into per-shard buffers that are merged — dedup,
+  /// caps, deadline and bucket j-order included — in the sequential path's
+  /// canonical order. Caveat: a finite deadline_seconds that expires
+  /// *mid-run* truncates at a wall-clock-dependent point of that canonical
+  /// order, so only runs whose deadline never fires (or is already expired
+  /// at entry) are reproducible across thread counts — the same
+  /// nondeterminism a re-run of the sequential path has. (Pre-expired
+  /// deadlines stay deterministic: cooperative polls land on global-index-
+  /// aligned rows, the same prefix for every sharding.)
   size_t num_threads = 1;
 };
 

@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/value.h"
 #include "constraints/parser.h"
+#include "constraints/predicate.h"
 #include "datagen/datasets.h"
 #include "datagen/noise.h"
 #include "measures/engine.h"
@@ -231,6 +233,114 @@ TEST(ParallelParity, MeasureEngineBatchReports) {
   }
 }
 
+// Large enough that every sharded phase actually chunks (>= 2 chunks of
+// >= 64 rows): the pass-1 scan, the blocking bucket build, and the probe
+// all run their parallel paths and must still merge to the sequential
+// result, including the bucket j-order the probe's discovery order
+// depends on.
+TEST(ParallelParity, ShardedBucketBuildAndPassOne) {
+  const auto schema = MakeAbcSchema();
+  std::vector<DenialConstraint> dcs = AbcFds(*schema);
+  dcs.push_back(*ParseDc(*schema, 0, "!(t.A < t.B)"));  // unary: pass 1 work
+  for (const uint64_t seed : {101u, 102u}) {
+    for (const int64_t domain : {3, 12}) {
+      const Database db = MakeRandomDatabase(schema, 0, 400, domain, seed);
+      for (const bool blocking : {true, false}) {
+        DetectorOptions options;
+        options.use_blocking = blocking;
+        const ViolationSet expected = CheckParity(
+            schema, dcs, db, options,
+            "sharded-build seed=" + std::to_string(seed) +
+                " domain=" + std::to_string(domain) +
+                " blocking=" + std::to_string(blocking));
+        EXPECT_FALSE(expected.empty());
+        EXPECT_FALSE(expected.SelfInconsistentFacts().empty());
+      }
+    }
+  }
+}
+
+// K-ary enumeration sharded over outermost-variable row ranges: a 3-ary DC
+// with enough rows to split into multiple chunks. The support sets
+// (including size-2 supports from repeated facts across variables, which
+// exercise the minimality filter) must come out in the sequential
+// discovery order for every thread count.
+TEST(ParallelParity, ShardedKAryEnumeration) {
+  const auto schema = MakeAbcSchema();
+  // !(t0.A = t1.A & t1.B = t2.B & t0.C != t2.C)
+  std::vector<Predicate> preds;
+  preds.emplace_back(Operand{0, 0}, CompareOp::kEq, Operand{1, 0});
+  preds.emplace_back(Operand{1, 1}, CompareOp::kEq, Operand{2, 1});
+  preds.emplace_back(Operand{0, 2}, CompareOp::kNe, Operand{2, 2});
+  const DenialConstraint dc(std::vector<RelationId>(3, 0), std::move(preds));
+  for (const uint64_t seed : {7u, 8u}) {
+    const Database db = MakeRandomDatabase(schema, 0, 150, 30, seed);
+    const ViolationSet expected =
+        CheckParity(schema, {dc}, db, DetectorOptions{},
+                    "sharded k-ary seed=" + std::to_string(seed));
+    EXPECT_FALSE(expected.empty());
+  }
+}
+
+// Cooperative deadline polling: a pre-expired deadline on a large
+// violation-free instance must truncate — pre-PR, a probe that never found
+// a witness never consulted the clock and ran to completion. Poll points
+// are aligned to global row indices, so the (empty) truncated result is
+// still identical for every thread count.
+TEST(ParallelParity, CooperativeDeadlineCrossRelationProbe) {
+  auto schema = std::make_shared<Schema>();
+  const RelationId r = schema->AddRelation("R", {"A", "B"});
+  const RelationId s = schema->AddRelation("S", {"A", "B"});
+  Database db(schema);
+  for (int64_t i = 0; i < 1500; ++i) {
+    db.Insert(Fact(r, {Value(i), Value(i)}));
+    db.Insert(Fact(s, {Value(i + 1000000), Value(i)}));
+  }
+  // t in R, t' in S: never matches on A, so the probe finds nothing.
+  std::vector<Predicate> preds;
+  preds.emplace_back(Operand{0, 0}, CompareOp::kEq, Operand{1, 0});
+  preds.emplace_back(Operand{0, 1}, CompareOp::kNe, Operand{1, 1});
+  const DenialConstraint dc({r, s}, std::move(preds));
+
+  for (const bool blocking : {true, false}) {
+    DetectorOptions generous;
+    generous.use_blocking = blocking;
+    generous.deadline_seconds = 3600.0;
+    const ViolationSet full =
+        CheckParity(schema, {dc}, db, generous,
+                    "cooperative generous blocking=" + std::to_string(blocking));
+    EXPECT_FALSE(full.truncated());
+    EXPECT_TRUE(full.empty());
+
+    DetectorOptions expired;
+    expired.use_blocking = blocking;
+    expired.deadline_seconds = 1e-9;
+    const ViolationSet tiny =
+        CheckParity(schema, {dc}, db, expired,
+                    "cooperative expired blocking=" + std::to_string(blocking));
+    EXPECT_TRUE(tiny.truncated());
+    EXPECT_TRUE(tiny.empty());
+  }
+}
+
+// Same for the pass-1 self-inconsistency scan: a unary constraint whose
+// body never holds keeps the scan busy (FDs are TriviallyNotUnary and
+// skipped) without yielding a single witness; the pre-expired deadline
+// must stop the scan at the first global poll point — empty + truncated
+// for every thread count.
+TEST(ParallelParity, CooperativeDeadlinePassOneScan) {
+  const auto schema = MakeAbcSchema();
+  std::vector<DenialConstraint> dcs = AbcFds(*schema);
+  dcs.push_back(*ParseDc(*schema, 0, "!(t.A < t.A)"));
+  const Database db = MakeRandomDatabase(schema, 0, 1500, 100000, 5);
+  DetectorOptions expired;
+  expired.deadline_seconds = 1e-9;
+  const ViolationSet tiny =
+      CheckParity(schema, dcs, db, expired, "cooperative pass-1 expired");
+  EXPECT_TRUE(tiny.truncated());
+  EXPECT_TRUE(tiny.empty());
+}
+
 // FindViolationsInvolving filters the full result; parity transfers.
 TEST(ParallelParity, FindViolationsInvolving) {
   const auto schema = MakeAbcSchema();
@@ -246,6 +356,73 @@ TEST(ParallelParity, FindViolationsInvolving) {
                     detector.FindViolationsInvolving(db, id),
                     "involving fact " + std::to_string(id));
   }
+}
+
+// Concurrent measure evaluation is behind MeasureEngineOptions::
+// parallel_measures: every measure is a pure function of the shared
+// materialized context, so the BatchReport (names, order, values,
+// detection metadata — timings excluded) must equal the sequential one
+// bit for bit. Fuzzed over noisy paper datasets crossed with detector
+// thread counts, so parallel measures stack on parallel detection.
+TEST(ParallelParity, MeasureEngineParallelMeasuresFuzz) {
+  Rng rng(1234);
+  for (const DatasetId id : AllDatasets()) {
+    const Dataset dataset = MakeDataset(id, 80, 11);
+    const CoNoiseGenerator noise(dataset.data, dataset.constraints);
+    Database db = dataset.data;
+    Rng run = rng.Fork();
+    for (int i = 0; i < 25; ++i) noise.Step(db, run);
+
+    MeasureEngineOptions options;
+    options.registry.include_mc = false;
+    options.parallel_measures = false;
+    options.detector.num_threads = 1;
+    const MeasureEngine reference(dataset.schema, dataset.constraints,
+                                  options);
+    const BatchReport expected = reference.EvaluateAll(db);
+    for (const size_t threads : {1u, 4u}) {
+      options.parallel_measures = true;
+      options.detector.num_threads = threads;
+      const MeasureEngine engine(dataset.schema, dataset.constraints,
+                                 options);
+      const BatchReport report = engine.EvaluateAll(db);
+      const std::string where = std::string("dataset ") + DatasetName(id) +
+                                " detector-threads=" + std::to_string(threads);
+      EXPECT_EQ(expected.num_minimal_subsets, report.num_minimal_subsets)
+          << where;
+      EXPECT_EQ(expected.truncated, report.truncated) << where;
+      ASSERT_EQ(expected.measures.size(), report.measures.size()) << where;
+      for (size_t m = 0; m < expected.measures.size(); ++m) {
+        EXPECT_EQ(expected.measures[m].name, report.measures[m].name) << where;
+        EXPECT_EQ(expected.measures[m].value, report.measures[m].value)
+            << where << " measure " << expected.measures[m].name;
+      }
+    }
+  }
+}
+
+// Nested fan-out: a compute that itself runs an OrderedParallelFor (the
+// shape of parallel measures triggering parallel detection). The consumer
+// helps execute unstarted chunks, so this completes even when every pool
+// worker is occupied by an outer chunk; pre-helping it could deadlock on a
+// saturated pool.
+TEST(OrderedParallelForTest, NestedFanOutCompletes) {
+  std::vector<size_t> outer_sums(8, 0);
+  OrderedParallelFor(
+      4, outer_sums.size(),
+      [&](size_t c) {
+        std::vector<size_t> inner(16, 0);
+        OrderedParallelFor(
+            4, inner.size(), [&](size_t i) { inner[i] = i + 1; },
+            [&](size_t i) {
+              outer_sums[c] += inner[i];
+              return true;
+            });
+      },
+      [&](size_t c) {
+        EXPECT_EQ(outer_sums[c], 136u);  // 1 + ... + 16
+        return true;
+      });
 }
 
 // The utility itself: ordered consumption with cancellation, every shape.

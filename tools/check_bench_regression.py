@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare detect-time columns against a baseline.
+
+Usage:
+    check_bench_regression.py CURRENT BASELINE [CURRENT BASELINE ...]
+        [--column=detect] [--threshold=0.25] [--min-seconds=0.05]
+
+CURRENT and BASELINE are JSON files written by the bench harnesses'
+`--json=PATH` flag (TablePrinter::ToJson): {"name", "header", "rows"},
+every cell a string. Rows are matched positionally and must agree on the
+first (label) column; the harnesses are deterministic in shape for a fixed
+seed/scale, so a shape mismatch means the bench itself changed — update
+the baseline in the same PR (re-run the bench with --json pointed at the
+checked-in BENCH_*.json).
+
+A row regresses when
+
+    current > baseline * (1 + threshold)  AND  current - baseline > min_seconds
+
+The absolute floor keeps sub-hundredth-of-a-second rows — which are mostly
+timer noise — from tripping the relative gate. Exit codes: 0 = OK,
+1 = regression, 2 = structural mismatch / bad input.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_bench_regression: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+    for key in ("name", "header", "rows"):
+        if key not in doc:
+            fail(f"{path}: missing key '{key}'")
+    return doc
+
+
+def check_pair(current_path, baseline_path, column, threshold, min_seconds):
+    current = load(current_path)
+    baseline = load(baseline_path)
+    regressions = []
+
+    if column not in current["header"] or column not in baseline["header"]:
+        fail(f"column '{column}' absent from {current_path} or {baseline_path}")
+    cur_col = current["header"].index(column)
+    base_col = baseline["header"].index(column)
+
+    if len(current["rows"]) != len(baseline["rows"]):
+        fail(
+            f"{current_path} has {len(current['rows'])} rows but "
+            f"{baseline_path} has {len(baseline['rows'])} — bench shape "
+            "changed; refresh the checked-in baseline in this PR"
+        )
+
+    print(f"== {current['name']} ({current_path} vs {baseline_path})")
+    for i, (cur_row, base_row) in enumerate(
+        zip(current["rows"], baseline["rows"])
+    ):
+        if cur_row[0] != base_row[0]:
+            fail(
+                f"row {i}: label '{cur_row[0]}' != baseline '{base_row[0]}' "
+                "— bench shape changed; refresh the baseline in this PR"
+            )
+        try:
+            cur = float(cur_row[cur_col])
+            base = float(base_row[base_col])
+        except ValueError:
+            fail(f"row {i}: non-numeric '{column}' cell")
+        delta = cur - base
+        ratio = cur / base if base > 0 else float("inf") if cur > 0 else 1.0
+        regressed = delta > min_seconds and cur > base * (1.0 + threshold)
+        marker = "REGRESSION" if regressed else "ok"
+        print(
+            f"   {cur_row[0]:>12}  {column}: {base:.3f}s -> {cur:.3f}s "
+            f"({ratio:+.0%} of baseline)  {marker}"
+        )
+        if regressed:
+            regressions.append((current["name"], cur_row[0], base, cur))
+    return regressions
+
+
+def main(argv):
+    threshold = 0.25
+    min_seconds = 0.05
+    column = "detect"
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--min-seconds="):
+            min_seconds = float(arg.split("=", 1)[1])
+        elif arg.startswith("--column="):
+            column = arg.split("=", 1)[1]
+        elif arg in ("--help", "-h"):
+            print(__doc__)
+            return 0
+        elif arg.startswith("--"):
+            fail(f"unknown flag {arg}")
+        else:
+            paths.append(arg)
+    if not paths or len(paths) % 2 != 0:
+        fail("expected CURRENT BASELINE file pairs (see --help)")
+
+    regressions = []
+    for cur, base in zip(paths[0::2], paths[1::2]):
+        regressions += check_pair(cur, base, column, threshold, min_seconds)
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} detect-time regression(s) beyond "
+            f"{threshold:.0%} (+{min_seconds}s floor):"
+        )
+        for name, label, base, cur in regressions:
+            print(f"   {name} / {label}: {base:.3f}s -> {cur:.3f}s")
+        return 1
+    print("\nno detect-time regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,7 +3,8 @@
 // Usage:
 //   dbim_cli --spec=constraints.dcs --data=facts.csv
 //            [--measures=I_d,I_MI,I_P,I_R,I_lin_R] [--mc] [--threads=N]
-//            [--shapley=N] [--repair] [--export=clean.csv]
+//            [--parallel-measures] [--shapley=N] [--repair]
+//            [--export=clean.csv]
 //
 // The spec file declares one relation and its denial constraints:
 //
@@ -132,9 +133,12 @@ int Usage() {
       stderr,
       "usage: dbim_cli --spec=constraints.dcs --data=facts.csv\n"
       "                [--measures=I_d,I_MI,...] [--mc] [--threads=N]\n"
-      "                [--shapley=N] [--repair] [--export=out.csv]\n"
+      "                [--parallel-measures] [--shapley=N] [--repair]\n"
+      "                [--export=out.csv]\n"
       "  --threads=N  detection worker threads (default 1, 0 = hardware);\n"
-      "               results are identical for every thread count\n");
+      "               results are identical for every thread count\n"
+      "  --parallel-measures  evaluate the selected measures concurrently\n"
+      "               on the shared context (same values, overlapped time)\n");
   return 2;
 }
 
@@ -171,6 +175,7 @@ int main(int argc, char** argv) {
     options.detector.num_threads =
         std::strtoull(threads_flag.c_str(), nullptr, 10);
   }
+  options.parallel_measures = HasFlag(argc, argv, "parallel-measures");
   for (const std::string& name :
        Split(FlagValue(argc, argv, "measures"), ',')) {
     if (!name.empty()) options.only.push_back(name);
