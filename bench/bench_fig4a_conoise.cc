@@ -15,12 +15,11 @@ int Run(const BenchArgs& args) {
               "Normalized measure values every 10 of 200 CONoise\n"
               "iterations per dataset (I_MC excluded, as in the paper).");
 
-  RegistryOptions options;
-  options.include_mc = false;
+  MeasureEngineOptions engine = args.EngineOptions();
+  engine.registry.include_mc = false;
   // I_R's branch & bound gets expensive on dense high-error conflict
   // graphs; past the deadline it reports its incumbent (an upper bound).
-  options.repair_deadline_seconds = 5.0;
-  const auto measures = CreateMeasures(options);
+  engine.registry.repair_deadline_seconds = 5.0;
 
   Rng rng(args.seed);
   for (const DatasetId id : AllDatasets()) {
@@ -29,8 +28,10 @@ int Run(const BenchArgs& args) {
     const CoNoiseGenerator noise(dataset.data, dataset.constraints);
     Rng run_rng = rng.Fork();
     const auto result = RunTrajectory(
-        dataset, measures,
-        [&](Database& db, Rng& r) { noise.Step(db, r); },
+        dataset, engine,
+        [&](const Database& db, Rng& r, const CellUpdateFn& update) {
+          noise.Step(db, r, update);
+        },
         /*iterations=*/200, /*sample_every=*/10, run_rng);
     std::printf("--- %s (n=%zu, final violation ratio %.5f%%) ---\n",
                 DatasetName(id), n, 100.0 * result.final_violation_ratio);

@@ -15,12 +15,11 @@ int Run(const BenchArgs& args) {
               "Normalized measure values while 1% of all cell values are\n"
               "randomized (I_MC excluded, as in the paper).");
 
-  RegistryOptions options;
-  options.include_mc = false;
+  MeasureEngineOptions engine = args.EngineOptions();
+  engine.registry.include_mc = false;
   // I_R's branch & bound gets expensive on dense high-error conflict
   // graphs; past the deadline it reports its incumbent (an upper bound).
-  options.repair_deadline_seconds = 5.0;
-  const auto measures = CreateMeasures(options);
+  engine.registry.repair_deadline_seconds = 5.0;
 
   Rng rng(args.seed);
   for (const DatasetId id : AllDatasets()) {
@@ -32,9 +31,11 @@ int Run(const BenchArgs& args) {
         std::max<size_t>(noise.StepsForAlpha(dataset.data, 0.01), 20);
     Rng run_rng = rng.Fork();
     const auto result = RunTrajectory(
-        dataset, measures,
-        [&](Database& db, Rng& r) { noise.Step(db, r); }, iterations,
-        std::max<size_t>(iterations / 20, 1), run_rng);
+        dataset, engine,
+        [&](const Database& db, Rng& r, const CellUpdateFn& update) {
+          noise.Step(db, r, update);
+        },
+        iterations, std::max<size_t>(iterations / 20, 1), run_rng);
     std::printf("--- %s (n=%zu, %zu iterations, final violation ratio "
                 "%.5f%%) ---\n",
                 DatasetName(id), n, iterations,

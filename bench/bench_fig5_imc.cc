@@ -17,11 +17,10 @@ int Run(const BenchArgs& args) {
               "Normalized I_MC under CONoise (left) and RNoise with\n"
               "alpha=0.01, beta=0 (right); 100 iterations, sampled every 5.");
 
-  std::vector<std::unique_ptr<InconsistencyMeasure>> measures;
-  McOptions mc_options;
-  mc_options.deadline_seconds = args.full ? 60.0 : 5.0;
-  measures.push_back(
-      std::make_unique<MaxConsistentSubsetsMeasure>(mc_options));
+  MeasureEngineOptions engine = args.EngineOptions();
+  engine.registry.include_mc = true;
+  engine.registry.mc_deadline_seconds = args.full ? 60.0 : 5.0;
+  engine.only = {"I_MC"};
 
   Rng rng(args.seed);
   for (const char* mode : {"CONoise", "RNoise"}) {
@@ -33,12 +32,12 @@ int Run(const BenchArgs& args) {
       const bool use_co = std::string(mode) == "CONoise";
       Rng run_rng = rng.Fork();
       const auto result = RunTrajectory(
-          dataset, measures,
-          [&](Database& db, Rng& r) {
+          dataset, engine,
+          [&](const Database& db, Rng& r, const CellUpdateFn& update) {
             if (use_co) {
-              co.Step(db, r);
+              co.Step(db, r, update);
             } else {
-              rn.Step(db, r);
+              rn.Step(db, r, update);
             }
           },
           /*iterations=*/100, /*sample_every=*/5, run_rng);

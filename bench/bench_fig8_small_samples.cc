@@ -15,10 +15,9 @@ int Run(const BenchArgs& args) {
               "Normalized trajectories under CONoise and RNoise\n"
               "(alpha=0.01, beta=0), I_MC and I'_MC included.");
 
-  RegistryOptions options;
-  options.include_mc = true;
-  options.mc_deadline_seconds = args.full ? 60.0 : 3.0;
-  const auto measures = CreateMeasures(options);
+  MeasureEngineOptions engine = args.EngineOptions();
+  engine.registry.include_mc = true;
+  engine.registry.mc_deadline_seconds = args.full ? 60.0 : 3.0;
 
   Rng rng(args.seed);
   for (const char* mode : {"CONoise", "RNoise"}) {
@@ -30,12 +29,12 @@ int Run(const BenchArgs& args) {
       const bool use_co = std::string(mode) == "CONoise";
       Rng run_rng = rng.Fork();
       const auto result = RunTrajectory(
-          dataset, measures,
-          [&](Database& db, Rng& r) {
+          dataset, engine,
+          [&](const Database& db, Rng& r, const CellUpdateFn& update) {
             if (use_co) {
-              co.Step(db, r);
+              co.Step(db, r, update);
             } else {
-              rn.Step(db, r);
+              rn.Step(db, r, update);
             }
           },
           /*iterations=*/100, /*sample_every=*/10, run_rng);

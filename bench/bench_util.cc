@@ -53,6 +53,13 @@ size_t BenchArgs::SampleSize(size_t base, size_t paper) const {
   return static_cast<size_t>(std::max(scaled, 16.0));
 }
 
+MeasureEngineOptions BenchArgs::EngineOptions() const {
+  MeasureEngineOptions options;
+  options.detector.num_threads = threads;
+  options.parallel_measures = parallel_measures;
+  return options;
+}
+
 void PrintHeader(const std::string& experiment, const std::string& about) {
   std::printf("\n================================================================\n");
   std::printf("%s\n%s\n", experiment.c_str(), about.c_str());
@@ -81,30 +88,44 @@ void Emit(const BenchArgs& args, const std::string& name,
   }
 }
 
-TrajectoryResult RunTrajectory(
-    const Dataset& dataset,
-    const std::vector<std::unique_ptr<InconsistencyMeasure>>& measures,
-    const NoiseStep& step, size_t iterations, size_t sample_every, Rng& rng) {
-  const ViolationDetector detector(dataset.schema, dataset.constraints);
-  Database db = dataset.data;
-
-  std::vector<std::string> header = {"iteration"};
-  for (const auto& m : measures) header.push_back(m->name());
+TrajectoryResult RunTrajectory(const Dataset& dataset,
+                               MeasureEngineOptions engine,
+                               const NoiseStep& step, size_t iterations,
+                               size_t sample_every, Rng& rng) {
+  // The whole trajectory lives in one session: violation state is
+  // maintained across noise steps (no per-sample detection for binary
+  // Sigma) and sustained value churn triggers the shared-pool auto-vacuum.
+  MeasureSessionOptions session_options;
+  session_options.engine = std::move(engine);
+  session_options.auto_vacuum_threshold = 0.5;
+  MeasureSession session(dataset.schema, dataset.constraints,
+                         session_options);
+  const DbHandle handle = session.Register(dataset.data);
+  const CellUpdateFn update = [&](FactId id, AttrIndex attr, Value v) {
+    session.Apply(handle, RepairOperation::Update(id, attr, std::move(v)));
+  };
 
   // Collect raw values first; normalization needs the final magnitudes.
+  std::vector<std::string> names;
   std::vector<size_t> points;
   std::vector<std::vector<double>> raw;
   for (size_t iteration = 1; iteration <= iterations; ++iteration) {
-    step(db, rng);
+    step(session.db(handle), rng, update);
     if (iteration % sample_every != 0 && iteration != iterations) continue;
     points.push_back(iteration);
+    const BatchReport report = session.Evaluate(handle);
+    if (names.empty()) {
+      for (const MeasureResult& m : report.measures) names.push_back(m.name);
+    }
     std::vector<double> row;
-    MeasureContext context(detector, db);
-    for (const auto& m : measures) row.push_back(m->Evaluate(context));
+    row.reserve(report.measures.size());
+    for (const MeasureResult& m : report.measures) row.push_back(m.value);
     raw.push_back(std::move(row));
   }
+  std::vector<std::string> header = {"iteration"};
+  header.insert(header.end(), names.begin(), names.end());
 
-  std::vector<double> max_value(measures.size(), 0.0);
+  std::vector<double> max_value(names.size(), 0.0);
   for (const auto& row : raw) {
     for (size_t c = 0; c < row.size(); ++c) {
       if (!std::isnan(row[c])) max_value[c] = std::max(max_value[c], row[c]);
@@ -126,9 +147,8 @@ TrajectoryResult RunTrajectory(
     result.table.AddRow(std::move(cells));
   }
 
-  const ViolationSet final_violations = detector.FindViolations(db);
   result.final_violation_ratio =
-      final_violations.ViolatingPairRatio(db.size());
+      session.Violations(handle).ViolatingPairRatio(session.db(handle).size());
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include "datagen/noise.h"
 #include "measures/measure.h"
 #include "measures/registry.h"
+#include "measures/session.h"
 #include "violations/detector.h"
 
 namespace dbim::bench {
@@ -42,6 +43,9 @@ struct BenchArgs {
 
   /// Scaled sample size: `base` by default, the paper's size under --full.
   size_t SampleSize(size_t base, size_t paper) const;
+
+  /// Engine options carrying this run's --threads / --parallel-measures.
+  MeasureEngineOptions EngineOptions() const;
 };
 
 /// Prints a section header for a table/figure reproduction.
@@ -52,22 +56,26 @@ void PrintHeader(const std::string& experiment, const std::string& about);
 void Emit(const BenchArgs& args, const std::string& name,
           const TablePrinter& table);
 
-/// One step of a noise process (mutates the database).
-using NoiseStep = std::function<void(Database&, Rng&)>;
+/// One step of a noise process: reads the session's live database view and
+/// writes every cell mutation through `update` (a MeasureSession::Apply
+/// adapter), so violation state is maintained incrementally across steps.
+using NoiseStep =
+    std::function<void(const Database&, Rng&, const CellUpdateFn&)>;
 
-/// Runs a measure-trajectory experiment in the style of Figures 4/5/8/9/10:
-/// applies `iterations` noise steps, evaluating every measure each
-/// `sample_every` steps, and returns one row per sample point with raw
-/// values normalized to each measure's final value (the paper plots
-/// normalized series). A trailing summary row carries the violation ratio.
+/// Runs a measure-trajectory experiment in the style of Figures 4/5/8/9/10
+/// on a MeasureSession: registers the dataset once, applies `iterations`
+/// noise steps through the session (auto-vacuum enabled — value churn
+/// compacts), evaluates the selected measures each `sample_every` steps,
+/// and returns one row per sample point with raw values normalized to each
+/// measure's maximum (the paper plots normalized series).
 struct TrajectoryResult {
   TablePrinter table;
   double final_violation_ratio = 0.0;
 };
-TrajectoryResult RunTrajectory(
-    const Dataset& dataset,
-    const std::vector<std::unique_ptr<InconsistencyMeasure>>& measures,
-    const NoiseStep& step, size_t iterations, size_t sample_every, Rng& rng);
+TrajectoryResult RunTrajectory(const Dataset& dataset,
+                               MeasureEngineOptions engine,
+                               const NoiseStep& step, size_t iterations,
+                               size_t sample_every, Rng& rng);
 
 }  // namespace dbim::bench
 

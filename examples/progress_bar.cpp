@@ -3,6 +3,11 @@
 // (always removing a fact from the current minimum repair); after each
 // operation the measures are re-evaluated and rendered as progress bars.
 //
+// The loop runs on a MeasureSession: each deletion goes through
+// Apply(handle, op), which maintains the violation state incrementally, so
+// a re-measurement costs a snapshot + the measures instead of a full
+// re-detection per step.
+//
 // What to observe (the paper's point): I_lin_R and I_R tick down smoothly
 // — bounded continuity + progression — so they make a faithful progress
 // bar, while I_d sits at 100% until the very last step and I_P can jump.
@@ -14,9 +19,9 @@
 
 #include "datagen/datasets.h"
 #include "datagen/noise.h"
-#include "measures/basic_measures.h"
 #include "measures/repair_measures.h"
-#include "violations/detector.h"
+#include "measures/session.h"
+#include "relational/operations.h"
 
 namespace {
 
@@ -35,34 +40,50 @@ int main(int argc, char** argv) {
   const int noise_steps = argc > 2 ? std::atoi(argv[2]) : 25;
 
   const Dataset dataset = MakeDataset(DatasetId::kHospital, n, 1);
-  const ViolationDetector detector(dataset.schema, dataset.constraints);
   const CoNoiseGenerator noise(dataset.data, dataset.constraints);
 
-  Database db = dataset.data;
+  Database noisy = dataset.data;
   Rng rng(11);
-  for (int i = 0; i < noise_steps; ++i) noise.Step(db, rng);
+  for (int i = 0; i < noise_steps; ++i) noise.Step(noisy, rng);
 
-  DrasticMeasure drastic;
-  ProblematicFactsMeasure problematic;
-  MinRepairMeasure repair;
-  LinRepairMeasure lin;
+  MeasureSessionOptions options;
+  options.engine.registry.include_mc = false;
+  options.engine.only = {"I_d", "I_P", "I_lin_R"};
+  MeasureSession session(dataset.schema, dataset.constraints, options);
+  const DbHandle handle = session.Register(noisy);
 
-  MeasureContext initial(detector, db);
-  const double total_lin = lin.Evaluate(initial);
-  const double total_ip = problematic.Evaluate(initial);
+  // One context per step, fed from the session's maintained violation
+  // state: the measure reads and the repair planner share its conflict
+  // graph and LP solve.
+  const auto value_of = [](const std::vector<MeasureResult>& results,
+                           const char* name) {
+    for (const MeasureResult& r : results) {
+      if (r.name == name) return r.value;
+    }
+    return 0.0;
+  };
+
+  MeasureContext initial(session.detector(), session.db(handle),
+                         session.Violations(handle));
+  const std::vector<MeasureResult> first = session.Evaluate(initial);
+  const double total_lin = value_of(first, "I_lin_R");
+  const double total_ip = value_of(first, "I_P");
   if (total_lin == 0.0) {
     std::printf("already consistent, nothing to repair\n");
     return 0;
   }
   std::printf("repairing %zu facts, initial I_lin_R = %.2f, I_P = %.0f\n\n",
-              db.size(), total_lin, total_ip);
+              session.db(handle).size(), total_lin, total_ip);
 
+  MinRepairMeasure repair;
   int step = 0;
   while (true) {
-    MeasureContext context(detector, db);
-    const double lin_now = lin.Evaluate(context);
-    const double ip_now = problematic.Evaluate(context);
-    const double drastic_now = drastic.Evaluate(context);
+    MeasureContext context(session.detector(), session.db(handle),
+                           session.Violations(handle));
+    const std::vector<MeasureResult> results = session.Evaluate(context);
+    const double lin_now = value_of(results, "I_lin_R");
+    const double ip_now = value_of(results, "I_P");
+    const double drastic_now = value_of(results, "I_d");
     std::printf("step %3d  I_lin_R [%s] %5.1f%%   I_P [%s] %5.1f%%   I_d=%g\n",
                 step, Bar(1.0 - lin_now / total_lin).c_str(),
                 100.0 * (1.0 - lin_now / total_lin),
@@ -73,7 +94,7 @@ int main(int argc, char** argv) {
     // Repair action: delete one fact from the current minimum repair.
     const std::vector<FactId> optimal = repair.OptimalRepair(context);
     if (optimal.empty()) break;
-    db.Delete(optimal.front());
+    session.Apply(handle, RepairOperation::Deletion(optimal.front()));
     ++step;
   }
   std::printf("\nconsistent after %d deletions\n", step);

@@ -155,4 +155,19 @@ DenialConstraint DcBuilder::BuildUnary() const {
   return DenialConstraint({relation_}, predicates_);
 }
 
+BlockingKeys ExtractBlockingKeys(const DenialConstraint& dc) {
+  BlockingKeys keys;
+  for (const Predicate& p : dc.predicates()) {
+    if (!p.IsCrossVariable() || p.op() != CompareOp::kEq) continue;
+    if (p.lhs().var == 0) {
+      keys.var0.push_back(p.lhs().attr);
+      keys.var1.push_back(p.rhs_operand().attr);
+    } else {
+      keys.var0.push_back(p.rhs_operand().attr);
+      keys.var1.push_back(p.lhs().attr);
+    }
+  }
+  return keys;
+}
+
 }  // namespace dbim

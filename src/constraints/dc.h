@@ -68,6 +68,21 @@ class DenialConstraint {
   std::vector<Predicate> predicates_;
 };
 
+/// The attribute lists of the cross-variable equality predicates of a
+/// binary DC, one list per side: key attribute k of variable 0 must equal
+/// key attribute k of variable 1 for the body to possibly hold. This is the
+/// hash-partition ("blocking") key shared by the batch violation detector
+/// and the incremental index's per-fact probes.
+struct BlockingKeys {
+  std::vector<AttrIndex> var0;
+  std::vector<AttrIndex> var1;
+  bool empty() const { return var0.empty(); }
+};
+
+/// Extracts the blocking keys of a binary DC (empty when the body has no
+/// cross-variable equality, e.g. pure order constraints).
+BlockingKeys ExtractBlockingKeys(const DenialConstraint& dc);
+
 /// Builder for the common single-relation binary DC
 /// `forall t, t' : !(...)`, used pervasively by the dataset definitions.
 class DcBuilder {

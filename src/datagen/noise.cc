@@ -106,6 +106,13 @@ CoNoiseGenerator::CoNoiseGenerator(const Database& reference,
 }
 
 void CoNoiseGenerator::Step(Database& db, Rng& rng) const {
+  Step(db, rng, [&db](FactId id, AttrIndex attr, Value v) {
+    db.UpdateValue(id, attr, std::move(v));
+  });
+}
+
+void CoNoiseGenerator::Step(const Database& db, Rng& rng,
+                            const CellUpdateFn& update) const {
   if (db.empty()) return;
   const DenialConstraint& dc =
       constraints_[rng.UniformIndex(constraints_.size())];
@@ -153,11 +160,11 @@ void CoNoiseGenerator::Step(Database& db, Rng& rng) const {
         p.op() == CompareOp::kGe) {
       // Copy one side onto the other; for <= / >= equality satisfies.
       if (touch_lhs) {
-        db.UpdateValue(lhs.id, lhs.attr, rhs_value);
+        update(lhs.id, lhs.attr, rhs_value);
       } else {
         const CellAddr rhs{var_tuple[p.rhs_operand().var].id,
                            p.rhs_operand().attr};
-        db.UpdateValue(rhs.id, rhs.attr, lhs_value);
+        update(rhs.id, rhs.attr, lhs_value);
       }
       continue;
     }
@@ -167,14 +174,14 @@ void CoNoiseGenerator::Step(Database& db, Rng& rng) const {
       const RelationId rel = db.fact(lhs.id).relation();
       const auto value =
           SatisfyingValue(domains_[rel][lhs.attr], p.op(), rhs_value, rng);
-      if (value.has_value()) db.UpdateValue(lhs.id, lhs.attr, *value);
+      if (value.has_value()) update(lhs.id, lhs.attr, *value);
     } else {
       const CellAddr rhs{var_tuple[p.rhs_operand().var].id,
                          p.rhs_operand().attr};
       const RelationId rel = db.fact(rhs.id).relation();
       const auto value = SatisfyingValue(domains_[rel][rhs.attr],
                                          FlipOp(p.op()), lhs_value, rng);
-      if (value.has_value()) db.UpdateValue(rhs.id, rhs.attr, *value);
+      if (value.has_value()) update(rhs.id, rhs.attr, *value);
     }
   }
 }
@@ -215,6 +222,13 @@ RNoiseGenerator::RNoiseGenerator(const Database& reference,
 }
 
 void RNoiseGenerator::Step(Database& db, Rng& rng) const {
+  Step(db, rng, [&db](FactId id, AttrIndex attr, Value v) {
+    db.UpdateValue(id, attr, std::move(v));
+  });
+}
+
+void RNoiseGenerator::Step(const Database& db, Rng& rng,
+                           const CellUpdateFn& update) const {
   if (db.empty()) return;
   const std::vector<FactId> ids = db.ids();
   // Pick a column, then a fact of its relation.
@@ -224,7 +238,7 @@ void RNoiseGenerator::Step(Database& db, Rng& rng) const {
     if (db.fact(id).relation() != col.relation) continue;
     const Value current = db.fact(id).value(col.attr);
     if (rng.Bernoulli(typo_probability_)) {
-      db.UpdateValue(id, col.attr, MakeTypo(current, rng));
+      update(id, col.attr, MakeTypo(current, rng));
       return;
     }
     if (col.domain.empty()) continue;
@@ -233,7 +247,7 @@ void RNoiseGenerator::Step(Database& db, Rng& rng) const {
     for (int draw = 0; draw < 16; ++draw) {
       const Value candidate = col.domain[col.zipf->Sample(rng)];
       if (candidate != current) {
-        db.UpdateValue(id, col.attr, candidate);
+        update(id, col.attr, candidate);
         return;
       }
     }

@@ -1,6 +1,7 @@
 #ifndef DBIM_DATAGEN_NOISE_H_
 #define DBIM_DATAGEN_NOISE_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -9,6 +10,14 @@
 #include "relational/database.h"
 
 namespace dbim {
+
+/// Sink for a noise step's cell updates. Both generators mutate only
+/// through UpdateValue, so a step can be routed through any write path —
+/// in particular a MeasureSession's Apply, which maintains violation state
+/// incrementally. The step reads `db` between writes, so the sink must
+/// apply each update before returning (as Database::UpdateValue and
+/// MeasureSession::Apply both do).
+using CellUpdateFn = std::function<void(FactId, AttrIndex, Value)>;
 
 /// CONoise (Constraint-Oriented Noise), paper Section 6.1: each step picks
 /// a random constraint and random tuples, and edits cell values so that
@@ -24,6 +33,10 @@ class CoNoiseGenerator {
 
   /// Applies one CONoise iteration to `db`.
   void Step(Database& db, Rng& rng) const;
+
+  /// Same iteration (identical RNG draws and updates), reading from `db`
+  /// but writing through `update` — e.g. a MeasureSession::Apply adapter.
+  void Step(const Database& db, Rng& rng, const CellUpdateFn& update) const;
 
  private:
   std::vector<DenialConstraint> constraints_;
@@ -43,6 +56,10 @@ class RNoiseGenerator {
 
   /// Applies one RNoise iteration to `db`.
   void Step(Database& db, Rng& rng) const;
+
+  /// Same iteration (identical RNG draws and updates), reading from `db`
+  /// but writing through `update` — e.g. a MeasureSession::Apply adapter.
+  void Step(const Database& db, Rng& rng, const CellUpdateFn& update) const;
 
   /// Number of steps that modify a fraction `alpha` of the dataset's values
   /// (alpha * #cells), the paper's stopping rule.

@@ -2,93 +2,48 @@
 #define DBIM_MEASURES_ENGINE_H_
 
 #include <memory>
-#include <string>
 #include <vector>
 
-#include "measures/measure.h"
-#include "measures/registry.h"
-#include "relational/database.h"
-#include "violations/detector.h"
+#include "measures/session.h"
 
 namespace dbim {
 
-/// Configuration of a MeasureEngine: which measures to instantiate (with
-/// their per-measure budgets) and how to run the shared violation
-/// detection.
-struct MeasureEngineOptions {
-  /// Measure selection and per-measure budgets (I_MC / I_R deadlines).
-  RegistryOptions registry;
+// MeasureEngineOptions, MeasureResult and BatchReport live in
+// measures/session.h, shared with the session API this engine wraps.
 
-  /// Knobs for the one shared detection pass (blocking, caps, deadline,
-  /// and `num_threads` for the sharded probe phase — reports are identical
-  /// for every thread count; see DetectorOptions).
-  DetectorOptions detector;
-
-  /// Restrict evaluation to these measure names (empty = the full
-  /// registry). Unknown names are ignored.
-  std::vector<std::string> only;
-
-  /// Evaluate independent measures concurrently on the shared context (one
-  /// task per selected measure on the process-wide pool, capped at the
-  /// hardware thread count). The context is materialized first, so workers
-  /// only read shared state; every measure is a pure function of it, so
-  /// values and result order are bit-identical to sequential evaluation —
-  /// only the per-measure wall times overlap. Orthogonal to
-  /// detector.num_threads, which parallelizes the detection pass itself.
-  bool parallel_measures = false;
-};
-
-/// Value of one measure plus the time evaluation took on the shared
-/// context (detection excluded; see BatchReport::detection_seconds).
-struct MeasureResult {
-  std::string name;
-  double value = 0.0;
-  double seconds = 0.0;
-};
-
-/// Result of evaluating a registry over one (Sigma, D) pair.
-struct BatchReport {
-  /// Wall time of the single FindViolations pass.
-  double detection_seconds = 0.0;
-  size_t num_minimal_subsets = 0;
-  bool truncated = false;
-  std::vector<MeasureResult> measures;
-
-  /// The entry named `name`, or nullptr.
-  const MeasureResult* Find(const std::string& name) const;
-};
-
-/// Batch evaluator: owns a ViolationDetector and the instantiated measure
-/// registry, and evaluates every measure over one shared MeasureContext so
-/// detection — the dominating cost per the paper's Section 6.2.3 — runs
-/// exactly once per (Sigma, D) instead of once per measure. This replaces
-/// the per-measure EvaluateFresh loops previously scattered through the
-/// CLI and the bench drivers.
+/// One-shot batch evaluator: a thin wrapper over a MeasureSession that
+/// evaluates a caller-owned database on its own pool — exactly one
+/// FindViolations per (Sigma, D), every selected measure on the shared
+/// context. Trajectory workloads (repeated evaluation under mutation)
+/// should hold a MeasureSession instead and register their databases with
+/// it: the session amortizes detection state across operations.
 class MeasureEngine {
  public:
   MeasureEngine(std::shared_ptr<const Schema> schema,
                 std::vector<DenialConstraint> constraints,
-                MeasureEngineOptions options = {});
+                MeasureEngineOptions options = {})
+      : session_(std::move(schema), std::move(constraints),
+                 MeasureSessionOptions{std::move(options), 1, 0.0}) {}
 
-  const ViolationDetector& detector() const { return detector_; }
+  const ViolationDetector& detector() const { return session_.detector(); }
   const std::vector<std::unique_ptr<InconsistencyMeasure>>& measures() const {
-    return measures_;
+    return session_.measures();
   }
 
   /// Runs detection once, then evaluates every selected measure on the
   /// shared context.
-  BatchReport EvaluateAll(const Database& db) const;
+  BatchReport EvaluateAll(const Database& db) const {
+    return session_.EvaluateOne(db);
+  }
 
   /// Evaluates the selected measures on a caller-provided context (which
   /// may already hold cached violations — no re-detection happens here).
-  std::vector<MeasureResult> Evaluate(MeasureContext& context) const;
+  std::vector<MeasureResult> Evaluate(MeasureContext& context) const {
+    return session_.Evaluate(context);
+  }
 
  private:
-  bool Selected(const std::string& name) const;
-
-  ViolationDetector detector_;
-  std::vector<std::unique_ptr<InconsistencyMeasure>> measures_;
-  MeasureEngineOptions options_;
+  MeasureSession session_;
 };
 
 }  // namespace dbim

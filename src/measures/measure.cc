@@ -3,8 +3,9 @@
 namespace dbim {
 
 const ViolationSet& MeasureContext::violations() {
-  std::call_once(violations_once_,
-                 [&] { violations_ = detector_.FindViolations(db_); });
+  std::call_once(violations_once_, [&] {
+    if (!violations_) violations_ = detector_.FindViolations(db_);
+  });
   return *violations_;
 }
 

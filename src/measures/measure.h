@@ -32,6 +32,13 @@ class MeasureContext {
   MeasureContext(const ViolationDetector& detector, const Database& db)
       : detector_(detector), db_(db) {}
 
+  /// Context over a precomputed MI set — no detection pass runs; measures
+  /// evaluate against `violations` as-is. This is how a MeasureSession
+  /// hands an incrementally maintained snapshot to the measure suite.
+  MeasureContext(const ViolationDetector& detector, const Database& db,
+                 ViolationSet violations)
+      : detector_(detector), db_(db), violations_(std::move(violations)) {}
+
   const Database& db() const { return db_; }
   const ViolationDetector& detector() const { return detector_; }
 

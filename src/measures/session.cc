@@ -1,0 +1,224 @@
+#include "measures/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+
+namespace dbim {
+
+namespace {
+
+// Apply runs PoolWaste() — a scan of the pool and every registered
+// database's distinct-value counts — only every this many operations, so
+// the auto-vacuum hook stays cheap inside tight mutation loops.
+constexpr size_t kAutoVacuumCheckInterval = 64;
+
+}  // namespace
+
+const MeasureResult* BatchReport::Find(const std::string& name) const {
+  for (const MeasureResult& r : measures) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+MeasureSession::MeasureSession(std::shared_ptr<const Schema> schema,
+                               std::vector<DenialConstraint> constraints,
+                               MeasureSessionOptions options)
+    : schema_(std::move(schema)),
+      detector_(schema_, std::move(constraints), options.engine.detector),
+      measures_(CreateMeasures(options.engine.registry)),
+      options_(std::move(options)),
+      pool_(std::make_shared<ValuePool>()) {
+  // Incremental maintenance covers binary Sigma under uncapped detection;
+  // anything else falls back to full detection per evaluation.
+  incremental_supported_ =
+      options_.engine.detector.max_subsets == 0 &&
+      options_.engine.detector.deadline_seconds == 0.0;
+  for (const DenialConstraint& dc : detector_.constraints()) {
+    if (dc.num_vars() > 2) incremental_supported_ = false;
+  }
+}
+
+MeasureSession::HandleState& MeasureSession::State(DbHandle handle) {
+  DBIM_CHECK_MSG(handle < handles_.size() && handles_[handle] != nullptr,
+                 "invalid or unregistered handle %u", handle);
+  return *handles_[handle];
+}
+
+const MeasureSession::HandleState& MeasureSession::State(
+    DbHandle handle) const {
+  DBIM_CHECK_MSG(handle < handles_.size() && handles_[handle] != nullptr,
+                 "invalid or unregistered handle %u", handle);
+  return *handles_[handle];
+}
+
+DbHandle MeasureSession::Register(const Database& db) {
+  auto state = std::make_unique<HandleState>(db);  // copy, then re-key
+  state->db.ReinternInto(pool_);
+  if (incremental_supported_) {
+    state->incremental = std::make_unique<IncrementalViolationIndex>(
+        schema_, detector_.constraints(), &state->db,
+        options_.engine.detector);
+  }
+  const DbHandle handle = static_cast<DbHandle>(handles_.size());
+  handles_.push_back(std::move(state));
+  ++num_registered_;
+  return handle;
+}
+
+void MeasureSession::Unregister(DbHandle handle) {
+  State(handle);  // validity check
+  handles_[handle] = nullptr;
+  --num_registered_;
+}
+
+const Database& MeasureSession::db(DbHandle handle) const {
+  return State(handle).db;
+}
+
+void MeasureSession::Apply(DbHandle handle, const RepairOperation& op) {
+  HandleState& state = State(handle);
+  if (state.incremental) {
+    state.incremental->Apply(op);
+  } else {
+    op.ApplyInPlace(state.db);
+  }
+  if (options_.auto_vacuum_threshold > 0.0 &&
+      ++ops_since_vacuum_check_ >= kAutoVacuumCheckInterval) {
+    ops_since_vacuum_check_ = 0;
+    Vacuum(options_.auto_vacuum_threshold);
+  }
+}
+
+bool MeasureSession::Selected(const std::string& name) const {
+  if (options_.engine.only.empty()) return true;
+  return std::find(options_.engine.only.begin(), options_.engine.only.end(),
+                   name) != options_.engine.only.end();
+}
+
+std::vector<MeasureResult> MeasureSession::Evaluate(
+    MeasureContext& context) const {
+  std::vector<InconsistencyMeasure*> selected;
+  selected.reserve(measures_.size());
+  for (const auto& measure : measures_) {
+    if (Selected(measure->name())) selected.push_back(measure.get());
+  }
+  std::vector<MeasureResult> results(selected.size());
+  auto evaluate_one = [&](size_t i) {
+    MeasureResult& r = results[i];
+    r.name = selected[i]->name();
+    Timer timer;
+    r.value = selected[i]->Evaluate(context);
+    r.seconds = timer.Seconds();
+  };
+  if (!options_.engine.parallel_measures || selected.size() <= 1) {
+    for (size_t i = 0; i < selected.size(); ++i) evaluate_one(i);
+    return results;
+  }
+  // Concurrent evaluation: materialize the context's lazy members first so
+  // every worker strictly reads shared state (and no measure's timer
+  // absorbs detection or the conflict-graph build), then run one task per
+  // measure. Each task writes only its own results slot; the trivial
+  // ordered consume keeps registry order.
+  context.Materialize();
+  const size_t threads =
+      std::min(selected.size(), ThreadPool::HardwareThreads());
+  OrderedParallelFor(
+      threads, selected.size(), [&](size_t i) { evaluate_one(i); },
+      [](size_t) { return true; });
+  return results;
+}
+
+BatchReport MeasureSession::ReportOn(MeasureContext& context,
+                                     double detection_seconds) const {
+  BatchReport report;
+  const ViolationSet& violations = context.violations();
+  report.detection_seconds = detection_seconds;
+  report.num_minimal_subsets = violations.num_minimal_subsets();
+  report.truncated = violations.truncated();
+  report.measures = Evaluate(context);
+  return report;
+}
+
+BatchReport MeasureSession::EvaluateState(const HandleState& state) const {
+  if (state.incremental) {
+    Timer snapshot;
+    MeasureContext context(detector_, state.db,
+                           state.incremental->Snapshot());
+    return ReportOn(context, snapshot.Seconds());
+  }
+  Timer detection;
+  MeasureContext context(detector_, state.db);
+  context.violations();
+  return ReportOn(context, detection.Seconds());
+}
+
+BatchReport MeasureSession::Evaluate(DbHandle handle) const {
+  return EvaluateState(State(handle));
+}
+
+std::vector<BatchReport> MeasureSession::EvaluateAll(
+    const std::vector<DbHandle>& handles) const {
+  // Validate on this thread (DBIM_CHECK aborts are not for workers), then
+  // fan out: one report per handle, computed independently on read-only
+  // session state — per-handle results are bit-identical to Evaluate().
+  std::vector<const HandleState*> states;
+  states.reserve(handles.size());
+  for (const DbHandle handle : handles) states.push_back(&State(handle));
+  std::vector<BatchReport> reports(handles.size());
+  const size_t threads = options_.batch_threads == 0
+                             ? ThreadPool::HardwareThreads()
+                             : options_.batch_threads;
+  OrderedParallelFor(
+      threads, handles.size(),
+      [&](size_t i) { reports[i] = EvaluateState(*states[i]); },
+      [](size_t) { return true; });
+  return reports;
+}
+
+BatchReport MeasureSession::EvaluateOne(const Database& db) const {
+  Timer detection;
+  MeasureContext context(detector_, db);
+  context.violations();
+  return ReportOn(context, detection.Seconds());
+}
+
+ViolationSet MeasureSession::Violations(DbHandle handle) const {
+  const HandleState& state = State(handle);
+  if (state.incremental) return state.incremental->Snapshot();
+  return detector_.FindViolations(state.db);
+}
+
+double MeasureSession::PoolWaste() const {
+  if (pool_->size() <= 1) return 0.0;
+  std::vector<char> used(pool_->size(), 0);
+  used[kNullValueId] = 1;
+  for (const auto& state : handles_) {
+    if (state != nullptr) state->db.MarkUsedValueIds(used);
+  }
+  size_t used_count = 0;
+  for (const char u : used) used_count += u;
+  return 1.0 - static_cast<double>(used_count) /
+                   static_cast<double>(pool_->size());
+}
+
+bool MeasureSession::Vacuum(double waste_threshold) {
+  if (PoolWaste() <= waste_threshold) return false;
+  // Re-intern every registered database into one fresh pool, in handle
+  // order: values shared across databases are interned once, dead entries
+  // are dropped. FactId-keyed violation state and the semantic-hash
+  // blocking buckets survive untouched.
+  auto fresh = std::make_shared<ValuePool>();
+  for (auto& state : handles_) {
+    if (state != nullptr) state->db.ReinternInto(fresh);
+  }
+  pool_ = std::move(fresh);
+  ++num_vacuums_;
+  return true;
+}
+
+}  // namespace dbim

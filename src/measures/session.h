@@ -1,0 +1,219 @@
+#ifndef DBIM_MEASURES_SESSION_H_
+#define DBIM_MEASURES_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "measures/measure.h"
+#include "measures/registry.h"
+#include "relational/database.h"
+#include "violations/detector.h"
+#include "violations/incremental.h"
+
+namespace dbim {
+
+/// Measure selection, detection knobs and evaluation strategy shared by
+/// MeasureSession and its one-shot wrapper MeasureEngine.
+struct MeasureEngineOptions {
+  /// Measure selection and per-measure budgets (I_MC / I_R deadlines).
+  RegistryOptions registry;
+
+  /// Knobs for the shared detection pass (blocking, caps, deadline, and
+  /// `num_threads` for the sharded phases — reports are identical for
+  /// every thread count; see DetectorOptions).
+  DetectorOptions detector;
+
+  /// Restrict evaluation to these measure names (empty = the full
+  /// registry). Unknown names are ignored.
+  std::vector<std::string> only;
+
+  /// Evaluate independent measures concurrently on the shared context (one
+  /// task per selected measure on the process-wide pool, capped at the
+  /// hardware thread count). The context is materialized first, so workers
+  /// only read shared state; every measure is a pure function of it, so
+  /// values and result order are bit-identical to sequential evaluation —
+  /// only the per-measure wall times overlap. Orthogonal to
+  /// detector.num_threads, which parallelizes the detection pass itself.
+  bool parallel_measures = false;
+};
+
+/// Value of one measure plus the time evaluation took on the shared
+/// context (detection excluded; see BatchReport::detection_seconds).
+struct MeasureResult {
+  std::string name;
+  double value = 0.0;
+  double seconds = 0.0;
+};
+
+/// Result of evaluating a registry over one (Sigma, D) pair.
+struct BatchReport {
+  /// Wall time spent obtaining MI_Sigma(D): the single FindViolations pass,
+  /// or — on a session handle with incremental maintenance — the snapshot
+  /// of the maintained set.
+  double detection_seconds = 0.0;
+  size_t num_minimal_subsets = 0;
+  bool truncated = false;
+  std::vector<MeasureResult> measures;
+
+  /// The entry named `name`, or nullptr.
+  const MeasureResult* Find(const std::string& name) const;
+};
+
+/// Session-level knobs on top of the per-evaluation engine options.
+struct MeasureSessionOptions {
+  MeasureEngineOptions engine;
+
+  /// Worker threads for the cross-database fan-out in EvaluateAll (batch
+  /// evaluation of several handles): 1 = sequential, 0 = one per hardware
+  /// thread. Per-handle reports are computed independently on read-only
+  /// shared state, so results are bit-identical for every value. Composes
+  /// with engine.detector.num_threads and engine.parallel_measures (nested
+  /// fan-out on the process-wide pool cannot deadlock).
+  size_t batch_threads = 1;
+
+  /// Auto-vacuum hook: when > 0, Apply periodically checks the shared
+  /// pool's waste (the fraction of dictionary entries no registered
+  /// database references — sustained value churn grows it) and, past the
+  /// threshold, rebuilds the pool and remaps every registered database
+  /// together. Measure reports are invariant under the remap. 0 disables.
+  double auto_vacuum_threshold = 0.0;
+};
+
+/// Handle to a database registered with a MeasureSession.
+using DbHandle = uint32_t;
+
+/// A long-lived, multi-database evaluation session: owns (Sigma, the
+/// instantiated measure registry, options) plus one shared ValuePool for
+/// every database registered with it.
+///
+/// Real measurement workloads are trajectories, not one-shots: the noise
+/// benches evaluate the same (Sigma, schema) over dozens of mutated
+/// samples, and repair loops re-measure after every operation. Detection
+/// dominates each evaluation (paper Section 6.2.3), so the session
+/// amortizes detection *state* across the trajectory:
+///
+///  * `Register(db)` re-interns the database onto the session pool and —
+///    when Sigma is binary and detection is uncapped — builds an
+///    IncrementalViolationIndex whose per-constraint blocking buckets
+///    persist across operations;
+///  * `Apply(handle, op)` mutates in place and maintains MI_Sigma(D) in
+///    O(bucket) per operation instead of re-detecting (k-ary Sigma and
+///    capped/deadlined detection fall back to full detection
+///    transparently);
+///  * `Evaluate(handle)` reports all selected measures; with incremental
+///    maintenance the "detection" step is a snapshot of the maintained
+///    set. Reports are bit-identical to a fresh MeasureEngine over an
+///    equal database;
+///  * `EvaluateAll(handles)` batch-schedules evaluation across databases
+///    on the process-wide thread pool (pipeline parallelism over e.g. a
+///    trajectory's sample points);
+///  * the auto-vacuum hook compacts the shared pool during long mutation
+///    loops, remapping all registered databases together.
+///
+/// Thread safety: Register/Apply/Unregister/Vacuum are single-threaded;
+/// Evaluate/EvaluateAll only read session state (they may be called from
+/// EvaluateAll's own fan-out, but not concurrently with mutations).
+class MeasureSession {
+ public:
+  MeasureSession(std::shared_ptr<const Schema> schema,
+                 std::vector<DenialConstraint> constraints,
+                 MeasureSessionOptions options = {});
+
+  const ViolationDetector& detector() const { return detector_; }
+  const std::vector<std::unique_ptr<InconsistencyMeasure>>& measures() const {
+    return measures_;
+  }
+  const ValuePool& pool() const { return *pool_; }
+
+  /// Registers a copy of `db`, re-interned onto the session pool. Row order
+  /// is preserved, so detection results match the original database
+  /// exactly.
+  DbHandle Register(const Database& db);
+
+  /// Drops a handle (its database and incremental state).
+  void Unregister(DbHandle handle);
+
+  /// The session's live view of a registered database.
+  const Database& db(DbHandle handle) const;
+
+  size_t num_registered() const { return num_registered_; }
+
+  /// Applies a repairing operation to the handle's database, maintaining
+  /// the incremental violation index when one exists, and runs the
+  /// auto-vacuum hook.
+  void Apply(DbHandle handle, const RepairOperation& op);
+
+  /// Evaluates every selected measure over the handle's database. With
+  /// incremental maintenance no detection pass runs — the maintained MI
+  /// set is snapshotted instead.
+  BatchReport Evaluate(DbHandle handle) const;
+
+  /// Batch evaluation across databases: one report per handle, scheduled
+  /// on the process-wide pool (options.batch_threads). Reports are
+  /// bit-identical to calling Evaluate per handle.
+  std::vector<BatchReport> EvaluateAll(
+      const std::vector<DbHandle>& handles) const;
+
+  /// One-shot evaluation of an unregistered database on its own pool: a
+  /// full detection pass plus the measure suite. This is MeasureEngine's
+  /// implementation, and the "fresh" baseline the session's amortized path
+  /// is benchmarked against.
+  BatchReport EvaluateOne(const Database& db) const;
+
+  /// Evaluates the selected measures on a caller-provided context (which
+  /// may already hold cached violations — no re-detection happens here).
+  std::vector<MeasureResult> Evaluate(MeasureContext& context) const;
+
+  /// The handle's current MI_Sigma(D): the maintained snapshot when
+  /// incremental, a full detection pass otherwise. Feed it to a
+  /// MeasureContext to share with Shapley ranking or repair planning.
+  ViolationSet Violations(DbHandle handle) const;
+
+  /// Fraction of shared-pool entries no registered database references.
+  double PoolWaste() const;
+
+  /// Rebuilds the shared pool without dead entries and remaps every
+  /// registered database together when PoolWaste() exceeds the threshold.
+  /// Returns whether compaction ran. Reports are unaffected: subsets are
+  /// FactId sets and the incremental buckets hash value semantics, which
+  /// the re-intern preserves.
+  bool Vacuum(double waste_threshold);
+
+  /// Number of (auto or manual) vacuums that compacted the pool.
+  size_t num_vacuums() const { return num_vacuums_; }
+
+ private:
+  struct HandleState {
+    Database db;
+    // Engaged when Sigma is binary and detection is uncapped; points at
+    // `db` (non-owning).
+    std::unique_ptr<IncrementalViolationIndex> incremental;
+
+    explicit HandleState(Database database) : db(std::move(database)) {}
+  };
+
+  HandleState& State(DbHandle handle);
+  const HandleState& State(DbHandle handle) const;
+  bool Selected(const std::string& name) const;
+  BatchReport ReportOn(MeasureContext& context, double detection_seconds) const;
+  BatchReport EvaluateState(const HandleState& state) const;
+
+  std::shared_ptr<const Schema> schema_;
+  ViolationDetector detector_;
+  std::vector<std::unique_ptr<InconsistencyMeasure>> measures_;
+  MeasureSessionOptions options_;
+  std::shared_ptr<ValuePool> pool_;
+  bool incremental_supported_ = false;
+
+  // unique_ptr entries: the incremental index holds a pointer into its
+  // HandleState's database, so states must not move when the table grows.
+  std::vector<std::unique_ptr<HandleState>> handles_;
+  size_t num_registered_ = 0;
+  size_t num_vacuums_ = 0;
+  size_t ops_since_vacuum_check_ = 0;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_MEASURES_SESSION_H_

@@ -286,32 +286,34 @@ std::vector<Value> Database::ActiveDomain(RelationId relation,
   return values;
 }
 
-double Database::PoolWaste() const {
-  std::vector<char> used(pool_->size(), 0);
+void Database::MarkUsedValueIds(std::vector<char>& used) const {
+  DBIM_CHECK(used.size() >= pool_->size());
   used[kNullValueId] = 1;
-  size_t used_count = 1;
   for (const auto& relation : domain_counts_) {
     for (const auto& column : relation) {
       for (const auto& [id, count] : column) {
         (void)count;
-        if (!used[id]) {
-          used[id] = 1;
-          ++used_count;
-        }
+        used[id] = 1;
       }
     }
   }
+}
+
+double Database::PoolWaste() const {
+  std::vector<char> used(pool_->size(), 0);
+  MarkUsedValueIds(used);
+  size_t used_count = 0;
+  for (const char u : used) used_count += u;
   return 1.0 - static_cast<double>(used_count) /
                    static_cast<double>(pool_->size());
 }
 
-bool Database::VacuumPool(double waste_threshold) {
-  if (pool_.use_count() != 1) return false;  // shared ids would dangle
-  if (PoolWaste() <= waste_threshold) return false;
-  auto fresh = std::make_shared<ValuePool>();
+void Database::ReinternInto(std::shared_ptr<ValuePool> target) {
+  if (target == pool_) return;
   // Lazily remap live ids in column-scan order. Interning is
   // representation-exact, so the remap is injective on live ids and every
-  // cell round-trips bit-for-bit.
+  // cell round-trips bit-for-bit. (Cached row-major Facts hold value
+  // copies, so they stay valid across the remap.)
   std::vector<ValueId> remap(pool_->size(), kNullValueId);
   std::vector<char> mapped(pool_->size(), 0);
   mapped[kNullValueId] = 1;  // null is pre-interned as id 0 in every pool
@@ -323,11 +325,11 @@ bool Database::VacuumPool(double waste_threshold) {
       for (size_t row = 0; row < column.size(); ++row) {
         ValueId& cell = column[row];
         if (!mapped[cell]) {
-          remap[cell] = fresh->Intern(pool_->value(cell));
+          remap[cell] = target->Intern(pool_->value(cell));
           mapped[cell] = 1;
         }
         cell = remap[cell];
-        class_column[row] = fresh->class_of(cell);
+        class_column[row] = target->class_of(cell);
       }
       std::unordered_map<ValueId, uint32_t> counts;
       counts.reserve(domain_counts_[rel][a].size());
@@ -337,7 +339,13 @@ bool Database::VacuumPool(double waste_threshold) {
       domain_counts_[rel][a] = std::move(counts);
     }
   }
-  pool_ = std::move(fresh);
+  pool_ = std::move(target);
+}
+
+bool Database::VacuumPool(double waste_threshold) {
+  if (pool_.use_count() != 1) return false;  // shared ids would dangle
+  if (PoolWaste() <= waste_threshold) return false;
+  ReinternInto(std::make_shared<ValuePool>());
   return true;
 }
 

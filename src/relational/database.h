@@ -135,6 +135,21 @@ class Database {
   /// the pre-interned null sentinel counts as referenced.
   double PoolWaste() const;
 
+  /// Marks every ValueId some live cell references in `used`, which must be
+  /// sized to pool().size(). Lets a session holding several databases on
+  /// one shared pool compute the union waste without materializing rows.
+  void MarkUsedValueIds(std::vector<char>& used) const;
+
+  /// Re-interns every live cell into `target` and rebinds this database to
+  /// it, leaving the old pool untouched. The remap preserves row order and
+  /// representation-exact values, so detection results and iteration order
+  /// are unaffected; only raw ValueIds / semantic class ids change (and
+  /// previously obtained ones must not be reused). This is how a
+  /// MeasureSession re-keys an incoming database onto its shared pool at
+  /// Register time and how a shared-pool vacuum remaps all registered
+  /// databases together. No-op when `target` is already this pool.
+  void ReinternInto(std::shared_ptr<ValuePool> target);
+
   /// Rebuilds the value pool without dead entries and remaps every column
   /// when PoolWaste() exceeds `waste_threshold`. Only runs when this
   /// database is the pool's sole owner: copies and restrictions sharing

@@ -124,31 +124,9 @@ bool KeyIdsEqual(const RowRef& a, const std::vector<AttrIndex>& attrs_a,
   return true;
 }
 
-// The attribute lists of the cross-variable equality predicates of a binary
-// DC, one list per side. Key attribute k of side 0 must equal key attribute
-// k of side 1 for the body to possibly hold.
-struct BlockingKeys {
-  std::vector<AttrIndex> var0;
-  std::vector<AttrIndex> var1;
-  bool empty() const { return var0.empty(); }
-};
-
-BlockingKeys ExtractBlockingKeys(const DenialConstraint& dc) {
-  BlockingKeys keys;
-  for (const Predicate& p : dc.predicates()) {
-    if (!p.IsCrossVariable() || p.op() != CompareOp::kEq) continue;
-    if (p.lhs().var == 0) {
-      keys.var0.push_back(p.lhs().attr);
-      keys.var1.push_back(p.rhs_operand().attr);
-    } else {
-      keys.var0.push_back(p.rhs_operand().attr);
-      keys.var1.push_back(p.lhs().attr);
-    }
-  }
-  return keys;
-}
-
 // Shared mutable state threaded through the detection passes.
+// (BlockingKeys / ExtractBlockingKeys live in constraints/dc.h, shared with
+// the incremental index's per-fact probes.)
 struct DetectionState {
   ViolationSet result;
   std::unordered_set<FactId> self_inconsistent;
@@ -551,25 +529,35 @@ ViolationSet ViolationDetector::Detect(const Database& db,
     // irrelevant.)
     std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
     if (shard_input.blocked) {
+      // The build polls the deadline cooperatively like every other phase
+      // (global-index-aligned rows, so where it stops is the same for every
+      // sharding); an expired build truncates the run before probing — its
+      // partial bucket map is never consulted.
       const std::vector<IndexRange> build_chunks =
           SplitRange(r1.num_rows(), max_chunks, kMinProbeChunkRows);
+      using BucketMap = std::unordered_map<uint64_t, std::vector<uint32_t>>;
+      // Returns true when the deadline expired at a poll point mid-build.
+      auto build_rows = [&](IndexRange range, BucketMap& map) {
+        for (uint32_t j = static_cast<uint32_t>(range.begin);
+             j < static_cast<uint32_t>(range.end); ++j) {
+          if (PollDeadline(j, state.deadline)) return true;
+          map[HashKeyIds(RowRef{&r1, j}, keys.var1)].push_back(j);
+        }
+        return false;
+      };
       if (num_threads <= 1 || build_chunks.size() <= 1) {
         buckets.reserve(r1.num_rows());
-        for (uint32_t j = 0; j < r1.num_rows(); ++j) {
-          buckets[HashKeyIds(RowRef{&r1, j}, keys.var1)].push_back(j);
+        if (build_rows(IndexRange{0, r1.num_rows()}, buckets)) {
+          state.result.set_truncated(true);
+          state.stop = true;
         }
       } else {
-        using BucketMap = std::unordered_map<uint64_t, std::vector<uint32_t>>;
         buckets.reserve(r1.num_rows());
         ParallelPhase<BucketMap>(
             num_threads, build_chunks,
             [&](IndexRange range, BucketMap& map) {
               map.reserve(range.size());
-              for (uint32_t j = static_cast<uint32_t>(range.begin);
-                   j < static_cast<uint32_t>(range.end); ++j) {
-                map[HashKeyIds(RowRef{&r1, j}, keys.var1)].push_back(j);
-              }
-              return false;  // the build is linear and unpolled
+              return build_rows(range, map);
             },
             [&](BucketMap& map) {
               for (auto& [key, rows] : map) {
@@ -582,8 +570,12 @@ ViolationSet ViolationDetector::Detect(const Database& db,
               }
               return true;
             },
-            [] {});
+            [&] {
+              state.result.set_truncated(true);
+              state.stop = true;
+            });
       }
+      if (state.stop) continue;  // loop header breaks before the next DC
     }
     shard_input.buckets = &buckets;
 
@@ -648,7 +640,14 @@ ViolationSet ViolationDetector::Detect(const Database& db,
 
   // Pass 3: minimality filter for k-ary candidate supports. A candidate
   // survives iff no singleton/pair of the result and no other (smaller)
-  // candidate is a proper subset of it.
+  // candidate is a proper subset of it. Prior witnesses are indexed by
+  // member fact, so each candidate scans only the witnesses sharing one of
+  // its members — O(sum of its members' posting lists) — instead of the
+  // whole result + accepted lists (the old O(c^2) scan). The candidate
+  // order is canonical (size, then lexicographic), so the per-candidate
+  // cooperative deadline poll lands at the same global candidate index on
+  // every run; index 0 never polls, preserving "a truncated result carries
+  // its first subset".
   if (!kary_candidates.empty() && !state.stop) {
     std::sort(kary_candidates.begin(), kary_candidates.end(),
               [](const auto& a, const auto& b) {
@@ -659,8 +658,27 @@ ViolationSet ViolationDetector::Detect(const Database& db,
                        const std::vector<FactId>& small) {
       return std::includes(big.begin(), big.end(), small.begin(), small.end());
     };
-    std::vector<std::vector<FactId>> accepted;
-    for (const auto& cand : kary_candidates) {
+    // Witness store: the singletons/pairs already in the result, then the
+    // accepted candidates as they are admitted. postings maps a member fact
+    // to its witness slots; visited stamps deduplicate slots shared by
+    // several members of one candidate.
+    std::vector<std::vector<FactId>> witnesses;
+    std::unordered_map<FactId, std::vector<uint32_t>> postings;
+    auto post = [&](const std::vector<FactId>& subset) {
+      const uint32_t slot = static_cast<uint32_t>(witnesses.size());
+      witnesses.push_back(subset);
+      for (const FactId id : subset) postings[id].push_back(slot);
+    };
+    for (const auto& sub : state.result.minimal_subsets()) post(sub);
+    std::vector<uint32_t> visited;
+    uint32_t stamp = 0;
+    for (size_t ci = 0; ci < kary_candidates.size(); ++ci) {
+      if (PollDeadline(ci, state.deadline)) {
+        state.result.set_truncated(true);
+        state.stop = true;
+        break;
+      }
+      const auto& cand = kary_candidates[ci];
       bool minimal = true;
       for (const FactId id : cand) {
         if (state.self_inconsistent.count(id) > 0) {
@@ -669,23 +687,25 @@ ViolationSet ViolationDetector::Detect(const Database& db,
         }
       }
       if (minimal) {
-        for (const auto& sub : state.result.minimal_subsets()) {
-          if (sub.size() < cand.size() && contains(cand, sub)) {
-            minimal = false;
-            break;
+        ++stamp;
+        visited.resize(witnesses.size(), 0);
+        for (const FactId id : cand) {
+          const auto it = postings.find(id);
+          if (it == postings.end()) continue;
+          for (const uint32_t slot : it->second) {
+            if (visited[slot] == stamp) continue;
+            visited[slot] = stamp;
+            const auto& sub = witnesses[slot];
+            if (sub.size() < cand.size() && contains(cand, sub)) {
+              minimal = false;
+              break;
+            }
           }
-        }
-      }
-      if (minimal) {
-        for (const auto& sub : accepted) {
-          if (sub.size() < cand.size() && contains(cand, sub)) {
-            minimal = false;
-            break;
-          }
+          if (!minimal) break;
         }
       }
       if (!minimal) continue;
-      accepted.push_back(cand);
+      post(cand);
       state.result.Add(cand);
       state.NoteLimits();
       if (state.stop) break;

@@ -8,20 +8,77 @@ namespace dbim {
 
 IncrementalViolationIndex::IncrementalViolationIndex(
     std::shared_ptr<const Schema> schema,
-    std::vector<DenialConstraint> constraints, Database db)
+    std::vector<DenialConstraint> constraints, Database db,
+    DetectorOptions build_options)
     : schema_(std::move(schema)),
       constraints_(std::move(constraints)),
-      db_(std::move(db)) {
+      owned_(std::move(db)),
+      db_(&*owned_) {
+  BuildInitialState(build_options);
+}
+
+IncrementalViolationIndex::IncrementalViolationIndex(
+    std::shared_ptr<const Schema> schema,
+    std::vector<DenialConstraint> constraints, Database* db,
+    DetectorOptions build_options)
+    : schema_(std::move(schema)),
+      constraints_(std::move(constraints)),
+      db_(db) {
+  DBIM_CHECK(db_ != nullptr);
+  BuildInitialState(build_options);
+}
+
+void IncrementalViolationIndex::BuildInitialState(
+    const DetectorOptions& build_options) {
   for (const DenialConstraint& dc : constraints_) {
     DBIM_CHECK_MSG(dc.num_vars() <= 2,
                    "incremental maintenance supports <= 2 tuple variables");
   }
-  const ViolationDetector detector(schema_, constraints_);
-  const ViolationSet initial = detector.FindViolations(db_);
-  for (const auto& subset : initial.minimal_subsets()) {
-    if (subset.size() == 1) self_inconsistent_.insert(subset[0]);
-    IndexSubset(subset);
+  DBIM_CHECK_MSG(
+      build_options.max_subsets == 0 && build_options.deadline_seconds == 0.0,
+      "incremental index needs an uncapped initial detection");
+
+  dc_states_.resize(constraints_.size());
+  for (size_t c = 0; c < constraints_.size(); ++c) {
+    if (constraints_[c].num_vars() != 2) continue;
+    dc_states_[c].keys = ExtractBlockingKeys(constraints_[c]);
+    dc_states_[c].blocked = !dc_states_[c].keys.empty();
   }
+  db_->ForEachId([&](FactId id) { AddToBuckets(id); });
+
+  const ViolationDetector detector(schema_, constraints_, build_options);
+  const ViolationSet initial = detector.FindViolations(*db_);
+  for (const auto& subset : initial.minimal_subsets()) {
+    if (subset.size() == 1) {
+      // The detector emits each self-inconsistent fact once, regardless of
+      // how many unary constraints it violates.
+      self_inconsistent_.insert(subset[0]);
+      IndexSubset(subset, 1);
+      continue;
+    }
+    // Recover the per-constraint multiplicity the detector counted: one
+    // per DC deriving the pair in some orientation (the detector's
+    // symmetric-pair dedup counts a pair once per constraint).
+    const Fact& fa = db_->fact(subset[0]);
+    const Fact& fb = db_->fact(subset[1]);
+    uint32_t multiplicity = 0;
+    for (const DenialConstraint& dc : constraints_) {
+      if (dc.num_vars() != 2) continue;
+      const bool ab = fa.relation() == dc.var_relation(0) &&
+                      fb.relation() == dc.var_relation(1) &&
+                      dc.BodyHolds(fa, fb);
+      const bool ba = !ab && fb.relation() == dc.var_relation(0) &&
+                      fa.relation() == dc.var_relation(1) &&
+                      dc.BodyHolds(fb, fa);
+      if (ab || ba) ++multiplicity;
+    }
+    DBIM_CHECK(multiplicity >= 1);
+    IndexSubset(subset, multiplicity);
+  }
+  DBIM_CHECK_MSG(
+      num_minimal_violations_ == initial.num_minimal_violations(),
+      "incremental build lost violation multiplicities (%zu vs %zu)",
+      num_minimal_violations_, initial.num_minimal_violations());
 }
 
 uint64_t IncrementalViolationIndex::SubsetKey(
@@ -34,18 +91,75 @@ uint64_t IncrementalViolationIndex::SubsetKey(
   return h;
 }
 
-void IncrementalViolationIndex::IndexSubset(std::vector<FactId> subset) {
+uint64_t IncrementalViolationIndex::SideKeyHash(const DcState& state,
+                                                int side, FactId id) const {
+  // Semantic value hashes (equal values hash alike, and the hash survives a
+  // pool re-intern), mixed like the batch detector's key hash.
+  const std::vector<AttrIndex>& attrs =
+      side == 0 ? state.keys.var0 : state.keys.var1;
+  const ValuePool& pool = db_->pool();
+  uint64_t h = 1469598103934665603ull;
+  for (const AttrIndex a : attrs) {
+    h ^= static_cast<uint64_t>(pool.hash(db_->value_id(id, a)));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void IncrementalViolationIndex::AddToBuckets(FactId id) {
+  const RelationId rel = db_->fact(id).relation();
+  for (size_t c = 0; c < constraints_.size(); ++c) {
+    DcState& state = dc_states_[c];
+    if (!state.blocked) continue;
+    for (int side = 0; side < 2; ++side) {
+      if (constraints_[c].var_relation(side) != rel) continue;
+      state.side[side][SideKeyHash(state, side, id)].push_back(id);
+    }
+  }
+}
+
+void IncrementalViolationIndex::RemoveFromBuckets(FactId id) {
+  // Must run before the fact's values change: the bucket key is recomputed
+  // from the current cells.
+  const RelationId rel = db_->fact(id).relation();
+  for (size_t c = 0; c < constraints_.size(); ++c) {
+    DcState& state = dc_states_[c];
+    if (!state.blocked) continue;
+    for (int side = 0; side < 2; ++side) {
+      if (constraints_[c].var_relation(side) != rel) continue;
+      const uint64_t key = SideKeyHash(state, side, id);
+      const auto it = state.side[side].find(key);
+      DBIM_CHECK(it != state.side[side].end());
+      auto& bucket = it->second;
+      const auto pos = std::find(bucket.begin(), bucket.end(), id);
+      DBIM_CHECK(pos != bucket.end());
+      bucket.erase(pos);  // preserve order: probes stay deterministic
+      if (bucket.empty()) state.side[side].erase(it);
+    }
+  }
+}
+
+void IncrementalViolationIndex::IndexSubset(std::vector<FactId> subset,
+                                            uint32_t multiplicity) {
   std::sort(subset.begin(), subset.end());
   const uint64_t key = SubsetKey(subset);
-  if (by_key_.count(key) > 0) return;
+  const auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    // Same subset derived by another constraint: only the violation count
+    // changes.
+    subsets_[it->second].multiplicity += multiplicity;
+    num_minimal_violations_ += multiplicity;
+    return;
+  }
   const uint32_t slot = static_cast<uint32_t>(subsets_.size());
   for (const FactId id : subset) {
     postings_[id].push_back(slot);
     ++problematic_count_[id];
   }
   by_key_.emplace(key, slot);
-  subsets_.push_back(StoredSubset{std::move(subset), true});
+  subsets_.push_back(StoredSubset{std::move(subset), multiplicity, true});
   ++live_subsets_;
+  num_minimal_violations_ += multiplicity;
 }
 
 void IncrementalViolationIndex::RemoveSubsetsInvolving(FactId id) {
@@ -56,6 +170,7 @@ void IncrementalViolationIndex::RemoveSubsetsInvolving(FactId id) {
     if (!stored.alive) continue;
     stored.alive = false;
     --live_subsets_;
+    num_minimal_violations_ -= stored.multiplicity;
     by_key_.erase(SubsetKey(stored.facts));
     for (const FactId member : stored.facts) {
       const auto cnt = problematic_count_.find(member);
@@ -68,7 +183,7 @@ void IncrementalViolationIndex::RemoveSubsetsInvolving(FactId id) {
 }
 
 void IncrementalViolationIndex::RecomputeSelfInconsistent(FactId id) {
-  const Fact& f = db_.fact(id);
+  const Fact& f = db_->fact(id);
   bool selfinc = false;
   for (const DenialConstraint& dc : constraints_) {
     if (dc.TriviallyNotUnary()) continue;
@@ -90,60 +205,88 @@ void IncrementalViolationIndex::RecomputeSelfInconsistent(FactId id) {
 
 void IncrementalViolationIndex::ProbeFact(FactId id) {
   if (self_inconsistent_.count(id) > 0) {
-    IndexSubset({id});
+    IndexSubset({id}, 1);
     return;
   }
-  const Fact& f = db_.fact(id);
-  for (const DenialConstraint& dc : constraints_) {
+  const Fact& f = db_->fact(id);
+  const RelationId rel = f.relation();
+  for (size_t c = 0; c < constraints_.size(); ++c) {
+    const DenialConstraint& dc = constraints_[c];
     if (dc.num_vars() != 2) continue;
-    for (const FactId other : db_.ids()) {
-      if (other == id) continue;
-      if (self_inconsistent_.count(other) > 0) continue;
-      const Fact& g = db_.fact(other);
-      bool hit = false;
-      if (g.relation() == dc.var_relation(1) &&
-          f.relation() == dc.var_relation(0) && dc.BodyHolds(f, g)) {
-        hit = true;
-      } else if (g.relation() == dc.var_relation(0) &&
-                 f.relation() == dc.var_relation(1) && dc.BodyHolds(g, f)) {
-        hit = true;
+    const DcState& state = dc_states_[c];
+    // Partners hit under this constraint, counted once per constraint no
+    // matter how many orientations match (the detector's per-constraint
+    // pair dedup).
+    std::unordered_set<FactId> hit;
+    auto try_partner = [&](FactId other, bool id_is_var0) {
+      if (other == id) return;  // reflexive: that is self-inconsistency
+      if (hit.count(other) > 0) return;
+      if (self_inconsistent_.count(other) > 0) return;
+      const Fact& g = db_->fact(other);
+      const bool holds =
+          id_is_var0 ? dc.BodyHolds(f, g) : dc.BodyHolds(g, f);
+      if (!holds) return;
+      hit.insert(other);
+      IndexSubset({id, other}, 1);
+    };
+    // The probe hashes its own side's key attributes; equal key values mean
+    // equal semantic hashes, so the partner side's bucket is the candidate
+    // set. Hash collisions are rejected by BodyHolds (the body contains the
+    // key equalities).
+    if (rel == dc.var_relation(0)) {
+      if (state.blocked) {
+        const auto it = state.side[1].find(SideKeyHash(state, 0, id));
+        if (it != state.side[1].end()) {
+          for (const FactId other : it->second) try_partner(other, true);
+        }
+      } else {
+        for (const FactId other :
+             db_->relation_block(dc.var_relation(1)).row_ids) {
+          try_partner(other, true);
+        }
       }
-      if (hit) IndexSubset({id, other});
+    }
+    if (rel == dc.var_relation(1)) {
+      if (state.blocked) {
+        const auto it = state.side[0].find(SideKeyHash(state, 1, id));
+        if (it != state.side[0].end()) {
+          for (const FactId other : it->second) try_partner(other, false);
+        }
+      } else {
+        for (const FactId other :
+             db_->relation_block(dc.var_relation(0)).row_ids) {
+          try_partner(other, false);
+        }
+      }
     }
   }
 }
 
 void IncrementalViolationIndex::Apply(const RepairOperation& op) {
-  if (!op.IsApplicable(db_)) return;
+  if (!op.IsApplicable(*db_)) return;
   if (op.is_deletion()) {
     const FactId id = op.deletion().id;
     RemoveSubsetsInvolving(id);
     self_inconsistent_.erase(id);
-    db_.Delete(id);
+    RemoveFromBuckets(id);
+    db_->Delete(id);
     return;
   }
   if (op.is_insertion()) {
-    Database scratch = db_;  // learn the id insertion will take
-    const FactId id = scratch.Insert(op.insertion().fact);
-    db_.Insert(op.insertion().fact);
+    const FactId id = db_->Insert(op.insertion().fact);
+    AddToBuckets(id);
     RecomputeSelfInconsistent(id);
     ProbeFact(id);
     return;
   }
   const UpdateOp& update = op.update();
   const FactId id = update.id;
-  const bool was_selfinc = self_inconsistent_.count(id) > 0;
   RemoveSubsetsInvolving(id);
-  db_.UpdateValue(id, update.attr, update.value);
+  RemoveFromBuckets(id);
+  db_->UpdateValue(id, update.attr, update.value);
+  AddToBuckets(id);
   RecomputeSelfInconsistent(id);
-  const bool now_selfinc = self_inconsistent_.count(id) > 0;
   ProbeFact(id);
-  // If the fact's self-inconsistency flipped, pairs between it and others
-  // change minimality status; ProbeFact already handles both directions
-  // because it consults the updated flag. Pairs among *other* facts are
-  // unaffected by this fact's status.
-  (void)was_selfinc;
-  (void)now_selfinc;
 }
 
 size_t IncrementalViolationIndex::NumProblematicFacts() const {
@@ -153,7 +296,10 @@ size_t IncrementalViolationIndex::NumProblematicFacts() const {
 ViolationSet IncrementalViolationIndex::Snapshot() const {
   ViolationSet out;
   for (const StoredSubset& stored : subsets_) {
-    if (stored.alive) out.Add(stored.facts);
+    if (!stored.alive) continue;
+    // Add dedups the subset list but counts every call, so adding the
+    // subset `multiplicity` times reproduces num_minimal_violations().
+    for (uint32_t m = 0; m < stored.multiplicity; ++m) out.Add(stored.facts);
   }
   return out;
 }

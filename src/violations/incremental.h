@@ -2,6 +2,7 @@
 #define DBIM_VIOLATIONS_INCREMENTAL_H_
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -20,54 +21,111 @@ namespace dbim {
 /// quadratic per step and dominates the loop (Table 3 / Figure 6 of the
 /// paper). A single operation, however, only touches witnesses involving
 /// the changed fact: deletion drops its subsets, insertion/update probes
-/// one fact against the database — O(n) per step with blocking instead of
-/// O(n^2).
+/// one fact against the database. The index keeps the same per-constraint
+/// hash-blocking structure the batch detector uses (one bucket map per DC
+/// side, maintained across operations), so a probe costs O(bucket) instead
+/// of O(n); constraints without an equality key fall back to a scan of the
+/// partner relation.
+///
+/// Bucket keys hash the *semantic value* of the blocking attributes (via
+/// the pool's precomputed hashes), not raw ValueIds — so the index survives
+/// a shared-pool vacuum/re-intern (see MeasureSession::Vacuum) untouched:
+/// every piece of its state is keyed by FactId or value semantics.
+///
+/// The index also maintains the per-(F, sigma) minimal-violation count the
+/// detector reports (a subset violating two constraints counts twice), so
+/// Snapshot() reproduces ViolationSet::num_minimal_violations() exactly.
 ///
 /// Supports constraints with at most two tuple variables (every constraint
 /// of the paper's experiments; k-ary DCs would need witness re-enumeration
 /// around the changed fact). Construction is checked against this limit.
 class IncrementalViolationIndex {
  public:
-  /// Builds the index for `db` (one full detection pass).
+  /// Builds the index for `db`, which the index owns (one full detection
+  /// pass with `build_options`; the options must not cap or deadline the
+  /// pass — a truncated initial MI set would be silently wrong).
   IncrementalViolationIndex(std::shared_ptr<const Schema> schema,
                             std::vector<DenialConstraint> constraints,
-                            Database db);
+                            Database db, DetectorOptions build_options = {});
 
-  const Database& db() const { return db_; }
+  /// Builds the index over an externally owned database, which must outlive
+  /// the index; every mutation must go through Apply. This is the
+  /// MeasureSession form: the session owns the storage, the index maintains
+  /// the violation state alongside it.
+  IncrementalViolationIndex(std::shared_ptr<const Schema> schema,
+                            std::vector<DenialConstraint> constraints,
+                            Database* db, DetectorOptions build_options = {});
 
-  /// Applies the operation to the owned database and updates the index.
+  IncrementalViolationIndex(const IncrementalViolationIndex&) = delete;
+  IncrementalViolationIndex& operator=(const IncrementalViolationIndex&) =
+      delete;
+
+  const Database& db() const { return *db_; }
+
+  /// Mutable access to the maintained database for pool remaps only
+  /// (ReinternInto): the index's state is FactId- and value-keyed, so a
+  /// re-intern leaves it valid. Any other mutation must go through Apply.
+  Database& mutable_db() { return *db_; }
+
+  /// Applies the operation to the database and updates the index.
   void Apply(const RepairOperation& op);
 
   /// Number of minimal inconsistent subsets (the I_MI value).
   size_t NumMinimalSubsets() const { return live_subsets_; }
+
+  /// Number of (subset, constraint) minimal violations — matches
+  /// ViolationSet::num_minimal_violations() of a fresh detection.
+  size_t NumMinimalViolations() const { return num_minimal_violations_; }
 
   /// Number of problematic facts (the I_P value).
   size_t NumProblematicFacts() const;
 
   bool IsConsistent() const { return live_subsets_ == 0; }
 
-  /// Materializes the current MI set (e.g. to hand to ConflictGraph).
+  /// Materializes the current MI set (e.g. to hand to ConflictGraph or a
+  /// MeasureContext). Subset order is maintenance order, not the batch
+  /// detector's discovery order; every measure value is invariant to it
+  /// (the conflict graph numbers vertices by sorted fact id and normalizes
+  /// its edge list).
   ViolationSet Snapshot() const;
 
  private:
   struct StoredSubset {
     std::vector<FactId> facts;
+    uint32_t multiplicity = 1;  // # constraints deriving this subset
     bool alive = true;
   };
+  // Per-constraint blocking state: side[v] buckets the facts of
+  // var_relation(v) by the semantic hash of their side-v key attributes.
+  // Empty keys (no cross-variable equality) leave `blocked` false and the
+  // probe falls back to scanning the partner relation.
+  struct DcState {
+    BlockingKeys keys;
+    bool blocked = false;
+    std::unordered_map<uint64_t, std::vector<FactId>> side[2];
+  };
 
-  void IndexSubset(std::vector<FactId> subset);
+  void BuildInitialState(const DetectorOptions& build_options);
+  void IndexSubset(std::vector<FactId> subset, uint32_t multiplicity);
   void RemoveSubsetsInvolving(FactId id);
   // (Re)derives all minimal subsets involving `id` and inserts new ones.
   void ProbeFact(FactId id);
   void RecomputeSelfInconsistent(FactId id);
   uint64_t SubsetKey(const std::vector<FactId>& subset) const;
 
+  uint64_t SideKeyHash(const DcState& state, int side, FactId id) const;
+  void AddToBuckets(FactId id);
+  void RemoveFromBuckets(FactId id);
+
   std::shared_ptr<const Schema> schema_;
   std::vector<DenialConstraint> constraints_;
-  Database db_;
+  std::optional<Database> owned_;
+  Database* db_;
 
+  std::vector<DcState> dc_states_;  // parallel to constraints_
   std::vector<StoredSubset> subsets_;
   size_t live_subsets_ = 0;
+  size_t num_minimal_violations_ = 0;
   std::unordered_map<FactId, std::vector<uint32_t>> postings_;  // fact->slots
   std::unordered_map<uint64_t, uint32_t> by_key_;  // canonical key -> slot
   std::unordered_set<FactId> self_inconsistent_;

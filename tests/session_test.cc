@@ -1,0 +1,269 @@
+// Parity fuzz for the MeasureSession API: along randomized mutation
+// trajectories, every session report — incremental snapshot or fallback,
+// batched or per-handle, vacuumed or not, at any thread count — must be
+// bit-identical (measure values, subset counts, truncated flag; timings
+// aside) to a fresh MeasureEngine evaluation of an equal database. This is
+// the enforcement arm of the session's "amortized but exact" contract.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "constraints/parser.h"
+#include "constraints/predicate.h"
+#include "measures/engine.h"
+#include "measures/session.h"
+#include "relational/operations.h"
+#include "test_util.h"
+
+namespace dbim {
+namespace {
+
+using testing::MakeAbcSchema;
+using testing::MakeRandomDatabase;
+
+std::vector<DenialConstraint> AbcFds(const Schema& schema) {
+  std::vector<DenialConstraint> dcs;
+  dcs.push_back(*ParseDc(schema, 0, "!(t.A = t'.A & t.B != t'.B)"));
+  dcs.push_back(*ParseDc(schema, 0, "!(t.B = t'.B & t.C != t'.C)"));
+  return dcs;
+}
+
+// Exact report equality: counts, flags, measure names/order and values.
+// Timings are wall clock and excluded.
+void ExpectIdenticalReports(const BatchReport& expected,
+                            const BatchReport& actual,
+                            const std::string& where) {
+  EXPECT_EQ(expected.num_minimal_subsets, actual.num_minimal_subsets)
+      << where;
+  EXPECT_EQ(expected.truncated, actual.truncated) << where;
+  ASSERT_EQ(expected.measures.size(), actual.measures.size()) << where;
+  for (size_t m = 0; m < expected.measures.size(); ++m) {
+    EXPECT_EQ(expected.measures[m].name, actual.measures[m].name) << where;
+    EXPECT_EQ(expected.measures[m].value, actual.measures[m].value)
+        << where << " measure " << expected.measures[m].name;
+  }
+}
+
+// A random repairing operation over relation `rel`; `churn_domain` > 0
+// draws update/insert values from a *fresh* value range per call so the
+// shared pool accumulates dead entries (the auto-vacuum trigger).
+RepairOperation RandomOp(const Database& db, RelationId rel, Rng& rng,
+                         int64_t domain, int64_t* churn_counter = nullptr) {
+  const std::vector<FactId> ids = db.ids();
+  auto draw = [&]() -> Value {
+    if (churn_counter != nullptr) {
+      return Value("churn_" + std::to_string((*churn_counter)++));
+    }
+    return Value(rng.UniformInt(0, domain - 1));
+  };
+  const size_t kind = ids.empty() ? 1 : rng.UniformIndex(4);
+  if (kind == 0) {
+    return RepairOperation::Deletion(ids[rng.UniformIndex(ids.size())]);
+  }
+  if (kind == 1) {
+    std::vector<Value> values;
+    const size_t arity = db.schema().relation(rel).arity();
+    for (size_t a = 0; a < arity; ++a) values.push_back(draw());
+    return RepairOperation::Insertion(Fact(rel, std::move(values)));
+  }
+  if (kind == 2) {  // duplicate an existing fact (distinct id, equal cells)
+    return RepairOperation::Insertion(
+        db.fact(ids[rng.UniformIndex(ids.size())]));
+  }
+  const FactId id = ids[rng.UniformIndex(ids.size())];
+  const AttrIndex attr = static_cast<AttrIndex>(
+      rng.UniformIndex(db.schema().relation(rel).arity()));
+  return RepairOperation::Update(id, attr, draw());
+}
+
+// Drives a session handle and a mirror database through one random
+// trajectory, asserting session reports match a fresh engine on the mirror
+// at every sample point.
+void RunTrajectoryParity(std::shared_ptr<const Schema> schema,
+                         const std::vector<DenialConstraint>& dcs,
+                         const Database& start, MeasureSessionOptions options,
+                         size_t num_ops, uint64_t seed, bool churn,
+                         size_t* vacuums_out, const std::string& where) {
+  MeasureSession session(schema, dcs, options);
+  const DbHandle handle = session.Register(start);
+  const MeasureEngine fresh(schema, dcs, options.engine);
+  Database mirror = start;
+  EXPECT_TRUE(session.db(handle) == mirror) << where << " post-register";
+
+  Rng rng(seed);
+  int64_t churn_counter = 0;
+  for (size_t op_index = 0; op_index < num_ops; ++op_index) {
+    const RepairOperation op = RandomOp(session.db(handle), 0, rng, 6,
+                                        churn ? &churn_counter : nullptr);
+    session.Apply(handle, op);
+    op.ApplyInPlace(mirror);
+    if (op_index % 5 != 4 && op_index + 1 != num_ops) continue;
+    const std::string at = where + " op=" + std::to_string(op_index);
+    EXPECT_TRUE(session.db(handle) == mirror) << at;
+    ExpectIdenticalReports(fresh.EvaluateAll(mirror),
+                           session.Evaluate(handle), at);
+  }
+  if (vacuums_out != nullptr) *vacuums_out = session.num_vacuums();
+}
+
+class SessionFuzz : public ::testing::TestWithParam<size_t> {};
+
+// Binary Sigma: the incremental path (blocking probes, multiplicity
+// bookkeeping, snapshot contexts) against fresh full detection, across
+// thread counts and noise levels.
+TEST_P(SessionFuzz, BinaryTrajectoryMatchesFreshEngine) {
+  const size_t threads = GetParam();
+  const auto schema = MakeAbcSchema();
+  const auto dcs = AbcFds(*schema);
+  // Two seeds x two domains x four thread counts keeps the TSan build of
+  // this suite well inside the CI timeout.
+  for (const uint64_t seed : {21u, 22u}) {
+    for (const int64_t domain : {3, 12}) {
+      const Database start = MakeRandomDatabase(schema, 0, 50, domain, seed);
+      MeasureSessionOptions options;
+      options.engine.registry.include_mc = true;  // small db: exact counts
+      options.engine.detector.num_threads = threads;
+      RunTrajectoryParity(schema, dcs, start, options, 40, seed * 7 + domain,
+                          /*churn=*/false, nullptr,
+                          "binary threads=" + std::to_string(threads) +
+                              " seed=" + std::to_string(seed) +
+                              " domain=" + std::to_string(domain));
+    }
+  }
+}
+
+// K-ary Sigma disables incremental maintenance; the session must fall back
+// to full detection transparently and still match.
+TEST_P(SessionFuzz, KAryFallbackMatchesFreshEngine) {
+  const size_t threads = GetParam();
+  const auto schema = MakeAbcSchema();
+  // !(t0.A = t1.A & t1.B = t2.B & t0.C != t2.C)
+  std::vector<Predicate> preds;
+  preds.emplace_back(Operand{0, 0}, CompareOp::kEq, Operand{1, 0});
+  preds.emplace_back(Operand{1, 1}, CompareOp::kEq, Operand{2, 1});
+  preds.emplace_back(Operand{0, 2}, CompareOp::kNe, Operand{2, 2});
+  std::vector<DenialConstraint> dcs;
+  dcs.emplace_back(std::vector<RelationId>(3, 0), std::move(preds));
+  const Database start = MakeRandomDatabase(schema, 0, 30, 4, 31);
+  MeasureSessionOptions options;
+  options.engine.registry.include_mc = false;  // hyperedge MC is costly
+  options.engine.detector.num_threads = threads;
+  RunTrajectoryParity(schema, dcs, start, options, 25, 97 + threads,
+                      /*churn=*/false, nullptr,
+                      "k-ary threads=" + std::to_string(threads));
+}
+
+// Capped detection also falls back (an incrementally maintained MI set
+// cannot reproduce a truncation point).
+TEST_P(SessionFuzz, CappedDetectionFallsBack) {
+  const size_t threads = GetParam();
+  const auto schema = MakeAbcSchema();
+  const auto dcs = AbcFds(*schema);
+  const Database start = MakeRandomDatabase(schema, 0, 60, 3, 41);
+  MeasureSessionOptions options;
+  options.engine.registry.include_mc = false;
+  options.engine.detector.num_threads = threads;
+  options.engine.detector.max_subsets = 7;
+  RunTrajectoryParity(schema, dcs, start, options, 20, 53,
+                      /*churn=*/false, nullptr,
+                      "capped threads=" + std::to_string(threads));
+}
+
+// Value churn with an aggressive auto-vacuum threshold: the vacuum must
+// actually fire (the hook is real) and every report must stay identical to
+// the fresh engine on an un-vacuumed mirror — compaction is invisible.
+TEST_P(SessionFuzz, AutoVacuumKeepsReportsIdentical) {
+  const size_t threads = GetParam();
+  const auto schema = MakeAbcSchema();
+  const auto dcs = AbcFds(*schema);
+  const Database start = MakeRandomDatabase(schema, 0, 40, 5, 61);
+  MeasureSessionOptions options;
+  options.engine.registry.include_mc = false;
+  options.engine.detector.num_threads = threads;
+  options.auto_vacuum_threshold = 0.05;
+  size_t vacuums = 0;
+  RunTrajectoryParity(schema, dcs, start, options, 400, 71,
+                      /*churn=*/true, &vacuums,
+                      "vacuum threads=" + std::to_string(threads));
+  EXPECT_GT(vacuums, 0u) << "auto-vacuum hook never fired";
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, SessionFuzz,
+                         ::testing::Values(1, 2, 4, 8));
+
+// Cross-database batch evaluation: EvaluateAll over several independently
+// mutated handles, at several batch fan-out widths, must reproduce the
+// per-handle Evaluate reports (and transitively the fresh engine's).
+TEST(SessionBatch, EvaluateAllMatchesPerHandle) {
+  const auto schema = MakeAbcSchema();
+  const auto dcs = AbcFds(*schema);
+  MeasureSessionOptions options;
+  options.engine.registry.include_mc = false;
+  options.engine.detector.num_threads = 2;
+  options.engine.parallel_measures = true;  // nested fan-out
+  for (const size_t batch_threads : {0u, 1u, 2u, 4u}) {  // 0 = hardware
+    options.batch_threads = batch_threads;
+    MeasureSession session(schema, dcs, options);
+    const MeasureEngine fresh(schema, dcs, options.engine);
+    std::vector<DbHandle> handles;
+    std::vector<Database> mirrors;
+    Rng rng(5 + batch_threads);
+    for (int d = 0; d < 3; ++d) {
+      const Database start =
+          MakeRandomDatabase(schema, 0, 30 + 10 * d, 4, 100 + d);
+      handles.push_back(session.Register(start));
+      mirrors.push_back(start);
+    }
+    for (size_t i = 0; i < handles.size(); ++i) {
+      for (int op_count = 0; op_count < 8; ++op_count) {
+        const RepairOperation op =
+            RandomOp(session.db(handles[i]), 0, rng, 5);
+        session.Apply(handles[i], op);
+        op.ApplyInPlace(mirrors[i]);
+      }
+    }
+    const std::vector<BatchReport> batch = session.EvaluateAll(handles);
+    ASSERT_EQ(batch.size(), handles.size());
+    for (size_t i = 0; i < handles.size(); ++i) {
+      const std::string where = "batch_threads=" +
+                                std::to_string(batch_threads) +
+                                " handle=" + std::to_string(i);
+      ExpectIdenticalReports(session.Evaluate(handles[i]), batch[i], where);
+      ExpectIdenticalReports(fresh.EvaluateAll(mirrors[i]), batch[i],
+                             where + " vs fresh");
+    }
+  }
+}
+
+// Unregister frees the handle; the remaining handles are unaffected, and
+// a session-wide manual vacuum after the unregister drops the dead
+// handle's exclusive values.
+TEST(SessionBatch, UnregisterAndManualVacuum) {
+  const auto schema = MakeAbcSchema();
+  const auto dcs = AbcFds(*schema);
+  MeasureSessionOptions options;
+  options.engine.registry.include_mc = false;
+  MeasureSession session(schema, dcs, options);
+  const MeasureEngine fresh(schema, dcs, options.engine);
+
+  const Database a = MakeRandomDatabase(schema, 0, 40, 3, 7);
+  const Database b = MakeRandomDatabase(schema, 0, 40, 200, 8);
+  const DbHandle ha = session.Register(a);
+  const DbHandle hb = session.Register(b);
+  EXPECT_EQ(session.num_registered(), 2u);
+
+  session.Unregister(hb);
+  EXPECT_EQ(session.num_registered(), 1u);
+  // b's wide domain is now dead weight in the shared pool.
+  EXPECT_GT(session.PoolWaste(), 0.0);
+  EXPECT_TRUE(session.Vacuum(0.0));
+  EXPECT_EQ(session.num_vacuums(), 1u);
+  EXPECT_DOUBLE_EQ(session.PoolWaste(), 0.0);
+  ExpectIdenticalReports(fresh.EvaluateAll(a), session.Evaluate(ha),
+                         "post-vacuum");
+}
+
+}  // namespace
+}  // namespace dbim

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Bench-regression gate: compare detect-time columns against a baseline.
+"""Bench-regression gate: compare detect-time columns against a baseline,
+or two columns of one run against each other (self-relative mode).
 
-Usage:
+Baseline mode:
     check_bench_regression.py CURRENT BASELINE [CURRENT BASELINE ...]
         [--column=detect] [--threshold=0.25] [--min-seconds=0.05]
 
@@ -18,8 +19,24 @@ A row regresses when
     current > baseline * (1 + threshold)  AND  current - baseline > min_seconds
 
 The absolute floor keeps sub-hundredth-of-a-second rows — which are mostly
-timer noise — from tripping the relative gate. Exit codes: 0 = OK,
-1 = regression, 2 = structural mismatch / bad input.
+timer noise — from tripping the relative gate.
+
+Self-relative mode:
+    check_bench_regression.py --self=FILE
+        "--fast-column=blocked (s)" "--slow-column=nested loop (s)"
+        [--max-ratio=1.0] [--min-seconds=0.05]
+
+Both columns come from the SAME run on the SAME host, so runner speed
+cancels out — the gate is immune to CI hardware variance, which the
+absolute baseline mode is not. A row fails when
+
+    fast > slow * max_ratio  AND  fast - slow > min_seconds
+
+i.e. the supposedly cheaper strategy (hash blocking vs nested loop, the
+session's amortized path vs a fresh engine) stopped being cheaper by more
+than noise.
+
+Exit codes: 0 = OK, 1 = regression, 2 = structural mismatch / bad input.
 """
 
 import json
@@ -87,10 +104,44 @@ def check_pair(current_path, baseline_path, column, threshold, min_seconds):
     return regressions
 
 
+def check_self(path, fast_column, slow_column, max_ratio, min_seconds):
+    doc = load(path)
+    for col in (fast_column, slow_column):
+        if col not in doc["header"]:
+            fail(f"column '{col}' absent from {path}")
+    fast_idx = doc["header"].index(fast_column)
+    slow_idx = doc["header"].index(slow_column)
+    regressions = []
+    print(
+        f"== {doc['name']} ({path}): '{fast_column}' must stay within "
+        f"{max_ratio:g}x of '{slow_column}'"
+    )
+    for i, row in enumerate(doc["rows"]):
+        try:
+            fast = float(row[fast_idx])
+            slow = float(row[slow_idx])
+        except ValueError:
+            fail(f"row {i}: non-numeric cell")
+        regressed = fast - slow > min_seconds and fast > slow * max_ratio
+        marker = "REGRESSION" if regressed else "ok"
+        ratio = fast / slow if slow > 0 else float("inf") if fast > 0 else 1.0
+        print(
+            f"   {row[0]:>12}  {fast:.3f}s vs {slow:.3f}s "
+            f"(ratio {ratio:.2f})  {marker}"
+        )
+        if regressed:
+            regressions.append((doc["name"], row[0], slow, fast))
+    return regressions
+
+
 def main(argv):
     threshold = 0.25
     min_seconds = 0.05
     column = "detect"
+    self_path = None
+    fast_column = None
+    slow_column = None
+    max_ratio = 1.0
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
@@ -99,6 +150,14 @@ def main(argv):
             min_seconds = float(arg.split("=", 1)[1])
         elif arg.startswith("--column="):
             column = arg.split("=", 1)[1]
+        elif arg.startswith("--self="):
+            self_path = arg.split("=", 1)[1]
+        elif arg.startswith("--fast-column="):
+            fast_column = arg.split("=", 1)[1]
+        elif arg.startswith("--slow-column="):
+            slow_column = arg.split("=", 1)[1]
+        elif arg.startswith("--max-ratio="):
+            max_ratio = float(arg.split("=", 1)[1])
         elif arg in ("--help", "-h"):
             print(__doc__)
             return 0
@@ -106,6 +165,26 @@ def main(argv):
             fail(f"unknown flag {arg}")
         else:
             paths.append(arg)
+
+    if self_path is not None:
+        if fast_column is None or slow_column is None:
+            fail("--self needs --fast-column and --slow-column")
+        if paths:
+            fail("--self takes no positional CURRENT/BASELINE files")
+        regressions = check_self(
+            self_path, fast_column, slow_column, max_ratio, min_seconds
+        )
+        if regressions:
+            print(
+                f"\n{len(regressions)} self-relative regression(s) beyond "
+                f"{max_ratio:g}x (+{min_seconds}s floor):"
+            )
+            for name, label, slow, fast in regressions:
+                print(f"   {name} / {label}: {fast:.3f}s vs {slow:.3f}s")
+            return 1
+        print("\nno self-relative regressions")
+        return 0
+
     if not paths or len(paths) % 2 != 0:
         fail("expected CURRENT BASELINE file pairs (see --help)")
 

@@ -31,8 +31,8 @@
 #include "common/string_util.h"
 #include "constraints/parser.h"
 #include "datagen/io.h"
-#include "measures/engine.h"
 #include "measures/repair_measures.h"
+#include "measures/session.h"
 #include "measures/shapley.h"
 #include "violations/detector.h"
 
@@ -164,30 +164,34 @@ int main(int argc, char** argv) {
               spec.schema->relation(spec.relation).name().c_str(), db->size(),
               spec.constraints.size());
 
-  // One engine, one shared context: violation detection — the dominating
-  // cost — runs once, and the measure loop, Shapley ranking, and repair all
-  // reuse it.
-  MeasureEngineOptions options;
-  options.registry.include_mc = HasFlag(argc, argv, "mc");
-  options.registry.repair_deadline_seconds = 30.0;
+  // One session, one shared context: violation detection — the dominating
+  // cost — runs once, and the measure loop, Shapley ranking, and repair
+  // all reuse it.
+  MeasureSessionOptions options;
+  options.engine.registry.include_mc = HasFlag(argc, argv, "mc");
+  options.engine.registry.repair_deadline_seconds = 30.0;
   const std::string threads_flag = FlagValue(argc, argv, "threads");
   if (!threads_flag.empty()) {
-    options.detector.num_threads =
+    options.engine.detector.num_threads =
         std::strtoull(threads_flag.c_str(), nullptr, 10);
   }
-  options.parallel_measures = HasFlag(argc, argv, "parallel-measures");
+  options.engine.parallel_measures = HasFlag(argc, argv, "parallel-measures");
   for (const std::string& name :
        Split(FlagValue(argc, argv, "measures"), ',')) {
-    if (!name.empty()) options.only.push_back(name);
+    if (!name.empty()) options.engine.only.push_back(name);
   }
-  const MeasureEngine engine(spec.schema, spec.constraints, options);
-  MeasureContext context(engine.detector(), *db);
+  MeasureSession session(spec.schema, spec.constraints, options);
+  // One-shot workload: evaluate the loaded database on its own pool (no
+  // Register — the copy/re-intern/bucket build only pays off across
+  // repeated evaluations). Detection runs lazily, exactly once, on the
+  // shared context below.
+  MeasureContext context(session.detector(), *db);
   std::printf("minimal inconsistent subsets: %zu (violating-pair ratio "
               "%.5f%%)\n",
               context.violations().num_minimal_subsets(),
               100.0 * context.violations().ViolatingPairRatio(db->size()));
 
-  for (const MeasureResult& result : engine.Evaluate(context)) {
+  for (const MeasureResult& result : session.Evaluate(context)) {
     std::printf("  %-8s = %g\n", result.name.c_str(), result.value);
   }
 
