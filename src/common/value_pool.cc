@@ -49,20 +49,22 @@ ValueId ValuePool::Intern(const Value& v) { return InternImpl(v); }
 ValueId ValuePool::Intern(Value&& v) { return InternImpl(std::move(v)); }
 
 ValueId ValuePool::InternImpl(Value v) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const size_t rep_hash = RepHashOf(v);
   std::vector<ValueId>& rep_bucket = index_[rep_hash];
   for (const ValueId id : rep_bucket) {
-    if (RepEqual(values_[id], v)) return id;
+    if (RepEqual(values_.at(id), v)) return id;
   }
-  DBIM_CHECK_MSG(values_.size() < UINT32_MAX, "value pool exhausted");
-  const ValueId id = static_cast<ValueId>(values_.size());
+  const uint32_t count = size_.load(std::memory_order_relaxed);
+  DBIM_CHECK_MSG(count < UINT32_MAX, "value pool exhausted");
+  const ValueId id = static_cast<ValueId>(count);
   const size_t sem_hash = v.Hash();
   // First representation of a semantic class becomes its representative.
   ValueId class_id = id;
   std::vector<ValueId>& class_bucket = class_index_[sem_hash];
   bool found_class = false;
   for (const ValueId rep : class_bucket) {
-    if (values_[rep] == v) {
+    if (values_.at(rep) == v) {
       class_id = rep;
       found_class = true;
       break;
@@ -70,43 +72,34 @@ ValueId ValuePool::InternImpl(Value v) {
   }
   if (!found_class) class_bucket.push_back(id);
   rep_bucket.push_back(id);
-  values_.push_back(std::move(v));
-  hashes_.push_back(sem_hash);
-  classes_.push_back(class_id);
+
+  values_.Append(count, std::move(v));
+  hashes_.Append(count, sem_hash);
+  classes_.Append(count, class_id);
+  // Publish: the entry is complete in every array before the id becomes
+  // visible.
+  size_.store(id + 1, std::memory_order_release);
   return id;
 }
 
 std::optional<ValueId> ValuePool::Find(const Value& v) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(RepHashOf(v));
   if (it == index_.end()) return std::nullopt;
   for (const ValueId id : it->second) {
-    if (RepEqual(values_[id], v)) return id;
+    if (RepEqual(values_.at(id), v)) return id;
   }
   return std::nullopt;
 }
 
 std::optional<ValueId> ValuePool::FindClass(const Value& v) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = class_index_.find(v.Hash());
   if (it == class_index_.end()) return std::nullopt;
   for (const ValueId rep : it->second) {
-    if (values_[rep] == v) return rep;
+    if (values_.at(rep) == v) return rep;
   }
   return std::nullopt;
-}
-
-const Value& ValuePool::value(ValueId id) const {
-  DBIM_CHECK(id < values_.size());
-  return values_[id];
-}
-
-ValueId ValuePool::class_of(ValueId id) const {
-  DBIM_CHECK(id < classes_.size());
-  return classes_[id];
-}
-
-size_t ValuePool::hash(ValueId id) const {
-  DBIM_CHECK(id < hashes_.size());
-  return hashes_[id];
 }
 
 }  // namespace dbim

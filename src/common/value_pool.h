@@ -1,12 +1,29 @@
 #ifndef DBIM_COMMON_VALUE_POOL_H_
 #define DBIM_COMMON_VALUE_POOL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/value.h"
+
+// Bounds checking on the pool's three hot readers: a branch on an atomic
+// size load per call. Kept in normal builds (the abort beats silent
+// garbage); see DBIM_CHECK's rationale in common/check.h. The acquire
+// order pairs with Intern's release store, so a size that admits `id`
+// guarantees the subsequent slab load is at least as new — the guard
+// can't pass against a stale, smaller slab.
+#define DBIM_POOL_BOUNDS_CHECK(id)                                         \
+  do {                                                                     \
+    if (!((id) < size_.load(std::memory_order_acquire))) {                 \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
 
 namespace dbim {
 
@@ -33,11 +50,29 @@ inline constexpr ValueId kNullValueId = 0;
 /// The pool is append-only: ids and `const Value&` references stay valid
 /// for the pool's lifetime, so databases can be copied/restricted while
 /// sharing one pool. (Overwritten values are not reclaimed; sustained
-/// value churn grows the dictionary — see ROADMAP.) Not synchronized;
-/// share across threads only read-only.
+/// value churn grows the dictionary — a MeasureSession vacuum rebuilds the
+/// pool wholesale instead.)
+///
+/// Thread safety: `Intern`, `Find` and `FindClass` are serialized by an
+/// internal mutex and may be called concurrently with each other and with
+/// the readers. `value(id)`, `class_of(id)` and `hash(id)` are lock-free —
+/// one atomic snapshot load plus an array index, the same work as a
+/// `std::vector` access — for any id the calling thread obtained through a
+/// properly synchronized channel (e.g. a database column guarded by a
+/// session handle lock: the interning write happens-before the column
+/// publish, which happens-before the read). Growth never invalidates
+/// anything readers hold: a full slab is replaced by a bigger copy and
+/// *retired*, not freed, so stale snapshot pointers and outstanding
+/// `const Value&`s stay valid for the pool's lifetime (bounded overhead:
+/// the retired halves sum to less than the live slab). This is what lets
+/// independent MeasureSession handles mutate concurrently on one shared
+/// pool without taxing the detector's hot read paths.
 class ValuePool {
  public:
   ValuePool();
+
+  ValuePool(const ValuePool&) = delete;
+  ValuePool& operator=(const ValuePool&) = delete;
 
   /// Returns the id of `v`, interning it if new.
   ValueId Intern(const Value& v);
@@ -51,19 +86,71 @@ class ValuePool {
   std::optional<ValueId> FindClass(const Value& v) const;
 
   /// Canonical value for an id (must be valid).
-  const Value& value(ValueId id) const;
+  const Value& value(ValueId id) const {
+    DBIM_POOL_BOUNDS_CHECK(id);
+    return values_.at(id);
+  }
 
   /// Semantic class of an id: equal across ids iff the values are equal.
-  ValueId class_of(ValueId id) const;
+  ValueId class_of(ValueId id) const {
+    DBIM_POOL_BOUNDS_CHECK(id);
+    return classes_.at(id);
+  }
 
   /// Precomputed `Value::Hash()` of the canonical value (consistent with
   /// semantic equality: values in one class hash alike).
-  size_t hash(ValueId id) const;
+  size_t hash(ValueId id) const {
+    DBIM_POOL_BOUNDS_CHECK(id);
+    return hashes_.at(id);
+  }
 
   /// Number of distinct interned representations.
-  size_t size() const { return values_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
  private:
+  // Lock-free-reader dynamic array. The backing slab is published through
+  // one atomic pointer; readers load the snapshot and index it — the same
+  // two loads a std::vector access costs. Growth (under the pool mutex)
+  // allocates a doubled slab, copies the published prefix, publishes the
+  // new pointer with release order, and retires the old slab without
+  // freeing it, so a reader holding a stale snapshot — or a `const T&`
+  // into one — is never invalidated. Slot writes beyond the published
+  // size race with nothing: readers only index ids they obtained through
+  // a channel ordered after the append.
+  template <typename T>
+  class SnapshotArray {
+   public:
+    const T& at(size_t i) const {
+      return data_.load(std::memory_order_acquire)[i];
+    }
+
+    /// Appends at index `count` (the caller's current element count),
+    /// growing and retiring as needed. Call only under the pool mutex;
+    /// the caller publishes the new count afterwards.
+    void Append(size_t count, T v) {
+      if (count == capacity_) {
+        const size_t fresh_capacity =
+            capacity_ == 0 ? kInitialCapacity : capacity_ * 2;
+        auto fresh = std::unique_ptr<T[]>(new T[fresh_capacity]);
+        const T* old = data_.load(std::memory_order_relaxed);
+        for (size_t i = 0; i < count; ++i) fresh[i] = old[i];
+        fresh[count] = std::move(v);
+        data_.store(fresh.get(), std::memory_order_release);
+        capacity_ = fresh_capacity;
+        slabs_.push_back(std::move(fresh));
+        return;
+      }
+      data_.load(std::memory_order_relaxed)[count] = std::move(v);
+    }
+
+   private:
+    static constexpr size_t kInitialCapacity = 1024;
+
+    std::atomic<T*> data_{nullptr};
+    size_t capacity_ = 0;              // under the pool mutex
+    std::vector<std::unique_ptr<T[]>> slabs_;  // live last; retired before
+  };
+
   // Representation-exact hash/equality for the interning index (the
   // Value's own hash/== are semantic and would merge int/double).
   static size_t RepHashOf(const Value& v);
@@ -71,12 +158,14 @@ class ValuePool {
 
   ValueId InternImpl(Value v);
 
-  // Each value is stored exactly once, in values_; both indices bucket ids
-  // by hash and verify with the real equality against values_, so string
-  // payloads are not duplicated into map keys.
-  std::vector<Value> values_;     // id -> canonical value
-  std::vector<size_t> hashes_;    // id -> values_[id].Hash() (semantic)
-  std::vector<ValueId> classes_;  // id -> semantic class id
+  // Guards the two hash indices, slab growth, and id assignment.
+  mutable std::mutex mutex_;
+  SnapshotArray<Value> values_;     // id -> canonical value
+  SnapshotArray<size_t> hashes_;    // id -> values_[id].Hash() (semantic)
+  SnapshotArray<ValueId> classes_;  // id -> semantic class id
+  // Published with release order after the new entry is fully written, so
+  // a reader that checks `id < size()` (acquire) sees the entry.
+  std::atomic<uint32_t> size_{0};
   // Representation hash -> ids with that hash (verified with RepEqual).
   std::unordered_map<size_t, std::vector<ValueId>> index_;
   // Semantic hash -> class representatives (verified with Value::==).

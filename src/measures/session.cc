@@ -33,14 +33,14 @@ MeasureSession::MeasureSession(std::shared_ptr<const Schema> schema,
       measures_(CreateMeasures(options.engine.registry)),
       options_(std::move(options)),
       pool_(std::make_shared<ValuePool>()) {
-  // Incremental maintenance covers binary Sigma under uncapped detection;
-  // anything else falls back to full detection per evaluation.
+  // Incremental maintenance covers any constraint arity (binary Sigma
+  // probes blocking buckets, k-ary Sigma re-enumerates witnesses through
+  // the changed fact); only capped/deadlined detection falls back to full
+  // detection per evaluation (a maintained MI set cannot reproduce a
+  // truncation point).
   incremental_supported_ =
       options_.engine.detector.max_subsets == 0 &&
       options_.engine.detector.deadline_seconds == 0.0;
-  for (const DenialConstraint& dc : detector_.constraints()) {
-    if (dc.num_vars() > 2) incremental_supported_ = false;
-  }
 }
 
 MeasureSession::HandleState& MeasureSession::State(DbHandle handle) {
@@ -58,6 +58,7 @@ const MeasureSession::HandleState& MeasureSession::State(
 
 DbHandle MeasureSession::Register(const Database& db) {
   auto state = std::make_unique<HandleState>(db);  // copy, then re-key
+  std::unique_lock<std::shared_mutex> lock(session_mu_);
   state->db.ReinternInto(pool_);
   if (incremental_supported_) {
     state->incremental = std::make_unique<IncrementalViolationIndex>(
@@ -71,25 +72,49 @@ DbHandle MeasureSession::Register(const Database& db) {
 }
 
 void MeasureSession::Unregister(DbHandle handle) {
+  std::unique_lock<std::shared_mutex> lock(session_mu_);
   State(handle);  // validity check
   handles_[handle] = nullptr;
   --num_registered_;
 }
 
 const Database& MeasureSession::db(DbHandle handle) const {
+  std::shared_lock<std::shared_mutex> lock(session_mu_);
   return State(handle).db;
 }
 
+size_t MeasureSession::num_registered() const {
+  std::shared_lock<std::shared_mutex> lock(session_mu_);
+  return num_registered_;
+}
+
+size_t MeasureSession::num_stored_subset_slots(DbHandle handle) const {
+  std::shared_lock<std::shared_mutex> lock(session_mu_);
+  const HandleState& state = State(handle);
+  std::lock_guard<std::mutex> handle_lock(state.mu);
+  return state.incremental ? state.incremental->NumStoredSlots() : 0;
+}
+
 void MeasureSession::Apply(DbHandle handle, const RepairOperation& op) {
-  HandleState& state = State(handle);
-  if (state.incremental) {
-    state.incremental->Apply(op);
-  } else {
-    op.ApplyInPlace(state.db);
+  {
+    std::shared_lock<std::shared_mutex> session(session_mu_);
+    HandleState& state = State(handle);
+    std::lock_guard<std::mutex> handle_lock(state.mu);
+    if (state.incremental) {
+      state.incremental->Apply(op);
+    } else {
+      op.ApplyInPlace(state.db);
+    }
   }
+  // The auto-vacuum hook runs with no lock held (Vacuum takes the session
+  // lock exclusively itself), so an Apply that triggers it can never
+  // deadlock against another in-flight Apply. The monotonic counter's
+  // modulo makes exactly one thread per check window pay the exclusive
+  // waste scan, however many Applies race across the boundary.
   if (options_.auto_vacuum_threshold > 0.0 &&
-      ++ops_since_vacuum_check_ >= kAutoVacuumCheckInterval) {
-    ops_since_vacuum_check_ = 0;
+      (ops_since_vacuum_check_.fetch_add(1, std::memory_order_relaxed) + 1) %
+              kAutoVacuumCheckInterval ==
+          0) {
     Vacuum(options_.auto_vacuum_threshold);
   }
 }
@@ -145,12 +170,14 @@ BatchReport MeasureSession::ReportOn(MeasureContext& context,
 }
 
 BatchReport MeasureSession::EvaluateState(const HandleState& state) const {
+  std::lock_guard<std::mutex> handle_lock(state.mu);
   if (state.incremental) {
     Timer snapshot;
     MeasureContext context(detector_, state.db,
                            state.incremental->Snapshot());
     return ReportOn(context, snapshot.Seconds());
   }
+  num_full_detections_.fetch_add(1, std::memory_order_relaxed);
   Timer detection;
   MeasureContext context(detector_, state.db);
   context.violations();
@@ -158,14 +185,18 @@ BatchReport MeasureSession::EvaluateState(const HandleState& state) const {
 }
 
 BatchReport MeasureSession::Evaluate(DbHandle handle) const {
+  std::shared_lock<std::shared_mutex> lock(session_mu_);
   return EvaluateState(State(handle));
 }
 
 std::vector<BatchReport> MeasureSession::EvaluateAll(
     const std::vector<DbHandle>& handles) const {
   // Validate on this thread (DBIM_CHECK aborts are not for workers), then
-  // fan out: one report per handle, computed independently on read-only
-  // session state — per-handle results are bit-identical to Evaluate().
+  // fan out: one report per handle, each worker holding that handle's
+  // lock — per-handle results are bit-identical to Evaluate(). The shared
+  // session lock is held across the fan-out, so the handle table and pool
+  // identity are stable underneath the workers.
+  std::shared_lock<std::shared_mutex> lock(session_mu_);
   std::vector<const HandleState*> states;
   states.reserve(handles.size());
   for (const DbHandle handle : handles) states.push_back(&State(handle));
@@ -188,12 +219,15 @@ BatchReport MeasureSession::EvaluateOne(const Database& db) const {
 }
 
 ViolationSet MeasureSession::Violations(DbHandle handle) const {
+  std::shared_lock<std::shared_mutex> lock(session_mu_);
   const HandleState& state = State(handle);
+  std::lock_guard<std::mutex> handle_lock(state.mu);
   if (state.incremental) return state.incremental->Snapshot();
+  num_full_detections_.fetch_add(1, std::memory_order_relaxed);
   return detector_.FindViolations(state.db);
 }
 
-double MeasureSession::PoolWaste() const {
+double MeasureSession::PoolWasteLocked() const {
   if (pool_->size() <= 1) return 0.0;
   std::vector<char> used(pool_->size(), 0);
   used[kNullValueId] = 1;
@@ -206,19 +240,45 @@ double MeasureSession::PoolWaste() const {
                    static_cast<double>(pool_->size());
 }
 
-bool MeasureSession::Vacuum(double waste_threshold) {
-  if (PoolWaste() <= waste_threshold) return false;
-  // Re-intern every registered database into one fresh pool, in handle
-  // order: values shared across databases are interned once, dead entries
-  // are dropped. FactId-keyed violation state and the semantic-hash
-  // blocking buckets survive untouched.
-  auto fresh = std::make_shared<ValuePool>();
-  for (auto& state : handles_) {
-    if (state != nullptr) state->db.ReinternInto(fresh);
+double MeasureSession::PoolWaste() const {
+  // Exclusive: the scan reads every registered database's columns, which
+  // concurrent Applies mutate.
+  std::unique_lock<std::shared_mutex> lock(session_mu_);
+  return PoolWasteLocked();
+}
+
+bool MeasureSession::VacuumLocked(double waste_threshold) {
+  bool compacted = false;
+  if (PoolWasteLocked() > waste_threshold) {
+    // Re-intern every registered database into one fresh pool, in handle
+    // order: values shared across databases are interned once, dead
+    // entries are dropped. FactId-keyed violation state and the
+    // semantic-hash blocking buckets survive untouched.
+    auto fresh = std::make_shared<ValuePool>();
+    for (auto& state : handles_) {
+      if (state != nullptr) state->db.ReinternInto(fresh);
+    }
+    pool_ = std::move(fresh);
+    num_vacuums_.fetch_add(1, std::memory_order_relaxed);
+    compacted = true;
   }
-  pool_ = std::move(fresh);
-  ++num_vacuums_;
-  return true;
+  // Slot compaction rides along: dead subset slots accumulate in the
+  // incremental indices under churn exactly like dead pool entries, and
+  // the same threshold bounds both.
+  for (auto& state : handles_) {
+    if (state != nullptr && state->incremental) {
+      state->incremental->CompactSlotsIfWasteful(waste_threshold);
+    }
+  }
+  return compacted;
+}
+
+bool MeasureSession::Vacuum(double waste_threshold) {
+  // Exclusive session lock: equivalent to holding every handle lock, so
+  // in-flight Applies and Evaluates drain before the pool and the indices
+  // are rebuilt, and new ones wait.
+  std::unique_lock<std::shared_mutex> lock(session_mu_);
+  return VacuumLocked(waste_threshold);
 }
 
 }  // namespace dbim

@@ -1,7 +1,10 @@
 #ifndef DBIM_MEASURES_SESSION_H_
 #define DBIM_MEASURES_SESSION_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -66,17 +69,19 @@ struct MeasureSessionOptions {
 
   /// Worker threads for the cross-database fan-out in EvaluateAll (batch
   /// evaluation of several handles): 1 = sequential, 0 = one per hardware
-  /// thread. Per-handle reports are computed independently on read-only
-  /// shared state, so results are bit-identical for every value. Composes
-  /// with engine.detector.num_threads and engine.parallel_measures (nested
-  /// fan-out on the process-wide pool cannot deadlock).
+  /// thread. Per-handle reports are computed independently (each worker
+  /// holds its handle's lock), so results are bit-identical for every
+  /// value. Composes with engine.detector.num_threads and
+  /// engine.parallel_measures (nested fan-out on the process-wide pool
+  /// cannot deadlock).
   size_t batch_threads = 1;
 
   /// Auto-vacuum hook: when > 0, Apply periodically checks the shared
   /// pool's waste (the fraction of dictionary entries no registered
   /// database references — sustained value churn grows it) and, past the
   /// threshold, rebuilds the pool and remaps every registered database
-  /// together. Measure reports are invariant under the remap. 0 disables.
+  /// together, also compacting each incremental index's dead subset slots.
+  /// Measure reports are invariant under both compactions. 0 disables.
   double auto_vacuum_threshold = 0.0;
 };
 
@@ -94,13 +99,14 @@ using DbHandle = uint32_t;
 /// amortizes detection *state* across the trajectory:
 ///
 ///  * `Register(db)` re-interns the database onto the session pool and —
-///    when Sigma is binary and detection is uncapped — builds an
-///    IncrementalViolationIndex whose per-constraint blocking buckets
-///    persist across operations;
+///    when detection is uncapped — builds an IncrementalViolationIndex on
+///    the shared eval kernel: binary constraints keep per-constraint
+///    blocking buckets across operations, k-ary constraints re-enumerate
+///    witnesses through the changed fact (anchored enumeration);
 ///  * `Apply(handle, op)` mutates in place and maintains MI_Sigma(D) in
-///    O(bucket) per operation instead of re-detecting (k-ary Sigma and
-///    capped/deadlined detection fall back to full detection
-///    transparently);
+///    O(bucket) (binary) / O(k n^{k-1}) (k-ary) per operation instead of
+///    re-detecting (capped/deadlined detection falls back to full
+///    detection transparently);
 ///  * `Evaluate(handle)` reports all selected measures; with incremental
 ///    maintenance the "detection" step is a snapshot of the maintained
 ///    set. Reports are bit-identical to a fresh MeasureEngine over an
@@ -108,12 +114,36 @@ using DbHandle = uint32_t;
 ///  * `EvaluateAll(handles)` batch-schedules evaluation across databases
 ///    on the process-wide thread pool (pipeline parallelism over e.g. a
 ///    trajectory's sample points);
-///  * the auto-vacuum hook compacts the shared pool during long mutation
-///    loops, remapping all registered databases together.
+///  * the auto-vacuum hook compacts the shared pool (and the incremental
+///    indices' dead slots) during long mutation loops, remapping all
+///    registered databases together.
 ///
-/// Thread safety: Register/Apply/Unregister/Vacuum are single-threaded;
-/// Evaluate/EvaluateAll only read session state (they may be called from
-/// EvaluateAll's own fan-out, but not concurrently with mutations).
+/// Thread safety — independent trajectories mutate concurrently:
+///
+///  * every public method may be called from any thread. Register,
+///    Unregister, Vacuum and PoolWaste take the session lock exclusively
+///    (equivalent to holding every handle lock); Apply, Evaluate,
+///    EvaluateAll and Violations take it shared plus the per-handle lock,
+///    so `Apply` on *distinct* handles proceeds in parallel — the shared
+///    pool accepts concurrent interning (see ValuePool) — while operations
+///    on the *same* handle serialize;
+///  * the lock order is session-then-handle everywhere, and the
+///    auto-vacuum hook runs after Apply has released both, so no cycle
+///    exists;
+///  * results are unaffected by interleaving: per-handle state depends
+///    only on that handle's operation sequence, and nothing observable
+///    depends on raw ValueId numbering (equality is by semantic class, the
+///    incremental buckets hash value semantics, reports are fact-id sets
+///    and measure values). Reports under concurrent mutation are
+///    bit-identical to applying the same per-handle sequences one by one.
+///
+/// `db(handle)` returns a reference into session storage with no lock
+/// held. It is only safe to read while no other thread mutates the
+/// session: a concurrent Apply to the same handle writes the columns, a
+/// concurrent Apply to *any* handle can trigger auto-vacuum (which
+/// rewrites every registered database), and Unregister destroys the
+/// storage outright. Under concurrent mutation, use Evaluate/Violations
+/// (which lock) instead of holding the raw reference.
 class MeasureSession {
  public:
   MeasureSession(std::shared_ptr<const Schema> schema,
@@ -137,11 +167,11 @@ class MeasureSession {
   /// The session's live view of a registered database.
   const Database& db(DbHandle handle) const;
 
-  size_t num_registered() const { return num_registered_; }
+  size_t num_registered() const;
 
   /// Applies a repairing operation to the handle's database, maintaining
   /// the incremental violation index when one exists, and runs the
-  /// auto-vacuum hook.
+  /// auto-vacuum hook. Safe to call concurrently for distinct handles.
   void Apply(DbHandle handle, const RepairOperation& op);
 
   /// Evaluates every selected measure over the handle's database. With
@@ -174,20 +204,39 @@ class MeasureSession {
   double PoolWaste() const;
 
   /// Rebuilds the shared pool without dead entries and remaps every
-  /// registered database together when PoolWaste() exceeds the threshold.
-  /// Returns whether compaction ran. Reports are unaffected: subsets are
-  /// FactId sets and the incremental buckets hash value semantics, which
-  /// the re-intern preserves.
+  /// registered database together when PoolWaste() exceeds the threshold;
+  /// also compacts each incremental index's dead subset slots past the
+  /// same threshold. Returns whether pool compaction ran. Reports are
+  /// unaffected: subsets are FactId sets and the incremental buckets hash
+  /// value semantics, which the re-intern preserves.
   bool Vacuum(double waste_threshold);
 
   /// Number of (auto or manual) vacuums that compacted the pool.
-  size_t num_vacuums() const { return num_vacuums_; }
+  size_t num_vacuums() const {
+    return num_vacuums_.load(std::memory_order_relaxed);
+  }
+
+  /// Full FindViolations passes run on behalf of registered handles — the
+  /// incremental-maintenance fallback counter. Zero for an uncapped
+  /// session, whatever the constraint arity: Evaluate snapshots instead of
+  /// re-detecting. (EvaluateOne, serving unregistered databases, is not
+  /// counted.)
+  size_t num_full_detections() const {
+    return num_full_detections_.load(std::memory_order_relaxed);
+  }
+
+  /// Stored (live + dead) subset slots of the handle's incremental index;
+  /// 0 without one. Dead slots accumulate under churn until a vacuum
+  /// compacts them — the bound the churn regression tests assert.
+  size_t num_stored_subset_slots(DbHandle handle) const;
 
  private:
   struct HandleState {
+    // Serializes Apply/Evaluate on this handle; taken after the session
+    // lock (shared) by both.
+    mutable std::mutex mu;
     Database db;
-    // Engaged when Sigma is binary and detection is uncapped; points at
-    // `db` (non-owning).
+    // Engaged when detection is uncapped; points at `db` (non-owning).
     std::unique_ptr<IncrementalViolationIndex> incremental;
 
     explicit HandleState(Database database) : db(std::move(database)) {}
@@ -197,7 +246,10 @@ class MeasureSession {
   const HandleState& State(DbHandle handle) const;
   bool Selected(const std::string& name) const;
   BatchReport ReportOn(MeasureContext& context, double detection_seconds) const;
+  // Locks the handle's mutex for the duration of the evaluation.
   BatchReport EvaluateState(const HandleState& state) const;
+  double PoolWasteLocked() const;
+  bool VacuumLocked(double waste_threshold);
 
   std::shared_ptr<const Schema> schema_;
   ViolationDetector detector_;
@@ -206,12 +258,17 @@ class MeasureSession {
   std::shared_ptr<ValuePool> pool_;
   bool incremental_supported_ = false;
 
+  // Guards the handle table and the shared pool's identity: shared for
+  // per-handle work (Apply/Evaluate/Violations), exclusive for structural
+  // changes (Register/Unregister/Vacuum/PoolWaste).
+  mutable std::shared_mutex session_mu_;
   // unique_ptr entries: the incremental index holds a pointer into its
   // HandleState's database, so states must not move when the table grows.
   std::vector<std::unique_ptr<HandleState>> handles_;
   size_t num_registered_ = 0;
-  size_t num_vacuums_ = 0;
-  size_t ops_since_vacuum_check_ = 0;
+  std::atomic<size_t> num_vacuums_{0};
+  std::atomic<size_t> ops_since_vacuum_check_{0};
+  mutable std::atomic<size_t> num_full_detections_{0};
 };
 
 }  // namespace dbim

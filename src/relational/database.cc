@@ -176,6 +176,12 @@ const Database::RelationBlock& Database::relation_block(
   return blocks_[relation];
 }
 
+Database::RowLocation Database::Locate(FactId id) const {
+  DBIM_CHECK(Contains(id));
+  const Locator& loc = locators_[id];
+  return RowLocation{loc.relation, loc.row};
+}
+
 std::vector<FactId> Database::ids() const {
   std::vector<FactId> out;
   out.reserve(size_);

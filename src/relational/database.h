@@ -101,6 +101,17 @@ class Database {
   /// Columnar view of one relation's live facts (for detection hot paths).
   const RelationBlock& relation_block(RelationId relation) const;
 
+  /// Position of a live fact inside its relation block. `row` indexes the
+  /// block's columns and is only stable until the next mutation (Delete
+  /// swap-removes rows); hot paths locate facts on demand instead of
+  /// caching locations. This is how the eval kernel binds a FactId to a
+  /// RowRef without materializing a row-major Fact.
+  struct RowLocation {
+    RelationId relation = 0;
+    uint32_t row = 0;
+  };
+  RowLocation Locate(FactId id) const;
+
   /// All live identifiers in increasing order. Materializes a vector; hot
   /// loops should prefer ForEachId or relation_block.
   std::vector<FactId> ids() const;

@@ -1,7 +1,6 @@
 #include "violations/detector.h"
 
 #include <algorithm>
-#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -9,120 +8,18 @@
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "common/value_pool.h"
+#include "violations/eval_kernel.h"
 
 namespace dbim {
 
 namespace {
 
-// A tuple-variable binding: one row of one relation's column block. The
-// whole detection pipeline runs on interned semantic-class ids (equal
-// class iff equal value); row-major Facts are never materialized. Ordered
-// comparisons read the class representative from the pool — semantically
-// equal to the cell's exact value, so the total order is unaffected.
-struct RowRef {
-  const Database::RelationBlock* block = nullptr;
-  uint32_t row = 0;
-
-  ValueId class_at(AttrIndex attr) const {
-    return block->class_columns[attr][row];
-  }
-  FactId fact_id() const { return block->row_ids[row]; }
-};
-
-// Per-predicate evaluation plan, resolved once per (constraint, database)
-// at the top of Detect: equality-type comparisons against a constant are
-// pre-interned into the pool's class space so the per-row check is an
-// integer compare (or a foregone conclusion when no value in the pool
-// equals the constant).
-struct PredicatePlan {
-  bool const_eq = false;  // rhs is a constant and op is kEq/kNe
-  bool const_present = false;
-  ValueId const_class = 0;
-};
-using DcPlan = std::vector<PredicatePlan>;
-
-DcPlan PlanPredicates(const DenialConstraint& dc, const ValuePool& pool) {
-  DcPlan plan(dc.predicates().size());
-  for (size_t i = 0; i < dc.predicates().size(); ++i) {
-    const Predicate& p = dc.predicates()[i];
-    if (!p.rhs_is_constant()) continue;
-    if (p.op() != CompareOp::kEq && p.op() != CompareOp::kNe) continue;
-    plan[i].const_eq = true;
-    const std::optional<ValueId> cls = pool.FindClass(p.rhs_constant());
-    plan[i].const_present = cls.has_value();
-    if (cls.has_value()) plan[i].const_class = *cls;
-  }
-  return plan;
-}
-
-// Evaluates one predicate on interned rows. Interning is by exact
-// representation, but every id carries a semantic class with
-// class_of(a) == class_of(b) iff value(a) == value(b) — so equality-type
-// operators resolve with integer compares and never touch a Value. Ordered
-// operators short-circuit on equal classes and otherwise compare the
-// pool's canonical values (an array index, no hashing).
-bool EvalPredicateInterned(const Predicate& p, const PredicatePlan& plan,
-                           const RowRef* assignment, const ValuePool& pool) {
-  const ValueId lhs = assignment[p.lhs().var].class_at(p.lhs().attr);
-  if (p.rhs_is_constant()) {
-    if (plan.const_eq) {
-      if (!plan.const_present) return p.op() == CompareOp::kNe;
-      const bool equal = lhs == plan.const_class;
-      return p.op() == CompareOp::kEq ? equal : !equal;
-    }
-    return EvalCompare(p.op(), pool.value(lhs), p.rhs_constant());
-  }
-  const ValueId rhs =
-      assignment[p.rhs_operand().var].class_at(p.rhs_operand().attr);
-  const bool same_class = lhs == rhs;
-  switch (p.op()) {
-    case CompareOp::kEq:
-      return same_class;
-    case CompareOp::kNe:
-      return !same_class;
-    case CompareOp::kLe:
-    case CompareOp::kGe:
-      if (same_class) return true;
-      break;
-    case CompareOp::kLt:
-    case CompareOp::kGt:
-      if (same_class) return false;
-      break;
-  }
-  return EvalCompare(p.op(), pool.value(lhs), pool.value(rhs));
-}
-
-bool BodyHoldsInterned(const DenialConstraint& dc, const DcPlan& plan,
-                       const RowRef* assignment, const ValuePool& pool) {
-  for (size_t i = 0; i < dc.predicates().size(); ++i) {
-    if (!EvalPredicateInterned(dc.predicates()[i], plan[i], assignment,
-                               pool)) {
-      return false;
-    }
-  }
-  return true;
-}
-
-// FNV-1a over the semantic class ids of the blocking-key attributes. Equal
-// key tuples have equal class ids, so hashing the two uint32 class ids
-// partitions exactly like hashing the underlying values — without a single
-// Value::Hash call.
-uint64_t HashKeyIds(const RowRef& r, const std::vector<AttrIndex>& attrs) {
-  uint64_t h = 1469598103934665603ull;
-  for (const AttrIndex a : attrs) {
-    h ^= r.class_at(a);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-bool KeyIdsEqual(const RowRef& a, const std::vector<AttrIndex>& attrs_a,
-                 const RowRef& b, const std::vector<AttrIndex>& attrs_b) {
-  for (size_t i = 0; i < attrs_a.size(); ++i) {
-    if (a.class_at(attrs_a[i]) != b.class_at(attrs_b[i])) return false;
-  }
-  return true;
-}
+// The detector is a *driver* over the shared eval kernel
+// (violations/eval_kernel.h): predicate plans, interned-row evaluation,
+// blocking-key hashing and the k-ary enumeration all live there, shared
+// with the incremental index. What remains here is the batch pipeline —
+// pass structure, sharding, the ordered merges that make results
+// bit-identical for every thread count, and the caps/deadline bookkeeping.
 
 // Shared mutable state threaded through the detection passes.
 // (BlockingKeys / ExtractBlockingKeys live in constraints/dc.h, shared with
@@ -154,23 +51,6 @@ struct DetectionState {
 // per-chunk scheduling overhead).
 constexpr size_t kProbeChunksPerThread = 4;
 constexpr size_t kMinProbeChunkRows = 64;
-
-// Cooperative deadline polling: enumeration shards consult the wall clock
-// every kDeadlinePollInterval iterations so a violation-free phase (which
-// never reaches a merge point) still honors the deadline. Poll points are
-// aligned to *global* iteration indices — multiples of the interval within
-// [0, n), independent of shard boundaries — and a shard that observes
-// expiry stops there, so the ordered merge truncates at a canonical prefix
-// of the discovery order for every thread count. Index 0 is never a poll
-// point: an already-expired deadline still lets the first witness through,
-// preserving the "truncated result carries its first subset" behavior the
-// deadline tests and callers rely on.
-constexpr size_t kDeadlinePollInterval = 1024;
-
-bool PollDeadline(size_t global_index, const Deadline& deadline) {
-  return global_index != 0 && global_index % kDeadlinePollInterval == 0 &&
-         deadline.Expired();
-}
 
 // Parallel-path scaffolding shared by the sharded phases (pass-1 scan,
 // bucket build, k-ary enumeration, binary probe): runs
@@ -214,11 +94,9 @@ void ParallelPhase(size_t num_threads, const std::vector<IndexRange>& chunks,
 // results bit-identical for any thread count), while the sequential fast
 // path merges inline and keeps the first-witness early exit that
 // Satisfies' max_subsets = 1 probes rely on. Reads shared state (blocks,
-// pool, plan, buckets) strictly read-only.
+// eval plan, buckets) strictly read-only.
 struct ProbeShardInput {
-  const DenialConstraint* dc;
-  const DcPlan* plan;
-  const ValuePool* pool;
+  const DcEval* eval;
   const Database::RelationBlock* r0;
   const Database::RelationBlock* r1;
   const BlockingKeys* keys;
@@ -235,7 +113,8 @@ struct ProbeShardInput {
 template <typename Emit>
 bool ProbeShard(const ProbeShardInput& in, IndexRange range,
                 const Deadline& deadline, Emit&& emit) {
-  const bool same_relation = in.dc->var_relation(0) == in.dc->var_relation(1);
+  const DenialConstraint& dc = in.eval->dc();
+  const bool same_relation = dc.var_relation(0) == dc.var_relation(1);
   auto consider = [&](uint32_t i, uint32_t j) {
     // i indexes r0 (variable t), j indexes r1 (variable t'). Returns
     // false to stop the shard.
@@ -247,9 +126,7 @@ bool ProbeShard(const ProbeShardInput& in, IndexRange range,
       return true;
     }
     const RowRef assignment[2] = {RowRef{in.r0, i}, RowRef{in.r1, j}};
-    if (!BodyHoldsInterned(*in.dc, *in.plan, assignment, *in.pool)) {
-      return true;
-    }
+    if (!in.eval->BodyHolds(assignment)) return true;
     return emit(std::min(a, b), std::max(a, b));
   };
   if (in.blocked) {
@@ -257,11 +134,11 @@ bool ProbeShard(const ProbeShardInput& in, IndexRange range,
          i < static_cast<uint32_t>(range.end); ++i) {
       if (PollDeadline(i, deadline)) return true;
       const RowRef probe{in.r0, i};
-      const auto it = in.buckets->find(HashKeyIds(probe, in.keys->var0));
+      const auto it = in.buckets->find(HashKeyClasses(probe, in.keys->var0));
       if (it == in.buckets->end()) continue;
       for (const uint32_t j : it->second) {
-        if (!KeyIdsEqual(probe, in.keys->var0, RowRef{in.r1, j},
-                         in.keys->var1)) {
+        if (!KeyClassesEqual(probe, in.keys->var0, RowRef{in.r1, j},
+                             in.keys->var1)) {
           continue;  // hash collision
         }
         if (!consider(i, j)) return false;
@@ -278,83 +155,6 @@ bool ProbeShard(const ProbeShardInput& in, IndexRange range,
         if (!consider(i, j)) return false;
       }
     }
-  }
-  return false;
-}
-
-// One shard of the k-ary (k >= 3) support-set enumeration: the outermost
-// variable ranges over rows [range.begin, range.end) of its relation;
-// inner variables range over their full relations, allowing repeated facts
-// across variables. Candidate supports (sorted, deduplicated fact ids, in
-// the sequential enumeration's discovery order) go to `emit`, which
-// returns false to stop the shard; candidates are minimality-filtered by
-// the caller. Returns true when the shard stopped at a cooperative
-// deadline poll (per outermost row, globally aligned), false otherwise.
-template <typename Emit>
-struct KAryEnumerator {
-  const DenialConstraint& dc;
-  const DcPlan& plan;
-  const Database& db;
-  const ValuePool& pool;
-  Emit& emit;
-  std::vector<RowRef> assignment;
-  std::vector<FactId> chosen_ids;
-  bool stopped = false;  // emit returned false
-
-  // Predicates whose deepest variable is `var` must hold for the partial
-  // assignment to remain viable.
-  bool Viable(size_t var) {
-    for (size_t pi = 0; pi < dc.predicates().size(); ++pi) {
-      const Predicate& p = dc.predicates()[pi];
-      if (p.MaxVar() != var) continue;  // checked earlier or later
-      if (!EvalPredicateInterned(p, plan[pi], assignment.data(), pool)) {
-        return false;
-      }
-    }
-    return true;
-  }
-
-  void Recurse(size_t var) {
-    if (var == dc.num_vars()) {
-      if (!BodyHoldsInterned(dc, plan, assignment.data(), pool)) return;
-      std::vector<FactId> support = chosen_ids;
-      std::sort(support.begin(), support.end());
-      support.erase(std::unique(support.begin(), support.end()),
-                    support.end());
-      if (!emit(std::move(support))) stopped = true;
-      return;
-    }
-    const Database::RelationBlock& rel =
-        db.relation_block(dc.var_relation(static_cast<uint32_t>(var)));
-    for (uint32_t i = 0; i < rel.num_rows() && !stopped; ++i) {
-      assignment[var] = RowRef{&rel, i};
-      chosen_ids[var] = rel.row_ids[i];
-      if (!Viable(var)) continue;
-      Recurse(var + 1);
-    }
-  }
-};
-
-template <typename Emit>
-bool KAryShard(const DenialConstraint& dc, const DcPlan& plan,
-               const Database& db, IndexRange range, const Deadline& deadline,
-               Emit&& emit) {
-  KAryEnumerator<Emit> en{dc,
-                          plan,
-                          db,
-                          db.pool(),
-                          emit,
-                          std::vector<RowRef>(dc.num_vars()),
-                          std::vector<FactId>(dc.num_vars(), 0)};
-  const Database::RelationBlock& outer = db.relation_block(dc.var_relation(0));
-  for (uint32_t i = static_cast<uint32_t>(range.begin);
-       i < static_cast<uint32_t>(range.end); ++i) {
-    if (PollDeadline(i, deadline)) return true;
-    en.assignment[0] = RowRef{&outer, i};
-    en.chosen_ids[0] = outer.row_ids[i];
-    if (!en.Viable(0)) continue;
-    en.Recurse(1);
-    if (en.stopped) return false;
   }
   return false;
 }
@@ -399,7 +199,7 @@ ViolationSet ViolationDetector::Detect(const Database& db,
       if (r != rel0) single_relation = false;
     }
     if (!single_relation) continue;
-    const DcPlan plan = PlanPredicates(dc, pool);
+    const DcEval eval(dc, pool);
     const Database::RelationBlock& block = db.relation_block(rel0);
     // Returns true when the deadline expired at a poll point mid-scan.
     auto scan_rows = [&](IndexRange range, std::vector<FactId>& hits) {
@@ -408,7 +208,7 @@ ViolationSet ViolationDetector::Detect(const Database& db,
            i < static_cast<uint32_t>(range.end); ++i) {
         if (PollDeadline(i, state.deadline)) return true;
         assignment.assign(dc.num_vars(), RowRef{&block, i});
-        if (BodyHoldsInterned(dc, plan, assignment.data(), pool)) {
+        if (eval.BodyHolds(assignment.data())) {
           hits.push_back(block.row_ids[i]);
         }
       }
@@ -450,18 +250,19 @@ ViolationSet ViolationDetector::Detect(const Database& db,
   }
 
   // Pass 2: binary constraints, blocked or nested-loop; k-ary constraints
-  // through the sharded enumeration.
+  // through the kernel's sharded enumeration.
   std::vector<std::vector<FactId>> kary_candidates;
   for (const DenialConstraint& dc : constraints_) {
     if (state.stop) break;
     if (dc.num_vars() == 1) continue;  // covered by pass 1
-    const DcPlan plan = PlanPredicates(dc, pool);
+    const DcEval eval(dc, pool);
     if (dc.num_vars() >= 3) {
       // The enumeration is sharded over outermost-variable row ranges;
       // inner variables stay exhaustive, so concatenating shard outputs in
       // ascending chunk order reproduces the sequential discovery order.
       // The deadline is polled once per merged candidate (as the
-      // sequential path always did) plus cooperatively per outermost row.
+      // sequential path always did) plus cooperatively inside the kernel's
+      // enumeration (every level, global-prefix-aligned).
       const Database::RelationBlock& outer =
           db.relation_block(dc.var_relation(0));
       auto merge_support = [&](std::vector<FactId> support) {
@@ -476,8 +277,8 @@ ViolationSet ViolationDetector::Detect(const Database& db,
       const std::vector<IndexRange> chunks =
           SplitRange(outer.num_rows(), max_chunks, kMinProbeChunkRows);
       if (num_threads <= 1 || chunks.size() <= 1) {
-        if (KAryShard(dc, plan, db, IndexRange{0, outer.num_rows()},
-                      state.deadline, merge_support)) {
+        if (EnumerateKAry(eval, db, IndexRange{0, outer.num_rows()},
+                          state.deadline, merge_support)) {
           state.result.set_truncated(true);
           state.stop = true;
         }
@@ -486,11 +287,11 @@ ViolationSet ViolationDetector::Detect(const Database& db,
       ParallelPhase<std::vector<std::vector<FactId>>>(
           num_threads, chunks,
           [&](IndexRange range, std::vector<std::vector<FactId>>& found) {
-            return KAryShard(dc, plan, db, range, state.deadline,
-                             [&](std::vector<FactId> support) {
-                               found.push_back(std::move(support));
-                               return true;
-                             });
+            return EnumerateKAry(eval, db, range, state.deadline,
+                                 [&](std::vector<FactId> support) {
+                                   found.push_back(std::move(support));
+                                   return true;
+                                 });
           },
           [&](std::vector<std::vector<FactId>>& found) {
             for (auto& support : found) {
@@ -509,9 +310,7 @@ ViolationSet ViolationDetector::Detect(const Database& db,
 
     const BlockingKeys keys = ExtractBlockingKeys(dc);
     ProbeShardInput shard_input;
-    shard_input.dc = &dc;
-    shard_input.plan = &plan;
-    shard_input.pool = &pool;
+    shard_input.eval = &eval;
     shard_input.r0 = &r0;
     shard_input.r1 = &r1;
     shard_input.keys = &keys;
@@ -519,14 +318,14 @@ ViolationSet ViolationDetector::Detect(const Database& db,
     shard_input.blocked = options.use_blocking && !keys.empty();
 
     // Hash var-1 side, probe with var-0 side. Bucket keys are FNV mixes
-    // of interned ids; bucket membership is verified with id compares, so
-    // the whole probe path is free of Value hashing and comparison. The
-    // build is sharded by j range into chunk-private maps; merging them in
-    // canonical ascending chunk order concatenates each bucket's row lists
-    // with ascending j — exactly the sequential build's bucket layout, so
-    // the probe's discovery order is untouched. (Which bucket a key lands
-    // in is key-determined, so per-chunk map iteration order is
-    // irrelevant.)
+    // of interned class ids; bucket membership is verified with id
+    // compares, so the whole probe path is free of Value hashing and
+    // comparison. The build is sharded by j range into chunk-private maps;
+    // merging them in canonical ascending chunk order concatenates each
+    // bucket's row lists with ascending j — exactly the sequential build's
+    // bucket layout, so the probe's discovery order is untouched. (Which
+    // bucket a key lands in is key-determined, so per-chunk map iteration
+    // order is irrelevant.)
     std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
     if (shard_input.blocked) {
       // The build polls the deadline cooperatively like every other phase
@@ -541,7 +340,7 @@ ViolationSet ViolationDetector::Detect(const Database& db,
         for (uint32_t j = static_cast<uint32_t>(range.begin);
              j < static_cast<uint32_t>(range.end); ++j) {
           if (PollDeadline(j, state.deadline)) return true;
-          map[HashKeyIds(RowRef{&r1, j}, keys.var1)].push_back(j);
+          map[HashKeyClasses(RowRef{&r1, j}, keys.var1)].push_back(j);
         }
         return false;
       };

@@ -1,0 +1,65 @@
+#include "violations/eval_kernel.h"
+
+namespace dbim {
+
+bool MakesSelfInconsistentInterned(const DcEval& eval, const Database& db,
+                                   FactId id) {
+  const DenialConstraint& dc = eval.dc();
+  const Database::RowLocation loc = db.Locate(id);
+  for (const RelationId r : dc.var_relations()) {
+    if (r != loc.relation) return false;
+  }
+  const RowRef self{&db.relation_block(loc.relation), loc.row};
+  std::vector<RowRef> assignment(dc.num_vars(), self);
+  return eval.BodyHolds(assignment.data());
+}
+
+uint32_t CountDerivations(const DcEval& eval, const Database& db,
+                          const std::vector<FactId>& subset) {
+  const DenialConstraint& dc = eval.dc();
+  const size_t k = dc.num_vars();
+  const size_t m = subset.size();
+  if (m > k) return 0;
+
+  // Pre-bind every member and check which variable positions its relation
+  // admits; bail early when some member fits nowhere.
+  std::vector<RowRef> members(m);
+  std::vector<RelationId> member_rel(m);
+  for (size_t j = 0; j < m; ++j) {
+    const Database::RowLocation loc = db.Locate(subset[j]);
+    members[j] = RowRef{&db.relation_block(loc.relation), loc.row};
+    member_rel[j] = loc.relation;
+  }
+
+  // Odometer over the m^k mappings var -> member; count the surjective,
+  // relation-compatible, body-satisfying ones. k and m are tiny (the
+  // constraint's arity), so this is constant work per subset.
+  std::vector<size_t> pick(k, 0);
+  std::vector<RowRef> assignment(k);
+  uint32_t count = 0;
+  while (true) {
+    bool compatible = true;
+    uint32_t used_mask = 0;
+    for (size_t v = 0; v < k && compatible; ++v) {
+      if (dc.var_relation(static_cast<uint32_t>(v)) != member_rel[pick[v]]) {
+        compatible = false;
+        break;
+      }
+      assignment[v] = members[pick[v]];
+      used_mask |= 1u << pick[v];
+    }
+    if (compatible && used_mask == (1u << m) - 1 &&
+        eval.BodyHolds(assignment.data())) {
+      ++count;
+    }
+    size_t v = 0;
+    while (v < k && ++pick[v] == m) {
+      pick[v] = 0;
+      ++v;
+    }
+    if (v == k) break;
+  }
+  return count;
+}
+
+}  // namespace dbim

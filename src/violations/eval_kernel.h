@@ -1,0 +1,345 @@
+#ifndef DBIM_VIOLATIONS_EVAL_KERNEL_H_
+#define DBIM_VIOLATIONS_EVAL_KERNEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "common/value_pool.h"
+#include "constraints/dc.h"
+#include "relational/database.h"
+
+namespace dbim {
+
+/// The constraint-evaluation kernel shared by the batch ViolationDetector
+/// and the IncrementalViolationIndex: predicate evaluation, blocking-key
+/// hashing and witness enumeration, all expressed over interned `ValueId`
+/// columns. Every witness either evaluator ever reports flows through this
+/// one core, which is what keeps batch detection, per-fact incremental
+/// probes and anchored k-ary re-enumeration bit-for-bit consistent.
+///
+/// The kernel never materializes a row-major `Fact`: tuple-variable
+/// bindings are (relation block, row) pairs, equality-type predicates
+/// resolve on semantic class ids (equal class iff equal value), and
+/// ordered predicates read the pool's canonical values — an array index,
+/// no hashing, semantically equal to the cell's exact value so the total
+/// order is unaffected.
+
+/// A tuple-variable binding: one row of one relation's column block.
+struct RowRef {
+  const Database::RelationBlock* block = nullptr;
+  uint32_t row = 0;
+
+  ValueId class_at(AttrIndex attr) const {
+    return block->class_columns[attr][row];
+  }
+  FactId fact_id() const { return block->row_ids[row]; }
+};
+
+/// The binding of a live fact: looks up the fact's current (block, row)
+/// position. Row positions move on Delete (swap-removal), so bindings are
+/// taken fresh per probe, never cached across operations.
+inline RowRef BindFact(const Database& db, FactId id) {
+  const Database::RowLocation loc = db.Locate(id);
+  return RowRef{&db.relation_block(loc.relation), loc.row};
+}
+
+/// Per-predicate plan, resolved once per (constraint, pool): equality-type
+/// comparisons against a constant are pre-interned into the pool's class
+/// space so the per-row check is an integer compare (or a foregone
+/// conclusion when no value in the pool equals the constant).
+struct PredicatePlan {
+  bool const_eq = false;  // rhs is a constant and op is kEq/kNe
+  bool const_present = false;
+  ValueId const_class = 0;
+};
+
+/// A denial constraint compiled against one value pool. Cheap to build
+/// (one FindClass per constant predicate); rebuilt rather than cached when
+/// the pool can change underneath (e.g. across a session vacuum's
+/// re-intern, which reassigns every class id).
+class DcEval {
+ public:
+  DcEval() = default;
+
+  DcEval(const DenialConstraint& dc, const ValuePool& pool)
+      : dc_(&dc), pool_(&pool), plan_(dc.predicates().size()) {
+    for (size_t i = 0; i < dc.predicates().size(); ++i) {
+      const Predicate& p = dc.predicates()[i];
+      if (!p.rhs_is_constant()) continue;
+      if (p.op() != CompareOp::kEq && p.op() != CompareOp::kNe) continue;
+      plan_[i].const_eq = true;
+      const std::optional<ValueId> cls = pool.FindClass(p.rhs_constant());
+      plan_[i].const_present = cls.has_value();
+      if (cls.has_value()) plan_[i].const_class = *cls;
+    }
+  }
+
+  const DenialConstraint& dc() const { return *dc_; }
+
+  /// Evaluates predicate `pi` on interned rows. Equality-type operators
+  /// resolve with integer compares and never touch a Value; ordered
+  /// operators short-circuit on equal classes and otherwise compare the
+  /// pool's canonical values.
+  bool EvalPredicate(size_t pi, const RowRef* assignment) const {
+    const Predicate& p = dc_->predicates()[pi];
+    const ValueId lhs = assignment[p.lhs().var].class_at(p.lhs().attr);
+    if (p.rhs_is_constant()) {
+      const PredicatePlan& plan = plan_[pi];
+      if (plan.const_eq) {
+        if (!plan.const_present) return p.op() == CompareOp::kNe;
+        const bool equal = lhs == plan.const_class;
+        return p.op() == CompareOp::kEq ? equal : !equal;
+      }
+      return EvalCompare(p.op(), pool_->value(lhs), p.rhs_constant());
+    }
+    const ValueId rhs =
+        assignment[p.rhs_operand().var].class_at(p.rhs_operand().attr);
+    const bool same_class = lhs == rhs;
+    switch (p.op()) {
+      case CompareOp::kEq:
+        return same_class;
+      case CompareOp::kNe:
+        return !same_class;
+      case CompareOp::kLe:
+      case CompareOp::kGe:
+        if (same_class) return true;
+        break;
+      case CompareOp::kLt:
+      case CompareOp::kGt:
+        if (same_class) return false;
+        break;
+    }
+    return EvalCompare(p.op(), pool_->value(lhs), pool_->value(rhs));
+  }
+
+  /// The whole (conjunctive) body on a full assignment.
+  bool BodyHolds(const RowRef* assignment) const {
+    for (size_t i = 0; i < dc_->predicates().size(); ++i) {
+      if (!EvalPredicate(i, assignment)) return false;
+    }
+    return true;
+  }
+
+  /// Predicates whose deepest variable is `var` must hold for a partial
+  /// assignment bound through `var` to remain viable — the enumeration's
+  /// per-level pruning check.
+  bool ViableAt(size_t var, const RowRef* assignment) const {
+    for (size_t i = 0; i < dc_->predicates().size(); ++i) {
+      if (dc_->predicates()[i].MaxVar() != var) continue;
+      if (!EvalPredicate(i, assignment)) return false;
+    }
+    return true;
+  }
+
+ private:
+  const DenialConstraint* dc_ = nullptr;
+  const ValuePool* pool_ = nullptr;
+  std::vector<PredicatePlan> plan_;
+};
+
+/// FNV-1a over the semantic class ids of the blocking-key attributes.
+/// Equal key tuples have equal class ids, so hashing the class ids
+/// partitions exactly like hashing the underlying values — without a
+/// single Value::Hash call. (The incremental index's persistent buckets
+/// hash pool value hashes instead, which survive a re-intern; this id mix
+/// is for within-one-pass partitioning.)
+inline uint64_t HashKeyClasses(const RowRef& r,
+                               const std::vector<AttrIndex>& attrs) {
+  uint64_t h = 1469598103934665603ull;
+  for (const AttrIndex a : attrs) {
+    h ^= r.class_at(a);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline bool KeyClassesEqual(const RowRef& a,
+                            const std::vector<AttrIndex>& attrs_a,
+                            const RowRef& b,
+                            const std::vector<AttrIndex>& attrs_b) {
+  for (size_t i = 0; i < attrs_a.size(); ++i) {
+    if (a.class_at(attrs_a[i]) != b.class_at(attrs_b[i])) return false;
+  }
+  return true;
+}
+
+/// Cooperative deadline polling: enumeration shards consult the wall clock
+/// every kDeadlinePollInterval iterations so a violation-free phase (which
+/// never reaches a merge point) still honors the deadline. Poll points are
+/// aligned to *global* iteration indices — multiples of the interval
+/// within the phase's canonical index space, independent of shard
+/// boundaries — and a shard that observes expiry stops there, so the
+/// ordered merge truncates at a canonical prefix of the discovery order
+/// for every thread count. Index 0 is never a poll point, so in the
+/// phases whose index space is linear in the input (the pass-1 scan, the
+/// binary probe, pass 3) an already-expired deadline still lets the first
+/// witness through — the "truncated result carries its first subset"
+/// behavior those callers rely on. The k-ary enumeration's inner-level
+/// polls trade that away deliberately: its first witness can sit
+/// O(n^{k-1}) nodes deep, which is exactly the unbounded
+/// work-between-polls gap the prefix-index polling closes, so a
+/// pre-expired deadline there may truncate to an empty (still canonical)
+/// result before any witness is reached.
+constexpr size_t kDeadlinePollInterval = 1024;
+
+inline bool PollDeadline(size_t global_index, const Deadline& deadline) {
+  return global_index != 0 && global_index % kDeadlinePollInterval == 0 &&
+         deadline.Expired();
+}
+
+/// K-ary (k >= 3) support-set enumeration over interned columns: the
+/// outermost variable ranges over rows [range.begin, range.end) of its
+/// relation; inner variables range over their full relations, allowing
+/// repeated facts across variables. Candidate supports (sorted,
+/// deduplicated fact ids, in the sequential enumeration's discovery order)
+/// go to `emit`, which returns false to stop the enumeration; candidates
+/// are minimality-filtered by the caller.
+///
+/// Deadline polls fire at every enumeration level on the *global prefix
+/// index* of the partial assignment — P_0 = i_0 for the outermost rows,
+/// P_v = P_{v-1} * n_v + i_v below, where n_v is variable v's relation
+/// size. Prefix indices are pure functions of the absolute row indices, so
+/// poll points land on the same nodes for every sharding (wrap-around on
+/// overflow keeps that property), and no more than kDeadlinePollInterval
+/// inner iterations separate consecutive clock checks even when one outer
+/// row fans out into O(n^{k-1}) inner work. Returns true when the
+/// enumeration stopped at an expired poll, false otherwise.
+template <typename Emit>
+bool EnumerateKAry(const DcEval& eval, const Database& db, IndexRange range,
+                   const Deadline& deadline, Emit&& emit) {
+  const DenialConstraint& dc = eval.dc();
+  const size_t k = dc.num_vars();
+  std::vector<const Database::RelationBlock*> rels(k);
+  for (uint32_t v = 0; v < k; ++v) {
+    rels[v] = &db.relation_block(dc.var_relation(v));
+  }
+  std::vector<RowRef> assignment(k);
+  std::vector<FactId> chosen(k, 0);
+  bool stopped = false;  // emit returned false
+  bool expired = false;  // deadline fired at a poll point
+
+  // Recursion over variables 1..k-1; `prefix` is the global prefix index
+  // of the assignment through `var - 1`.
+  auto recurse = [&](auto&& self, size_t var, uint64_t prefix) -> void {
+    if (var == k) {
+      if (!eval.BodyHolds(assignment.data())) return;
+      std::vector<FactId> support = chosen;
+      std::sort(support.begin(), support.end());
+      support.erase(std::unique(support.begin(), support.end()),
+                    support.end());
+      if (!emit(std::move(support))) stopped = true;
+      return;
+    }
+    const Database::RelationBlock& rel = *rels[var];
+    const uint64_t base = prefix * rel.num_rows();
+    for (uint32_t i = 0; i < rel.num_rows() && !stopped && !expired; ++i) {
+      if (PollDeadline(static_cast<size_t>(base + i), deadline)) {
+        expired = true;
+        return;
+      }
+      assignment[var] = RowRef{&rel, i};
+      chosen[var] = rel.row_ids[i];
+      if (!eval.ViableAt(var, assignment.data())) continue;
+      self(self, var + 1, base + i);
+    }
+  };
+
+  const Database::RelationBlock& outer = *rels[0];
+  for (uint32_t i = static_cast<uint32_t>(range.begin);
+       i < static_cast<uint32_t>(range.end); ++i) {
+    if (PollDeadline(i, deadline)) return true;
+    assignment[0] = RowRef{&outer, i};
+    chosen[0] = outer.row_ids[i];
+    if (!eval.ViableAt(0, assignment.data())) continue;
+    recurse(recurse, 1, i);
+    if (expired) return true;
+    if (stopped) return false;
+  }
+  return false;
+}
+
+/// Anchored k-ary enumeration: every satisfying assignment whose support
+/// contains the fact `anchor`, each assignment exactly once — the anchor
+/// occupies the first variable position bound to it, so earlier positions
+/// exclude the anchor and later positions may rebind it. This is the
+/// incremental-maintenance mode: after an insert or update of `anchor`,
+/// the witnesses flowing through it are exactly the minimal-subset
+/// candidates that can have appeared, so re-enumerating them replaces a
+/// full O(n^k) re-detection with O(k * n^{k-1}) work. `emit` receives the
+/// sorted, deduplicated support of each satisfying assignment (the same
+/// support may be emitted several times — once per derivation — matching
+/// the batch detector's per-assignment violation count). No deadline:
+/// incremental maintainers require uncapped evaluation.
+template <typename Emit>
+void EnumerateKAryAnchored(const DcEval& eval, const Database& db,
+                           FactId anchor, Emit&& emit) {
+  const DenialConstraint& dc = eval.dc();
+  const size_t k = dc.num_vars();
+  const Database::RowLocation anchor_loc = db.Locate(anchor);
+  std::vector<const Database::RelationBlock*> rels(k);
+  for (uint32_t v = 0; v < k; ++v) {
+    rels[v] = &db.relation_block(dc.var_relation(v));
+  }
+  std::vector<RowRef> assignment(k);
+  std::vector<FactId> chosen(k, 0);
+
+  for (size_t anchor_pos = 0; anchor_pos < k; ++anchor_pos) {
+    if (dc.var_relation(static_cast<uint32_t>(anchor_pos)) !=
+        anchor_loc.relation) {
+      continue;
+    }
+    auto recurse = [&](auto&& self, size_t var) -> void {
+      if (var == k) {
+        if (!eval.BodyHolds(assignment.data())) return;
+        std::vector<FactId> support = chosen;
+        std::sort(support.begin(), support.end());
+        support.erase(std::unique(support.begin(), support.end()),
+                      support.end());
+        emit(std::move(support));
+        return;
+      }
+      if (var == anchor_pos) {
+        assignment[var] = RowRef{rels[var], anchor_loc.row};
+        chosen[var] = anchor;
+        if (eval.ViableAt(var, assignment.data())) self(self, var + 1);
+        return;
+      }
+      const Database::RelationBlock& rel = *rels[var];
+      for (uint32_t i = 0; i < rel.num_rows(); ++i) {
+        // Before the anchor position the anchor itself is excluded, so an
+        // assignment binding it at several positions is discovered only at
+        // the earliest one.
+        if (var < anchor_pos && rel.row_ids[i] == anchor) continue;
+        assignment[var] = RowRef{&rel, i};
+        chosen[var] = rel.row_ids[i];
+        if (!eval.ViableAt(var, assignment.data())) continue;
+        self(self, var + 1);
+      }
+    };
+    recurse(recurse, 0);
+  }
+}
+
+/// Whether `id` is self-inconsistent under `eval`'s constraint: the body
+/// holds with every tuple variable bound to the fact. False when the
+/// constraint spans several relations or another relation than the
+/// fact's — the interned twin of DenialConstraint::MakesSelfInconsistent.
+bool MakesSelfInconsistentInterned(const DcEval& eval, const Database& db,
+                                   FactId id);
+
+/// Number of satisfying assignments of `eval`'s constraint whose support
+/// is exactly the fact set `subset` (sorted, distinct): every mapping of
+/// tuple variables onto the subset's facts that is surjective, relation-
+/// compatible, and satisfies the body. This recovers the per-assignment
+/// violation multiplicity the batch detector counts for a k-ary minimal
+/// subset, in O(|subset|^k) integer-compare work.
+uint32_t CountDerivations(const DcEval& eval, const Database& db,
+                          const std::vector<FactId>& subset);
+
+}  // namespace dbim
+
+#endif  // DBIM_VIOLATIONS_EVAL_KERNEL_H_

@@ -1,8 +1,10 @@
 #include "violations/incremental.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/check.h"
+#include "violations/eval_kernel.h"
 
 namespace dbim {
 
@@ -30,16 +32,13 @@ IncrementalViolationIndex::IncrementalViolationIndex(
 
 void IncrementalViolationIndex::BuildInitialState(
     const DetectorOptions& build_options) {
-  for (const DenialConstraint& dc : constraints_) {
-    DBIM_CHECK_MSG(dc.num_vars() <= 2,
-                   "incremental maintenance supports <= 2 tuple variables");
-  }
   DBIM_CHECK_MSG(
       build_options.max_subsets == 0 && build_options.deadline_seconds == 0.0,
       "incremental index needs an uncapped initial detection");
 
   dc_states_.resize(constraints_.size());
   for (size_t c = 0; c < constraints_.size(); ++c) {
+    if (constraints_[c].num_vars() >= 3) has_kary_ = true;
     if (constraints_[c].num_vars() != 2) continue;
     dc_states_[c].keys = ExtractBlockingKeys(constraints_[c]);
     dc_states_[c].blocked = !dc_states_[c].keys.empty();
@@ -48,37 +47,53 @@ void IncrementalViolationIndex::BuildInitialState(
 
   const ViolationDetector detector(schema_, constraints_, build_options);
   const ViolationSet initial = detector.FindViolations(*db_);
+  const std::vector<DcEval> evals = CompileEvals();
   for (const auto& subset : initial.minimal_subsets()) {
-    if (subset.size() == 1) {
-      // The detector emits each self-inconsistent fact once, regardless of
-      // how many unary constraints it violates.
-      self_inconsistent_.insert(subset[0]);
-      IndexSubset(subset, 1);
-      continue;
-    }
-    // Recover the per-constraint multiplicity the detector counted: one
-    // per DC deriving the pair in some orientation (the detector's
-    // symmetric-pair dedup counts a pair once per constraint).
-    const Fact& fa = db_->fact(subset[0]);
-    const Fact& fb = db_->fact(subset[1]);
-    uint32_t multiplicity = 0;
-    for (const DenialConstraint& dc : constraints_) {
-      if (dc.num_vars() != 2) continue;
-      const bool ab = fa.relation() == dc.var_relation(0) &&
-                      fb.relation() == dc.var_relation(1) &&
-                      dc.BodyHolds(fa, fb);
-      const bool ba = !ab && fb.relation() == dc.var_relation(0) &&
-                      fa.relation() == dc.var_relation(1) &&
-                      dc.BodyHolds(fb, fa);
-      if (ab || ba) ++multiplicity;
-    }
-    DBIM_CHECK(multiplicity >= 1);
-    IndexSubset(subset, multiplicity);
+    if (subset.size() == 1) self_inconsistent_.insert(subset[0]);
+    IndexSubset(subset, RecoverMultiplicity(evals, subset));
   }
   DBIM_CHECK_MSG(
       num_minimal_violations_ == initial.num_minimal_violations(),
       "incremental build lost violation multiplicities (%zu vs %zu)",
       num_minimal_violations_, initial.num_minimal_violations());
+}
+
+std::vector<DcEval> IncrementalViolationIndex::CompileEvals() const {
+  std::vector<DcEval> evals;
+  evals.reserve(constraints_.size());
+  for (const DenialConstraint& dc : constraints_) {
+    evals.emplace_back(dc, db_->pool());
+  }
+  return evals;
+}
+
+uint32_t IncrementalViolationIndex::RecoverMultiplicity(
+    const std::vector<DcEval>& evals, const std::vector<FactId>& subset) const {
+  // Pass 1 emits each self-inconsistent fact once, no matter how many
+  // constraints make it contradictory; the binary probe and the k-ary
+  // enumeration then count one derivation per (constraint, orientation)
+  // resp. per satisfying assignment.
+  uint32_t multiplicity = subset.size() == 1 ? 1 : 0;
+  for (size_t c = 0; c < constraints_.size(); ++c) {
+    const DenialConstraint& dc = constraints_[c];
+    if (dc.num_vars() == 2 && subset.size() == 2) {
+      const DcEval& eval = evals[c];
+      const Database::RowLocation la = db_->Locate(subset[0]);
+      const Database::RowLocation lb = db_->Locate(subset[1]);
+      const RowRef a{&db_->relation_block(la.relation), la.row};
+      const RowRef b{&db_->relation_block(lb.relation), lb.row};
+      const RowRef fwd[2] = {a, b};
+      const RowRef rev[2] = {b, a};
+      const bool ab = la.relation == dc.var_relation(0) &&
+                      lb.relation == dc.var_relation(1) && eval.BodyHolds(fwd);
+      const bool ba = !ab && lb.relation == dc.var_relation(0) &&
+                      la.relation == dc.var_relation(1) && eval.BodyHolds(rev);
+      if (ab || ba) ++multiplicity;
+    } else if (dc.num_vars() >= 3) {
+      multiplicity += CountDerivations(evals[c], *db_, subset);
+    }
+  }
+  return multiplicity;
 }
 
 uint64_t IncrementalViolationIndex::SubsetKey(
@@ -107,7 +122,7 @@ uint64_t IncrementalViolationIndex::SideKeyHash(const DcState& state,
 }
 
 void IncrementalViolationIndex::AddToBuckets(FactId id) {
-  const RelationId rel = db_->fact(id).relation();
+  const RelationId rel = db_->Locate(id).relation;
   for (size_t c = 0; c < constraints_.size(); ++c) {
     DcState& state = dc_states_[c];
     if (!state.blocked) continue;
@@ -121,7 +136,7 @@ void IncrementalViolationIndex::AddToBuckets(FactId id) {
 void IncrementalViolationIndex::RemoveFromBuckets(FactId id) {
   // Must run before the fact's values change: the bucket key is recomputed
   // from the current cells.
-  const RelationId rel = db_->fact(id).relation();
+  const RelationId rel = db_->Locate(id).relation;
   for (size_t c = 0; c < constraints_.size(); ++c) {
     DcState& state = dc_states_[c];
     if (!state.blocked) continue;
@@ -145,8 +160,8 @@ void IncrementalViolationIndex::IndexSubset(std::vector<FactId> subset,
   const uint64_t key = SubsetKey(subset);
   const auto it = by_key_.find(key);
   if (it != by_key_.end()) {
-    // Same subset derived by another constraint: only the violation count
-    // changes.
+    // Same subset derived by another constraint/assignment: only the
+    // violation count changes.
     subsets_[it->second].multiplicity += multiplicity;
     num_minimal_violations_ += multiplicity;
     return;
@@ -182,16 +197,12 @@ void IncrementalViolationIndex::RemoveSubsetsInvolving(FactId id) {
   postings_.erase(it);
 }
 
-void IncrementalViolationIndex::RecomputeSelfInconsistent(FactId id) {
-  const Fact& f = db_->fact(id);
+void IncrementalViolationIndex::RecomputeSelfInconsistent(
+    const std::vector<DcEval>& evals, FactId id) {
   bool selfinc = false;
-  for (const DenialConstraint& dc : constraints_) {
-    if (dc.TriviallyNotUnary()) continue;
-    bool single_relation = true;
-    for (const RelationId r : dc.var_relations()) {
-      if (r != f.relation()) single_relation = false;
-    }
-    if (single_relation && dc.MakesSelfInconsistent(f)) {
+  for (size_t c = 0; c < constraints_.size(); ++c) {
+    if (constraints_[c].TriviallyNotUnary()) continue;
+    if (MakesSelfInconsistentInterned(evals[c], *db_, id)) {
       selfinc = true;
       break;
     }
@@ -203,17 +214,35 @@ void IncrementalViolationIndex::RecomputeSelfInconsistent(FactId id) {
   }
 }
 
-void IncrementalViolationIndex::ProbeFact(FactId id) {
-  if (self_inconsistent_.count(id) > 0) {
-    IndexSubset({id}, 1);
-    return;
+bool IncrementalViolationIndex::IsMinimalCandidate(
+    const std::vector<FactId>& candidate) const {
+  // Pass-3 criterion against the live witness store: reject iff some live
+  // strictly-smaller subset is contained in the candidate. The member
+  // postings bound the scan to witnesses sharing a fact with it.
+  for (const FactId member : candidate) {
+    const auto it = postings_.find(member);
+    if (it == postings_.end()) continue;
+    for (const uint32_t slot : it->second) {
+      const StoredSubset& stored = subsets_[slot];
+      if (!stored.alive || stored.facts.size() >= candidate.size()) continue;
+      if (std::includes(candidate.begin(), candidate.end(),
+                        stored.facts.begin(), stored.facts.end())) {
+        return false;
+      }
+    }
   }
-  const Fact& f = db_->fact(id);
-  const RelationId rel = f.relation();
+  return true;
+}
+
+void IncrementalViolationIndex::ProbeBinary(const std::vector<DcEval>& evals,
+                                            FactId id) {
+  const Database::RowLocation loc = db_->Locate(id);
+  const RowRef self{&db_->relation_block(loc.relation), loc.row};
   for (size_t c = 0; c < constraints_.size(); ++c) {
     const DenialConstraint& dc = constraints_[c];
     if (dc.num_vars() != 2) continue;
     const DcState& state = dc_states_[c];
+    const DcEval& eval = evals[c];
     // Partners hit under this constraint, counted once per constraint no
     // matter how many orientations match (the detector's per-constraint
     // pair dedup).
@@ -222,18 +251,19 @@ void IncrementalViolationIndex::ProbeFact(FactId id) {
       if (other == id) return;  // reflexive: that is self-inconsistency
       if (hit.count(other) > 0) return;
       if (self_inconsistent_.count(other) > 0) return;
-      const Fact& g = db_->fact(other);
-      const bool holds =
-          id_is_var0 ? dc.BodyHolds(f, g) : dc.BodyHolds(g, f);
-      if (!holds) return;
+      const RowRef partner = BindFact(*db_, other);
+      RowRef assignment[2];
+      assignment[id_is_var0 ? 0 : 1] = self;
+      assignment[id_is_var0 ? 1 : 0] = partner;
+      if (!eval.BodyHolds(assignment)) return;
       hit.insert(other);
       IndexSubset({id, other}, 1);
     };
     // The probe hashes its own side's key attributes; equal key values mean
     // equal semantic hashes, so the partner side's bucket is the candidate
-    // set. Hash collisions are rejected by BodyHolds (the body contains the
-    // key equalities).
-    if (rel == dc.var_relation(0)) {
+    // set. Hash collisions are rejected by the body check (the body
+    // contains the key equalities), on interned class ids only.
+    if (loc.relation == dc.var_relation(0)) {
       if (state.blocked) {
         const auto it = state.side[1].find(SideKeyHash(state, 0, id));
         if (it != state.side[1].end()) {
@@ -246,7 +276,7 @@ void IncrementalViolationIndex::ProbeFact(FactId id) {
         }
       }
     }
-    if (rel == dc.var_relation(1)) {
+    if (loc.relation == dc.var_relation(1)) {
       if (state.blocked) {
         const auto it = state.side[0].find(SideKeyHash(state, 1, id));
         if (it != state.side[0].end()) {
@@ -262,6 +292,65 @@ void IncrementalViolationIndex::ProbeFact(FactId id) {
   }
 }
 
+void IncrementalViolationIndex::ProbeKAry(const std::vector<DcEval>& evals,
+                                          FactId id) {
+  // Anchored re-enumeration: support -> derivation count, aggregated
+  // across constraints and assignments. Every new witness contains `id`,
+  // and nothing already stored does (its subsets were just removed, or the
+  // id is fresh), so existing witnesses can only *suppress* candidates,
+  // never the other way around.
+  std::map<std::vector<FactId>, uint32_t> counts;
+  for (size_t c = 0; c < constraints_.size(); ++c) {
+    if (constraints_[c].num_vars() < 3) continue;
+    EnumerateKAryAnchored(evals[c], *db_, id,
+                          [&](std::vector<FactId> support) {
+                            ++counts[std::move(support)];
+                          });
+  }
+  if (counts.empty()) return;
+  // Pass-3 candidate order — size-major, lexicographic within a size class
+  // (the map iterates lexicographically) — so smaller new witnesses are
+  // stored before the larger ones they must suppress.
+  std::vector<std::pair<std::vector<FactId>, uint32_t>> candidates(
+      std::make_move_iterator(counts.begin()),
+      std::make_move_iterator(counts.end()));
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.size() < b.first.size();
+                   });
+  for (auto& [support, multiplicity] : candidates) {
+    bool minimal = true;
+    for (const FactId member : support) {
+      if (self_inconsistent_.count(member) > 0) {
+        minimal = support.size() == 1;
+        break;
+      }
+    }
+    if (minimal && support.size() > 1) minimal = IsMinimalCandidate(support);
+    if (minimal) IndexSubset(std::move(support), multiplicity);
+  }
+}
+
+void IncrementalViolationIndex::ProbeFact(const std::vector<DcEval>& evals,
+                                          FactId id) {
+  if (self_inconsistent_.count(id) > 0) {
+    // The only minimal subset through a contradictory fact is its
+    // singleton: one derivation for the pass-1 Add, plus one per k-ary
+    // constraint whose body holds with every variable on the fact.
+    uint32_t multiplicity = 1;
+    if (has_kary_) {
+      for (size_t c = 0; c < constraints_.size(); ++c) {
+        if (constraints_[c].num_vars() < 3) continue;
+        multiplicity += CountDerivations(evals[c], *db_, {id});
+      }
+    }
+    IndexSubset({id}, multiplicity);
+    return;
+  }
+  ProbeBinary(evals, id);
+  if (has_kary_) ProbeKAry(evals, id);
+}
+
 void IncrementalViolationIndex::Apply(const RepairOperation& op) {
   if (!op.IsApplicable(*db_)) return;
   if (op.is_deletion()) {
@@ -275,8 +364,9 @@ void IncrementalViolationIndex::Apply(const RepairOperation& op) {
   if (op.is_insertion()) {
     const FactId id = db_->Insert(op.insertion().fact);
     AddToBuckets(id);
-    RecomputeSelfInconsistent(id);
-    ProbeFact(id);
+    const std::vector<DcEval> evals = CompileEvals();
+    RecomputeSelfInconsistent(evals, id);
+    ProbeFact(evals, id);
     return;
   }
   const UpdateOp& update = op.update();
@@ -285,8 +375,9 @@ void IncrementalViolationIndex::Apply(const RepairOperation& op) {
   RemoveFromBuckets(id);
   db_->UpdateValue(id, update.attr, update.value);
   AddToBuckets(id);
-  RecomputeSelfInconsistent(id);
-  ProbeFact(id);
+  const std::vector<DcEval> evals = CompileEvals();
+  RecomputeSelfInconsistent(evals, id);
+  ProbeFact(evals, id);
 }
 
 size_t IncrementalViolationIndex::NumProblematicFacts() const {
@@ -302,6 +393,40 @@ ViolationSet IncrementalViolationIndex::Snapshot() const {
     for (uint32_t m = 0; m < stored.multiplicity; ++m) out.Add(stored.facts);
   }
   return out;
+}
+
+void IncrementalViolationIndex::CompactSlots() {
+  if (live_subsets_ == subsets_.size()) return;
+  std::vector<StoredSubset> live;
+  live.reserve(live_subsets_);
+  for (StoredSubset& stored : subsets_) {
+    if (stored.alive) live.push_back(std::move(stored));
+  }
+  subsets_ = std::move(live);
+  // Rebuild the member postings and the canonical-key map against the new
+  // slot numbering; dead entries (and dead slots inside surviving posting
+  // lists) vanish. Posting order is irrelevant to results — minimality
+  // checks are boolean and removals mark whole slots.
+  postings_.clear();
+  by_key_.clear();
+  by_key_.reserve(subsets_.size());
+  for (uint32_t slot = 0; slot < static_cast<uint32_t>(subsets_.size());
+       ++slot) {
+    for (const FactId member : subsets_[slot].facts) {
+      postings_[member].push_back(slot);
+    }
+    by_key_.emplace(SubsetKey(subsets_[slot].facts), slot);
+  }
+}
+
+bool IncrementalViolationIndex::CompactSlotsIfWasteful(
+    double waste_threshold) {
+  if (subsets_.empty() || live_subsets_ == subsets_.size()) return false;
+  const double waste = 1.0 - static_cast<double>(live_subsets_) /
+                                 static_cast<double>(subsets_.size());
+  if (waste <= waste_threshold) return false;
+  CompactSlots();
+  return true;
 }
 
 }  // namespace dbim

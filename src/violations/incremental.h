@@ -10,6 +10,7 @@
 #include "constraints/dc.h"
 #include "relational/operations.h"
 #include "violations/detector.h"
+#include "violations/eval_kernel.h"
 #include "violations/violation.h"
 
 namespace dbim {
@@ -18,27 +19,33 @@ namespace dbim {
 ///
 /// Progress indication re-evaluates the measure after every repairing
 /// operation; recomputing all violations from scratch each time is
-/// quadratic per step and dominates the loop (Table 3 / Figure 6 of the
-/// paper). A single operation, however, only touches witnesses involving
-/// the changed fact: deletion drops its subsets, insertion/update probes
-/// one fact against the database. The index keeps the same per-constraint
-/// hash-blocking structure the batch detector uses (one bucket map per DC
-/// side, maintained across operations), so a probe costs O(bucket) instead
-/// of O(n); constraints without an equality key fall back to a scan of the
-/// partner relation.
+/// quadratic (binary Sigma) to O(n^k) (k-ary) per step and dominates the
+/// loop (Table 3 / Figure 6 of the paper). A single operation, however,
+/// only touches witnesses involving the changed fact: deletion drops its
+/// subsets, insertion/update re-derives the witnesses flowing through one
+/// fact. Both directions run on the shared eval kernel
+/// (violations/eval_kernel.h), the same core the batch detector drives:
+///
+///  * binary constraints probe the changed fact against per-constraint
+///    hash-blocking buckets maintained across operations (O(bucket) per
+///    op; constraints without an equality key fall back to a scan of the
+///    partner relation), comparing interned class ids only — no row-major
+///    `Fact` is ever materialized;
+///  * k-ary (>= 3 variable) constraints use the kernel's *anchored*
+///    enumeration: every satisfying assignment through the changed fact,
+///    O(k * n^{k-1}) instead of the O(n^k) full re-detection, with new
+///    candidates minimality-filtered against the live witness store the
+///    same way the batch detector's pass 3 filters them.
 ///
 /// Bucket keys hash the *semantic value* of the blocking attributes (via
 /// the pool's precomputed hashes), not raw ValueIds — so the index survives
 /// a shared-pool vacuum/re-intern (see MeasureSession::Vacuum) untouched:
 /// every piece of its state is keyed by FactId or value semantics.
 ///
-/// The index also maintains the per-(F, sigma) minimal-violation count the
-/// detector reports (a subset violating two constraints counts twice), so
-/// Snapshot() reproduces ViolationSet::num_minimal_violations() exactly.
-///
-/// Supports constraints with at most two tuple variables (every constraint
-/// of the paper's experiments; k-ary DCs would need witness re-enumeration
-/// around the changed fact). Construction is checked against this limit.
+/// The index also maintains the per-derivation minimal-violation count the
+/// detector reports (a subset violating two constraints counts twice; a
+/// k-ary subset counts once per satisfying assignment), so Snapshot()
+/// reproduces ViolationSet::num_minimal_violations() exactly.
 class IncrementalViolationIndex {
  public:
   /// Builds the index for `db`, which the index owns (one full detection
@@ -73,7 +80,7 @@ class IncrementalViolationIndex {
   /// Number of minimal inconsistent subsets (the I_MI value).
   size_t NumMinimalSubsets() const { return live_subsets_; }
 
-  /// Number of (subset, constraint) minimal violations — matches
+  /// Number of minimal-violation derivations — matches
   /// ViolationSet::num_minimal_violations() of a fresh detection.
   size_t NumMinimalViolations() const { return num_minimal_violations_; }
 
@@ -89,16 +96,33 @@ class IncrementalViolationIndex {
   /// its edge list).
   ViolationSet Snapshot() const;
 
+  /// Stored subset slots, live + dead. Dead slots accumulate under
+  /// sustained churn (RemoveSubsetsInvolving only marks); CompactSlots
+  /// reclaims them.
+  size_t NumStoredSlots() const { return subsets_.size(); }
+
+  /// Rebuilds `subsets_`, the member postings and the canonical-key map
+  /// without dead slots. O(live state); all public counters are untouched.
+  /// MeasureSession::Vacuum runs this alongside its pool compaction so
+  /// long trajectories stay bounded.
+  void CompactSlots();
+
+  /// CompactSlots when the dead-slot fraction exceeds `waste_threshold`.
+  /// Returns whether compaction ran.
+  bool CompactSlotsIfWasteful(double waste_threshold);
+
  private:
   struct StoredSubset {
     std::vector<FactId> facts;
-    uint32_t multiplicity = 1;  // # constraints deriving this subset
+    uint32_t multiplicity = 1;  // # derivations (constraints/assignments)
     bool alive = true;
   };
   // Per-constraint blocking state: side[v] buckets the facts of
   // var_relation(v) by the semantic hash of their side-v key attributes.
-  // Empty keys (no cross-variable equality) leave `blocked` false and the
-  // probe falls back to scanning the partner relation.
+  // Only binary constraints block; empty keys (no cross-variable equality)
+  // leave `blocked` false and the probe falls back to scanning the partner
+  // relation. K-ary constraints carry no persistent state — the anchored
+  // enumeration reads the live columns directly.
   struct DcState {
     BlockingKeys keys;
     bool blocked = false;
@@ -106,11 +130,32 @@ class IncrementalViolationIndex {
   };
 
   void BuildInitialState(const DetectorOptions& build_options);
+  // The violation-count multiplicity of a freshly detected minimal subset:
+  // one for the pass-1 singleton Add, one per binary constraint deriving
+  // the pair in some orientation, one per k-ary satisfying assignment with
+  // exactly this support. `evals` holds one compiled evaluator per
+  // constraint (hoisted by the caller — the build recovers thousands of
+  // subsets against the same pool).
+  uint32_t RecoverMultiplicity(const std::vector<DcEval>& evals,
+                               const std::vector<FactId>& subset) const;
+  // One compiled evaluator per constraint against the current pool —
+  // hoisted once per Apply (and once per build): the pool cannot change
+  // mid-operation, and per-constraint recompilation would put a heap
+  // allocation plus mutex-guarded FindClass calls on the per-op hot path.
+  std::vector<DcEval> CompileEvals() const;
   void IndexSubset(std::vector<FactId> subset, uint32_t multiplicity);
   void RemoveSubsetsInvolving(FactId id);
   // (Re)derives all minimal subsets involving `id` and inserts new ones.
-  void ProbeFact(FactId id);
-  void RecomputeSelfInconsistent(FactId id);
+  void ProbeFact(const std::vector<DcEval>& evals, FactId id);
+  // Binary-constraint probes through the blocking buckets.
+  void ProbeBinary(const std::vector<DcEval>& evals, FactId id);
+  // K-ary anchored re-enumeration + pass-3-equivalent minimality filter.
+  void ProbeKAry(const std::vector<DcEval>& evals, FactId id);
+  // True when no live smaller subset is a proper subset of `candidate`
+  // (which must be sorted) — the batch pass-3 minimality criterion against
+  // the maintained witness store.
+  bool IsMinimalCandidate(const std::vector<FactId>& candidate) const;
+  void RecomputeSelfInconsistent(const std::vector<DcEval>& evals, FactId id);
   uint64_t SubsetKey(const std::vector<FactId>& subset) const;
 
   uint64_t SideKeyHash(const DcState& state, int side, FactId id) const;
@@ -121,6 +166,7 @@ class IncrementalViolationIndex {
   std::vector<DenialConstraint> constraints_;
   std::optional<Database> owned_;
   Database* db_;
+  bool has_kary_ = false;
 
   std::vector<DcState> dc_states_;  // parallel to constraints_
   std::vector<StoredSubset> subsets_;

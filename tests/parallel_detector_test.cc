@@ -341,6 +341,59 @@ TEST(ParallelParity, CooperativeDeadlinePassOneScan) {
   EXPECT_TRUE(tiny.empty());
 }
 
+// Cooperative deadline polling inside the k-ary enumeration's *inner*
+// variable loops: polls land on global prefix indices (P_v = P_{v-1} * n_v
+// + i_v), so a pathological outer row no longer runs O(n^{k-1}) inner work
+// between clock checks — and a pre-expired deadline truncates at the same
+// canonical node for every thread count. Pre-kernel, the enumeration
+// polled only per outer row: on this 150-row instance (< 1024 outer rows)
+// a pre-expired deadline on a violation-free body would never have been
+// noticed mid-enumeration at all.
+TEST(ParallelParity, CooperativeDeadlineKAryInnerLoops) {
+  const auto schema = MakeAbcSchema();
+  // !(t0.A = t1.A & t1.B = t2.B & t0.C != t2.C): no predicate gates the
+  // outermost level, so every (i0, i1) node is visited and the first
+  // inner-loop poll point is reached deterministically.
+  std::vector<Predicate> preds;
+  preds.emplace_back(Operand{0, 0}, CompareOp::kEq, Operand{1, 0});
+  preds.emplace_back(Operand{1, 1}, CompareOp::kEq, Operand{2, 1});
+  preds.emplace_back(Operand{0, 2}, CompareOp::kNe, Operand{2, 2});
+  const DenialConstraint dc(std::vector<RelationId>(3, 0), std::move(preds));
+  const Database db = MakeRandomDatabase(schema, 0, 150, 30, 19);
+
+  DetectorOptions generous;
+  generous.deadline_seconds = 3600.0;
+  const ViolationSet full =
+      CheckParity(schema, {dc}, db, generous, "k-ary generous deadline");
+  EXPECT_FALSE(full.truncated());
+
+  DetectorOptions expired;
+  expired.deadline_seconds = 1e-9;
+  const ViolationSet tiny =
+      CheckParity(schema, {dc}, db, expired, "k-ary expired deadline");
+  EXPECT_TRUE(tiny.truncated());
+  // The truncated result is a canonical prefix of the full one.
+  ASSERT_LE(tiny.num_minimal_subsets(), full.num_minimal_subsets());
+  for (size_t s = 0; s < tiny.num_minimal_subsets(); ++s) {
+    EXPECT_EQ(tiny.minimal_subsets()[s], full.minimal_subsets()[s]);
+  }
+
+  // A violation-free k-ary body still stops at an inner poll point: the
+  // never-true predicate sits at the deepest variable (t2.C < t2.C), so
+  // the inner loops run in full without ever reaching a merge — empty +
+  // truncated, identically for every thread count.
+  std::vector<Predicate> barren;
+  barren.emplace_back(Operand{0, 0}, CompareOp::kEq, Operand{1, 0});
+  barren.emplace_back(Operand{1, 1}, CompareOp::kEq, Operand{2, 1});
+  barren.emplace_back(Operand{2, 2}, CompareOp::kLt, Operand{2, 2});
+  const DenialConstraint never(std::vector<RelationId>(3, 0),
+                               std::move(barren));
+  const ViolationSet empty_truncated =
+      CheckParity(schema, {never}, db, expired, "k-ary barren expired");
+  EXPECT_TRUE(empty_truncated.truncated());
+  EXPECT_TRUE(empty_truncated.empty());
+}
+
 // FindViolationsInvolving filters the full result; parity transfers.
 TEST(ParallelParity, FindViolationsInvolving) {
   const auto schema = MakeAbcSchema();

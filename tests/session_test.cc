@@ -6,7 +6,9 @@
 // the enforcement arm of the session's "amortized but exact" contract.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -80,12 +82,15 @@ RepairOperation RandomOp(const Database& db, RelationId rel, Rng& rng,
 
 // Drives a session handle and a mirror database through one random
 // trajectory, asserting session reports match a fresh engine on the mirror
-// at every sample point.
+// at every sample point. `full_detections_out` receives the session's
+// fallback counter — zero proves every Apply/Evaluate ran on incremental
+// maintenance alone.
 void RunTrajectoryParity(std::shared_ptr<const Schema> schema,
                          const std::vector<DenialConstraint>& dcs,
                          const Database& start, MeasureSessionOptions options,
                          size_t num_ops, uint64_t seed, bool churn,
-                         size_t* vacuums_out, const std::string& where) {
+                         size_t* vacuums_out, const std::string& where,
+                         size_t* full_detections_out = nullptr) {
   MeasureSession session(schema, dcs, options);
   const DbHandle handle = session.Register(start);
   const MeasureEngine fresh(schema, dcs, options.engine);
@@ -106,6 +111,9 @@ void RunTrajectoryParity(std::shared_ptr<const Schema> schema,
                            session.Evaluate(handle), at);
   }
   if (vacuums_out != nullptr) *vacuums_out = session.num_vacuums();
+  if (full_detections_out != nullptr) {
+    *full_detections_out = session.num_full_detections();
+  }
 }
 
 class SessionFuzz : public ::testing::TestWithParam<size_t> {};
@@ -125,18 +133,22 @@ TEST_P(SessionFuzz, BinaryTrajectoryMatchesFreshEngine) {
       MeasureSessionOptions options;
       options.engine.registry.include_mc = true;  // small db: exact counts
       options.engine.detector.num_threads = threads;
+      size_t full_detections = 1;
       RunTrajectoryParity(schema, dcs, start, options, 40, seed * 7 + domain,
                           /*churn=*/false, nullptr,
                           "binary threads=" + std::to_string(threads) +
                               " seed=" + std::to_string(seed) +
-                              " domain=" + std::to_string(domain));
+                              " domain=" + std::to_string(domain),
+                          &full_detections);
+      EXPECT_EQ(full_detections, 0u) << "binary incremental path regressed";
     }
   }
 }
 
-// K-ary Sigma disables incremental maintenance; the session must fall back
-// to full detection transparently and still match.
-TEST_P(SessionFuzz, KAryFallbackMatchesFreshEngine) {
+// K-ary Sigma runs on incremental maintenance too (anchored witness
+// re-enumeration through the changed fact): reports must match a fresh
+// engine with *zero* full re-detections across the whole trajectory.
+TEST_P(SessionFuzz, KAryTrajectoryIsIncrementalAndMatchesFreshEngine) {
   const size_t threads = GetParam();
   const auto schema = MakeAbcSchema();
   // !(t0.A = t1.A & t1.B = t2.B & t0.C != t2.C)
@@ -150,13 +162,18 @@ TEST_P(SessionFuzz, KAryFallbackMatchesFreshEngine) {
   MeasureSessionOptions options;
   options.engine.registry.include_mc = false;  // hyperedge MC is costly
   options.engine.detector.num_threads = threads;
+  size_t full_detections = 1;
   RunTrajectoryParity(schema, dcs, start, options, 25, 97 + threads,
                       /*churn=*/false, nullptr,
-                      "k-ary threads=" + std::to_string(threads));
+                      "k-ary threads=" + std::to_string(threads),
+                      &full_detections);
+  EXPECT_EQ(full_detections, 0u)
+      << "k-ary Apply/Evaluate fell back to full detection";
 }
 
-// Capped detection also falls back (an incrementally maintained MI set
-// cannot reproduce a truncation point).
+// Capped detection still falls back (an incrementally maintained MI set
+// cannot reproduce a truncation point) — and the fallback counter proves
+// the detector really ran.
 TEST_P(SessionFuzz, CappedDetectionFallsBack) {
   const size_t threads = GetParam();
   const auto schema = MakeAbcSchema();
@@ -166,9 +183,12 @@ TEST_P(SessionFuzz, CappedDetectionFallsBack) {
   options.engine.registry.include_mc = false;
   options.engine.detector.num_threads = threads;
   options.engine.detector.max_subsets = 7;
+  size_t full_detections = 0;
   RunTrajectoryParity(schema, dcs, start, options, 20, 53,
                       /*churn=*/false, nullptr,
-                      "capped threads=" + std::to_string(threads));
+                      "capped threads=" + std::to_string(threads),
+                      &full_detections);
+  EXPECT_GT(full_detections, 0u) << "capped session should run the detector";
 }
 
 // Value churn with an aggressive auto-vacuum threshold: the vacuum must
@@ -263,6 +283,137 @@ TEST(SessionBatch, UnregisterAndManualVacuum) {
   EXPECT_DOUBLE_EQ(session.PoolWaste(), 0.0);
   ExpectIdenticalReports(fresh.EvaluateAll(a), session.Evaluate(ha),
                          "post-vacuum");
+}
+
+// Subset-slot compaction rides the vacuum: a deletion/insertion churn
+// trajectory leaves dead slots behind, the auto-vacuum hook compacts them,
+// and a manual Vacuum(0.0) drops every dead slot — with reports identical
+// to the fresh engine throughout.
+TEST(SessionBatch, VacuumCompactsIncrementalSlots) {
+  const auto schema = MakeAbcSchema();
+  const auto dcs = AbcFds(*schema);
+  MeasureSessionOptions options;
+  options.engine.registry.include_mc = false;
+  options.auto_vacuum_threshold = 0.25;
+  MeasureSession session(schema, dcs, options);
+  const MeasureEngine fresh(schema, dcs, options.engine);
+
+  const Database start = MakeRandomDatabase(schema, 0, 30, 3, 91);
+  const DbHandle handle = session.Register(start);
+  Database mirror = start;
+  Rng rng(92);
+  size_t max_slots = 0;
+  for (int step = 0; step < 400; ++step) {
+    const RepairOperation op = RandomOp(session.db(handle), 0, rng, 3);
+    session.Apply(handle, op);
+    op.ApplyInPlace(mirror);
+    max_slots = std::max(max_slots, session.num_stored_subset_slots(handle));
+  }
+  ExpectIdenticalReports(fresh.EvaluateAll(mirror), session.Evaluate(handle),
+                         "post-churn");
+  const size_t live = session.Evaluate(handle).num_minimal_subsets;
+  // The auto-vacuum hook runs every 64 ops, so stored slots can overshoot
+  // the waste bound by at most one interval's insertions between checks;
+  // without compaction a 400-op churn at domain 3 accumulates far more
+  // dead slots than that.
+  EXPECT_LT(max_slots, 4 * std::max<size_t>(live, 1) + 400)
+      << "slot growth unbounded";
+
+  // Manual full compaction: stored slots collapse to the live count and
+  // reports are untouched.
+  session.Vacuum(0.0);
+  EXPECT_EQ(session.num_stored_subset_slots(handle),
+            session.Evaluate(handle).num_minimal_subsets);
+  ExpectIdenticalReports(fresh.EvaluateAll(mirror), session.Evaluate(handle),
+                         "post-manual-vacuum");
+}
+
+// Concurrent mutation: independent handles Apply from their own threads —
+// interleaved with EvaluateAll batches, PoolWaste scans and the
+// auto-vacuum hook — and every final report must be bit-identical to
+// sequential application of the same per-handle operation sequences. Run
+// under TSan (the suite carries the concurrency label), this is the
+// enforcement arm of the session's per-handle locking design: handle
+// state under the handle lock, pool appends under the pool's own mutex,
+// structural changes behind the exclusive session lock.
+TEST(SessionConcurrency, ConcurrentApplyOnIndependentHandles) {
+  const auto schema = MakeAbcSchema();
+  std::vector<DenialConstraint> dcs = AbcFds(*schema);
+  {  // a k-ary constraint keeps the anchored path in the hammering too
+    std::vector<Predicate> preds;
+    preds.emplace_back(Operand{0, 0}, CompareOp::kEq, Operand{1, 0});
+    preds.emplace_back(Operand{1, 1}, CompareOp::kEq, Operand{2, 1});
+    preds.emplace_back(Operand{0, 2}, CompareOp::kNe, Operand{2, 2});
+    dcs.emplace_back(std::vector<RelationId>(3, 0), std::move(preds));
+  }
+  MeasureSessionOptions options;
+  options.engine.registry.include_mc = false;
+  options.auto_vacuum_threshold = 0.2;  // vacuums interleave with Applies
+  options.batch_threads = 2;
+
+  constexpr size_t kHandles = 4;
+  constexpr size_t kOpsPerHandle = 80;
+
+  // Pre-generate each handle's operation sequence against its own mirror:
+  // sequences are self-contained (ids follow only that handle's history),
+  // so they are applicable under any cross-handle interleaving.
+  std::vector<Database> mirrors;
+  std::vector<std::vector<RepairOperation>> ops(kHandles);
+  for (size_t h = 0; h < kHandles; ++h) {
+    mirrors.push_back(
+        MakeRandomDatabase(schema, 0, 25 + 5 * h, 3, 300 + h));
+    Rng rng(400 + h);
+    int64_t churn = static_cast<int64_t>(1000 * h);
+    for (size_t i = 0; i < kOpsPerHandle; ++i) {
+      // Half the ops churn fresh values so the shared pool grows from
+      // several threads at once and the vacuum threshold actually trips.
+      RepairOperation op = RandomOp(mirrors[h], 0, rng, 5,
+                                    i % 2 == 0 ? &churn : nullptr);
+      op.ApplyInPlace(mirrors[h]);
+      ops[h].push_back(std::move(op));
+    }
+  }
+
+  MeasureSession session(schema, dcs, options);
+  std::vector<DbHandle> handles;
+  for (size_t h = 0; h < kHandles; ++h) {
+    handles.push_back(
+        session.Register(MakeRandomDatabase(schema, 0, 25 + 5 * h, 3,
+                                            300 + h)));
+  }
+
+  std::vector<std::thread> workers;
+  for (size_t h = 0; h < kHandles; ++h) {
+    workers.emplace_back([&, h] {
+      for (const RepairOperation& op : ops[h]) {
+        session.Apply(handles[h], op);
+      }
+    });
+  }
+  // A reader thread interleaves whole-session evaluation batches and pool
+  // scans with the mutators. Values are point-in-time snapshots (each
+  // worker holds its handle's lock), so only shape is asserted here.
+  std::thread reader([&] {
+    for (int round = 0; round < 6; ++round) {
+      const std::vector<BatchReport> reports = session.EvaluateAll(handles);
+      EXPECT_EQ(reports.size(), handles.size());
+      const double waste = session.PoolWaste();
+      EXPECT_GE(waste, 0.0);
+      EXPECT_LT(waste, 1.0);
+    }
+  });
+  for (std::thread& t : workers) t.join();
+  reader.join();
+
+  // Final state: bit-identical to sequential application, per handle.
+  const MeasureEngine fresh(schema, dcs, options.engine);
+  for (size_t h = 0; h < kHandles; ++h) {
+    EXPECT_TRUE(session.db(handles[h]) == mirrors[h]) << "handle " << h;
+    ExpectIdenticalReports(fresh.EvaluateAll(mirrors[h]),
+                           session.Evaluate(handles[h]),
+                           "concurrent handle " + std::to_string(h));
+  }
+  EXPECT_EQ(session.num_full_detections(), 0u);
 }
 
 }  // namespace
