@@ -82,6 +82,18 @@ ValueId ValuePool::InternImpl(Value v) {
   return id;
 }
 
+size_t ValuePool::num_slabs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return values_.num_slabs() + hashes_.num_slabs() + classes_.num_slabs();
+}
+
+void ValuePool::ReclaimRetiredSlabs() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  values_.ReclaimRetired();
+  hashes_.ReclaimRetired();
+  classes_.ReclaimRetired();
+}
+
 std::optional<ValueId> ValuePool::Find(const Value& v) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(RepHashOf(v));

@@ -64,7 +64,9 @@ inline constexpr ValueId kNullValueId = 0;
 /// anything readers hold: a full slab is replaced by a bigger copy and
 /// *retired*, not freed, so stale snapshot pointers and outstanding
 /// `const Value&`s stay valid for the pool's lifetime (bounded overhead:
-/// the retired halves sum to less than the live slab). This is what lets
+/// the retired halves sum to less than the live slab; a vacuum holding
+/// exclusive access can hand that memory back with
+/// ReclaimRetiredSlabs). This is what lets
 /// independent MeasureSession handles mutate concurrently on one shared
 /// pool without taxing the detector's hot read paths.
 class ValuePool {
@@ -107,6 +109,18 @@ class ValuePool {
   /// Number of distinct interned representations.
   size_t size() const { return size_.load(std::memory_order_acquire); }
 
+  /// Slabs held across the three id-indexed arrays, retired ones included
+  /// (the floor is 3: one live slab per array once anything is interned —
+  /// the constructor interns null).
+  size_t num_slabs() const;
+
+  /// Frees every retired slab, keeping only the live one per array. This
+  /// revokes the append-only guarantee for the past: stale snapshot
+  /// pointers and `const Value&`s obtained *before* the call dangle, so the
+  /// caller must hold exclusive access with no concurrent readers — the
+  /// MeasureSession vacuum's exclusive lock is the intended call site.
+  void ReclaimRetiredSlabs();
+
  private:
   // Lock-free-reader dynamic array. The backing slab is published through
   // one atomic pointer; readers load the snapshot and index it — the same
@@ -122,6 +136,20 @@ class ValuePool {
    public:
     const T& at(size_t i) const {
       return data_.load(std::memory_order_acquire)[i];
+    }
+
+    /// Slabs currently held, retired included. Call under the pool mutex.
+    size_t num_slabs() const { return slabs_.size(); }
+
+    /// Frees every retired slab, keeping only the live one. Only legal
+    /// when no reader can hold a stale snapshot or a reference into a
+    /// retired slab (see ValuePool::ReclaimRetiredSlabs). Call under the
+    /// pool mutex.
+    void ReclaimRetired() {
+      if (slabs_.size() <= 1) return;
+      std::unique_ptr<T[]> live = std::move(slabs_.back());
+      slabs_.clear();
+      slabs_.push_back(std::move(live));
     }
 
     /// Appends at index `count` (the caller's current element count),

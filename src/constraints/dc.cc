@@ -156,15 +156,25 @@ DenialConstraint DcBuilder::BuildUnary() const {
 }
 
 BlockingKeys ExtractBlockingKeys(const DenialConstraint& dc) {
+  PairBlockingKeys pair = ExtractPairBlockingKeys(dc, 0, 1);
   BlockingKeys keys;
+  keys.var0 = std::move(pair.u_attrs);
+  keys.var1 = std::move(pair.v_attrs);
+  return keys;
+}
+
+PairBlockingKeys ExtractPairBlockingKeys(const DenialConstraint& dc,
+                                         uint32_t u, uint32_t v) {
+  DBIM_CHECK(u != v);
+  PairBlockingKeys keys;
   for (const Predicate& p : dc.predicates()) {
     if (!p.IsCrossVariable() || p.op() != CompareOp::kEq) continue;
-    if (p.lhs().var == 0) {
-      keys.var0.push_back(p.lhs().attr);
-      keys.var1.push_back(p.rhs_operand().attr);
-    } else {
-      keys.var0.push_back(p.rhs_operand().attr);
-      keys.var1.push_back(p.lhs().attr);
+    if (p.lhs().var == u && p.rhs_operand().var == v) {
+      keys.u_attrs.push_back(p.lhs().attr);
+      keys.v_attrs.push_back(p.rhs_operand().attr);
+    } else if (p.lhs().var == v && p.rhs_operand().var == u) {
+      keys.u_attrs.push_back(p.rhs_operand().attr);
+      keys.v_attrs.push_back(p.lhs().attr);
     }
   }
   return keys;

@@ -83,6 +83,24 @@ struct BlockingKeys {
 /// cross-variable equality, e.g. pure order constraints).
 BlockingKeys ExtractBlockingKeys(const DenialConstraint& dc);
 
+/// The equality-key attribute lists between an arbitrary ordered pair of
+/// tuple variables (u, v) of a DC of any arity: for every cross-variable
+/// equality predicate `t_u[a] = t_v[b]` of the body, `u_attrs` holds `a`
+/// and `v_attrs` holds `b` at the same position. A binding of t_v can only
+/// extend a binding of t_u when the key tuples are equal — the per-pair
+/// generalization of BlockingKeys that anchored k-ary probes prune with.
+struct PairBlockingKeys {
+  std::vector<AttrIndex> u_attrs;
+  std::vector<AttrIndex> v_attrs;
+  bool empty() const { return u_attrs.empty(); }
+};
+
+/// Extracts the equality keys linking variables `u` and `v` (u != v) of
+/// `dc`; empty when no cross-variable equality mentions exactly that pair.
+/// ExtractBlockingKeys(dc) is the (u=0, v=1) case of a binary DC.
+PairBlockingKeys ExtractPairBlockingKeys(const DenialConstraint& dc,
+                                         uint32_t u, uint32_t v);
+
 /// Builder for the common single-relation binary DC
 /// `forall t, t' : !(...)`, used pervasively by the dataset definitions.
 class DcBuilder {

@@ -63,7 +63,7 @@ DbHandle MeasureSession::Register(const Database& db) {
   if (incremental_supported_) {
     state->incremental = std::make_unique<IncrementalViolationIndex>(
         schema_, detector_.constraints(), &state->db,
-        options_.engine.detector);
+        options_.engine.detector, options_.incremental);
   }
   const DbHandle handle = static_cast<DbHandle>(handles_.size());
   handles_.push_back(std::move(state));
@@ -93,6 +93,43 @@ size_t MeasureSession::num_stored_subset_slots(DbHandle handle) const {
   const HandleState& state = State(handle);
   std::lock_guard<std::mutex> handle_lock(state.mu);
   return state.incremental ? state.incremental->NumStoredSlots() : 0;
+}
+
+std::vector<SessionConstraintStats> MeasureSession::ConstraintStats(
+    DbHandle handle) const {
+  std::shared_lock<std::shared_mutex> lock(session_mu_);
+  const HandleState& state = State(handle);
+  std::lock_guard<std::mutex> handle_lock(state.mu);
+  const std::vector<DenialConstraint>& constraints = detector_.constraints();
+  std::vector<SessionConstraintStats> out;
+  out.reserve(constraints.size());
+  for (size_t c = 0; c < constraints.size(); ++c) {
+    SessionConstraintStats s;
+    s.constraint = constraints[c].ToString(*schema_);
+    if (state.incremental) {
+      const IncrementalConstraintStats ics =
+          state.incremental->ConstraintStatsFor(c);
+      s.num_probes = ics.num_probes;
+      s.num_fires = ics.num_fires;
+      s.activity = ics.activity;
+      s.watcher_count = ics.watcher_count;
+    } else {
+      const DetectorConstraintStats dcs = detector_.constraint_stats(c);
+      s.num_probes = dcs.num_probes;
+      s.num_fires = dcs.num_fires;
+      s.activity = dcs.activity;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+IncrementalDispatchStats MeasureSession::DispatchStats(DbHandle handle) const {
+  std::shared_lock<std::shared_mutex> lock(session_mu_);
+  const HandleState& state = State(handle);
+  std::lock_guard<std::mutex> handle_lock(state.mu);
+  return state.incremental ? state.incremental->dispatch_stats()
+                           : IncrementalDispatchStats{};
 }
 
 void MeasureSession::Apply(DbHandle handle, const RepairOperation& op) {
@@ -270,6 +307,12 @@ bool MeasureSession::VacuumLocked(double waste_threshold) {
       state->incremental->CompactSlotsIfWasteful(waste_threshold);
     }
   }
+  // Retired dictionary slabs ride along too: growth retires (never frees)
+  // slabs so lock-free readers stay valid, and the exclusive session lock
+  // held here is exactly the no-readers window where freeing them is
+  // legal. This also covers a freshly rebuilt pool, which accumulated
+  // retired slabs while growing during the re-intern above.
+  pool_->ReclaimRetiredSlabs();
   return compacted;
 }
 

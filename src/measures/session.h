@@ -83,10 +83,30 @@ struct MeasureSessionOptions {
   /// together, also compacting each incremental index's dead subset slots.
   /// Measure reports are invariant under both compactions. 0 disables.
   double auto_vacuum_threshold = 0.0;
+
+  /// Knobs for the per-handle incremental indices (watched-key dispatch,
+  /// anchored-probe pruning). Results are bit-identical for every setting;
+  /// the defaults are the fast path, the opt-outs exist for ablation
+  /// benches and the parity test suite.
+  IncrementalOptions incremental;
 };
 
 /// Handle to a database registered with a MeasureSession.
 using DbHandle = uint32_t;
+
+/// Per-constraint maintenance counters surfaced by
+/// MeasureSession::ConstraintStats: partner candidates examined (probes),
+/// subsets contributed (fires), the decayed activity score ordering
+/// hottest-first probing, and the constraint's live watcher/bucket-key
+/// footprint. From the handle's incremental index when one exists,
+/// otherwise from the shared detector's cumulative pass-2 counters.
+struct SessionConstraintStats {
+  std::string constraint;  // rendered denial constraint
+  uint64_t num_probes = 0;
+  uint64_t num_fires = 0;
+  double activity = 0.0;
+  size_t watcher_count = 0;
+};
 
 /// A long-lived, multi-database evaluation session: owns (Sigma, the
 /// instantiated measure registry, options) plus one shared ValuePool for
@@ -229,6 +249,14 @@ class MeasureSession {
   /// 0 without one. Dead slots accumulate under churn until a vacuum
   /// compacts them — the bound the churn regression tests assert.
   size_t num_stored_subset_slots(DbHandle handle) const;
+
+  /// Per-constraint probe/fire/watcher counters for the handle, one entry
+  /// per constraint in registration order (see SessionConstraintStats).
+  std::vector<SessionConstraintStats> ConstraintStats(DbHandle handle) const;
+
+  /// Watched-dispatch totals of the handle's incremental index (ops
+  /// applied, constraints probed vs skipped); zeros without an index.
+  IncrementalDispatchStats DispatchStats(DbHandle handle) const;
 
  private:
   struct HandleState {

@@ -52,6 +52,11 @@ struct DetectionState {
 constexpr size_t kProbeChunksPerThread = 4;
 constexpr size_t kMinProbeChunkRows = 64;
 
+// Geometric decay applied to every constraint's activity score once per
+// detection, so hottest-first ordering (DetectorOptions::activity_ordering)
+// tracks recent fire history rather than all-time totals.
+constexpr double kActivityDecay = 0.95;
+
 // Parallel-path scaffolding shared by the sharded phases (pass-1 scan,
 // bucket build, k-ary enumeration, binary probe): runs
 // `shard(chunks[c], buffers[c])` on pool workers — `shard` returns true
@@ -168,6 +173,13 @@ ViolationDetector::ViolationDetector(std::shared_ptr<const Schema> schema,
       constraints_(std::move(constraints)),
       options_(options) {
   DBIM_CHECK(schema_ != nullptr);
+  activity_.resize(constraints_.size());
+}
+
+DetectorConstraintStats ViolationDetector::constraint_stats(size_t c) const {
+  DBIM_CHECK(c < activity_.size());
+  std::lock_guard<std::mutex> lock(activity_mu_);
+  return activity_[c];
 }
 
 ViolationSet ViolationDetector::Detect(const Database& db,
@@ -250,11 +262,36 @@ ViolationSet ViolationDetector::Detect(const Database& db,
   }
 
   // Pass 2: binary constraints, blocked or nested-loop; k-ary constraints
-  // through the kernel's sharded enumeration.
+  // through the kernel's sharded enumeration. Constraints probe in
+  // ascending index order by default, or hottest-first (decayed fires,
+  // stable on ties) under activity_ordering — the violation set is
+  // order-invariant either way; only where a cap or deadline truncates
+  // moves.
+  {
+    std::lock_guard<std::mutex> lock(activity_mu_);
+    for (DetectorConstraintStats& a : activity_) a.activity *= kActivityDecay;
+  }
+  std::vector<uint32_t> probe_order(constraints_.size());
+  for (uint32_t i = 0; i < probe_order.size(); ++i) probe_order[i] = i;
+  if (options.activity_ordering) {
+    std::vector<double> heat(constraints_.size(), 0.0);
+    {
+      std::lock_guard<std::mutex> lock(activity_mu_);
+      for (size_t c = 0; c < activity_.size(); ++c) {
+        heat[c] = activity_[c].activity;
+      }
+    }
+    std::stable_sort(probe_order.begin(), probe_order.end(),
+                     [&](uint32_t a, uint32_t b) { return heat[a] > heat[b]; });
+  }
+
   std::vector<std::vector<FactId>> kary_candidates;
-  for (const DenialConstraint& dc : constraints_) {
-    if (state.stop) break;
-    if (dc.num_vars() == 1) continue;  // covered by pass 1
+  // Probes one pass-2 constraint. `probes` counts candidates reaching the
+  // merge point, `fires` subsets admitted into the result; k-ary candidates
+  // count when merged (pre-minimality), matching the incremental index's
+  // accounting.
+  auto probe_constraint = [&](const DenialConstraint& dc, uint64_t& probes,
+                              uint64_t& fires) {
     const DcEval eval(dc, pool);
     if (dc.num_vars() >= 3) {
       // The enumeration is sharded over outermost-variable row ranges;
@@ -266,6 +303,8 @@ ViolationSet ViolationDetector::Detect(const Database& db,
       const Database::RelationBlock& outer =
           db.relation_block(dc.var_relation(0));
       auto merge_support = [&](std::vector<FactId> support) {
+        ++probes;
+        ++fires;
         kary_candidates.push_back(std::move(support));
         if (state.deadline.Expired()) {
           state.result.set_truncated(true);
@@ -282,7 +321,7 @@ ViolationSet ViolationDetector::Detect(const Database& db,
           state.result.set_truncated(true);
           state.stop = true;
         }
-        continue;
+        return;
       }
       ParallelPhase<std::vector<std::vector<FactId>>>(
           num_threads, chunks,
@@ -303,7 +342,7 @@ ViolationSet ViolationDetector::Detect(const Database& db,
             state.result.set_truncated(true);
             state.stop = true;
           });
-      continue;
+      return;
     }
     const Database::RelationBlock& r0 = db.relation_block(dc.var_relation(0));
     const Database::RelationBlock& r1 = db.relation_block(dc.var_relation(1));
@@ -374,7 +413,7 @@ ViolationSet ViolationDetector::Detect(const Database& db,
               state.stop = true;
             });
       }
-      if (state.stop) continue;  // loop header breaks before the next DC
+      if (state.stop) return;  // the caller's loop breaks before the next DC
     }
     shard_input.buckets = &buckets;
 
@@ -385,8 +424,10 @@ ViolationSet ViolationDetector::Detect(const Database& db,
     // canonical discovery order.
     std::unordered_set<uint64_t> seen_pairs;
     auto merge_candidate = [&](FactId a, FactId b) {
+      ++probes;
       const uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
       if (!seen_pairs.insert(key).second) return true;
+      ++fires;
       state.result.Add({a, b});
       state.NoteLimits();
       return !state.stop;
@@ -401,7 +442,7 @@ ViolationSet ViolationDetector::Detect(const Database& db,
         state.result.set_truncated(true);
         state.stop = true;
       }
-      continue;
+      return;
     }
 
     // Parallel path: the probe phase is sharded by probe-row range.
@@ -435,6 +476,18 @@ ViolationSet ViolationDetector::Detect(const Database& db,
           state.result.set_truncated(true);
           state.stop = true;
         });
+  };
+  for (const uint32_t dci : probe_order) {
+    if (state.stop) break;
+    const DenialConstraint& dc = constraints_[dci];
+    if (dc.num_vars() == 1) continue;  // covered by pass 1
+    uint64_t probes = 0;
+    uint64_t fires = 0;
+    probe_constraint(dc, probes, fires);
+    std::lock_guard<std::mutex> lock(activity_mu_);
+    activity_[dci].num_probes += probes;
+    activity_[dci].num_fires += fires;
+    activity_[dci].activity += static_cast<double>(fires);
   }
 
   // Pass 3: minimality filter for k-ary candidate supports. A candidate

@@ -1,7 +1,9 @@
 #ifndef DBIM_VIOLATIONS_DETECTOR_H_
 #define DBIM_VIOLATIONS_DETECTOR_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "constraints/dc.h"
@@ -28,6 +30,15 @@ struct DetectorOptions {
   /// plain nested-loop join (used by the blocking ablation bench).
   bool use_blocking = true;
 
+  /// Probe pass-2 constraints hottest-first — ordered by exponentially
+  /// decayed per-constraint fire counts accumulated across this detector's
+  /// previous detections — so capped (max_subsets) or deadlined runs spend
+  /// their budget on the constraints most likely to fire. Off by default:
+  /// the violation *set* (and every measure) is unchanged, but discovery
+  /// order permutes, so a capped run truncates along a different canonical
+  /// order than the ascending-constraint default.
+  bool activity_ordering = false;
+
   /// Worker threads for every enumeration phase of detection: the pass-1
   /// self-inconsistency scan, the blocking bucket build, the
   /// binary-constraint probe (blocking probe and nested-loop fallback),
@@ -44,6 +55,16 @@ struct DetectorOptions {
   /// deadlines stay deterministic: cooperative polls land on global-index-
   /// aligned rows, the same prefix for every sharding.)
   size_t num_threads = 1;
+};
+
+/// Cumulative per-constraint detection counters: candidate subsets merged
+/// (probes) and subsets admitted into the result (fires) on behalf of one
+/// constraint, plus the decayed activity score that orders hottest-first
+/// probing when DetectorOptions::activity_ordering is on.
+struct DetectorConstraintStats {
+  uint64_t num_probes = 0;
+  uint64_t num_fires = 0;
+  double activity = 0.0;
 };
 
 /// Computes MI_Sigma(D) for a set of denial constraints — the exact result
@@ -73,6 +94,11 @@ class ViolationDetector {
   /// the prioritization example.
   ViolationSet FindViolationsInvolving(const Database& db, FactId id) const;
 
+  /// Cumulative counters for constraint `c` across every detection this
+  /// detector has run. Thread-safe; activity is the decayed score used for
+  /// hottest-first ordering.
+  DetectorConstraintStats constraint_stats(size_t c) const;
+
  private:
   /// Shared detection pipeline; `options` may differ from options_ (e.g.
   /// Satisfies caps max_subsets at 1 without copying the constraint set
@@ -82,6 +108,12 @@ class ViolationDetector {
   std::shared_ptr<const Schema> schema_;
   std::vector<DenialConstraint> constraints_;
   DetectorOptions options_;
+
+  // Pass-2 activity bookkeeping: decayed once per detection, bumped by each
+  // constraint's admitted subsets. Detect is const and may run concurrently
+  // from session threads, so updates are mutex-guarded.
+  mutable std::mutex activity_mu_;
+  mutable std::vector<DetectorConstraintStats> activity_;
 };
 
 }  // namespace dbim

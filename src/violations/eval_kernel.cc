@@ -1,6 +1,64 @@
 #include "violations/eval_kernel.h"
 
+#include "common/check.h"
+
 namespace dbim {
+
+KAryBlockingIndex::KAryBlockingIndex(const DenialConstraint& dc)
+    : k_(dc.num_vars()), pair_keys_(k_ * k_), group_of_(k_ * k_, -1) {
+  for (uint32_t v = 0; v < k_; ++v) {
+    for (uint32_t u = 0; u < k_; ++u) {
+      if (u == v) continue;
+      PairBlockingKeys keys = ExtractPairBlockingKeys(dc, u, v);
+      if (keys.empty()) continue;
+      const RelationId rel = dc.var_relation(v);
+      int group = -1;
+      for (size_t g = 0; g < groups_.size(); ++g) {
+        if (groups_[g].relation == rel && groups_[g].attrs == keys.v_attrs) {
+          group = static_cast<int>(g);
+          break;
+        }
+      }
+      if (group < 0) {
+        group = static_cast<int>(groups_.size());
+        groups_.push_back(Group{rel, keys.v_attrs, {}});
+      }
+      group_of_[v * k_ + u] = group;
+      pair_keys_[v * k_ + u] = std::move(keys);
+    }
+  }
+}
+
+void KAryBlockingIndex::Add(const Database& db, FactId id) {
+  const Database::RowLocation loc = db.Locate(id);
+  const RowRef row{&db.relation_block(loc.relation), loc.row};
+  for (Group& group : groups_) {
+    if (group.relation != loc.relation) continue;
+    group.buckets[HashPoolValues(db.pool(), row, group.attrs)].push_back(id);
+  }
+}
+
+void KAryBlockingIndex::Remove(const Database& db, FactId id) {
+  const Database::RowLocation loc = db.Locate(id);
+  const RowRef row{&db.relation_block(loc.relation), loc.row};
+  for (Group& group : groups_) {
+    if (group.relation != loc.relation) continue;
+    const uint64_t h = HashPoolValues(db.pool(), row, group.attrs);
+    const auto it = group.buckets.find(h);
+    DBIM_CHECK(it != group.buckets.end());
+    auto& bucket = it->second;
+    const auto pos = std::find(bucket.begin(), bucket.end(), id);
+    DBIM_CHECK(pos != bucket.end());
+    bucket.erase(pos);  // preserve order: probes stay deterministic
+    if (bucket.empty()) group.buckets.erase(it);
+  }
+}
+
+size_t KAryBlockingIndex::num_bucket_keys() const {
+  size_t n = 0;
+  for (const Group& group : groups_) n += group.buckets.size();
+  return n;
+}
 
 bool MakesSelfInconsistentInterned(const DcEval& eval, const Database& db,
                                    FactId id) {

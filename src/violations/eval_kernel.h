@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/parallel.h"
@@ -319,6 +320,187 @@ void EnumerateKAryAnchored(const DcEval& eval, const Database& db,
         if (!eval.ViableAt(var, assignment.data())) continue;
         self(self, var + 1);
       }
+    };
+    recurse(recurse, 0);
+  }
+}
+
+/// FNV-1a over the pool's semantic *value* hashes of `attrs` of one row —
+/// the vacuum-survivable twin of HashKeyClasses: the hash is a function of
+/// the Value, not the id, so it is stable across a shared-pool re-intern,
+/// and ids of one semantic class hash alike, so binding the class column
+/// (as RowRef does) and binding the exact column agree.
+inline uint64_t HashPoolValues(const ValuePool& pool, const RowRef& r,
+                               const std::vector<AttrIndex>& attrs) {
+  uint64_t h = 1469598103934665603ull;
+  for (const AttrIndex a : attrs) {
+    h ^= static_cast<uint64_t>(pool.hash(r.class_at(a)));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Persistent equality-key buckets for pruned anchored probes of one k-ary
+/// (>= 3 variable) constraint. For every ordered variable pair (u, v) with
+/// a non-empty PairBlockingKeys, the facts of var_relation(v) are bucketed
+/// by the semantic-value hash of their v-side key attributes, so an
+/// anchored enumeration that has already bound t_u enumerates t_v's
+/// matching bucket instead of the full relation. Distinct pairs whose
+/// (relation, v-side attribute list) coincide share one physical bucket
+/// group — a chain constraint's (0,1)/(1,0) pairs cost one map, not two.
+/// Bucket keys are HashPoolValues hashes, so the index survives a
+/// shared-pool vacuum/re-intern exactly like the incremental index's
+/// binary blocking buckets.
+class KAryBlockingIndex {
+ public:
+  explicit KAryBlockingIndex(const DenialConstraint& dc);
+
+  /// Whether any variable pair carries an equality key. An index without
+  /// keys prunes nothing; callers should fall back to the unpruned
+  /// anchored enumeration.
+  bool has_keys() const { return !groups_.empty(); }
+
+  /// Enters/removes `id` in every bucket group over its relation. Remove
+  /// must run before the fact's values change (the key is recomputed from
+  /// the current cells) — the incremental index's bucket discipline.
+  void Add(const Database& db, FactId id);
+  void Remove(const Database& db, FactId id);
+
+  /// Bucket-group index for enumerating variable `v` against the already
+  /// bound variable `u`; negative when the pair carries no equality key.
+  int group_of(size_t v, size_t u) const { return group_of_[v * k_ + u]; }
+  const PairBlockingKeys& pair_keys(size_t v, size_t u) const {
+    return pair_keys_[v * k_ + u];
+  }
+
+  /// Facts of the group's relation whose key tuple hashes to `hash`;
+  /// nullptr when empty. Collisions are possible — callers re-check the
+  /// body's equality predicates, as everywhere else in the kernel.
+  const std::vector<FactId>* Bucket(int group, uint64_t hash) const {
+    const auto it = groups_[group].buckets.find(hash);
+    return it == groups_[group].buckets.end() ? nullptr : &it->second;
+  }
+
+  size_t num_groups() const { return groups_.size(); }
+  /// Live bucket keys across all groups — the k-ary analogue of the
+  /// binary watcher count surfaced by the stats API.
+  size_t num_bucket_keys() const;
+
+ private:
+  struct Group {
+    RelationId relation;
+    std::vector<AttrIndex> attrs;  // v-side key attrs, hashed per fact
+    std::unordered_map<uint64_t, std::vector<FactId>> buckets;
+  };
+
+  size_t k_;
+  std::vector<PairBlockingKeys> pair_keys_;  // [v * k_ + u]
+  std::vector<int> group_of_;                // [v * k_ + u] -> group or -1
+  std::vector<Group> groups_;
+};
+
+/// Pruned anchored enumeration: the same emission *multiset* as
+/// EnumerateKAryAnchored (discovery order may differ), but each inner
+/// variable with an equality key against an already-bound variable
+/// enumerates its matching bucket of `index` instead of the full relation,
+/// shrinking anchored neighborhoods from O(n^{k-1}) toward O(bucket^{k-1}).
+/// Binding proceeds anchor-position-first so the changed fact's key values
+/// prune every keyed variable; each predicate is evaluated exactly once,
+/// at the step its last variable binds (the bind-order generalization of
+/// the ViableAt-per-level + final-BodyHolds filtering, which it replaces
+/// exactly). `index` must be maintained against precisely `db`'s live
+/// facts. No deadline: incremental maintainers require uncapped
+/// evaluation.
+template <typename Emit>
+void EnumerateKAryAnchoredPruned(const DcEval& eval, const Database& db,
+                                 FactId anchor, const KAryBlockingIndex& index,
+                                 Emit&& emit) {
+  const DenialConstraint& dc = eval.dc();
+  const size_t k = dc.num_vars();
+  const Database::RowLocation anchor_loc = db.Locate(anchor);
+  const ValuePool& pool = db.pool();
+  const std::vector<Predicate>& preds = dc.predicates();
+  std::vector<const Database::RelationBlock*> rels(k);
+  for (uint32_t v = 0; v < k; ++v) {
+    rels[v] = &db.relation_block(dc.var_relation(v));
+  }
+  std::vector<RowRef> assignment(k);
+  std::vector<FactId> chosen(k, 0);
+  std::vector<size_t> order(k);      // bind order: anchor_pos, then 0, 1, ...
+  std::vector<size_t> bind_step(k);  // var -> its step in `order`
+  std::vector<std::vector<size_t>> checkable(k);  // step -> predicate ids
+
+  for (size_t anchor_pos = 0; anchor_pos < k; ++anchor_pos) {
+    if (dc.var_relation(static_cast<uint32_t>(anchor_pos)) !=
+        anchor_loc.relation) {
+      continue;
+    }
+    order[0] = anchor_pos;
+    for (size_t v = 0, s = 1; v < k; ++v) {
+      if (v != anchor_pos) order[s++] = v;
+    }
+    for (size_t s = 0; s < k; ++s) bind_step[order[s]] = s;
+    // A predicate becomes checkable at the step its last variable binds;
+    // across all steps every predicate is checked exactly once.
+    for (auto& ids : checkable) ids.clear();
+    for (size_t i = 0; i < preds.size(); ++i) {
+      size_t last = bind_step[preds[i].lhs().var];
+      if (!preds[i].rhs_is_constant()) {
+        last = std::max(last, bind_step[preds[i].rhs_operand().var]);
+      }
+      checkable[last].push_back(i);
+    }
+
+    auto viable = [&](size_t step) {
+      for (const size_t pi : checkable[step]) {
+        if (!eval.EvalPredicate(pi, assignment.data())) return false;
+      }
+      return true;
+    };
+
+    auto recurse = [&](auto&& self, size_t step) -> void {
+      if (step == k) {
+        std::vector<FactId> support = chosen;
+        std::sort(support.begin(), support.end());
+        support.erase(std::unique(support.begin(), support.end()),
+                      support.end());
+        emit(std::move(support));
+        return;
+      }
+      const size_t var = order[step];
+      if (step == 0) {
+        assignment[var] = RowRef{rels[var], anchor_loc.row};
+        chosen[var] = anchor;
+        if (viable(0)) self(self, 1);
+        return;
+      }
+      const Database::RelationBlock& rel = *rels[var];
+      auto try_row = [&](uint32_t row) {
+        // Before the anchor position the anchor itself is excluded, so an
+        // assignment binding it at several positions is discovered only at
+        // the earliest one — the unpruned enumeration's exactly-once rule.
+        if (var < anchor_pos && rel.row_ids[row] == anchor) return;
+        assignment[var] = RowRef{&rel, row};
+        chosen[var] = rel.row_ids[row];
+        if (viable(step)) self(self, step + 1);
+      };
+      // Prune through the first bound partner carrying an equality key:
+      // only rows whose key tuple hashes like the partner's can satisfy
+      // the body (the equality predicates re-checked by `viable` reject
+      // hash collisions).
+      for (size_t s = 0; s < step; ++s) {
+        const size_t u = order[s];
+        const int group = index.group_of(var, u);
+        if (group < 0) continue;
+        const uint64_t target = HashPoolValues(
+            pool, assignment[u], index.pair_keys(var, u).u_attrs);
+        const std::vector<FactId>* bucket = index.Bucket(group, target);
+        if (bucket != nullptr) {
+          for (const FactId id : *bucket) try_row(db.Locate(id).row);
+        }
+        return;
+      }
+      for (uint32_t i = 0; i < rel.num_rows(); ++i) try_row(i);
     };
     recurse(recurse, 0);
   }

@@ -285,6 +285,50 @@ TEST(SessionBatch, UnregisterAndManualVacuum) {
                          "post-vacuum");
 }
 
+// Slab reclaim rides the vacuum: dictionary growth retires slabs that
+// nothing frees on the append-only fast path, and the vacuum's exclusive
+// lock is the window where the pool hands them back. The slab count must
+// drop to one live slab per pool array, with reports untouched.
+TEST(SessionBatch, VacuumReclaimsRetiredPoolSlabs) {
+  const auto schema = MakeAbcSchema();
+  const auto dcs = AbcFds(*schema);
+  MeasureSessionOptions options;
+  options.engine.registry.include_mc = false;
+  MeasureSession session(schema, dcs, options);
+  const MeasureEngine fresh(schema, dcs, options.engine);
+
+  const Database start = MakeRandomDatabase(schema, 0, 30, 3, 61);
+  const DbHandle handle = session.Register(start);
+  Database mirror = start;
+  Rng rng(62);
+  // Churn fresh string values until the shared pool has outgrown its
+  // initial slab a few times (capacity 1024 per array).
+  int64_t churn = 0;
+  while (session.pool().size() < 2500) {
+    const RepairOperation op = RandomOp(session.db(handle), 0, rng, 3, &churn);
+    session.Apply(handle, op);
+    op.ApplyInPlace(mirror);
+  }
+  EXPECT_GT(session.pool().num_slabs(), 3u);
+
+  session.Vacuum(/*waste_threshold=*/0.0);
+  EXPECT_EQ(session.pool().num_slabs(), 3u);
+  ExpectIdenticalReports(fresh.EvaluateAll(mirror), session.Evaluate(handle),
+                         "post-reclaim");
+
+  // A high-threshold vacuum that rebuilds nothing still reclaims slabs.
+  while (session.pool().size() < 4200) {
+    const RepairOperation op = RandomOp(session.db(handle), 0, rng, 3, &churn);
+    session.Apply(handle, op);
+    op.ApplyInPlace(mirror);
+  }
+  EXPECT_GT(session.pool().num_slabs(), 3u);
+  session.Vacuum(/*waste_threshold=*/1.0);
+  EXPECT_EQ(session.pool().num_slabs(), 3u);
+  ExpectIdenticalReports(fresh.EvaluateAll(mirror), session.Evaluate(handle),
+                         "post-noop-vacuum-reclaim");
+}
+
 // Subset-slot compaction rides the vacuum: a deletion/insertion churn
 // trajectory leaves dead slots behind, the auto-vacuum hook compacts them,
 // and a manual Vacuum(0.0) drops every dead slot — with reports identical

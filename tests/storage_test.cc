@@ -75,6 +75,35 @@ TEST(ValuePool, HashMatchesValueHash) {
   }
 }
 
+// Slab growth retires (never frees) the outgrown slab so lock-free
+// readers stay valid; an exclusive-access reclaim must drop every retired
+// slab back to one live slab per array and leave all reads intact.
+TEST(ValuePool, ReclaimRetiredSlabsFreesGrowthDebris) {
+  ValuePool pool;
+  EXPECT_EQ(pool.num_slabs(), 3u);  // one live slab per array (null entry)
+  // Force two growths per array (initial capacity 1024): 3 slabs each.
+  std::vector<ValueId> ids;
+  for (int64_t i = 0; i < 3000; ++i) ids.push_back(pool.Intern(Value(i)));
+  EXPECT_EQ(pool.num_slabs(), 9u);
+
+  pool.ReclaimRetiredSlabs();
+  EXPECT_EQ(pool.num_slabs(), 3u);
+
+  // Every read path still answers from the live slabs.
+  for (int64_t i = 0; i < 3000; i += 97) {
+    const ValueId id = ids[static_cast<size_t>(i)];
+    EXPECT_EQ(pool.value(id), Value(i));
+    EXPECT_EQ(pool.hash(id), Value(i).Hash());
+    EXPECT_EQ(pool.class_of(id), id);  // ints: one representation per class
+  }
+  // Reclaim is idempotent, and the pool keeps growing normally afterwards.
+  pool.ReclaimRetiredSlabs();
+  EXPECT_EQ(pool.num_slabs(), 3u);
+  for (int64_t i = 3000; i < 4200; ++i) pool.Intern(Value(i));
+  EXPECT_GT(pool.num_slabs(), 3u);
+  EXPECT_EQ(pool.value(ids[42]), Value(42));
+}
+
 TEST(ValuePool, FindDoesNotIntern) {
   ValuePool pool;
   EXPECT_FALSE(pool.Find(Value(42)).has_value());

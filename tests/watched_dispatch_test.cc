@@ -1,0 +1,323 @@
+// Tests for watched-key constraint dispatch: the shared blocking buckets
+// (whose non-empty keys ARE the watch set) must match a from-scratch
+// rebuild exactly through arbitrary churn, and the watched + pruned fast
+// paths must stay bit-identical to the unwatched reference — same counts,
+// same snapshot layout, same measure values — after every operation,
+// against fresh detection at several thread counts.
+// The concurrent case (watched sessions mutating from several threads) is
+// here too, so the suite carries the concurrency label for TSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "constraints/parser.h"
+#include "constraints/predicate.h"
+#include "measures/engine.h"
+#include "measures/session.h"
+#include "relational/operations.h"
+#include "test_util.h"
+#include "violations/incremental.h"
+
+namespace dbim {
+namespace {
+
+using testing::MakeAbcSchema;
+using testing::MakeRandomDatabase;
+
+IncrementalOptions Unwatched() {
+  IncrementalOptions options;
+  options.watched_dispatch = false;
+  options.anchored_pruning = false;
+  return options;
+}
+
+std::vector<DenialConstraint> AbcFds(const Schema& schema) {
+  std::vector<DenialConstraint> dcs;
+  dcs.push_back(*ParseDc(schema, 0, "!(t.A = t'.A & t.B != t'.B)"));
+  dcs.push_back(*ParseDc(schema, 0, "!(t.B = t'.B & t.C != t'.C)"));
+  return dcs;
+}
+
+// The 3-ary chain !(t0.A = t1.A & t1.B = t2.B & t0.C != t2.C) keeps the
+// anchored-pruning path in every sweep.
+DenialConstraint ChainDc3() {
+  std::vector<Predicate> preds;
+  preds.emplace_back(Operand{0, 0}, CompareOp::kEq, Operand{1, 0});
+  preds.emplace_back(Operand{1, 1}, CompareOp::kEq, Operand{2, 1});
+  preds.emplace_back(Operand{0, 2}, CompareOp::kNe, Operand{2, 2});
+  return DenialConstraint(std::vector<RelationId>(3, 0), std::move(preds));
+}
+
+// A random repairing operation over relation 0 (mirrors the session fuzz
+// generator: delete / fresh insert / duplicate insert / update).
+RepairOperation RandomOp(const Database& db, Rng& rng, int64_t domain) {
+  const std::vector<FactId> ids = db.ids();
+  auto draw = [&] { return Value(rng.UniformInt(0, domain - 1)); };
+  const size_t kind = ids.empty() ? 1 : rng.UniformIndex(4);
+  if (kind == 0) {
+    return RepairOperation::Deletion(ids[rng.UniformIndex(ids.size())]);
+  }
+  if (kind == 1) {
+    std::vector<Value> values;
+    for (size_t a = 0; a < db.schema().relation(0).arity(); ++a) {
+      values.push_back(draw());
+    }
+    return RepairOperation::Insertion(Fact(0, std::move(values)));
+  }
+  if (kind == 2) {
+    return RepairOperation::Insertion(
+        db.fact(ids[rng.UniformIndex(ids.size())]));
+  }
+  const FactId id = ids[rng.UniformIndex(ids.size())];
+  const AttrIndex attr = static_cast<AttrIndex>(
+      rng.UniformIndex(db.schema().relation(0).arity()));
+  return RepairOperation::Update(id, attr, draw());
+}
+
+// Drives a watched and an unwatched index through one random trajectory in
+// lockstep. After every operation: the watcher invariant holds, the two
+// indices agree bit-for-bit (counts, multiplicities, raw snapshot layout —
+// not just set equality), and both match fresh detection at 1/2/4/8
+// threads.
+void RunLockstepSweep(std::shared_ptr<const Schema> schema,
+                      const std::vector<DenialConstraint>& dcs,
+                      size_t num_facts, uint64_t seed, int steps,
+                      const std::string& where) {
+  const Database start = MakeRandomDatabase(schema, 0, num_facts, 3, seed);
+  IncrementalViolationIndex watched(schema, dcs, start, {},
+                                    IncrementalOptions{});
+  IncrementalViolationIndex unwatched(schema, dcs, start, {}, Unwatched());
+  EXPECT_EQ(unwatched.NumWatchedKeys(), 0u);
+
+  Rng rng(seed * 17 + 3);
+  for (int step = 0; step <= steps; ++step) {
+    if (step > 0) {
+      const RepairOperation op = RandomOp(watched.db(), rng, 3);
+      watched.Apply(op);
+      unwatched.Apply(op);
+    }
+    const std::string at = where + " step " + std::to_string(step);
+    std::string error;
+    ASSERT_TRUE(watched.CheckWatcherInvariant(&error)) << at << ": " << error;
+    EXPECT_EQ(watched.NumMinimalSubsets(), unwatched.NumMinimalSubsets())
+        << at;
+    EXPECT_EQ(watched.NumMinimalViolations(),
+              unwatched.NumMinimalViolations())
+        << at;
+    // Raw snapshot layout, not sorted: watched dispatch must discover and
+    // commit subsets in the unwatched path's slot order.
+    EXPECT_EQ(watched.Snapshot().minimal_subsets(),
+              unwatched.Snapshot().minimal_subsets())
+        << at;
+    auto maintained = watched.Snapshot().minimal_subsets();
+    std::sort(maintained.begin(), maintained.end());
+    for (const size_t threads : {1u, 2u, 4u, 8u}) {
+      DetectorOptions dopt;
+      dopt.num_threads = threads;
+      const ViolationDetector fresh(schema, dcs, dopt);
+      auto detected = fresh.FindViolations(watched.db()).minimal_subsets();
+      std::sort(detected.begin(), detected.end());
+      ASSERT_EQ(maintained, detected) << at << " threads=" << threads;
+    }
+  }
+}
+
+class WatchedDispatchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WatchedDispatchSweep, BinarySigmaBitIdentical) {
+  const auto schema = MakeAbcSchema();
+  RunLockstepSweep(schema, AbcFds(*schema), 22,
+                   static_cast<uint64_t>(GetParam()) * 5 + 1, 12,
+                   "binary seed=" + std::to_string(GetParam()));
+}
+
+TEST_P(WatchedDispatchSweep, MixedBinaryUnaryKArySigmaBitIdentical) {
+  const auto schema = MakeAbcSchema();
+  std::vector<DenialConstraint> dcs = AbcFds(*schema);
+  dcs.push_back(*ParseDc(*schema, 0, "!(t.A < t.B)"));
+  dcs.push_back(ChainDc3());
+  RunLockstepSweep(schema, dcs, 16,
+                   static_cast<uint64_t>(GetParam()) * 9 + 2, 12,
+                   "mixed seed=" + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WatchedDispatchSweep, ::testing::Range(0, 6));
+
+// An unblocked binary constraint (no cross-variable equality) must keep
+// probing every op even under watched dispatch — it has no keys to watch.
+TEST(WatchedDispatch, UnblockedConstraintAlwaysProbes) {
+  const auto schema = MakeAbcSchema();
+  std::vector<DenialConstraint> dcs;
+  dcs.push_back(*ParseDc(*schema, 0, "!(t.A < t'.A & t.B >= t'.B)"));
+  RunLockstepSweep(schema, dcs, 14, 87, 10, "unblocked");
+}
+
+// Watched dispatch skips constraints whose watched key classes the changed
+// fact does not hit: inserting a fact with a unique A touches the A-keyed
+// FD's watcher map not at all, while the unwatched reference probes every
+// constraint on every op.
+TEST(WatchedDispatch, DispatchStatsCountSkips) {
+  const auto schema = MakeAbcSchema();
+  const std::vector<DenialConstraint> dcs = AbcFds(*schema);
+  Database db(schema);
+  // Facts agreeing on B (watched by the B-keyed FD) with all-distinct A.
+  for (int64_t i = 0; i < 6; ++i) {
+    db.Insert(Fact(0, {Value(100 + i), Value(7), Value(i % 2)}));
+  }
+  IncrementalViolationIndex watched(schema, dcs, db, {},
+                                    IncrementalOptions{});
+  EXPECT_GT(watched.NumWatchedKeys(), 0u);
+  // A fresh fact with a never-seen A and the shared B: the A-keyed FD has
+  // no watcher for its key, the B-keyed FD does.
+  watched.Apply(RepairOperation::Insertion(
+      Fact(0, {Value(999), Value(7), Value(5)})));
+  const IncrementalDispatchStats& stats = watched.dispatch_stats();
+  EXPECT_EQ(stats.num_ops, 1u);
+  EXPECT_GT(stats.constraints_skipped, 0u);
+  EXPECT_GT(stats.constraints_probed, 0u);
+
+  IncrementalViolationIndex unwatched(schema, dcs, db, {}, Unwatched());
+  unwatched.Apply(RepairOperation::Insertion(
+      Fact(0, {Value(999), Value(7), Value(5)})));
+  EXPECT_EQ(unwatched.dispatch_stats().constraints_skipped, 0u);
+  EXPECT_EQ(watched.NumMinimalSubsets(), unwatched.NumMinimalSubsets());
+}
+
+// Per-constraint counters: probing accumulates, fires bump activity, and
+// the watcher footprint reflects live buckets (binary) and bucket keys
+// (k-ary).
+TEST(WatchedDispatch, ConstraintStatsAccumulate) {
+  const auto schema = MakeAbcSchema();
+  std::vector<DenialConstraint> dcs = AbcFds(*schema);
+  dcs.push_back(ChainDc3());
+  const Database start = MakeRandomDatabase(schema, 0, 18, 2, 91);
+  IncrementalViolationIndex index(schema, dcs, start, {},
+                                  IncrementalOptions{});
+  Rng rng(92);
+  for (int step = 0; step < 20; ++step) {
+    index.Apply(RandomOp(index.db(), rng, 2));
+  }
+  uint64_t total_fires = 0;
+  for (size_t c = 0; c < dcs.size(); ++c) {
+    const IncrementalConstraintStats stats = index.ConstraintStatsFor(c);
+    total_fires += stats.num_fires;
+    if (stats.num_fires > 0) EXPECT_GT(stats.activity, 0.0) << "dc " << c;
+    EXPECT_GT(stats.watcher_count, 0u) << "dc " << c;  // domain 2: dense
+  }
+  EXPECT_GT(total_fires, 0u);
+}
+
+// Measure-level parity through the session API: a watched session and an
+// unwatched session applying the same trajectory report bit-identical
+// measures, matching a fresh engine, with zero full-detection fallbacks.
+TEST(WatchedDispatch, SessionMeasureParity) {
+  const auto schema = MakeAbcSchema();
+  std::vector<DenialConstraint> dcs = AbcFds(*schema);
+  dcs.push_back(ChainDc3());
+  const Database start = MakeRandomDatabase(schema, 0, 18, 3, 131);
+
+  MeasureSessionOptions watched_options;
+  MeasureSessionOptions unwatched_options;
+  unwatched_options.incremental = Unwatched();
+  MeasureSession watched(schema, dcs, watched_options);
+  MeasureSession unwatched(schema, dcs, unwatched_options);
+  const MeasureEngine fresh(schema, dcs, watched_options.engine);
+
+  const DbHandle wh = watched.Register(start);
+  const DbHandle uh = unwatched.Register(start);
+  Database mirror = start;
+  Rng rng(132);
+  for (int step = 0; step < 24; ++step) {
+    const RepairOperation op = RandomOp(mirror, rng, 3);
+    watched.Apply(wh, op);
+    unwatched.Apply(uh, op);
+    op.ApplyInPlace(mirror);
+    if (step % 6 != 5) continue;
+    const BatchReport expected = fresh.EvaluateAll(mirror);
+    for (const MeasureSession* session : {&watched, &unwatched}) {
+      const BatchReport actual =
+          session->Evaluate(session == &watched ? wh : uh);
+      EXPECT_EQ(expected.num_minimal_subsets, actual.num_minimal_subsets)
+          << "step " << step;
+      ASSERT_EQ(expected.measures.size(), actual.measures.size());
+      for (size_t m = 0; m < expected.measures.size(); ++m) {
+        EXPECT_EQ(expected.measures[m].name, actual.measures[m].name);
+        EXPECT_EQ(expected.measures[m].value, actual.measures[m].value)
+            << "step " << step << " " << expected.measures[m].name;
+      }
+    }
+  }
+  EXPECT_EQ(watched.num_full_detections(), 0u);
+  EXPECT_EQ(unwatched.num_full_detections(), 0u);
+  // The session surfaces per-constraint stats for the handle.
+  const std::vector<SessionConstraintStats> stats = watched.ConstraintStats(wh);
+  ASSERT_EQ(stats.size(), dcs.size());
+  for (const SessionConstraintStats& s : stats) {
+    EXPECT_FALSE(s.constraint.empty());
+  }
+  EXPECT_GT(watched.DispatchStats(wh).num_ops, 0u);
+}
+
+// Concurrent watched mutation: independent handles Apply from their own
+// threads; every final report must match sequential application of the
+// same per-handle sequences. Run under TSan via the suite's concurrency
+// label, this pins the watched fast path into the session's per-handle
+// locking design.
+TEST(WatchedDispatchConcurrency, ConcurrentWatchedHandlesMatchSequential) {
+  const auto schema = MakeAbcSchema();
+  std::vector<DenialConstraint> dcs = AbcFds(*schema);
+  dcs.push_back(ChainDc3());
+  MeasureSessionOptions options;  // watched + pruned defaults
+  options.auto_vacuum_threshold = 0.3;
+
+  constexpr size_t kHandles = 3;
+  constexpr size_t kOpsPerHandle = 60;
+  std::vector<Database> mirrors;
+  std::vector<std::vector<RepairOperation>> ops(kHandles);
+  for (size_t h = 0; h < kHandles; ++h) {
+    mirrors.push_back(MakeRandomDatabase(schema, 0, 18 + 4 * h, 3, 500 + h));
+    Rng rng(600 + h);
+    for (size_t i = 0; i < kOpsPerHandle; ++i) {
+      RepairOperation op = RandomOp(mirrors[h], rng, 4);
+      op.ApplyInPlace(mirrors[h]);
+      ops[h].push_back(std::move(op));
+    }
+  }
+
+  MeasureSession session(schema, dcs, options);
+  std::vector<DbHandle> handles;
+  for (size_t h = 0; h < kHandles; ++h) {
+    handles.push_back(
+        session.Register(MakeRandomDatabase(schema, 0, 18 + 4 * h, 3,
+                                            500 + h)));
+  }
+  std::vector<std::thread> workers;
+  for (size_t h = 0; h < kHandles; ++h) {
+    workers.emplace_back([&, h] {
+      for (const RepairOperation& op : ops[h]) session.Apply(handles[h], op);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  const MeasureEngine fresh(schema, dcs, options.engine);
+  for (size_t h = 0; h < kHandles; ++h) {
+    EXPECT_TRUE(session.db(handles[h]) == mirrors[h]) << "handle " << h;
+    const BatchReport expected = fresh.EvaluateAll(mirrors[h]);
+    const BatchReport actual = session.Evaluate(handles[h]);
+    EXPECT_EQ(expected.num_minimal_subsets, actual.num_minimal_subsets)
+        << "handle " << h;
+    ASSERT_EQ(expected.measures.size(), actual.measures.size());
+    for (size_t m = 0; m < expected.measures.size(); ++m) {
+      EXPECT_EQ(expected.measures[m].value, actual.measures[m].value)
+          << "handle " << h << " " << expected.measures[m].name;
+    }
+  }
+  EXPECT_EQ(session.num_full_detections(), 0u);
+}
+
+}  // namespace
+}  // namespace dbim

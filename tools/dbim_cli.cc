@@ -3,7 +3,7 @@
 // Usage:
 //   dbim_cli --spec=constraints.dcs --data=facts.csv
 //            [--measures=I_d,I_MI,I_P,I_R,I_lin_R] [--mc] [--threads=N]
-//            [--parallel-measures] [--shapley=N] [--repair]
+//            [--parallel-measures] [--stats] [--shapley=N] [--repair]
 //            [--export=clean.csv]
 //
 // The spec file declares one relation and its denial constraints:
@@ -133,8 +133,11 @@ int Usage() {
       stderr,
       "usage: dbim_cli --spec=constraints.dcs --data=facts.csv\n"
       "                [--measures=I_d,I_MI,...] [--mc] [--threads=N]\n"
-      "                [--parallel-measures] [--shapley=N] [--repair]\n"
-      "                [--export=out.csv]\n"
+      "                [--parallel-measures] [--stats] [--shapley=N]\n"
+      "                [--repair] [--export=out.csv]\n"
+      "  --stats      print per-constraint probe/fire counters from the\n"
+      "               detection pass plus the incremental index's watched-\n"
+      "               key footprint\n"
       "  --threads=N  detection worker threads (default 1, 0 = hardware);\n"
       "               results are identical for every thread count\n"
       "  --parallel-measures  evaluate the selected measures concurrently\n"
@@ -193,6 +196,25 @@ int main(int argc, char** argv) {
 
   for (const MeasureResult& result : session.Evaluate(context)) {
     std::printf("  %-8s = %g\n", result.name.c_str(), result.value);
+  }
+
+  if (HasFlag(argc, argv, "stats")) {
+    // Registering builds the incremental index, whose watched-key state
+    // gives the per-constraint watcher footprint; probes/fires come from
+    // the uncached detection pass that just ran on the shared detector.
+    const DbHandle handle = session.Register(*db);
+    const std::vector<SessionConstraintStats> stats =
+        session.ConstraintStats(handle);
+    std::printf("per-constraint stats:\n");
+    for (size_t c = 0; c < stats.size(); ++c) {
+      const DetectorConstraintStats pass =
+          session.detector().constraint_stats(c);
+      std::printf("  probes %-10llu fires %-10llu watchers %-6zu %s\n",
+                  static_cast<unsigned long long>(pass.num_probes),
+                  static_cast<unsigned long long>(pass.num_fires),
+                  stats[c].watcher_count, stats[c].constraint.c_str());
+    }
+    session.Unregister(handle);
   }
 
   const std::string shapley_flag = FlagValue(argc, argv, "shapley");
