@@ -1,5 +1,6 @@
 #include "common/value_pool.h"
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <utility>
@@ -7,6 +8,10 @@
 #include "common/check.h"
 
 namespace dbim {
+
+namespace {
+std::atomic<uint64_t> g_pool_generation{0};
+}  // namespace
 
 size_t ValuePool::RepHashOf(const Value& v) {
   const size_t seed =
@@ -39,7 +44,9 @@ bool ValuePool::RepEqual(const Value& a, const Value& b) {
   return false;
 }
 
-ValuePool::ValuePool() {
+ValuePool::ValuePool()
+    : generation_(
+          g_pool_generation.fetch_add(1, std::memory_order_relaxed) + 1) {
   const ValueId null_id = InternImpl(Value());
   DBIM_CHECK(null_id == kNullValueId);
 }

@@ -109,6 +109,13 @@ class ValuePool {
   /// Number of distinct interned representations.
   size_t size() const { return size_.load(std::memory_order_acquire); }
 
+  /// Process-unique identity token, distinct for every pool constructed.
+  /// Caches derived from pool contents (e.g. compiled constraint evals)
+  /// must key on (generation, size), not size alone: a session vacuum
+  /// swaps in a freshly built pool whose size can coincide with the old
+  /// one's even though every class id changed.
+  uint64_t generation() const { return generation_; }
+
   /// Slabs held across the three id-indexed arrays, retired ones included
   /// (the floor is 3: one live slab per array once anything is interned —
   /// the constructor interns null).
@@ -188,6 +195,7 @@ class ValuePool {
 
   // Guards the two hash indices, slab growth, and id assignment.
   mutable std::mutex mutex_;
+  const uint64_t generation_;  // assigned at construction, immutable
   SnapshotArray<Value> values_;     // id -> canonical value
   SnapshotArray<size_t> hashes_;    // id -> values_[id].Hash() (semantic)
   SnapshotArray<ValueId> classes_;  // id -> semantic class id

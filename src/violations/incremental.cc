@@ -211,13 +211,21 @@ void IncrementalViolationIndex::BumpActivity(size_t c, uint64_t fires) {
 }
 
 const std::vector<DcEval>& IncrementalViolationIndex::CompileEvals() {
+  // Key on pool identity as well as size: a session vacuum re-interns the
+  // database into a brand-new pool (all class ids reassigned, the old pool
+  // destroyed), and subsequent interning can bring the fresh pool back to
+  // exactly the cached size. Stale evals would then resolve constants
+  // against the dead pool's ids and dereference its freed storage.
+  const uint64_t pool_generation = db_->pool().generation();
   const size_t pool_size = db_->pool().size();
-  if (pool_size != evals_pool_size_) {
+  if (pool_generation != evals_pool_generation_ ||
+      pool_size != evals_pool_size_) {
     evals_cache_.clear();
     evals_cache_.reserve(constraints_.size());
     for (const DenialConstraint& dc : constraints_) {
       evals_cache_.emplace_back(dc, db_->pool());
     }
+    evals_pool_generation_ = pool_generation;
     evals_pool_size_ = pool_size;
   }
   return evals_cache_;
@@ -691,9 +699,13 @@ IncrementalConstraintStats IncrementalViolationIndex::ConstraintStatsFor(
   out.activity = a.activity / activity_increment_;
   const DenialConstraint& dc = constraints_[c];
   if (dc.num_vars() == 2 && dc_states_[c].blocked) {
-    out.watcher_count =
-        bucket_groups_[dc_states_[c].group[0]].bucket.size() +
-        bucket_groups_[dc_states_[c].group[1]].bucket.size();
+    // Both sides of a single-relation FD-shaped constraint share one
+    // bucket group; count that group's keys once, not per side.
+    out.watcher_count = bucket_groups_[dc_states_[c].group[0]].bucket.size();
+    if (dc_states_[c].group[1] != dc_states_[c].group[0]) {
+      out.watcher_count +=
+          bucket_groups_[dc_states_[c].group[1]].bucket.size();
+    }
   } else if (dc.num_vars() >= 3 && kary_indexes_[c] != nullptr) {
     out.watcher_count = kary_indexes_[c]->num_bucket_keys();
   }

@@ -336,6 +336,10 @@ class IncrementalViolationIndex {
 
   // --- compiled-eval cache (see CompileEvals) ---
   std::vector<DcEval> evals_cache_;
+  // Cache key: pool identity AND size. Size alone is unsound — a session
+  // vacuum swaps in a freshly built pool (new class ids, old pool freed)
+  // that can grow back to the cached size before the next compile.
+  uint64_t evals_pool_generation_ = 0;
   size_t evals_pool_size_ = SIZE_MAX;
 
   // --- per-op scratch for the watched binary probe (Apply is externally

@@ -329,6 +329,74 @@ TEST(SessionBatch, VacuumReclaimsRetiredPoolSlabs) {
                          "post-noop-vacuum-reclaim");
 }
 
+// Regression: the incremental index's compiled-eval cache must key on pool
+// *identity*, not size alone. The trap: compile the evals at pool size S,
+// vacuum (fresh pool, all class ids reassigned, old pool destroyed) so the
+// pool shrinks by one dead value, then make the very next Apply's insert
+// intern exactly one fresh value — the pool is back at size S before
+// CompileEvals runs. A size-keyed cache reuses evals whose constant class
+// ids resolve against the dead pool (wrong results) and whose raw pool
+// pointer dangles (use-after-free on ordered comparisons, ASan-visible).
+TEST(SessionBatch, VacuumWithSameSizePoolRecompilesEvals) {
+  const auto schema = MakeAbcSchema();
+  std::vector<DenialConstraint> dcs;
+  {  // constant predicate: pins a class id into the compiled evals
+    std::vector<Predicate> preds;
+    preds.emplace_back(Operand{0, 0}, CompareOp::kEq, Operand{1, 0});
+    preds.emplace_back(Operand{0, 1}, CompareOp::kEq, Value("pivot"));
+    preds.emplace_back(Operand{1, 1}, CompareOp::kEq, Value("pivot"));
+    preds.emplace_back(Operand{0, 2}, CompareOp::kNe, Operand{1, 2});
+    dcs.emplace_back(std::vector<RelationId>(2, 0), std::move(preds));
+  }
+  {  // ordered predicate: dereferences the eval's cached pool pointer on
+     // every candidate pair, but t.A < t'.A after t.A = t'.A never holds,
+     // so it adds no subsets that could mask DC1's missing ones
+    std::vector<Predicate> preds;
+    preds.emplace_back(Operand{0, 0}, CompareOp::kEq, Operand{1, 0});
+    preds.emplace_back(Operand{0, 0}, CompareOp::kLt, Operand{1, 0});
+    dcs.emplace_back(std::vector<RelationId>(2, 0), std::move(preds));
+  }
+  MeasureSessionOptions options;
+  options.engine.registry.include_mc = false;
+  MeasureSession session(schema, dcs, options);
+  const MeasureEngine fresh(schema, dcs, options.engine);
+
+  // Pool after registration: null, victim, k, c1, pivot, c2 — "victim" is
+  // f1's only exclusive value and precedes "pivot", so dropping it at the
+  // vacuum shifts pivot's class id.
+  Database start(schema);
+  start.Insert(Fact(0, {Value("victim"), Value("k"), Value("c1")}));
+  start.Insert(Fact(0, {Value("k"), Value("pivot"), Value("c1")}));
+  start.Insert(Fact(0, {Value("k"), Value("pivot"), Value("c2")}));
+  const DbHandle handle = session.Register(start);
+  Database mirror = start;
+  const FactId f1 = session.db(handle).ids()[0];
+  const size_t compiled_size = session.pool().size();
+
+  auto step = [&](const RepairOperation& op, const std::string& where) {
+    session.Apply(handle, op);
+    op.ApplyInPlace(mirror);
+    ExpectIdenticalReports(fresh.EvaluateAll(mirror),
+                           session.Evaluate(handle), where);
+  };
+  // A no-intern update compiles the eval cache at the current pool size.
+  step(RepairOperation::Update(f1, 1, Value("c1")), "post-compile");
+  EXPECT_EQ(session.pool().size(), compiled_size);
+  // Delete f1: "victim" goes dead; the vacuum rebuilds the pool one entry
+  // smaller with every later class id shifted down.
+  step(RepairOperation::Deletion(f1), "post-delete");
+  EXPECT_TRUE(session.Vacuum(0.0));
+  EXPECT_EQ(session.pool().size(), compiled_size - 1);
+  // One fresh value brings the *new* pool back to the compiled size before
+  // the op's CompileEvals runs — the collision. The inserted fact violates
+  // the constant constraint against both pivot rows, so stale evals (pivot
+  // class id now pointing at a different value) would miss both subsets.
+  step(RepairOperation::Insertion(
+           Fact(0, {Value("k"), Value("pivot"), Value("c3")})),
+       "post-collision-insert");
+  EXPECT_EQ(session.pool().size(), compiled_size);
+}
+
 // Subset-slot compaction rides the vacuum: a deletion/insertion churn
 // trajectory leaves dead slots behind, the auto-vacuum hook compacts them,
 // and a manual Vacuum(0.0) drops every dead slot — with reports identical

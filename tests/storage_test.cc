@@ -104,6 +104,19 @@ TEST(ValuePool, ReclaimRetiredSlabsFreesGrowthDebris) {
   EXPECT_EQ(pool.value(ids[42]), Value(42));
 }
 
+// Every pool carries a process-unique identity token so content-derived
+// caches can detect a pool swap (a session vacuum) even when the sizes
+// coincide. Interning must not perturb it.
+TEST(ValuePool, GenerationIsUniquePerPoolAndStable) {
+  ValuePool a;
+  ValuePool b;
+  EXPECT_NE(a.generation(), b.generation());
+  const uint64_t before = a.generation();
+  a.Intern(Value(1));
+  a.Intern(Value("x"));
+  EXPECT_EQ(a.generation(), before);
+}
+
 TEST(ValuePool, FindDoesNotIntern) {
   ValuePool pool;
   EXPECT_FALSE(pool.Find(Value(42)).has_value());

@@ -211,6 +211,21 @@ TEST(WatchedDispatch, ConstraintStatsAccumulate) {
   EXPECT_GT(total_fires, 0u);
 }
 
+// A single-relation FD keys both sides on the same attribute set, so the
+// two watch probes share one bucket group — its watcher footprint is the
+// number of distinct key classes, counted once, not once per side.
+TEST(WatchedDispatch, FdWatcherCountSharedGroupNotDoubleCounted) {
+  const auto schema = MakeAbcSchema();
+  std::vector<DenialConstraint> dcs;
+  dcs.push_back(*ParseDc(*schema, 0, "!(t.A = t'.A & t.B != t'.B)"));
+  Database db(schema);
+  for (int64_t i = 0; i < 8; ++i) {
+    db.Insert(Fact(0, {Value(i % 4), Value(i), Value(0)}));
+  }
+  IncrementalViolationIndex index(schema, dcs, db, {}, IncrementalOptions{});
+  EXPECT_EQ(index.ConstraintStatsFor(0).watcher_count, 4u);
+}
+
 // Measure-level parity through the session API: a watched session and an
 // unwatched session applying the same trajectory report bit-identical
 // measures, matching a fresh engine, with zero full-detection fallbacks.
