@@ -132,13 +132,17 @@ IncrementalDispatchStats MeasureSession::DispatchStats(DbHandle handle) const {
                            : IncrementalDispatchStats{};
 }
 
-void MeasureSession::Apply(DbHandle handle, const RepairOperation& op) {
+std::optional<FactId> MeasureSession::Apply(DbHandle handle,
+                                            const RepairOperation& op) {
+  std::optional<FactId> inserted;
   {
     std::shared_lock<std::shared_mutex> session(session_mu_);
     HandleState& state = State(handle);
     std::lock_guard<std::mutex> handle_lock(state.mu);
     if (state.incremental) {
-      state.incremental->Apply(op);
+      inserted = state.incremental->Apply(op);
+    } else if (op.is_insertion()) {
+      inserted = state.db.Insert(op.insertion().fact);
     } else {
       op.ApplyInPlace(state.db);
     }
@@ -154,6 +158,29 @@ void MeasureSession::Apply(DbHandle handle, const RepairOperation& op) {
           0) {
     Vacuum(options_.auto_vacuum_threshold);
   }
+  return inserted;
+}
+
+size_t MeasureSession::NumFacts(DbHandle handle) const {
+  std::shared_lock<std::shared_mutex> lock(session_mu_);
+  const HandleState& state = State(handle);
+  std::lock_guard<std::mutex> handle_lock(state.mu);
+  return state.db.size();
+}
+
+std::vector<std::pair<FactId, std::vector<Value>>> MeasureSession::CopyFacts(
+    DbHandle handle) const {
+  std::shared_lock<std::shared_mutex> lock(session_mu_);
+  const HandleState& state = State(handle);
+  std::lock_guard<std::mutex> handle_lock(state.mu);
+  std::vector<FactId> ids = state.db.ids();
+  std::sort(ids.begin(), ids.end());
+  std::vector<std::pair<FactId, std::vector<Value>>> rows;
+  rows.reserve(ids.size());
+  for (const FactId id : ids) {
+    rows.emplace_back(id, state.db.fact(id).values());
+  }
+  return rows;
 }
 
 bool MeasureSession::Selected(const std::string& name) const {
@@ -314,6 +341,18 @@ bool MeasureSession::VacuumLocked(double waste_threshold) {
   // retired slabs while growing during the re-intern above.
   pool_->ReclaimRetiredSlabs();
   return compacted;
+}
+
+TablePrinter ConstraintStatsTable(
+    const std::vector<SessionConstraintStats>& stats) {
+  TablePrinter table({"constraint", "probes", "fires", "activity",
+                      "watchers"});
+  for (const SessionConstraintStats& s : stats) {
+    table.AddRow({s.constraint, std::to_string(s.num_probes),
+                  std::to_string(s.num_fires), TablePrinter::Num(s.activity),
+                  std::to_string(s.watcher_count)});
+  }
+  return table;
 }
 
 bool MeasureSession::Vacuum(double waste_threshold) {

@@ -4,10 +4,13 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/table_printer.h"
 #include "measures/measure.h"
 #include "measures/registry.h"
 #include "relational/database.h"
@@ -192,7 +195,10 @@ class MeasureSession {
   /// Applies a repairing operation to the handle's database, maintaining
   /// the incremental violation index when one exists, and runs the
   /// auto-vacuum hook. Safe to call concurrently for distinct handles.
-  void Apply(DbHandle handle, const RepairOperation& op);
+  /// Returns the identifier an insertion was stored under (the minimal
+  /// unused id — what a remote client needs to address the fact later);
+  /// nullopt for deletions, updates and inapplicable operations.
+  std::optional<FactId> Apply(DbHandle handle, const RepairOperation& op);
 
   /// Evaluates every selected measure over the handle's database. With
   /// incremental maintenance no detection pass runs — the maintained MI
@@ -250,6 +256,17 @@ class MeasureSession {
   /// compacts them — the bound the churn regression tests assert.
   size_t num_stored_subset_slots(DbHandle handle) const;
 
+  /// Number of live facts in the handle's database, read under the session
+  /// and handle locks (unlike `db(handle).size()`, safe while other
+  /// clients mutate or vacuum).
+  size_t NumFacts(DbHandle handle) const;
+
+  /// A locked copy of the handle's facts as (id, cells) rows in ascending
+  /// id order — what the service DUMP verb ships so a remote client can
+  /// reconstruct an equal database (InsertWithId preserves identifiers).
+  std::vector<std::pair<FactId, std::vector<Value>>> CopyFacts(
+      DbHandle handle) const;
+
   /// Per-constraint probe/fire/watcher counters for the handle, one entry
   /// per constraint in registration order (see SessionConstraintStats).
   std::vector<SessionConstraintStats> ConstraintStats(DbHandle handle) const;
@@ -298,6 +315,13 @@ class MeasureSession {
   std::atomic<size_t> ops_since_vacuum_check_{0};
   mutable std::atomic<size_t> num_full_detections_{0};
 };
+
+/// Renders per-constraint stats rows as a table — header {constraint,
+/// probes, fires, activity, watchers} — so every surface that reports them
+/// (dbim_cli --stats, the service STATS verb, the load generator) shares
+/// one text and one machine-readable (TablePrinter::ToJson) form.
+TablePrinter ConstraintStatsTable(
+    const std::vector<SessionConstraintStats>& stats);
 
 }  // namespace dbim
 

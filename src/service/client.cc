@@ -1,0 +1,399 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace dbim {
+
+namespace {
+
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+bool ParseSize(const std::string& token, size_t* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size() || errno == ERANGE) return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+ServiceClient::~ServiceClient() { Close(); }
+
+bool ServiceClient::Connect(const std::string& host, uint16_t port,
+                            std::string* error) {
+  Close();
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints,
+                               &result);
+  if (rc != 0) {
+    *error = StrFormat("resolve %s: %s", host.c_str(), ::gai_strerror(rc));
+    return false;
+  }
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      fd_ = fd;
+      break;
+    }
+    ::close(fd);
+  }
+  ::freeaddrinfo(result);
+  if (fd_ < 0) {
+    *error = StrFormat("connect %s:%u: %s", host.c_str(), port,
+                       std::strerror(errno));
+    return false;
+  }
+  buffer_ = LineBuffer();
+  lines_.clear();
+  pending_.clear();
+  return true;
+}
+
+void ServiceClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ServiceClient::Abort() {
+  if (fd_ < 0) return;
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  ::close(fd_);
+  fd_ = -1;
+}
+
+bool ServiceClient::WriteAll(const std::string& data, std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + off, data.size() - off, kSendFlags);
+    if (n <= 0) {
+      *error = StrFormat("send: %s", std::strerror(errno));
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ServiceClient::ReadLine(std::string* line, std::string* error) {
+  for (;;) {
+    if (!lines_.empty()) {
+      *line = std::move(lines_.front());
+      lines_.pop_front();
+      return true;
+    }
+    if (fd_ < 0) {
+      *error = "not connected";
+      return false;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      *error = "connection closed by server";
+      return false;
+    }
+    if (n < 0) {
+      *error = StrFormat("recv: %s", std::strerror(errno));
+      return false;
+    }
+    std::vector<std::string> fresh;
+    if (!buffer_.Feed(chunk, static_cast<size_t>(n), &fresh)) {
+      *error = "oversized response line";
+      return false;
+    }
+    for (std::string& l : fresh) lines_.push_back(std::move(l));
+  }
+}
+
+std::string ServiceClient::Issue(Request request, std::string* error) {
+  request.tag = "c" + std::to_string(next_tag_++);
+  std::string line = FormatRequest(request);
+  line.push_back('\n');
+  if (!WriteAll(line, error)) return "";
+  return request.tag;
+}
+
+bool ServiceClient::Await(const std::string& tag, AwaitedResponse* out,
+                          std::string* error) {
+  out->items.clear();
+  // Drain anything already buffered for this tag.
+  auto it = pending_.find(tag);
+  if (it != pending_.end()) {
+    for (Response& r : it->second) {
+      if (r.kind == ResponseKind::kItem) {
+        out->items.push_back(std::move(r));
+      } else {
+        out->final = std::move(r);
+        pending_.erase(it);
+        return true;
+      }
+    }
+    pending_.erase(it);
+  }
+  for (;;) {
+    std::string line;
+    if (!ReadLine(&line, error)) return false;
+    Response response;
+    if (!ParseResponse(line, &response, error)) {
+      *error = "malformed response: " + *error;
+      return false;
+    }
+    if (response.tag == tag) {
+      if (response.kind == ResponseKind::kItem) {
+        out->items.push_back(std::move(response));
+        continue;
+      }
+      out->final = std::move(response);
+      return true;
+    }
+    pending_[response.tag].push_back(std::move(response));
+  }
+}
+
+bool ServiceClient::AwaitOk(const std::string& tag, AwaitedResponse* out,
+                            std::string* error) {
+  if (tag.empty()) return false;
+  if (!Await(tag, out, error)) return false;
+  if (!out->ok()) {
+    *error = out->final.error_code + ": " + out->final.error_message;
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::Ping(std::string* error) {
+  AwaitedResponse response;
+  return AwaitOk(Issue(Request::Ping(), error), &response, error);
+}
+
+bool ServiceClient::Schema(std::string* relation,
+                           std::vector<std::string>* attributes,
+                           std::string* error) {
+  AwaitedResponse response;
+  if (!AwaitOk(Issue(Request::Schema(), error), &response, error)) {
+    return false;
+  }
+  const std::vector<std::string>& args = response.final.args;
+  if (args.empty()) {
+    *error = "SCHEMA reply carries no relation";
+    return false;
+  }
+  if (!DecodeToken(args[0], relation, error)) return false;
+  attributes->clear();
+  for (size_t i = 1; i < args.size(); ++i) {
+    std::string attr;
+    if (!DecodeToken(args[i], &attr, error)) return false;
+    attributes->push_back(std::move(attr));
+  }
+  return true;
+}
+
+bool ServiceClient::Register(const std::string& session, std::string* error) {
+  AwaitedResponse response;
+  return AwaitOk(Issue(Request::MakeRegister(session), error), &response,
+                 error);
+}
+
+bool ServiceClient::ApplyInsert(const std::string& session,
+                                std::vector<Value> values, FactId* id,
+                                std::string* error) {
+  AwaitedResponse response;
+  if (!AwaitOk(Issue(Request::Insert(session, std::move(values)), error),
+               &response, error)) {
+    return false;
+  }
+  size_t parsed = 0;
+  if (response.final.args.size() != 1 ||
+      !ParseSize(response.final.args[0], &parsed)) {
+    *error = "INSERT reply carries no fact id";
+    return false;
+  }
+  *id = static_cast<FactId>(parsed);
+  return true;
+}
+
+bool ServiceClient::ApplyDelete(const std::string& session, FactId id,
+                                std::string* error) {
+  AwaitedResponse response;
+  return AwaitOk(Issue(Request::Delete(session, id), error), &response,
+                 error);
+}
+
+bool ServiceClient::ApplyUpdate(const std::string& session, FactId id,
+                                AttrIndex attr, Value value,
+                                std::string* error) {
+  AwaitedResponse response;
+  return AwaitOk(Issue(Request::Update(session, id, attr, std::move(value)),
+                       error),
+                 &response, error);
+}
+
+bool ServiceClient::ParseReportArgs(const std::vector<std::string>& args,
+                                    size_t offset, WireReport* report,
+                                    std::string* error) {
+  *report = WireReport();
+  if (args.size() < offset + 3 || (args.size() - offset - 3) % 2 != 0) {
+    *error = "malformed report argument list";
+    return false;
+  }
+  if (!ParseSize(args[offset], &report->num_facts) ||
+      !ParseSize(args[offset + 1], &report->num_minimal_subsets)) {
+    *error = "malformed report counts";
+    return false;
+  }
+  if (args[offset + 2] != "0" && args[offset + 2] != "1") {
+    *error = "malformed truncated flag";
+    return false;
+  }
+  report->truncated = args[offset + 2] == "1";
+  for (size_t i = offset + 3; i + 1 < args.size(); i += 2) {
+    std::string name;
+    if (!DecodeToken(args[i], &name, error)) return false;
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(args[i + 1].c_str(), &end);
+    if (end != args[i + 1].c_str() + args[i + 1].size()) {
+      *error = "malformed measure value: " + args[i + 1];
+      return false;
+    }
+    report->measures.emplace_back(std::move(name), value);
+  }
+  return true;
+}
+
+bool ServiceClient::Evaluate(const std::string& session, WireReport* report,
+                             std::string* error) {
+  AwaitedResponse response;
+  if (!AwaitOk(Issue(Request::Evaluate(session), error), &response, error)) {
+    return false;
+  }
+  return ParseReportArgs(response.final.args, 0, report, error);
+}
+
+bool ServiceClient::EvaluateAll(
+    std::vector<std::pair<std::string, WireReport>>* reports,
+    std::string* error) {
+  AwaitedResponse response;
+  if (!AwaitOk(Issue(Request::EvaluateAll(), error), &response, error)) {
+    return false;
+  }
+  reports->clear();
+  for (const Response& item : response.items) {
+    if (item.args.empty()) {
+      *error = "EVALUATE_ALL item carries no session";
+      return false;
+    }
+    std::string name;
+    if (!DecodeToken(item.args[0], &name, error)) return false;
+    WireReport report;
+    if (!ParseReportArgs(item.args, 1, &report, error)) return false;
+    reports->emplace_back(std::move(name), std::move(report));
+  }
+  return true;
+}
+
+bool ServiceClient::Stats(const std::string& session, std::string* json,
+                          std::string* error) {
+  AwaitedResponse response;
+  if (!AwaitOk(Issue(Request::Stats(session), error), &response, error)) {
+    return false;
+  }
+  if (response.final.args.size() != 1) {
+    *error = "STATS reply carries no payload";
+    return false;
+  }
+  return DecodeToken(response.final.args[0], json, error);
+}
+
+bool ServiceClient::Dump(
+    const std::string& session,
+    std::vector<std::pair<FactId, std::vector<Value>>>* rows,
+    std::string* error) {
+  AwaitedResponse response;
+  if (!AwaitOk(Issue(Request::Dump(session), error), &response, error)) {
+    return false;
+  }
+  rows->clear();
+  for (const Response& item : response.items) {
+    if (item.args.empty()) {
+      *error = "DUMP item carries no fact id";
+      return false;
+    }
+    size_t id = 0;
+    if (!ParseSize(item.args[0], &id)) {
+      *error = "DUMP item has a malformed fact id";
+      return false;
+    }
+    std::vector<Value> values;
+    values.reserve(item.args.size() - 1);
+    for (size_t i = 1; i < item.args.size(); ++i) {
+      Value v;
+      if (!DecodeValue(item.args[i], &v, error)) return false;
+      values.push_back(std::move(v));
+    }
+    rows->emplace_back(static_cast<FactId>(id), std::move(values));
+  }
+  return true;
+}
+
+bool ServiceClient::Unregister(const std::string& session,
+                               std::string* error) {
+  AwaitedResponse response;
+  return AwaitOk(Issue(Request::MakeUnregister(session), error), &response,
+                 error);
+}
+
+bool ServiceClient::Vacuum(double threshold, bool* compacted,
+                           std::string* error) {
+  AwaitedResponse response;
+  if (!AwaitOk(Issue(Request::Vacuum(threshold), error), &response, error)) {
+    return false;
+  }
+  *compacted =
+      response.final.args.size() == 1 && response.final.args[0] == "1";
+  return true;
+}
+
+bool ServiceClient::SendRawLine(const std::string& line, std::string* error) {
+  return WriteAll(line + "\n", error);
+}
+
+bool ServiceClient::ReadRawLine(std::string* line, std::string* error) {
+  return ReadLine(line, error);
+}
+
+}  // namespace dbim

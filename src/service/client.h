@@ -1,0 +1,131 @@
+#ifndef DBIM_SERVICE_CLIENT_H_
+#define DBIM_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/protocol.h"
+
+namespace dbim {
+
+/// A measure report as it travels over the wire: what EVALUATE and the
+/// items of EVALUATE_ALL carry. Measure values round-trip bit-exactly
+/// (17-significant-digit rendering), so wire reports can be compared for
+/// equality against an in-process BatchReport.
+struct WireReport {
+  size_t num_facts = 0;
+  size_t num_minimal_subsets = 0;
+  bool truncated = false;
+  std::vector<std::pair<std::string, double>> measures;  // (name, value)
+};
+
+/// The terminal response for one awaited request plus any ITEM body lines
+/// that arrived under its tag.
+struct AwaitedResponse {
+  Response final;
+  std::vector<Response> items;
+
+  bool ok() const { return final.kind == ResponseKind::kOk; }
+};
+
+/// Client for the dbimd line protocol. One instance drives one connection
+/// and is NOT thread-safe — give each thread its own client (the load
+/// generator and the service tests do).
+///
+/// The core is pipelined: Issue() writes a request and returns immediately
+/// with its tag; Await() blocks until that tag's terminal reply, buffering
+/// replies to other outstanding tags on the side. The synchronous verbs
+/// (Ping, Register, Evaluate, ...) are Issue+Await pairs.
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  bool Connect(const std::string& host, uint16_t port, std::string* error);
+
+  /// Graceful close (FIN after all written bytes).
+  void Close();
+
+  /// Hard close: SO_LINGER(0) then close sends a reset, discarding
+  /// whatever the kernel still had buffered — the "client killed
+  /// mid-pipeline" behavior the disconnect tests need.
+  void Abort();
+
+  bool connected() const { return fd_ >= 0; }
+
+  // ---- pipelined core ----
+
+  /// Writes `request` (tag assigned here) and returns the tag, or "" on a
+  /// write error.
+  std::string Issue(Request request, std::string* error);
+
+  /// Blocks until the terminal OK/ERR for `tag` arrives; ITEM lines under
+  /// the tag are collected in order. Replies for other tags are buffered
+  /// for their own Await calls.
+  bool Await(const std::string& tag, AwaitedResponse* out, std::string* error);
+
+  // ---- synchronous verbs (Issue + Await) ----
+
+  bool Ping(std::string* error);
+  bool Schema(std::string* relation, std::vector<std::string>* attributes,
+              std::string* error);
+  bool Register(const std::string& session, std::string* error);
+  /// Returns the server-assigned fact id through *id.
+  bool ApplyInsert(const std::string& session, std::vector<Value> values,
+                   FactId* id, std::string* error);
+  bool ApplyDelete(const std::string& session, FactId id, std::string* error);
+  bool ApplyUpdate(const std::string& session, FactId id, AttrIndex attr,
+                   Value value, std::string* error);
+  bool Evaluate(const std::string& session, WireReport* report,
+                std::string* error);
+  bool EvaluateAll(std::vector<std::pair<std::string, WireReport>>* reports,
+                   std::string* error);
+  /// The constraint-stats table as JSON (TablePrinter::ToJson form).
+  bool Stats(const std::string& session, std::string* json,
+             std::string* error);
+  bool Dump(const std::string& session,
+            std::vector<std::pair<FactId, std::vector<Value>>>* rows,
+            std::string* error);
+  bool Unregister(const std::string& session, std::string* error);
+  bool Vacuum(double threshold, bool* compacted, std::string* error);
+
+  // ---- raw access (the protocol fuzz tests drive these) ----
+
+  /// Writes arbitrary bytes followed by a newline.
+  bool SendRawLine(const std::string& line, std::string* error);
+
+  /// Blocks for the next response line in arrival order, bypassing the
+  /// tag-matching buffers (only sound when no Await is interleaved).
+  bool ReadRawLine(std::string* line, std::string* error);
+
+  /// Parses an EVALUATE "OK" / EVALUATE_ALL "ITEM" argument list
+  /// (optionally after a leading session-name argument) into a WireReport.
+  static bool ParseReportArgs(const std::vector<std::string>& args,
+                              size_t offset, WireReport* report,
+                              std::string* error);
+
+ private:
+  bool WriteAll(const std::string& data, std::string* error);
+  bool ReadLine(std::string* line, std::string* error);
+  /// Awaits the terminal reply and maps ERR to (false, error message).
+  bool AwaitOk(const std::string& tag, AwaitedResponse* out,
+               std::string* error);
+
+  int fd_ = -1;
+  uint64_t next_tag_ = 1;
+  LineBuffer buffer_;
+  std::deque<std::string> lines_;  // framed but not yet consumed
+  // Buffered replies for outstanding tags other than the one being awaited.
+  std::map<std::string, std::vector<Response>> pending_;
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_SERVICE_CLIENT_H_

@@ -1,0 +1,611 @@
+#include "service/protocol.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace dbim {
+
+namespace {
+
+bool IsTokenByte(char c) {
+  const unsigned char u = static_cast<unsigned char>(c);
+  return u >= 0x21 && u <= 0x7e;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool ValidTag(const std::string& tag) {
+  if (tag.empty() || tag.size() > kMaxTagBytes) return false;
+  for (const char c : tag) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Strict tokenization: pieces separated by exactly one space, no leading,
+/// trailing or doubled separators (those produce empty pieces, rejected).
+bool SplitTokens(const std::string& line, std::vector<std::string>* out,
+                 std::string* error) {
+  out->clear();
+  if (line.empty()) {
+    *error = "empty line";
+    return false;
+  }
+  for (std::string& piece : Split(line, ' ')) {
+    if (piece.empty()) {
+      *error = "empty token (doubled, leading or trailing space)";
+      return false;
+    }
+    for (const char c : piece) {
+      if (!IsTokenByte(c)) {
+        *error = "control or non-ASCII byte in token";
+        return false;
+      }
+    }
+    out->push_back(std::move(piece));
+  }
+  return true;
+}
+
+bool ParseU64(const std::string& token, uint64_t max, uint64_t* out,
+              std::string* error) {
+  if (token.empty() || token.size() > 20) {
+    *error = "bad unsigned integer: " + token;
+    return false;
+  }
+  uint64_t v = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') {
+      *error = "bad unsigned integer: " + token;
+      return false;
+    }
+    if (v > (std::numeric_limits<uint64_t>::max() - (c - '0')) / 10) {
+      *error = "unsigned integer overflow: " + token;
+      return false;
+    }
+    v = v * 10 + (c - '0');
+  }
+  if (v > max) {
+    *error = "integer out of range: " + token;
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& token, double* out, std::string* error) {
+  if (token.empty()) {
+    *error = "empty number";
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  // ERANGE underflow (subnormal results) is fine — strtod returned the
+  // nearest representable value; only overflow to +-HUGE_VAL is rejected.
+  const bool overflow = errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL);
+  if (end != token.c_str() + token.size() || overflow) {
+    *error = "bad number: " + token;
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool DecodeSessionName(const std::string& token, std::string* out,
+                       std::string* error) {
+  if (!DecodeToken(token, out, error)) return false;
+  if (out->empty() || out->size() > kMaxSessionNameBytes) {
+    *error = "session name empty or too long";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeToken(const std::string& s) {
+  if (s.empty()) return "%";
+  static const char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (IsTokenByte(c) && c != '%') {
+      out.push_back(c);
+    } else {
+      const unsigned char u = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHex[u >> 4]);
+      out.push_back(kHex[u & 0xf]);
+    }
+  }
+  return out;
+}
+
+bool DecodeToken(const std::string& token, std::string* out,
+                 std::string* error) {
+  out->clear();
+  if (token == "%") return true;  // the empty string
+  if (token.empty()) {
+    *error = "empty token";
+    return false;
+  }
+  out->reserve(token.size());
+  for (size_t i = 0; i < token.size(); ++i) {
+    const char c = token[i];
+    if (c == '%') {
+      if (i + 3 > token.size()) {
+        *error = "truncated %XX escape";
+        return false;
+      }
+      const int hi = HexDigit(token[i + 1]);
+      const int lo = HexDigit(token[i + 2]);
+      if (hi < 0 || lo < 0) {
+        *error = "bad %XX escape";
+        return false;
+      }
+      out->push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else if (IsTokenByte(c)) {
+      out->push_back(c);
+    } else {
+      *error = "raw control byte in token";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string EncodeValue(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      return "_";
+    case Value::Kind::kInt:
+      return StrFormat("i:%" PRId64, v.as_int());
+    case Value::Kind::kDouble:
+      return StrFormat("d:%.17g", v.as_double());
+    case Value::Kind::kString: {
+      const std::string& s = v.as_string();
+      return s.empty() ? "s:" : "s:" + EncodeToken(s);
+    }
+  }
+  return "_";
+}
+
+bool DecodeValue(const std::string& token, Value* out, std::string* error) {
+  if (token == "_") {
+    *out = Value();
+    return true;
+  }
+  if (StartsWith(token, "i:")) {
+    const std::string body = token.substr(2);
+    if (body.empty() ||
+        (body.size() == 1 && (body[0] == '-' || body[0] == '+'))) {
+      *error = "bad int value: " + token;
+      return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(body.c_str(), &end, 10);
+    if (end != body.c_str() + body.size() || errno == ERANGE) {
+      *error = "bad int value: " + token;
+      return false;
+    }
+    *out = Value(static_cast<int64_t>(v));
+    return true;
+  }
+  if (StartsWith(token, "d:")) {
+    double v = 0.0;
+    if (!ParseDouble(token.substr(2), &v, error)) return false;
+    *out = Value(v);
+    return true;
+  }
+  if (StartsWith(token, "s:")) {
+    const std::string body = token.substr(2);
+    if (body.empty()) {
+      *out = Value(std::string());
+      return true;
+    }
+    std::string decoded;
+    if (!DecodeToken(body, &decoded, error)) return false;
+    *out = Value(std::move(decoded));
+    return true;
+  }
+  *error = "unknown value encoding: " + token;
+  return false;
+}
+
+const char* VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kPing:
+      return "PING";
+    case Verb::kSchema:
+      return "SCHEMA";
+    case Verb::kRegister:
+      return "REGISTER";
+    case Verb::kApply:
+      return "APPLY";
+    case Verb::kEvaluate:
+      return "EVALUATE";
+    case Verb::kEvaluateAll:
+      return "EVALUATE_ALL";
+    case Verb::kStats:
+      return "STATS";
+    case Verb::kDump:
+      return "DUMP";
+    case Verb::kUnregister:
+      return "UNREGISTER";
+    case Verb::kVacuum:
+      return "VACUUM";
+  }
+  return "PING";
+}
+
+Request Request::Ping() { return Request{}; }
+
+Request Request::Schema() {
+  Request r;
+  r.verb = Verb::kSchema;
+  return r;
+}
+
+Request Request::MakeRegister(std::string session) {
+  Request r;
+  r.verb = Verb::kRegister;
+  r.session = std::move(session);
+  return r;
+}
+
+Request Request::Insert(std::string session, std::vector<Value> values) {
+  Request r;
+  r.verb = Verb::kApply;
+  r.apply_kind = ApplyKind::kInsert;
+  r.session = std::move(session);
+  r.values = std::move(values);
+  return r;
+}
+
+Request Request::Delete(std::string session, FactId id) {
+  Request r;
+  r.verb = Verb::kApply;
+  r.apply_kind = ApplyKind::kDelete;
+  r.session = std::move(session);
+  r.fact_id = id;
+  return r;
+}
+
+Request Request::Update(std::string session, FactId id, AttrIndex attr,
+                        Value value) {
+  Request r;
+  r.verb = Verb::kApply;
+  r.apply_kind = ApplyKind::kUpdate;
+  r.session = std::move(session);
+  r.fact_id = id;
+  r.attr = attr;
+  r.values.push_back(std::move(value));
+  return r;
+}
+
+Request Request::Evaluate(std::string session) {
+  Request r;
+  r.verb = Verb::kEvaluate;
+  r.session = std::move(session);
+  return r;
+}
+
+Request Request::EvaluateAll() {
+  Request r;
+  r.verb = Verb::kEvaluateAll;
+  return r;
+}
+
+Request Request::Stats(std::string session) {
+  Request r;
+  r.verb = Verb::kStats;
+  r.session = std::move(session);
+  return r;
+}
+
+Request Request::Dump(std::string session) {
+  Request r;
+  r.verb = Verb::kDump;
+  r.session = std::move(session);
+  return r;
+}
+
+Request Request::MakeUnregister(std::string session) {
+  Request r;
+  r.verb = Verb::kUnregister;
+  r.session = std::move(session);
+  return r;
+}
+
+Request Request::Vacuum(double threshold) {
+  Request r;
+  r.verb = Verb::kVacuum;
+  r.threshold = threshold;
+  return r;
+}
+
+std::string FormatRequest(const Request& request) {
+  std::string line = request.tag;
+  line += ' ';
+  line += VerbName(request.verb);
+  switch (request.verb) {
+    case Verb::kPing:
+    case Verb::kSchema:
+    case Verb::kEvaluateAll:
+      break;
+    case Verb::kRegister:
+    case Verb::kEvaluate:
+    case Verb::kStats:
+    case Verb::kDump:
+    case Verb::kUnregister:
+      line += ' ';
+      line += EncodeToken(request.session);
+      break;
+    case Verb::kApply:
+      line += ' ';
+      line += EncodeToken(request.session);
+      switch (request.apply_kind) {
+        case ApplyKind::kInsert:
+          line += " INSERT";
+          for (const Value& v : request.values) {
+            line += ' ';
+            line += EncodeValue(v);
+          }
+          break;
+        case ApplyKind::kDelete:
+          line += StrFormat(" DELETE %u", request.fact_id);
+          break;
+        case ApplyKind::kUpdate:
+          line += StrFormat(" UPDATE %u %u", request.fact_id, request.attr);
+          line += ' ';
+          line += EncodeValue(request.values.empty() ? Value()
+                                                     : request.values[0]);
+          break;
+      }
+      break;
+    case Verb::kVacuum:
+      line += StrFormat(" %.17g", request.threshold);
+      break;
+  }
+  return line;
+}
+
+bool ParseRequest(const std::string& line, Request* out, std::string* error) {
+  *out = Request{};
+  out->tag = "*";
+  std::vector<std::string> tokens;
+  if (!SplitTokens(line, &tokens, error)) return false;
+  if (ValidTag(tokens[0])) out->tag = tokens[0];
+  if (out->tag == "*" && tokens[0] != "*") {
+    *error = "bad tag";
+    return false;
+  }
+  if (tokens.size() < 2) {
+    *error = "missing verb";
+    return false;
+  }
+  const std::string& verb = tokens[1];
+  const size_t n = tokens.size();
+
+  auto need_session = [&](Verb v, size_t argc) {
+    if (n != argc) {
+      *error = std::string(VerbName(v)) + ": wrong argument count";
+      return false;
+    }
+    out->verb = v;
+    return DecodeSessionName(tokens[2], &out->session, error);
+  };
+
+  if (verb == "PING" || verb == "SCHEMA" || verb == "EVALUATE_ALL") {
+    if (n != 2) {
+      *error = verb + " takes no arguments";
+      return false;
+    }
+    out->verb = verb == "PING"
+                    ? Verb::kPing
+                    : (verb == "SCHEMA" ? Verb::kSchema : Verb::kEvaluateAll);
+    return true;
+  }
+  if (verb == "REGISTER") return need_session(Verb::kRegister, 3);
+  if (verb == "EVALUATE") return need_session(Verb::kEvaluate, 3);
+  if (verb == "STATS") return need_session(Verb::kStats, 3);
+  if (verb == "DUMP") return need_session(Verb::kDump, 3);
+  if (verb == "UNREGISTER") return need_session(Verb::kUnregister, 3);
+  if (verb == "VACUUM") {
+    if (n != 3) {
+      *error = "VACUUM takes one threshold argument";
+      return false;
+    }
+    out->verb = Verb::kVacuum;
+    if (!ParseDouble(tokens[2], &out->threshold, error)) return false;
+    if (!(out->threshold >= 0.0) || out->threshold > 1.0) {
+      *error = "VACUUM threshold must be in [0, 1]";
+      return false;
+    }
+    return true;
+  }
+  if (verb == "APPLY") {
+    if (n < 4) {
+      *error = "APPLY needs a session and an operation";
+      return false;
+    }
+    out->verb = Verb::kApply;
+    if (!DecodeSessionName(tokens[2], &out->session, error)) return false;
+    const std::string& op = tokens[3];
+    if (op == "INSERT") {
+      out->apply_kind = ApplyKind::kInsert;
+      if (n < 5) {
+        *error = "INSERT needs at least one value";
+        return false;
+      }
+      // Arity is validated against the schema at execution; this cap only
+      // bounds parser memory on hostile input.
+      if (n - 4 > 1024) {
+        *error = "INSERT has too many values";
+        return false;
+      }
+      for (size_t i = 4; i < n; ++i) {
+        Value v;
+        if (!DecodeValue(tokens[i], &v, error)) return false;
+        out->values.push_back(std::move(v));
+      }
+      return true;
+    }
+    if (op == "DELETE") {
+      out->apply_kind = ApplyKind::kDelete;
+      if (n != 5) {
+        *error = "DELETE takes one fact id";
+        return false;
+      }
+      uint64_t id = 0;
+      if (!ParseU64(tokens[4], std::numeric_limits<FactId>::max(), &id, error))
+        return false;
+      out->fact_id = static_cast<FactId>(id);
+      return true;
+    }
+    if (op == "UPDATE") {
+      out->apply_kind = ApplyKind::kUpdate;
+      if (n != 7) {
+        *error = "UPDATE takes fact id, attribute index and value";
+        return false;
+      }
+      uint64_t id = 0;
+      uint64_t attr = 0;
+      if (!ParseU64(tokens[4], std::numeric_limits<FactId>::max(), &id, error))
+        return false;
+      if (!ParseU64(tokens[5], 4096, &attr, error)) return false;
+      Value v;
+      if (!DecodeValue(tokens[6], &v, error)) return false;
+      out->fact_id = static_cast<FactId>(id);
+      out->attr = static_cast<AttrIndex>(attr);
+      out->values.push_back(std::move(v));
+      return true;
+    }
+    *error = "unknown APPLY operation: " + op;
+    return false;
+  }
+  *error = "unknown verb: " + verb;
+  return false;
+}
+
+Response Response::Ok(std::string tag, std::vector<std::string> args) {
+  Response r;
+  r.tag = std::move(tag);
+  r.kind = ResponseKind::kOk;
+  r.args = std::move(args);
+  return r;
+}
+
+Response Response::Item(std::string tag, std::vector<std::string> args) {
+  Response r;
+  r.tag = std::move(tag);
+  r.kind = ResponseKind::kItem;
+  r.args = std::move(args);
+  return r;
+}
+
+Response Response::Error(std::string tag, std::string code,
+                         std::string message) {
+  Response r;
+  r.tag = std::move(tag);
+  r.kind = ResponseKind::kErr;
+  r.error_code = std::move(code);
+  r.error_message = std::move(message);
+  return r;
+}
+
+std::string FormatResponse(const Response& response) {
+  std::string line = response.tag;
+  switch (response.kind) {
+    case ResponseKind::kOk:
+      line += " OK";
+      break;
+    case ResponseKind::kItem:
+      line += " ITEM";
+      break;
+    case ResponseKind::kErr:
+      line += " ERR ";
+      line += response.error_code;
+      line += ' ';
+      line += EncodeToken(response.error_message);
+      return line;
+  }
+  for (const std::string& arg : response.args) {
+    line += ' ';
+    line += arg;
+  }
+  return line;
+}
+
+bool ParseResponse(const std::string& line, Response* out,
+                   std::string* error) {
+  *out = Response{};
+  std::vector<std::string> tokens;
+  if (!SplitTokens(line, &tokens, error)) return false;
+  if (tokens.size() < 2) {
+    *error = "response needs a tag and a kind";
+    return false;
+  }
+  if (!ValidTag(tokens[0]) && tokens[0] != "*") {
+    *error = "bad response tag";
+    return false;
+  }
+  out->tag = tokens[0];
+  const std::string& kind = tokens[1];
+  if (kind == "OK" || kind == "ITEM") {
+    out->kind = kind == "OK" ? ResponseKind::kOk : ResponseKind::kItem;
+    out->args.assign(tokens.begin() + 2, tokens.end());
+    return true;
+  }
+  if (kind == "ERR") {
+    out->kind = ResponseKind::kErr;
+    if (tokens.size() != 4) {
+      *error = "ERR takes a code and a message token";
+      return false;
+    }
+    out->error_code = tokens[2];
+    return DecodeToken(tokens[3], &out->error_message, error);
+  }
+  *error = "unknown response kind: " + kind;
+  return false;
+}
+
+bool LineBuffer::Feed(const char* data, size_t n,
+                      std::vector<std::string>* lines) {
+  if (overflowed_) return false;
+  for (size_t i = 0; i < n; ++i) {
+    const char c = data[i];
+    if (c == '\n') {
+      if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+      lines->push_back(std::move(partial_));
+      partial_.clear();
+      continue;
+    }
+    if (partial_.size() + 1 >= max_) {
+      overflowed_ = true;
+      partial_.clear();
+      return false;
+    }
+    partial_.push_back(c);
+  }
+  return true;
+}
+
+}  // namespace dbim

@@ -1,0 +1,500 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace dbim {
+
+namespace {
+
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+std::string FormatDouble(double v) { return StrFormat("%.17g", v); }
+
+}  // namespace
+
+/// One accepted client socket. The fd closes when the last reference drops
+/// (the reader, the connection list and any queued operation each hold
+/// one), so a worker can never write into a recycled descriptor.
+struct ServiceServer::Connection {
+  explicit Connection(int fd) : fd(fd) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  /// Writes one response line atomically with respect to other senders on
+  /// this connection (line framing survives interleaved workers). Errors
+  /// mark the connection closed; replies to a dead peer are discarded.
+  void Send(const Response& response) {
+    if (closed.load(std::memory_order_acquire)) return;
+    std::string line = FormatResponse(response);
+    line.push_back('\n');
+    std::lock_guard<std::mutex> lock(write_mu);
+    size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n =
+          ::send(fd, line.data() + off, line.size() - off, kSendFlags);
+      if (n <= 0) {
+        closed.store(true, std::memory_order_release);
+        return;
+      }
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  void ShutdownBoth() {
+    closed.store(true, std::memory_order_release);
+    ::shutdown(fd, SHUT_RDWR);
+  }
+
+  const int fd;
+  std::mutex write_mu;
+  std::atomic<bool> closed{false};
+};
+
+/// An admitted session-addressed request awaiting a worker.
+struct ServiceServer::PendingOp {
+  std::shared_ptr<Connection> conn;
+  Request request;
+};
+
+/// A named session: its MeasureSession handle plus the bounded work queue.
+/// Invariants (under sched_mu_): `in_ring` and `in_service` are never both
+/// true, and the tenant appears in the ring at most once — together they
+/// give serial FIFO execution per session with one queue take per ring
+/// visit (the round-robin fairness unit).
+struct ServiceServer::Tenant {
+  std::string name;
+  DbHandle handle = 0;
+  std::deque<PendingOp> queue;
+  bool in_ring = false;
+  bool in_service = false;
+  bool dead = false;
+};
+
+ServiceServer::ServiceServer(std::shared_ptr<const Schema> schema,
+                             RelationId relation,
+                             std::vector<DenialConstraint> constraints,
+                             ServiceOptions options)
+    : schema_(std::move(schema)),
+      relation_(relation),
+      options_(std::move(options)),
+      session_(schema_, std::move(constraints), options_.session) {}
+
+ServiceServer::~ServiceServer() { Stop(); }
+
+bool ServiceServer::Start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = StrFormat("socket: %s", std::strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    *error = StrFormat("bind 127.0.0.1:%u: %s", options_.port,
+                       std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  bound_port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 128) < 0) {
+    *error = StrFormat("listen: %s", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  started_ = true;
+  const size_t workers = std::max<size_t>(1, options_.num_workers);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void ServiceServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  // Unblock accept: shutdown makes a blocked accept return on Linux; close
+  // frees the port either way.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) conn->ShutdownBoth();
+  }
+  for (std::thread& t : readers_) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    paused_ = false;
+  }
+  sched_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  readers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+  started_ = false;
+}
+
+void ServiceServer::PauseWorkers() {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  paused_ = true;
+}
+
+void ServiceServer::ResumeWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    paused_ = false;
+  }
+  sched_cv_.notify_all();
+}
+
+void ServiceServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      break;  // listener broken; the daemon keeps serving live connections
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>(fd);
+    num_connections_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+      readers_.emplace_back([this, conn] { ReaderLoop(conn); });
+    }
+  }
+}
+
+void ServiceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  LineBuffer buffer(options_.max_line_bytes);
+  char chunk[4096];
+  std::vector<std::string> lines;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF, reset or shutdown — stop producing
+    lines.clear();
+    if (!buffer.Feed(chunk, static_cast<size_t>(n), &lines)) {
+      for (const std::string& line : lines) HandleLine(conn, line);
+      conn->Send(Response::Error("*", "TOO_LARGE",
+                                 "request line exceeds the framing cap"));
+      break;  // the stream can no longer be framed; cut the connection
+    }
+    for (const std::string& line : lines) HandleLine(conn, line);
+  }
+  // Only stop *producing*: operations already admitted to session queues
+  // keep their shared_ptr to this connection and still execute; their
+  // replies are discarded by Send once `closed` is set.
+  conn->ShutdownBoth();
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(std::remove(conns_.begin(), conns_.end(), conn), conns_.end());
+}
+
+void ServiceServer::HandleLine(const std::shared_ptr<Connection>& conn,
+                               const std::string& line) {
+  num_requests_.fetch_add(1, std::memory_order_relaxed);
+  Request request;
+  std::string error;
+  if (!ParseRequest(line, &request, &error)) {
+    conn->Send(Response::Error(request.tag, "BAD_REQUEST", error));
+    return;
+  }
+  switch (request.verb) {
+    case Verb::kPing:
+    case Verb::kSchema:
+    case Verb::kRegister:
+    case Verb::kVacuum:
+    case Verb::kEvaluateAll:
+      ExecuteInline(conn, request);
+      return;
+    case Verb::kApply:
+    case Verb::kEvaluate:
+    case Verb::kStats:
+    case Verb::kDump:
+    case Verb::kUnregister:
+      break;
+  }
+  // Session-addressed verbs go through the session's bounded queue.
+  {
+    std::unique_lock<std::mutex> lock(sched_mu_);
+    auto it = tenants_.find(request.session);
+    if (it == tenants_.end() || it->second->dead) {
+      lock.unlock();
+      conn->Send(Response::Error(request.tag, "NO_SESSION",
+                                 "unknown session: " + request.session));
+      return;
+    }
+    std::shared_ptr<Tenant> tenant = it->second;
+    if (tenant->queue.size() >= options_.queue_capacity) {
+      lock.unlock();
+      num_rejected_.fetch_add(1, std::memory_order_relaxed);
+      conn->Send(Response::Error(request.tag, "BUSY",
+                                 "session work queue is full"));
+      return;
+    }
+    tenant->queue.push_back(PendingOp{conn, std::move(request)});
+    if (!tenant->in_ring && !tenant->in_service) {
+      tenant->in_ring = true;
+      ring_.push_back(tenant);
+      lock.unlock();
+      sched_cv_.notify_one();
+    }
+  }
+}
+
+void ServiceServer::ExecuteInline(const std::shared_ptr<Connection>& conn,
+                                  const Request& request) {
+  switch (request.verb) {
+    case Verb::kPing:
+      conn->Send(Response::Ok(request.tag));
+      return;
+    case Verb::kSchema: {
+      const RelationSignature& sig = schema_->relation(relation_);
+      std::vector<std::string> args;
+      args.push_back(EncodeToken(sig.name()));
+      for (const std::string& attr : sig.attributes()) {
+        args.push_back(EncodeToken(attr));
+      }
+      conn->Send(Response::Ok(request.tag, std::move(args)));
+      return;
+    }
+    case Verb::kRegister: {
+      std::unique_lock<std::mutex> lock(sched_mu_);
+      auto it = tenants_.find(request.session);
+      if (it != tenants_.end()) {
+        lock.unlock();
+        conn->Send(Response::Error(request.tag, "EXISTS",
+                                   "session exists: " + request.session));
+        return;
+      }
+      auto tenant = std::make_shared<Tenant>();
+      tenant->name = request.session;
+      tenant->handle = session_.Register(Database(schema_));
+      tenants_.emplace(tenant->name, tenant);
+      lock.unlock();
+      conn->Send(Response::Ok(request.tag));
+      return;
+    }
+    case Verb::kVacuum: {
+      const bool compacted = session_.Vacuum(request.threshold);
+      conn->Send(Response::Ok(request.tag, {compacted ? "1" : "0"}));
+      return;
+    }
+    case Verb::kEvaluateAll: {
+      // Holds the scheduler lock across the batch so no tenant can be
+      // unregistered (and its handle freed) underneath the fan-out. New
+      // admissions stall for the duration — EVALUATE_ALL is an admin
+      // verb, not a fast-path one.
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      std::vector<std::pair<std::string, DbHandle>> targets;
+      targets.reserve(tenants_.size());
+      for (const auto& [name, tenant] : tenants_) {
+        if (!tenant->dead) targets.emplace_back(name, tenant->handle);
+      }
+      std::sort(targets.begin(), targets.end());
+      std::vector<DbHandle> handles;
+      handles.reserve(targets.size());
+      for (const auto& [name, handle] : targets) handles.push_back(handle);
+      const std::vector<BatchReport> reports = session_.EvaluateAll(handles);
+      for (size_t i = 0; i < targets.size(); ++i) {
+        std::vector<std::string> args;
+        args.push_back(EncodeToken(targets[i].first));
+        args.push_back(std::to_string(session_.NumFacts(handles[i])));
+        args.push_back(std::to_string(reports[i].num_minimal_subsets));
+        args.push_back(reports[i].truncated ? "1" : "0");
+        for (const MeasureResult& m : reports[i].measures) {
+          args.push_back(EncodeToken(m.name));
+          args.push_back(FormatDouble(m.value));
+        }
+        conn->Send(Response::Item(request.tag, std::move(args)));
+      }
+      conn->Send(
+          Response::Ok(request.tag, {std::to_string(targets.size())}));
+      return;
+    }
+    default:
+      conn->Send(Response::Error(request.tag, "INTERNAL",
+                                 "verb cannot execute inline"));
+      return;
+  }
+}
+
+Response ServiceServer::DoEvaluate(const std::string& tag,
+                                   const std::string& name, DbHandle handle) {
+  (void)name;
+  const size_t num_facts = session_.NumFacts(handle);
+  const BatchReport report = session_.Evaluate(handle);
+  std::vector<std::string> args;
+  args.push_back(std::to_string(num_facts));
+  args.push_back(std::to_string(report.num_minimal_subsets));
+  args.push_back(report.truncated ? "1" : "0");
+  for (const MeasureResult& m : report.measures) {
+    args.push_back(EncodeToken(m.name));
+    args.push_back(FormatDouble(m.value));
+  }
+  return Response::Ok(tag, std::move(args));
+}
+
+void ServiceServer::ExecuteQueued(const std::shared_ptr<Tenant>& tenant,
+                                  PendingOp op) {
+  const Request& request = op.request;
+  const std::string& tag = request.tag;
+  switch (request.verb) {
+    case Verb::kApply: {
+      RepairOperation repair = RepairOperation::Deletion(0);
+      switch (request.apply_kind) {
+        case ApplyKind::kInsert: {
+          const size_t arity = schema_->relation(relation_).arity();
+          if (request.values.size() != arity) {
+            op.conn->Send(Response::Error(
+                tag, "BAD_REQUEST",
+                StrFormat("INSERT arity mismatch: got %zu values, relation "
+                          "has %zu attributes",
+                          request.values.size(), arity)));
+            return;
+          }
+          repair = RepairOperation::Insertion(
+              Fact(relation_, request.values));
+          break;
+        }
+        case ApplyKind::kDelete:
+          repair = RepairOperation::Deletion(request.fact_id);
+          break;
+        case ApplyKind::kUpdate: {
+          if (request.attr >= schema_->relation(relation_).arity()) {
+            op.conn->Send(Response::Error(tag, "BAD_REQUEST",
+                                          "UPDATE attribute out of range"));
+            return;
+          }
+          repair = RepairOperation::Update(request.fact_id, request.attr,
+                                           request.values[0]);
+          break;
+        }
+      }
+      const std::optional<FactId> inserted =
+          session_.Apply(tenant->handle, repair);
+      if (inserted.has_value()) {
+        op.conn->Send(Response::Ok(tag, {std::to_string(*inserted)}));
+      } else {
+        op.conn->Send(Response::Ok(tag));
+      }
+      return;
+    }
+    case Verb::kEvaluate:
+      op.conn->Send(DoEvaluate(tag, tenant->name, tenant->handle));
+      return;
+    case Verb::kStats: {
+      const TablePrinter table =
+          ConstraintStatsTable(session_.ConstraintStats(tenant->handle));
+      op.conn->Send(Response::Ok(
+          tag, {EncodeToken(table.ToJson("constraint_stats"))}));
+      return;
+    }
+    case Verb::kDump: {
+      const auto rows = session_.CopyFacts(tenant->handle);
+      for (const auto& [id, values] : rows) {
+        std::vector<std::string> args;
+        args.push_back(std::to_string(id));
+        for (const Value& v : values) args.push_back(EncodeValue(v));
+        op.conn->Send(Response::Item(tag, std::move(args)));
+      }
+      op.conn->Send(Response::Ok(tag, {std::to_string(rows.size())}));
+      return;
+    }
+    case Verb::kUnregister: {
+      session_.Unregister(tenant->handle);
+      std::deque<PendingOp> orphaned;
+      {
+        std::lock_guard<std::mutex> lock(sched_mu_);
+        tenant->dead = true;
+        orphaned.swap(tenant->queue);
+        auto it = tenants_.find(tenant->name);
+        if (it != tenants_.end() && it->second == tenant) tenants_.erase(it);
+      }
+      // Operations admitted behind the unregister lose their session.
+      for (const PendingOp& orphan : orphaned) {
+        orphan.conn->Send(Response::Error(orphan.request.tag, "NO_SESSION",
+                                          "session was unregistered"));
+      }
+      op.conn->Send(Response::Ok(tag));
+      return;
+    }
+    default:
+      op.conn->Send(
+          Response::Error(tag, "INTERNAL", "verb cannot be queued"));
+      return;
+  }
+}
+
+void ServiceServer::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Tenant> tenant;
+    PendingOp op;
+    {
+      std::unique_lock<std::mutex> lock(sched_mu_);
+      sched_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) ||
+               (!paused_ && !ring_.empty());
+      });
+      if (stopping_.load(std::memory_order_acquire)) return;
+      tenant = ring_.front();
+      ring_.pop_front();
+      tenant->in_ring = false;
+      if (tenant->dead || tenant->queue.empty()) continue;
+      op = std::move(tenant->queue.front());
+      tenant->queue.pop_front();
+      tenant->in_service = true;
+    }
+    ExecuteQueued(tenant, std::move(op));
+    {
+      std::unique_lock<std::mutex> lock(sched_mu_);
+      tenant->in_service = false;
+      // One operation per ring visit: the session re-queues at the TAIL,
+      // so every other pending session runs before its next operation —
+      // the round-robin fairness guarantee.
+      if (!tenant->queue.empty() && !tenant->dead && !tenant->in_ring) {
+        tenant->in_ring = true;
+        ring_.push_back(tenant);
+        lock.unlock();
+        sched_cv_.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace dbim

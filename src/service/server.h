@@ -1,0 +1,163 @@
+#ifndef DBIM_SERVICE_SERVER_H_
+#define DBIM_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "measures/session.h"
+#include "service/protocol.h"
+
+namespace dbim {
+
+/// Knobs for one dbimd server instance.
+struct ServiceOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back with
+  /// port() after Start — the test and bench harnesses do this).
+  uint16_t port = 0;
+
+  /// Worker threads executing queued session operations. Evaluate rides
+  /// the MeasureSession shared-lock path, so workers on distinct sessions
+  /// proceed in parallel; operations on one session always execute
+  /// serially, in admission order.
+  size_t num_workers = 4;
+
+  /// Admission control: pending operations a session's work queue accepts
+  /// before further requests are refused with ERR BUSY. Bounds the memory
+  /// one hot tenant can pin and keeps its backlog — and therefore its
+  /// worst-case latency — finite.
+  size_t queue_capacity = 256;
+
+  /// Framing cap per request line (see protocol.h).
+  size_t max_line_bytes = kMaxLineBytes;
+
+  /// Options of the hosted MeasureSession. auto_vacuum is left to the
+  /// explicit VACUUM verb by default: the wire APPLY path reads assigned
+  /// fact ids under the per-session serial queue, and an async vacuum
+  /// would add nothing a client can observe.
+  MeasureSessionOptions session;
+};
+
+/// A long-lived measure-service daemon: one hosted MeasureSession (one
+/// constraint set Sigma over one schema, one shared ValuePool) multiplexed
+/// across many named sessions and many concurrent client connections.
+///
+/// Concurrency model:
+///
+///  * one reader thread per connection parses lines and answers PING /
+///    SCHEMA / REGISTER / VACUUM / EVALUATE_ALL inline; session-addressed
+///    verbs (APPLY / EVALUATE / STATS / DUMP / UNREGISTER) are admitted to
+///    that session's bounded work queue (full queue => ERR BUSY, request
+///    dropped) — so a connection's requests to one session execute in send
+///    order, which is what makes wire trajectories reproducible against an
+///    in-process mirror;
+///  * a fixed worker pool drains the queues through a round-robin ring:
+///    a session with pending work appears in the ring at most once, a
+///    worker takes exactly ONE operation per visit and re-queues the
+///    session at the tail, so a tenant with a thousand queued operations
+///    cannot starve one with a single Evaluate — between any two
+///    operations of the hot tenant, every other pending tenant runs once;
+///  * per-session execution is serial (a session is never in the ring
+///    while a worker services it), so FIFO order holds and the worker can
+///    read back insertion ids race-free; across sessions, workers run
+///    concurrently under MeasureSession's shared lock — an Evaluate never
+///    blocks behind an unrelated session's Apply;
+///  * an abruptly dropped connection only stops producing: its admitted
+///    operations still execute (replies to a closed socket are discarded),
+///    so session state stays consistent and later clients resume from it.
+class ServiceServer {
+ public:
+  ServiceServer(std::shared_ptr<const Schema> schema, RelationId relation,
+                std::vector<DenialConstraint> constraints,
+                ServiceOptions options = {});
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Binds, listens on 127.0.0.1 and spawns the accept loop + workers.
+  bool Start(std::string* error);
+
+  /// Stops accepting, cuts every connection, drops queued work and joins
+  /// all threads. Idempotent; the destructor calls it.
+  void Stop();
+
+  /// The bound port (meaningful after Start; resolves port 0 requests).
+  uint16_t port() const { return bound_port_; }
+
+  MeasureSession& session() { return session_; }
+
+  /// Test/bench hooks: freeze the worker pool so queued operations
+  /// accumulate deterministically, then release it. With workers paused,
+  /// admission control and the round-robin ring can be asserted on without
+  /// racing the drain.
+  void PauseWorkers();
+  void ResumeWorkers();
+
+  // Lifetime counters (relaxed; for tests and the daemon's shutdown line).
+  size_t num_connections_accepted() const {
+    return num_connections_.load(std::memory_order_relaxed);
+  }
+  size_t num_requests() const {
+    return num_requests_.load(std::memory_order_relaxed);
+  }
+  size_t num_rejected() const {  // ERR BUSY admissions
+    return num_rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+  struct Tenant;
+  struct PendingOp;
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop();
+  void HandleLine(const std::shared_ptr<Connection>& conn,
+                  const std::string& line);
+  void ExecuteInline(const std::shared_ptr<Connection>& conn,
+                     const Request& request);
+  void ExecuteQueued(const std::shared_ptr<Tenant>& tenant, PendingOp op);
+  Response DoEvaluate(const std::string& tag, const std::string& name,
+                      DbHandle handle);
+
+  std::shared_ptr<const Schema> schema_;
+  RelationId relation_;
+  ServiceOptions options_;
+  MeasureSession session_;
+
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  // Scheduler state: tenant registry, the fairness ring and the pause
+  // flag, all under one mutex (critical sections are pointer shuffles).
+  std::mutex sched_mu_;
+  std::condition_variable sched_cv_;
+  std::unordered_map<std::string, std::shared_ptr<Tenant>> tenants_;
+  std::deque<std::shared_ptr<Tenant>> ring_;
+  bool paused_ = false;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::vector<std::thread> readers_;
+
+  std::atomic<size_t> num_connections_{0};
+  std::atomic<size_t> num_requests_{0};
+  std::atomic<size_t> num_rejected_{0};
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_SERVICE_SERVER_H_

@@ -1,0 +1,46 @@
+#ifndef DBIM_SERVICE_SPEC_H_
+#define DBIM_SERVICE_SPEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "constraints/dc.h"
+#include "relational/schema.h"
+
+namespace dbim {
+
+/// A parsed constraint-spec file: one relation declaration plus its denial
+/// constraints. This is the configuration unit shared by dbim_cli (one-shot
+/// measurement of a CSV) and dbimd (the schema every served session runs
+/// under).
+///
+/// Format — comments and blank lines are ignored:
+///
+///   # airports
+///   relation Airport(Id, Type, Name, Continent, Country, Municipality)
+///   !(t.Country = t'.Country & t.Continent != t'.Continent)
+///   !(t.Municipality = t'.Municipality & t.Country != t'.Country)
+struct ServiceSpec {
+  std::shared_ptr<const Schema> schema;
+  RelationId relation = 0;
+  std::vector<DenialConstraint> constraints;
+};
+
+/// Parses spec text. Returns false and sets *error (with a line number) on
+/// the first malformed declaration or constraint.
+bool ParseSpecText(const std::string& text, ServiceSpec* spec,
+                   std::string* error);
+
+/// Loads and parses the spec file at `path`.
+bool LoadSpecFile(const std::string& path, ServiceSpec* spec,
+                  std::string* error);
+
+/// The paper's running example (datagen/running_example.h) as a spec — the
+/// built-in workload dbimd serves when started with --example, so smoke
+/// tests and the load generator need no spec file on disk.
+ServiceSpec ExampleSpec();
+
+}  // namespace dbim
+
+#endif  // DBIM_SERVICE_SPEC_H_

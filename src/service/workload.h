@@ -1,0 +1,67 @@
+#ifndef DBIM_SERVICE_WORKLOAD_H_
+#define DBIM_SERVICE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "service/client.h"
+
+namespace dbim {
+
+/// Mixed Apply/Evaluate traffic for one (client, session) pair — the
+/// generator shared by tools/dbim_loadgen and bench_service_latency so the
+/// benchmark measures exactly the traffic shape the load generator emits.
+///
+/// Operations are drawn deterministically from the seed: inserts of random
+/// cells, deletes and updates of previously inserted facts (ids are learned
+/// from the INSERT replies), and an EVALUATE every `evaluate_every`
+/// operations. Requests are pipelined up to `pipeline_depth` outstanding
+/// tags (depth 1 = strict request/response lock-step); per-operation
+/// latency is issue-to-terminal-reply, so queue wait at the server counts,
+/// which is the point of a p99 under mixed multi-tenant traffic.
+struct ServiceWorkloadOptions {
+  size_t arity = 3;            // insert width (ask the server via SCHEMA)
+  int64_t domain = 6;          // cell values drawn from [0, domain)
+  size_t evaluate_every = 8;   // 0 = never evaluate
+  size_t pipeline_depth = 16;  // max outstanding requests (min 1)
+
+  /// Predict insert ids locally instead of learning them from replies.
+  /// Sound only when this client is the session's sole writer: the
+  /// server's id assignment (minimal free id, else high-water mark) is
+  /// then a pure function of the client's own op sequence, which the
+  /// generator simulates — and cross-checks against every INSERT reply.
+  /// The payoff is that the op mix no longer depends on pipeline_depth
+  /// (with learned ids, a deep pipeline starves the live set and skews
+  /// the mix toward inserts), so pipelined and lock-step runs replay
+  /// byte-identical traffic — what the bench's self-gate compares.
+  bool predict_ids = false;
+};
+
+struct ServiceWorkloadResult {
+  size_t num_ok = 0;
+  size_t num_busy = 0;      // admission-control rejections (not failures)
+  size_t num_evaluates = 0;
+  /// Issue-to-reply latency of every completed operation, in milliseconds,
+  /// in completion order (BUSY rejections included — they are real
+  /// round-trips the client observed).
+  std::vector<double> latencies_ms;
+  /// The last EVALUATE's report, when any evaluate ran.
+  WireReport last_report;
+};
+
+/// Runs `num_ops` operations against `session` over `client`. Returns
+/// false (with *error) on transport or protocol failures; ERR BUSY is
+/// counted, not failed on.
+bool RunServiceWorkload(ServiceClient& client, const std::string& session,
+                        size_t num_ops, uint64_t seed,
+                        const ServiceWorkloadOptions& options,
+                        ServiceWorkloadResult* result, std::string* error);
+
+/// The p-th percentile (p in [0,100]) by nearest-rank; 0 for empty input.
+double LatencyPercentile(std::vector<double> latencies_ms, double p);
+
+}  // namespace dbim
+
+#endif  // DBIM_SERVICE_WORKLOAD_H_

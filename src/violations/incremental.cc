@@ -612,15 +612,16 @@ void IncrementalViolationIndex::ProbeFact(const std::vector<DcEval>& evals,
   if (has_kary_) ProbeKAry(evals, id);
 }
 
-void IncrementalViolationIndex::Apply(const RepairOperation& op) {
-  if (!op.IsApplicable(*db_)) return;
+std::optional<FactId> IncrementalViolationIndex::Apply(
+    const RepairOperation& op) {
+  if (!op.IsApplicable(*db_)) return std::nullopt;
   if (op.is_deletion()) {
     const FactId id = op.deletion().id;
     RemoveSubsetsInvolving(id);
     self_inconsistent_.erase(id);
     RemoveFromBuckets(id);
     db_->Delete(id);
-    return;
+    return std::nullopt;
   }
   // The probe runs between the two halves of bucket maintenance: k-ary
   // indexes first (anchored enumeration reads them), binary buckets after
@@ -634,7 +635,7 @@ void IncrementalViolationIndex::Apply(const RepairOperation& op) {
     RecomputeSelfInconsistent(evals, id);
     ProbeFact(evals, id);
     AddToBinaryBuckets(id);
-    return;
+    return id;
   }
   const UpdateOp& update = op.update();
   const FactId id = update.id;
@@ -646,6 +647,7 @@ void IncrementalViolationIndex::Apply(const RepairOperation& op) {
   RecomputeSelfInconsistent(evals, id);
   ProbeFact(evals, id);
   AddToBinaryBuckets(id);
+  return std::nullopt;
 }
 
 size_t IncrementalViolationIndex::NumProblematicFacts() const {

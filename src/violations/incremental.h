@@ -121,8 +121,10 @@ class IncrementalViolationIndex {
   /// re-intern leaves it valid. Any other mutation must go through Apply.
   Database& mutable_db() { return *db_; }
 
-  /// Applies the operation to the database and updates the index.
-  void Apply(const RepairOperation& op);
+  /// Applies the operation to the database and updates the index. Returns
+  /// the identifier an insertion was stored under; nullopt for deletions,
+  /// updates and inapplicable operations.
+  std::optional<FactId> Apply(const RepairOperation& op);
 
   /// Number of minimal inconsistent subsets (the I_MI value).
   size_t NumMinimalSubsets() const { return live_subsets_; }

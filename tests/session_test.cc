@@ -48,36 +48,16 @@ void ExpectIdenticalReports(const BatchReport& expected,
   }
 }
 
-// A random repairing operation over relation `rel`; `churn_domain` > 0
-// draws update/insert values from a *fresh* value range per call so the
-// shared pool accumulates dead entries (the auto-vacuum trigger).
-RepairOperation RandomOp(const Database& db, RelationId rel, Rng& rng,
-                         int64_t domain, int64_t* churn_counter = nullptr) {
-  const std::vector<FactId> ids = db.ids();
-  auto draw = [&]() -> Value {
-    if (churn_counter != nullptr) {
-      return Value("churn_" + std::to_string((*churn_counter)++));
-    }
-    return Value(rng.UniformInt(0, domain - 1));
-  };
-  const size_t kind = ids.empty() ? 1 : rng.UniformIndex(4);
-  if (kind == 0) {
-    return RepairOperation::Deletion(ids[rng.UniformIndex(ids.size())]);
-  }
-  if (kind == 1) {
-    std::vector<Value> values;
-    const size_t arity = db.schema().relation(rel).arity();
-    for (size_t a = 0; a < arity; ++a) values.push_back(draw());
-    return RepairOperation::Insertion(Fact(rel, std::move(values)));
-  }
-  if (kind == 2) {  // duplicate an existing fact (distinct id, equal cells)
-    return RepairOperation::Insertion(
-        db.fact(ids[rng.UniformIndex(ids.size())]));
-  }
-  const FactId id = ids[rng.UniformIndex(ids.size())];
-  const AttrIndex attr = static_cast<AttrIndex>(
-      rng.UniformIndex(db.schema().relation(rel).arity()));
-  return RepairOperation::Update(id, attr, draw());
+// The random mutation script lives in tests/test_util.h (ScriptedWorkload)
+// so the watched-dispatch and service suites replay the same distribution.
+using testing::ScriptedWorkload;
+using testing::ScriptedWorkloadOptions;
+
+ScriptedWorkloadOptions WorkloadDomain(int64_t domain, bool churn = false) {
+  ScriptedWorkloadOptions options;
+  options.domain = domain;
+  options.churn = churn;
+  return options;
 }
 
 // Drives a session handle and a mirror database through one random
@@ -97,11 +77,9 @@ void RunTrajectoryParity(std::shared_ptr<const Schema> schema,
   Database mirror = start;
   EXPECT_TRUE(session.db(handle) == mirror) << where << " post-register";
 
-  Rng rng(seed);
-  int64_t churn_counter = 0;
+  ScriptedWorkload workload(seed, WorkloadDomain(6, churn));
   for (size_t op_index = 0; op_index < num_ops; ++op_index) {
-    const RepairOperation op = RandomOp(session.db(handle), 0, rng, 6,
-                                        churn ? &churn_counter : nullptr);
+    const RepairOperation op = workload.Next(session.db(handle));
     session.Apply(handle, op);
     op.ApplyInPlace(mirror);
     if (op_index % 5 != 4 && op_index + 1 != num_ops) continue;
@@ -229,7 +207,7 @@ TEST(SessionBatch, EvaluateAllMatchesPerHandle) {
     const MeasureEngine fresh(schema, dcs, options.engine);
     std::vector<DbHandle> handles;
     std::vector<Database> mirrors;
-    Rng rng(5 + batch_threads);
+    ScriptedWorkload workload(5 + batch_threads, WorkloadDomain(5));
     for (int d = 0; d < 3; ++d) {
       const Database start =
           MakeRandomDatabase(schema, 0, 30 + 10 * d, 4, 100 + d);
@@ -238,8 +216,7 @@ TEST(SessionBatch, EvaluateAllMatchesPerHandle) {
     }
     for (size_t i = 0; i < handles.size(); ++i) {
       for (int op_count = 0; op_count < 8; ++op_count) {
-        const RepairOperation op =
-            RandomOp(session.db(handles[i]), 0, rng, 5);
+        const RepairOperation op = workload.Next(session.db(handles[i]));
         session.Apply(handles[i], op);
         op.ApplyInPlace(mirrors[i]);
       }
@@ -300,12 +277,11 @@ TEST(SessionBatch, VacuumReclaimsRetiredPoolSlabs) {
   const Database start = MakeRandomDatabase(schema, 0, 30, 3, 61);
   const DbHandle handle = session.Register(start);
   Database mirror = start;
-  Rng rng(62);
+  ScriptedWorkload workload(62, WorkloadDomain(3, /*churn=*/true));
   // Churn fresh string values until the shared pool has outgrown its
   // initial slab a few times (capacity 1024 per array).
-  int64_t churn = 0;
   while (session.pool().size() < 2500) {
-    const RepairOperation op = RandomOp(session.db(handle), 0, rng, 3, &churn);
+    const RepairOperation op = workload.Next(session.db(handle));
     session.Apply(handle, op);
     op.ApplyInPlace(mirror);
   }
@@ -318,7 +294,7 @@ TEST(SessionBatch, VacuumReclaimsRetiredPoolSlabs) {
 
   // A high-threshold vacuum that rebuilds nothing still reclaims slabs.
   while (session.pool().size() < 4200) {
-    const RepairOperation op = RandomOp(session.db(handle), 0, rng, 3, &churn);
+    const RepairOperation op = workload.Next(session.db(handle));
     session.Apply(handle, op);
     op.ApplyInPlace(mirror);
   }
@@ -413,10 +389,10 @@ TEST(SessionBatch, VacuumCompactsIncrementalSlots) {
   const Database start = MakeRandomDatabase(schema, 0, 30, 3, 91);
   const DbHandle handle = session.Register(start);
   Database mirror = start;
-  Rng rng(92);
+  ScriptedWorkload workload(92, WorkloadDomain(3));
   size_t max_slots = 0;
   for (int step = 0; step < 400; ++step) {
-    const RepairOperation op = RandomOp(session.db(handle), 0, rng, 3);
+    const RepairOperation op = workload.Next(session.db(handle));
     session.Apply(handle, op);
     op.ApplyInPlace(mirror);
     max_slots = std::max(max_slots, session.num_stored_subset_slots(handle));
@@ -474,13 +450,13 @@ TEST(SessionConcurrency, ConcurrentApplyOnIndependentHandles) {
   for (size_t h = 0; h < kHandles; ++h) {
     mirrors.push_back(
         MakeRandomDatabase(schema, 0, 25 + 5 * h, 3, 300 + h));
-    Rng rng(400 + h);
-    int64_t churn = static_cast<int64_t>(1000 * h);
+    ScriptedWorkloadOptions workload_options = WorkloadDomain(5);
+    workload_options.churn_start = static_cast<int64_t>(1000 * h);
+    ScriptedWorkload workload(400 + h, workload_options);
     for (size_t i = 0; i < kOpsPerHandle; ++i) {
       // Half the ops churn fresh values so the shared pool grows from
       // several threads at once and the vacuum threshold actually trips.
-      RepairOperation op = RandomOp(mirrors[h], 0, rng, 5,
-                                    i % 2 == 0 ? &churn : nullptr);
+      RepairOperation op = workload.Next(mirrors[h], i % 2 == 0);
       op.ApplyInPlace(mirrors[h]);
       ops[h].push_back(std::move(op));
     }

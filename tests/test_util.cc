@@ -1,5 +1,7 @@
 #include "test_util.h"
 
+#include <string>
+
 #include "common/rng.h"
 
 namespace dbim::testing {
@@ -25,6 +27,45 @@ Database MakeRandomDatabase(std::shared_ptr<const Schema> schema,
     db.Insert(Fact(relation, std::move(values)));
   }
   return db;
+}
+
+ScriptedWorkload::ScriptedWorkload(uint64_t seed,
+                                   ScriptedWorkloadOptions options)
+    : rng_(seed),
+      options_(options),
+      churn_counter_(options.churn_start) {}
+
+RepairOperation ScriptedWorkload::Next(const Database& db) {
+  return Next(db, options_.churn);
+}
+
+RepairOperation ScriptedWorkload::Next(const Database& db, bool churn) {
+  const std::vector<FactId> ids = db.ids();
+  auto draw = [&]() -> Value {
+    if (churn) {
+      return Value("churn_" + std::to_string(churn_counter_++));
+    }
+    return Value(rng_.UniformInt(0, options_.domain - 1));
+  };
+  const size_t arity = db.schema().relation(options_.relation).arity();
+  const size_t kind = ids.empty() ? 1 : rng_.UniformIndex(4);
+  if (kind == 0) {
+    return RepairOperation::Deletion(ids[rng_.UniformIndex(ids.size())]);
+  }
+  if (kind == 1) {
+    std::vector<Value> values;
+    values.reserve(arity);
+    for (size_t a = 0; a < arity; ++a) values.push_back(draw());
+    return RepairOperation::Insertion(
+        Fact(options_.relation, std::move(values)));
+  }
+  if (kind == 2) {  // duplicate an existing fact (distinct id, equal cells)
+    return RepairOperation::Insertion(
+        db.fact(ids[rng_.UniformIndex(ids.size())]));
+  }
+  const FactId id = ids[rng_.UniformIndex(ids.size())];
+  const AttrIndex attr = static_cast<AttrIndex>(rng_.UniformIndex(arity));
+  return RepairOperation::Update(id, attr, draw());
 }
 
 }  // namespace dbim::testing

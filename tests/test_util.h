@@ -1,13 +1,16 @@
 #ifndef DBIM_TESTS_TEST_UTIL_H_
 #define DBIM_TESTS_TEST_UTIL_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/rng.h"
 #include "constraints/dc.h"
 #include "constraints/fd.h"
 #include "datagen/running_example.h"
 #include "relational/database.h"
+#include "relational/operations.h"
 #include "relational/schema.h"
 
 namespace dbim::testing {
@@ -24,6 +27,42 @@ Database MakeRandomDatabase(std::shared_ptr<const Schema> schema,
 
 /// Schema with a single relation R(A,B,C).
 std::shared_ptr<const Schema> MakeAbcSchema();
+
+struct ScriptedWorkloadOptions {
+  RelationId relation = 0;
+  /// Integer draws come from [0, domain).
+  int64_t domain = 6;
+  /// Default draw mode for Next(db): churn draws mint a fresh
+  /// "churn_<n>" string per cell, so the shared value pool accumulates
+  /// dead entries (the vacuum trigger the session tests lean on).
+  bool churn = false;
+  /// First value of the churn counter (lets concurrent handles mint
+  /// disjoint string ranges).
+  int64_t churn_start = 0;
+};
+
+/// The repo's one randomized mutation script: delete / fresh insert /
+/// duplicate insert (distinct id, equal cells) / single-attribute update,
+/// uniformly once any fact is live, insert-only before that. Deterministic
+/// in the seed. Shared by the session parity fuzz, the watched-dispatch
+/// lockstep sweeps, and the service wire-mirror tests, so every layer is
+/// exercised by the same trajectory distribution.
+class ScriptedWorkload {
+ public:
+  explicit ScriptedWorkload(uint64_t seed,
+                            ScriptedWorkloadOptions options = {});
+
+  /// The next operation, valid against `db` (ids are drawn from db.ids()).
+  RepairOperation Next(const Database& db);
+
+  /// Same, overriding the default churn mode for this draw.
+  RepairOperation Next(const Database& db, bool churn);
+
+ private:
+  Rng rng_;
+  ScriptedWorkloadOptions options_;
+  int64_t churn_counter_;
+};
 
 }  // namespace dbim::testing
 

@@ -52,30 +52,16 @@ DenialConstraint ChainDc3() {
   return DenialConstraint(std::vector<RelationId>(3, 0), std::move(preds));
 }
 
-// A random repairing operation over relation 0 (mirrors the session fuzz
-// generator: delete / fresh insert / duplicate insert / update).
-RepairOperation RandomOp(const Database& db, Rng& rng, int64_t domain) {
-  const std::vector<FactId> ids = db.ids();
-  auto draw = [&] { return Value(rng.UniformInt(0, domain - 1)); };
-  const size_t kind = ids.empty() ? 1 : rng.UniformIndex(4);
-  if (kind == 0) {
-    return RepairOperation::Deletion(ids[rng.UniformIndex(ids.size())]);
-  }
-  if (kind == 1) {
-    std::vector<Value> values;
-    for (size_t a = 0; a < db.schema().relation(0).arity(); ++a) {
-      values.push_back(draw());
-    }
-    return RepairOperation::Insertion(Fact(0, std::move(values)));
-  }
-  if (kind == 2) {
-    return RepairOperation::Insertion(
-        db.fact(ids[rng.UniformIndex(ids.size())]));
-  }
-  const FactId id = ids[rng.UniformIndex(ids.size())];
-  const AttrIndex attr = static_cast<AttrIndex>(
-      rng.UniformIndex(db.schema().relation(0).arity()));
-  return RepairOperation::Update(id, attr, draw());
+// The random mutation script is tests/test_util.h's ScriptedWorkload — the
+// same delete / fresh insert / duplicate insert / update distribution the
+// session fuzz and the service wire tests replay.
+using testing::ScriptedWorkload;
+using testing::ScriptedWorkloadOptions;
+
+ScriptedWorkloadOptions WorkloadDomain(int64_t domain) {
+  ScriptedWorkloadOptions options;
+  options.domain = domain;
+  return options;
 }
 
 // Drives a watched and an unwatched index through one random trajectory in
@@ -93,10 +79,10 @@ void RunLockstepSweep(std::shared_ptr<const Schema> schema,
   IncrementalViolationIndex unwatched(schema, dcs, start, {}, Unwatched());
   EXPECT_EQ(unwatched.NumWatchedKeys(), 0u);
 
-  Rng rng(seed * 17 + 3);
+  ScriptedWorkload workload(seed * 17 + 3, WorkloadDomain(3));
   for (int step = 0; step <= steps; ++step) {
     if (step > 0) {
-      const RepairOperation op = RandomOp(watched.db(), rng, 3);
+      const RepairOperation op = workload.Next(watched.db());
       watched.Apply(op);
       unwatched.Apply(op);
     }
@@ -197,9 +183,9 @@ TEST(WatchedDispatch, ConstraintStatsAccumulate) {
   const Database start = MakeRandomDatabase(schema, 0, 18, 2, 91);
   IncrementalViolationIndex index(schema, dcs, start, {},
                                   IncrementalOptions{});
-  Rng rng(92);
+  ScriptedWorkload workload(92, WorkloadDomain(2));
   for (int step = 0; step < 20; ++step) {
-    index.Apply(RandomOp(index.db(), rng, 2));
+    index.Apply(workload.Next(index.db()));
   }
   uint64_t total_fires = 0;
   for (size_t c = 0; c < dcs.size(); ++c) {
@@ -245,9 +231,9 @@ TEST(WatchedDispatch, SessionMeasureParity) {
   const DbHandle wh = watched.Register(start);
   const DbHandle uh = unwatched.Register(start);
   Database mirror = start;
-  Rng rng(132);
+  ScriptedWorkload workload(132, WorkloadDomain(3));
   for (int step = 0; step < 24; ++step) {
-    const RepairOperation op = RandomOp(mirror, rng, 3);
+    const RepairOperation op = workload.Next(mirror);
     watched.Apply(wh, op);
     unwatched.Apply(uh, op);
     op.ApplyInPlace(mirror);
@@ -295,9 +281,9 @@ TEST(WatchedDispatchConcurrency, ConcurrentWatchedHandlesMatchSequential) {
   std::vector<std::vector<RepairOperation>> ops(kHandles);
   for (size_t h = 0; h < kHandles; ++h) {
     mirrors.push_back(MakeRandomDatabase(schema, 0, 18 + 4 * h, 3, 500 + h));
-    Rng rng(600 + h);
+    ScriptedWorkload workload(600 + h, WorkloadDomain(4));
     for (size_t i = 0; i < kOpsPerHandle; ++i) {
-      RepairOperation op = RandomOp(mirrors[h], rng, 4);
+      RepairOperation op = workload.Next(mirrors[h]);
       op.ApplyInPlace(mirrors[h]);
       ops[h].push_back(std::move(op));
     }

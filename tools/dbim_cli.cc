@@ -3,8 +3,8 @@
 // Usage:
 //   dbim_cli --spec=constraints.dcs --data=facts.csv
 //            [--measures=I_d,I_MI,I_P,I_R,I_lin_R] [--mc] [--threads=N]
-//            [--parallel-measures] [--stats] [--shapley=N] [--repair]
-//            [--export=clean.csv]
+//            [--parallel-measures] [--stats] [--json] [--shapley=N]
+//            [--repair] [--export=clean.csv]
 //
 // The spec file declares one relation and its denial constraints:
 //
@@ -22,95 +22,22 @@
 // with --export the repaired database is written back as CSV.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/string_util.h"
-#include "constraints/parser.h"
+#include "common/table_printer.h"
 #include "datagen/io.h"
 #include "measures/repair_measures.h"
 #include "measures/session.h"
 #include "measures/shapley.h"
+#include "service/spec.h"
 #include "violations/detector.h"
 
 namespace {
 
 using namespace dbim;
-
-struct Spec {
-  std::shared_ptr<Schema> schema;
-  RelationId relation = 0;
-  std::vector<DenialConstraint> constraints;
-};
-
-// Parses "relation Name(Attr1, Attr2, ...)".
-bool ParseRelationLine(const std::string& line, Spec* spec,
-                       std::string* error) {
-  const size_t open = line.find('(');
-  const size_t close = line.rfind(')');
-  if (open == std::string::npos || close == std::string::npos ||
-      close < open) {
-    *error = "malformed relation declaration: " + line;
-    return false;
-  }
-  const std::string name(
-      Trim(line.substr(strlen("relation"), open - strlen("relation"))));
-  std::vector<std::string> attributes;
-  for (const std::string& piece :
-       Split(line.substr(open + 1, close - open - 1), ',')) {
-    attributes.emplace_back(Trim(piece));
-  }
-  if (name.empty() || attributes.empty()) {
-    *error = "relation needs a name and attributes: " + line;
-    return false;
-  }
-  spec->schema = std::make_shared<Schema>();
-  spec->relation = spec->schema->AddRelation(name, attributes);
-  return true;
-}
-
-bool LoadSpec(const std::string& path, Spec* spec, std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    *error = "cannot open spec file " + path;
-    return false;
-  }
-  std::string line;
-  size_t line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    const std::string trimmed(Trim(line));
-    if (trimmed.empty() || trimmed[0] == '#') continue;
-    if (StartsWith(trimmed, "relation")) {
-      if (!ParseRelationLine(trimmed, spec, error)) return false;
-      continue;
-    }
-    if (spec->schema == nullptr) {
-      *error = StrFormat("line %zu: constraint before relation declaration",
-                         line_number);
-      return false;
-    }
-    std::string parse_error;
-    auto dc = ParseDc(*spec->schema, spec->relation, trimmed, &parse_error);
-    if (!dc) {
-      *error = StrFormat("line %zu: %s", line_number, parse_error.c_str());
-      return false;
-    }
-    spec->constraints.push_back(std::move(*dc));
-  }
-  if (spec->schema == nullptr) {
-    *error = "spec has no relation declaration";
-    return false;
-  }
-  if (spec->constraints.empty()) {
-    *error = "spec has no constraints";
-    return false;
-  }
-  return true;
-}
 
 std::string FlagValue(int argc, char** argv, const char* name) {
   const std::string prefix = std::string("--") + name + "=";
@@ -138,6 +65,8 @@ int Usage() {
       "  --stats      print per-constraint probe/fire counters from the\n"
       "               detection pass plus the incremental index's watched-\n"
       "               key footprint\n"
+      "  --json       with --stats, emit the table as JSON (the same\n"
+      "               TablePrinter::ToJson form dbimd's STATS verb uses)\n"
       "  --threads=N  detection worker threads (default 1, 0 = hardware);\n"
       "               results are identical for every thread count\n"
       "  --parallel-measures  evaluate the selected measures concurrently\n"
@@ -152,9 +81,9 @@ int main(int argc, char** argv) {
   const std::string data_path = FlagValue(argc, argv, "data");
   if (spec_path.empty() || data_path.empty()) return Usage();
 
-  Spec spec;
+  ServiceSpec spec;
   std::string error;
-  if (!LoadSpec(spec_path, &spec, &error)) {
+  if (!LoadSpecFile(spec_path, &spec, &error)) {
     std::fprintf(stderr, "spec error: %s\n", error.c_str());
     return 1;
   }
@@ -205,14 +134,18 @@ int main(int argc, char** argv) {
     const DbHandle handle = session.Register(*db);
     const std::vector<SessionConstraintStats> stats =
         session.ConstraintStats(handle);
-    std::printf("per-constraint stats:\n");
+    TablePrinter table({"constraint", "probes", "fires", "watchers"});
     for (size_t c = 0; c < stats.size(); ++c) {
       const DetectorConstraintStats pass =
           session.detector().constraint_stats(c);
-      std::printf("  probes %-10llu fires %-10llu watchers %-6zu %s\n",
-                  static_cast<unsigned long long>(pass.num_probes),
-                  static_cast<unsigned long long>(pass.num_fires),
-                  stats[c].watcher_count, stats[c].constraint.c_str());
+      table.AddRow({stats[c].constraint, std::to_string(pass.num_probes),
+                    std::to_string(pass.num_fires),
+                    std::to_string(stats[c].watcher_count)});
+    }
+    if (HasFlag(argc, argv, "json")) {
+      std::printf("%s\n", table.ToJson("constraint_stats").c_str());
+    } else {
+      std::printf("per-constraint stats:\n%s", table.ToText().c_str());
     }
     session.Unregister(handle);
   }

@@ -1,0 +1,180 @@
+// dbim_loadgen — traffic driver for a running dbimd.
+//
+// Usage:
+//   dbim_loadgen --port=7411 [--host=127.0.0.1] [--clients=4]
+//                [--sessions=2] [--ops=1000] [--pipeline=16]
+//                [--evaluate-every=8] [--seed=7] [--json] [--stats]
+//
+// Spawns `--clients` threads, each with its own connection, driving the
+// shared mixed Apply/Evaluate workload (src/service/workload.h) against
+// `--sessions` named sessions assigned round-robin — so with clients=4
+// sessions=2, two connections contend on each session and the server's
+// per-session FIFO + round-robin ring are what keep the traffic fair.
+// Prints per-client ops/s with p50/p99 latency; --json emits the same
+// table as JSON, --stats appends each session's constraint-stats JSON.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "service/client.h"
+#include "service/workload.h"
+
+namespace {
+
+using namespace dbim;
+
+std::string FlagValue(int argc, char** argv, const char* name,
+                      const char* fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (StartsWith(argv[i], prefix)) return argv[i] + prefix.size();
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+/// Connects with retries so the generator can be launched right after the
+/// daemon (the CI smoke test does) without racing its listen().
+bool ConnectWithRetry(ServiceClient* client, const std::string& host,
+                      uint16_t port, std::string* error) {
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    if (client->Connect(host, port, error)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return false;
+}
+
+struct ClientOutcome {
+  bool ok = false;
+  std::string error;
+  ServiceWorkloadResult result;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string host = FlagValue(argc, argv, "host", "127.0.0.1");
+  const uint16_t port = static_cast<uint16_t>(
+      std::strtoul(FlagValue(argc, argv, "port", "7411").c_str(), nullptr,
+                   10));
+  const size_t num_clients = std::strtoull(
+      FlagValue(argc, argv, "clients", "4").c_str(), nullptr, 10);
+  const size_t num_sessions = std::strtoull(
+      FlagValue(argc, argv, "sessions", "2").c_str(), nullptr, 10);
+  const size_t num_ops = std::strtoull(
+      FlagValue(argc, argv, "ops", "1000").c_str(), nullptr, 10);
+  const uint64_t seed = std::strtoull(
+      FlagValue(argc, argv, "seed", "7").c_str(), nullptr, 10);
+  ServiceWorkloadOptions workload;
+  workload.pipeline_depth = std::strtoull(
+      FlagValue(argc, argv, "pipeline", "16").c_str(), nullptr, 10);
+  workload.evaluate_every = std::strtoull(
+      FlagValue(argc, argv, "evaluate-every", "8").c_str(), nullptr, 10);
+  if (num_clients == 0 || num_sessions == 0) {
+    std::fprintf(stderr, "need --clients and --sessions >= 1\n");
+    return 2;
+  }
+
+  // One setup connection: learn the arity, register every session.
+  {
+    ServiceClient setup;
+    std::string error;
+    if (!ConnectWithRetry(&setup, host, port, &error)) {
+      std::fprintf(stderr, "connect: %s\n", error.c_str());
+      return 1;
+    }
+    std::string relation;
+    std::vector<std::string> attributes;
+    if (!setup.Schema(&relation, &attributes, &error)) {
+      std::fprintf(stderr, "SCHEMA: %s\n", error.c_str());
+      return 1;
+    }
+    workload.arity = attributes.size();
+    for (size_t s = 0; s < num_sessions; ++s) {
+      const std::string name = "load" + std::to_string(s);
+      if (!setup.Register(name, &error) &&
+          error.find("EXISTS") == std::string::npos) {
+        std::fprintf(stderr, "REGISTER %s: %s\n", name.c_str(),
+                     error.c_str());
+        return 1;
+      }
+    }
+  }
+
+  std::vector<ClientOutcome> outcomes(num_clients);
+  std::vector<std::thread> threads;
+  threads.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    threads.emplace_back([&, c]() {
+      ClientOutcome& out = outcomes[c];
+      ServiceClient client;
+      if (!client.Connect(host, port, &out.error)) return;
+      const std::string session = "load" + std::to_string(c % num_sessions);
+      Timer timer;
+      out.ok = RunServiceWorkload(client, session, num_ops, seed + c,
+                                  workload, &out.result, &out.error);
+      out.seconds = timer.Seconds();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  bool all_ok = true;
+  TablePrinter table({"client", "session", "ops", "busy", "evals", "ops/s",
+                      "p50 (ms)", "p99 (ms)"});
+  for (size_t c = 0; c < num_clients; ++c) {
+    const ClientOutcome& out = outcomes[c];
+    if (!out.ok) {
+      all_ok = false;
+      std::fprintf(stderr, "client %zu: %s\n", c, out.error.c_str());
+      continue;
+    }
+    const ServiceWorkloadResult& r = out.result;
+    const double ops_per_sec =
+        out.seconds > 0.0 ? static_cast<double>(num_ops) / out.seconds : 0.0;
+    table.AddRow({std::to_string(c), "load" + std::to_string(c % num_sessions),
+                  std::to_string(r.num_ok), std::to_string(r.num_busy),
+                  std::to_string(r.num_evaluates),
+                  TablePrinter::Num(ops_per_sec, 1),
+                  TablePrinter::Num(LatencyPercentile(r.latencies_ms, 50), 3),
+                  TablePrinter::Num(LatencyPercentile(r.latencies_ms, 99),
+                                    3)});
+  }
+  if (HasFlag(argc, argv, "json")) {
+    std::printf("%s\n", table.ToJson("loadgen").c_str());
+  } else {
+    std::printf("%s", table.ToText().c_str());
+  }
+
+  if (HasFlag(argc, argv, "stats")) {
+    ServiceClient stats_client;
+    std::string error;
+    if (!stats_client.Connect(host, port, &error)) {
+      std::fprintf(stderr, "stats connect: %s\n", error.c_str());
+      return 1;
+    }
+    for (size_t s = 0; s < num_sessions; ++s) {
+      std::string json;
+      const std::string name = "load" + std::to_string(s);
+      if (!stats_client.Stats(name, &json, &error)) {
+        std::fprintf(stderr, "STATS %s: %s\n", name.c_str(), error.c_str());
+        return 1;
+      }
+      std::printf("%s\n", json.c_str());
+    }
+  }
+  return all_ok ? 0 : 1;
+}

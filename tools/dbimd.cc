@@ -1,0 +1,136 @@
+// dbimd — the measure-service daemon: MeasureSession over the wire.
+//
+// Usage:
+//   dbimd --spec=constraints.dcs [--port=7411] [--workers=4] [--queue=256]
+//         [--threads=N] [--measures=I_d,I_MI,...] [--mc]
+//   dbimd --example [--port=7411] ...
+//
+// Hosts one MeasureSession (the spec's relation + denial constraints, one
+// shared ValuePool) and serves the line protocol of src/service/protocol.h
+// on 127.0.0.1: clients REGISTER named sessions, APPLY insert/delete/update
+// operations (violations are maintained incrementally per operation), and
+// EVALUATE measures at any point; concurrent connections are multiplexed
+// through bounded per-session work queues with round-robin fairness. See
+// README "Service" and tools/dbim_loadgen.cc for a traffic driver.
+//
+// --example serves the paper's running-example schema and FDs (no spec
+// file needed — what the CI smoke test and loadgen examples use).
+#include <csignal>
+#include <cstdio>
+#include <ctime>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/string_util.h"
+#include "service/server.h"
+#include "service/spec.h"
+
+namespace {
+
+using namespace dbim;
+
+std::string FlagValue(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (StartsWith(argv[i], prefix)) return argv[i] + prefix.size();
+  }
+  return "";
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dbimd --spec=constraints.dcs | --example\n"
+      "             [--port=7411] [--workers=4] [--queue=256]\n"
+      "             [--threads=N] [--measures=I_d,I_MI,...] [--mc]\n"
+      "  --port=N     listen port on 127.0.0.1 (0 = ephemeral; the bound\n"
+      "               port is printed on stdout)\n"
+      "  --workers=N  worker threads draining session queues\n"
+      "  --queue=N    per-session admission bound (full => ERR BUSY)\n"
+      "  --threads=N  detection worker threads per evaluation\n");
+  return 2;
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string spec_path = FlagValue(argc, argv, "spec");
+  const bool example = HasFlag(argc, argv, "example");
+  if (spec_path.empty() == !example) return Usage();
+
+  ServiceSpec spec;
+  if (example) {
+    spec = ExampleSpec();
+  } else {
+    std::string error;
+    if (!LoadSpecFile(spec_path, &spec, &error)) {
+      std::fprintf(stderr, "spec error: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  ServiceOptions options;
+  options.port = 7411;
+  const std::string port_flag = FlagValue(argc, argv, "port");
+  if (!port_flag.empty()) {
+    options.port =
+        static_cast<uint16_t>(std::strtoul(port_flag.c_str(), nullptr, 10));
+  }
+  const std::string workers_flag = FlagValue(argc, argv, "workers");
+  if (!workers_flag.empty()) {
+    options.num_workers = std::strtoull(workers_flag.c_str(), nullptr, 10);
+  }
+  const std::string queue_flag = FlagValue(argc, argv, "queue");
+  if (!queue_flag.empty()) {
+    options.queue_capacity = std::strtoull(queue_flag.c_str(), nullptr, 10);
+  }
+  const std::string threads_flag = FlagValue(argc, argv, "threads");
+  if (!threads_flag.empty()) {
+    options.session.engine.detector.num_threads =
+        std::strtoull(threads_flag.c_str(), nullptr, 10);
+  }
+  options.session.engine.registry.include_mc = HasFlag(argc, argv, "mc");
+  for (const std::string& name :
+       Split(FlagValue(argc, argv, "measures"), ',')) {
+    if (!name.empty()) options.session.engine.only.push_back(name);
+  }
+
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  ServiceServer server(spec.schema, spec.relation, spec.constraints,
+                       options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "start error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("dbimd listening on 127.0.0.1:%u (%s, %zu constraints)\n",
+              server.port(),
+              spec.schema->relation(spec.relation).name().c_str(),
+              spec.constraints.size());
+  std::fflush(stdout);
+
+  while (!g_stop) {
+    struct timespec ts {0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  server.Stop();
+  std::printf("dbimd stopped: %zu connections, %zu requests, %zu rejected\n",
+              server.num_connections_accepted(), server.num_requests(),
+              server.num_rejected());
+  return 0;
+}
