@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <utility>
 
@@ -47,6 +48,7 @@ struct ServiceServer::Connection {
     while (off < line.size()) {
       const ssize_t n =
           ::send(fd, line.data() + off, line.size() - off, kSendFlags);
+      if (n < 0 && errno == EINTR) continue;  // dbimd traps SIGINT/SIGTERM
       if (n <= 0) {
         closed.store(true, std::memory_order_release);
         return;
@@ -148,7 +150,11 @@ void ServiceServer::Stop() {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (const auto& conn : conns_) conn->ShutdownBoth();
   }
-  for (std::thread& t : readers_) {
+  // The accept thread is joined, so readers_ gains no entries; reader
+  // threads only touch finished_readers_ on exit, never the map itself —
+  // iterating without conns_mu_ is safe (and joining under it would
+  // deadlock against an exiting reader's final bookkeeping).
+  for (auto& [id, t] : readers_) {
     if (t.joinable()) t.join();
   }
   {
@@ -161,6 +167,7 @@ void ServiceServer::Stop() {
   }
   workers_.clear();
   readers_.clear();
+  finished_readers_.clear();
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.clear();
@@ -193,15 +200,30 @@ void ServiceServer::AcceptLoop() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_shared<Connection>(fd);
     num_connections_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::thread> done;
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       conns_.push_back(conn);
-      readers_.emplace_back([this, conn] { ReaderLoop(conn); });
+      const uint64_t id = next_reader_id_++;
+      readers_.emplace(
+          id, std::thread([this, id, conn] { ReaderLoop(id, conn); }));
+      for (const uint64_t finished : finished_readers_) {
+        auto it = readers_.find(finished);
+        if (it != readers_.end()) {
+          done.push_back(std::move(it->second));
+          readers_.erase(it);
+        }
+      }
+      finished_readers_.clear();
     }
+    // Join outside the lock: an exiting reader's last act is to record its
+    // id under conns_mu_, so joining while holding it could deadlock.
+    for (std::thread& t : done) t.join();
   }
 }
 
-void ServiceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+void ServiceServer::ReaderLoop(uint64_t reader_id,
+                               std::shared_ptr<Connection> conn) {
   LineBuffer buffer(options_.max_line_bytes);
   char chunk[4096];
   std::vector<std::string> lines;
@@ -223,6 +245,7 @@ void ServiceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
   conn->ShutdownBoth();
   std::lock_guard<std::mutex> lock(conns_mu_);
   conns_.erase(std::remove(conns_.begin(), conns_.end(), conn), conns_.end());
+  finished_readers_.push_back(reader_id);
 }
 
 void ServiceServer::HandleLine(const std::shared_ptr<Connection>& conn,
@@ -318,33 +341,40 @@ void ServiceServer::ExecuteInline(const std::shared_ptr<Connection>& conn,
     case Verb::kEvaluateAll: {
       // Holds the scheduler lock across the batch so no tenant can be
       // unregistered (and its handle freed) underneath the fan-out. New
-      // admissions stall for the duration — EVALUATE_ALL is an admin
-      // verb, not a fast-path one.
-      std::lock_guard<std::mutex> lock(sched_mu_);
-      std::vector<std::pair<std::string, DbHandle>> targets;
-      targets.reserve(tenants_.size());
-      for (const auto& [name, tenant] : tenants_) {
-        if (!tenant->dead) targets.emplace_back(name, tenant->handle);
-      }
-      std::sort(targets.begin(), targets.end());
-      std::vector<DbHandle> handles;
-      handles.reserve(targets.size());
-      for (const auto& [name, handle] : targets) handles.push_back(handle);
-      const std::vector<BatchReport> reports = session_.EvaluateAll(handles);
-      for (size_t i = 0; i < targets.size(); ++i) {
-        std::vector<std::string> args;
-        args.push_back(EncodeToken(targets[i].first));
-        args.push_back(std::to_string(session_.NumFacts(handles[i])));
-        args.push_back(std::to_string(reports[i].num_minimal_subsets));
-        args.push_back(reports[i].truncated ? "1" : "0");
-        for (const MeasureResult& m : reports[i].measures) {
-          args.push_back(EncodeToken(m.name));
-          args.push_back(FormatDouble(m.value));
+      // admissions stall for the evaluation only — every reply is
+      // formatted under the lock but SENT after it drops, so a client
+      // that stops reading blocks its own reader thread, never sched_mu_.
+      std::vector<Response> responses;
+      {
+        std::lock_guard<std::mutex> lock(sched_mu_);
+        std::vector<std::pair<std::string, DbHandle>> targets;
+        targets.reserve(tenants_.size());
+        for (const auto& [name, tenant] : tenants_) {
+          if (!tenant->dead) targets.emplace_back(name, tenant->handle);
         }
-        conn->Send(Response::Item(request.tag, std::move(args)));
+        std::sort(targets.begin(), targets.end());
+        std::vector<DbHandle> handles;
+        handles.reserve(targets.size());
+        for (const auto& [name, handle] : targets) handles.push_back(handle);
+        const std::vector<BatchReport> reports =
+            session_.EvaluateAll(handles);
+        responses.reserve(targets.size() + 1);
+        for (size_t i = 0; i < targets.size(); ++i) {
+          std::vector<std::string> args;
+          args.push_back(EncodeToken(targets[i].first));
+          args.push_back(std::to_string(session_.NumFacts(handles[i])));
+          args.push_back(std::to_string(reports[i].num_minimal_subsets));
+          args.push_back(reports[i].truncated ? "1" : "0");
+          for (const MeasureResult& m : reports[i].measures) {
+            args.push_back(EncodeToken(m.name));
+            args.push_back(FormatDouble(m.value));
+          }
+          responses.push_back(Response::Item(request.tag, std::move(args)));
+        }
+        responses.push_back(
+            Response::Ok(request.tag, {std::to_string(targets.size())}));
       }
-      conn->Send(
-          Response::Ok(request.tag, {std::to_string(targets.size())}));
+      for (const Response& response : responses) conn->Send(response);
       return;
     }
     default:
@@ -437,15 +467,25 @@ void ServiceServer::ExecuteQueued(const std::shared_ptr<Tenant>& tenant,
       return;
     }
     case Verb::kUnregister: {
-      session_.Unregister(tenant->handle);
+      // Retire the tenant from the registry FIRST, under sched_mu_, and only
+      // then free the MeasureSession handle. EVALUATE_ALL snapshots live
+      // handles and evaluates them under the same lock, so marking the
+      // tenant dead before Unregister guarantees it can never hand a freed
+      // handle to the session (which would DBIM_CHECK-abort the daemon).
       std::deque<PendingOp> orphaned;
+      std::function<void()> hook;
       {
         std::lock_guard<std::mutex> lock(sched_mu_);
         tenant->dead = true;
         orphaned.swap(tenant->queue);
         auto it = tenants_.find(tenant->name);
         if (it != tenants_.end() && it->second == tenant) tenants_.erase(it);
+        hook = unregister_hook_;
       }
+      // Test hook: holds this worker inside the retired-but-not-yet-freed
+      // window so tests can prove EVALUATE_ALL no longer sees the tenant.
+      if (hook) hook();
+      session_.Unregister(tenant->handle);
       // Operations admitted behind the unregister lose their session.
       for (const PendingOp& orphan : orphaned) {
         orphan.conn->Send(Response::Error(orphan.request.tag, "NO_SESSION",

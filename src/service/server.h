@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -112,13 +113,33 @@ class ServiceServer {
     return num_rejected_.load(std::memory_order_relaxed);
   }
 
+  /// Reader threads currently tracked (live ones plus finished ones not
+  /// yet reaped by the accept loop). Test hook for the reaping guarantee:
+  /// under connection churn this returns to O(live connections), not the
+  /// total number of connections ever accepted.
+  size_t num_tracked_readers() {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    return readers_.size();
+  }
+
+  /// Test hook: invoked by the worker executing UNREGISTER after the
+  /// tenant is retired from the registry (dead + erased, under sched_mu_)
+  /// but BEFORE its MeasureSession handle is freed. Lets a test hold the
+  /// worker inside that window and assert EVALUATE_ALL can no longer
+  /// observe the tenant — the ordering that keeps a freed handle from ever
+  /// reaching the session. Set it before issuing the UNREGISTER.
+  void SetUnregisterHookForTest(std::function<void()> hook) {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    unregister_hook_ = std::move(hook);
+  }
+
  private:
   struct Connection;
   struct Tenant;
   struct PendingOp;
 
   void AcceptLoop();
-  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void ReaderLoop(uint64_t reader_id, std::shared_ptr<Connection> conn);
   void WorkerLoop();
   void HandleLine(const std::shared_ptr<Connection>& conn,
                   const std::string& line);
@@ -145,13 +166,21 @@ class ServiceServer {
   std::unordered_map<std::string, std::shared_ptr<Tenant>> tenants_;
   std::deque<std::shared_ptr<Tenant>> ring_;
   bool paused_ = false;
+  std::function<void()> unregister_hook_;  // test-only, see setter
 
+  // Connection registry and reader-thread bookkeeping, under conns_mu_.
+  // A reader that exits records its id in finished_readers_; the accept
+  // loop joins those threads on the next accept (and Stop joins the rest),
+  // so a long-running daemon with connection churn does not accumulate
+  // terminated-but-joinable thread stacks.
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;
+  std::unordered_map<uint64_t, std::thread> readers_;
+  std::vector<uint64_t> finished_readers_;
+  uint64_t next_reader_id_ = 0;
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
-  std::vector<std::thread> readers_;
 
   std::atomic<size_t> num_connections_{0};
   std::atomic<size_t> num_requests_{0};

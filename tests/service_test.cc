@@ -12,6 +12,7 @@
 // must stay TSan-clean.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -477,6 +478,161 @@ TEST(ServiceScheduling, RoundRobinRingPreventsStarvation) {
   EXPECT_EQ(reply_order, expected)
       << "cold tenant did not run after exactly one hot op";
   client.Close();
+  ts.server->Stop();
+}
+
+// Regression: UNREGISTER must retire the tenant from the registry under
+// the scheduler lock BEFORE freeing its MeasureSession handle. With the
+// old order (free first, mark dead second) a concurrent EVALUATE_ALL could
+// snapshot the freed handle in the window between the two steps and abort
+// the whole daemon on the session's liveness check. Churn
+// register/apply/unregister rounds on one connection while a second
+// connection hammers EVALUATE_ALL: the server must survive every
+// interleaving and each batch must still cover the stable session.
+TEST(ServiceConcurrency, EvaluateAllRacesUnregisterSafely) {
+  ServiceOptions options = TestServer::MakeDefaultOptions();
+  options.num_workers = 2;
+  TestServer ts(options);
+
+  std::atomic<bool> done{false};
+  std::string churn_error;
+  std::atomic<bool> churn_ok{true};
+  std::thread churner([&] {
+    ServiceClient client;
+    if (!client.Connect("127.0.0.1", ts.port(), &churn_error)) {
+      churn_ok = false;
+      done = true;
+      return;
+    }
+    for (int round = 0; round < 150 && churn_ok; ++round) {
+      const std::string name = "churn" + std::to_string(round % 4);
+      FactId id = 0;
+      if (!client.Register(name, &churn_error) ||
+          !client.ApplyInsert(name, {Value(round), Value(1), Value(2)}, &id,
+                              &churn_error) ||
+          !client.ApplyInsert(name, {Value(round), Value(9), Value(2)}, &id,
+                              &churn_error) ||
+          !client.Unregister(name, &churn_error)) {
+        churn_ok = false;
+      }
+    }
+    client.Close();
+    done = true;
+  });
+
+  ServiceClient watcher;
+  std::string error;
+  ASSERT_TRUE(watcher.Connect("127.0.0.1", ts.port(), &error)) << error;
+  ASSERT_TRUE(watcher.Register("stable", &error)) << error;
+  FactId id = 0;
+  ASSERT_TRUE(watcher.ApplyInsert("stable", {Value(7), Value(7), Value(7)},
+                                  &id, &error))
+      << error;
+  size_t batches = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    std::vector<std::pair<std::string, WireReport>> reports;
+    ASSERT_TRUE(watcher.EvaluateAll(&reports, &error)) << error;
+    ++batches;
+    bool saw_stable = false;
+    for (const auto& [name, report] : reports) {
+      saw_stable |= (name == "stable");
+    }
+    EXPECT_TRUE(saw_stable);
+  }
+  churner.join();
+  EXPECT_TRUE(churn_ok.load()) << churn_error;
+  EXPECT_GT(batches, 0u);
+  ASSERT_TRUE(watcher.Ping(&error)) << error;  // the daemon survived
+  watcher.Close();
+  ts.server->Stop();
+}
+
+// Deterministic pin of the same ordering: park the worker inside the
+// retired-but-not-yet-freed window (via the unregister test hook) and run
+// EVALUATE_ALL from a second connection. Because UNREGISTER retires the
+// tenant from the registry before freeing its handle, the batch must
+// complete without the victim. Under the old order the handle would
+// already be freed at the hook point while the tenant was still live in
+// the registry, and this exact EVALUATE_ALL would abort the daemon.
+TEST(ServiceConcurrency, EvaluateAllCannotSeeTenantBeingUnregistered) {
+  TestServer ts;
+  std::string error;
+  ServiceClient issuer;
+  ASSERT_TRUE(issuer.Connect("127.0.0.1", ts.port(), &error)) << error;
+  ASSERT_TRUE(issuer.Register("victim", &error)) << error;
+  ASSERT_TRUE(issuer.Register("stable", &error)) << error;
+  FactId id = 0;
+  ASSERT_TRUE(issuer.ApplyInsert("victim", {Value(1), Value(2), Value(3)},
+                                 &id, &error))
+      << error;
+
+  std::atomic<bool> in_window{false};
+  std::atomic<bool> release{false};
+  ts.server->SetUnregisterHookForTest([&] {
+    in_window.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  const std::string unreg_tag =
+      issuer.Issue(Request::MakeUnregister("victim"), &error);
+  ASSERT_FALSE(unreg_tag.empty()) << error;
+  while (!in_window.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ServiceClient prober;
+  ASSERT_TRUE(prober.Connect("127.0.0.1", ts.port(), &error)) << error;
+  std::vector<std::pair<std::string, WireReport>> reports;
+  ASSERT_TRUE(prober.EvaluateAll(&reports, &error)) << error;
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].first, "stable");
+
+  release.store(true, std::memory_order_release);
+  AwaitedResponse unreg;
+  ASSERT_TRUE(issuer.Await(unreg_tag, &unreg, &error)) << error;
+  EXPECT_TRUE(unreg.ok());
+  ts.server->SetUnregisterHookForTest(nullptr);
+  issuer.Close();
+  prober.Close();
+  ts.server->Stop();
+}
+
+// ----------------------------------------------------- reader-thread reap --
+
+// Connection churn must not accumulate terminated-but-joinable reader
+// threads (and their stacks) until shutdown: finished readers are joined
+// by the accept loop, so after 40 connect/close cycles the tracked-reader
+// count returns to O(live connections) instead of growing by 40.
+TEST(ServiceLifecycle, FinishedReaderThreadsAreReaped) {
+  TestServer ts;
+  std::string error;
+  for (int i = 0; i < 40; ++i) {
+    ServiceClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", ts.port(), &error)) << error;
+    ASSERT_TRUE(client.Ping(&error)) << error;
+    client.Close();
+  }
+
+  // Readers exit asynchronously after the close and are joined on the NEXT
+  // accept, so poll with fresh probe connections until the count settles.
+  // The bound tolerates the probe's own (live) reader plus a couple of
+  // churned readers that had not yet recorded their exit at reap time.
+  bool reaped = false;
+  size_t latest = 0;
+  for (int attempt = 0; attempt < 200 && !reaped; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ServiceClient probe;
+    ASSERT_TRUE(probe.Connect("127.0.0.1", ts.port(), &error)) << error;
+    ASSERT_TRUE(probe.Ping(&error)) << error;
+    probe.Close();
+    latest = ts.server->num_tracked_readers();
+    reaped = latest <= 4;
+  }
+  EXPECT_TRUE(reaped) << "reader threads not reclaimed: " << latest
+                      << " still tracked after churn of 40 connections";
+  EXPECT_GT(ts.server->num_connections_accepted(), 40u);
   ts.server->Stop();
 }
 
