@@ -37,11 +37,9 @@ int Run(const BenchArgs& args) {
         std::max<size_t>(noise.StepsForAlpha(dataset.data, 0.01), 10);
     const size_t step = std::max<size_t>(iterations / 10, 1);
 
-    MeasureSessionOptions session_options;
-    session_options.engine = engine;
-    session_options.auto_vacuum_threshold = 0.5;
+    engine.WithAutoVacuum(0.5);
     MeasureSession session(dataset.schema, dataset.constraints,
-                           session_options);
+                           engine);
     const DbHandle handle = session.Register(dataset.data);
     const CellUpdateFn update = [&](FactId fid, AttrIndex attr, Value v) {
       session.Apply(handle, RepairOperation::Update(fid, attr, std::move(v)));

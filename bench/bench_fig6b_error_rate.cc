@@ -45,11 +45,9 @@ int Run(const BenchArgs& args) {
   const size_t iterations = noise.StepsForAlpha(dataset.data, alpha);
   const size_t step = std::max<size_t>(iterations / 10, 1);
 
-  MeasureSessionOptions session_options;
-  session_options.engine = engine;
-  session_options.auto_vacuum_threshold = 0.5;
+      engine.WithAutoVacuum(0.5);
   MeasureSession session(dataset.schema, dataset.constraints,
-                         session_options);
+                         engine);
   const DbHandle handle = session.Register(dataset.data);
   const CellUpdateFn update = [&](FactId id, AttrIndex attr, Value v) {
     session.Apply(handle, RepairOperation::Update(id, attr, std::move(v)));

@@ -45,11 +45,11 @@ CellResult RunCell(const BenchArgs& args, size_t clients, size_t sessions,
   const ServiceSpec spec = ExampleSpec();
   ServiceOptions options;
   options.num_workers = 2;
-  options.session.engine = args.EngineOptions();
-  options.session.engine.registry.include_mc = false;
+  options.session = args.EngineOptions();
+  options.session.registry.include_mc = false;
   // Polynomial measures only: the point is wire + scheduling latency, not
   // the NP-hard measures' search time (bench_fig5_imc covers those).
-  options.session.engine.only = {"I_d", "I_MI", "I_P", "I_MV"};
+  options.session.only = {"I_d", "I_MI", "I_P", "I_MV"};
   ServiceServer server(spec.schema, spec.relation, spec.constraints,
                        options);
   std::string error;

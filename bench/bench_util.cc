@@ -95,11 +95,9 @@ TrajectoryResult RunTrajectory(const Dataset& dataset,
   // The whole trajectory lives in one session: violation state is
   // maintained across noise steps (no per-sample detection for binary
   // Sigma) and sustained value churn triggers the shared-pool auto-vacuum.
-  MeasureSessionOptions session_options;
-  session_options.engine = std::move(engine);
-  session_options.auto_vacuum_threshold = 0.5;
+  engine.WithAutoVacuum(0.5);
   MeasureSession session(dataset.schema, dataset.constraints,
-                         session_options);
+                         std::move(engine));
   const DbHandle handle = session.Register(dataset.data);
   const CellUpdateFn update = [&](FactId id, AttrIndex attr, Value v) {
     session.Apply(handle, RepairOperation::Update(id, attr, std::move(v)));

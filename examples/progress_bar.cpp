@@ -47,8 +47,8 @@ int main(int argc, char** argv) {
   for (int i = 0; i < noise_steps; ++i) noise.Step(noisy, rng);
 
   MeasureSessionOptions options;
-  options.engine.registry.include_mc = false;
-  options.engine.only = {"I_d", "I_P", "I_lin_R"};
+  options.registry.include_mc = false;
+  options.only = {"I_d", "I_P", "I_lin_R"};
   MeasureSession session(dataset.schema, dataset.constraints, options);
   const DbHandle handle = session.Register(noisy);
 

@@ -23,7 +23,7 @@ class MeasureEngine {
                 std::vector<DenialConstraint> constraints,
                 MeasureEngineOptions options = {})
       : session_(std::move(schema), std::move(constraints),
-                 MeasureSessionOptions{std::move(options), 1, 0.0}) {}
+                 std::move(options)) {}
 
   const ViolationDetector& detector() const { return session_.detector(); }
   const std::vector<std::unique_ptr<InconsistencyMeasure>>& measures() const {

@@ -29,8 +29,8 @@ MeasureSession::MeasureSession(std::shared_ptr<const Schema> schema,
                                std::vector<DenialConstraint> constraints,
                                MeasureSessionOptions options)
     : schema_(std::move(schema)),
-      detector_(schema_, std::move(constraints), options.engine.detector),
-      measures_(CreateMeasures(options.engine.registry)),
+      detector_(schema_, std::move(constraints), options.detector),
+      measures_(CreateMeasures(options.registry)),
       options_(std::move(options)),
       pool_(std::make_shared<ValuePool>()) {
   // Incremental maintenance covers any constraint arity (binary Sigma
@@ -39,8 +39,8 @@ MeasureSession::MeasureSession(std::shared_ptr<const Schema> schema,
   // detection per evaluation (a maintained MI set cannot reproduce a
   // truncation point).
   incremental_supported_ =
-      options_.engine.detector.max_subsets == 0 &&
-      options_.engine.detector.deadline_seconds == 0.0;
+      options_.detector.max_subsets == 0 &&
+      options_.detector.deadline_seconds == 0.0;
 }
 
 MeasureSession::HandleState& MeasureSession::State(DbHandle handle) {
@@ -63,7 +63,7 @@ DbHandle MeasureSession::Register(const Database& db) {
   if (incremental_supported_) {
     state->incremental = std::make_unique<IncrementalViolationIndex>(
         schema_, detector_.constraints(), &state->db,
-        options_.engine.detector, options_.incremental);
+        options_.detector, options_.incremental);
   }
   const DbHandle handle = static_cast<DbHandle>(handles_.size());
   handles_.push_back(std::move(state));
@@ -139,6 +139,13 @@ std::optional<FactId> MeasureSession::Apply(DbHandle handle,
     std::shared_lock<std::shared_mutex> session(session_mu_);
     HandleState& state = State(handle);
     std::lock_guard<std::mutex> handle_lock(state.mu);
+    // WAL-before-mutate: the durability hook makes the operation durable
+    // under both locks, so a record on disk always precedes its effect and
+    // per-handle log order equals mutation order. Checkpoints (exclusive
+    // lock) can never interleave between this append and the mutation.
+    if (options_.durability != nullptr) {
+      options_.durability->OnApply(handle, op);
+    }
     if (state.incremental) {
       inserted = state.incremental->Apply(op);
     } else if (op.is_insertion()) {
@@ -152,11 +159,18 @@ std::optional<FactId> MeasureSession::Apply(DbHandle handle,
   // deadlock against another in-flight Apply. The monotonic counter's
   // modulo makes exactly one thread per check window pay the exclusive
   // waste scan, however many Applies race across the boundary.
+  const size_t op_index =
+      ops_since_vacuum_check_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (options_.auto_vacuum_threshold > 0.0 &&
-      (ops_since_vacuum_check_.fetch_add(1, std::memory_order_relaxed) + 1) %
-              kAutoVacuumCheckInterval ==
-          0) {
+      op_index % kAutoVacuumCheckInterval == 0) {
     Vacuum(options_.auto_vacuum_threshold);
+  }
+  // Auto-checkpoint rides the same lock-free window: when the durability
+  // hook reports the WAL has grown past its budget, run a Vacuum with an
+  // impossible waste threshold — the pool is left alone (waste is < 1 by
+  // construction) but OnCheckpoint fires under the exclusive lock.
+  if (options_.durability != nullptr && options_.durability->WantsCheckpoint()) {
+    Vacuum(1.0);
   }
   return inserted;
 }
@@ -184,9 +198,9 @@ std::vector<std::pair<FactId, std::vector<Value>>> MeasureSession::CopyFacts(
 }
 
 bool MeasureSession::Selected(const std::string& name) const {
-  if (options_.engine.only.empty()) return true;
-  return std::find(options_.engine.only.begin(), options_.engine.only.end(),
-                   name) != options_.engine.only.end();
+  if (options_.only.empty()) return true;
+  return std::find(options_.only.begin(), options_.only.end(),
+                   name) != options_.only.end();
 }
 
 std::vector<MeasureResult> MeasureSession::Evaluate(
@@ -204,7 +218,7 @@ std::vector<MeasureResult> MeasureSession::Evaluate(
     r.value = selected[i]->Evaluate(context);
     r.seconds = timer.Seconds();
   };
-  if (!options_.engine.parallel_measures || selected.size() <= 1) {
+  if (!options_.parallel_measures || selected.size() <= 1) {
     for (size_t i = 0; i < selected.size(); ++i) evaluate_one(i);
     return results;
   }
@@ -340,6 +354,20 @@ bool MeasureSession::VacuumLocked(double waste_threshold) {
   // legal. This also covers a freshly rebuilt pool, which accumulated
   // retired slabs while growing during the re-intern above.
   pool_->ReclaimRetiredSlabs();
+  // Checkpoint: under the exclusive lock no Apply is in flight and no WAL
+  // append can race the segment rewrite — the durable store snapshots
+  // every live database (post-compaction ids and pool) and truncates the
+  // log here.
+  if (options_.durability != nullptr) {
+    std::vector<std::pair<DbHandle, const Database*>> databases;
+    databases.reserve(num_registered_);
+    for (size_t h = 0; h < handles_.size(); ++h) {
+      if (handles_[h] != nullptr) {
+        databases.emplace_back(static_cast<DbHandle>(h), &handles_[h]->db);
+      }
+    }
+    options_.durability->OnCheckpoint(databases);
+  }
   return compacted;
 }
 

@@ -19,9 +19,45 @@
 
 namespace dbim {
 
-/// Measure selection, detection knobs and evaluation strategy shared by
-/// MeasureSession and its one-shot wrapper MeasureEngine.
-struct MeasureEngineOptions {
+/// Handle to a database registered with a MeasureSession.
+using DbHandle = uint32_t;
+
+/// Optional durability callbacks a MeasureSession invokes around its
+/// mutation path (see SessionOptions::durability). Implemented by
+/// storage::DurableSessionStore; the session itself stays storage-agnostic.
+///
+/// Contract:
+///  * OnApply runs inside Apply, under the session (shared) and handle
+///    locks, BEFORE the operation mutates the handle's database — so a
+///    record made durable here always precedes its effect, and per-handle
+///    WAL order equals per-handle mutation order. Called concurrently for
+///    distinct handles; must not call back into the session.
+///  * OnCheckpoint runs at the end of Vacuum under the exclusive session
+///    lock (no Apply in flight, no WAL append racing the segment rewrite):
+///    the quiescent point where segments are rewritten and the log
+///    truncated. `databases` holds every live handle.
+///  * WantsCheckpoint is polled by Apply after both locks are released;
+///    returning true triggers a Vacuum (and therefore OnCheckpoint).
+class SessionDurabilityHook {
+ public:
+  virtual ~SessionDurabilityHook() = default;
+  virtual void OnApply(DbHandle handle, const RepairOperation& op) = 0;
+  virtual void OnCheckpoint(
+      const std::vector<std::pair<DbHandle, const Database*>>& databases) = 0;
+  virtual bool WantsCheckpoint() const { return false; }
+};
+
+/// Every knob of a measure session (and of its one-shot wrapper
+/// MeasureEngine) in one flat, documented struct: measure selection,
+/// detection, evaluation strategy, maintenance and durability. Plain
+/// aggregate — set fields directly, or chain the builder-style setters for
+/// the common ones:
+///
+///   MeasureSession session(schema, sigma,
+///                          SessionOptions().WithThreads(8)
+///                                          .WithParallelMeasures()
+///                                          .WithAutoVacuum(0.5));
+struct SessionOptions {
   /// Measure selection and per-measure budgets (I_MC / I_R deadlines).
   RegistryOptions registry;
 
@@ -42,7 +78,84 @@ struct MeasureEngineOptions {
   /// only the per-measure wall times overlap. Orthogonal to
   /// detector.num_threads, which parallelizes the detection pass itself.
   bool parallel_measures = false;
+
+  /// Worker threads for the cross-database fan-out in EvaluateAll (batch
+  /// evaluation of several handles): 1 = sequential, 0 = one per hardware
+  /// thread. Per-handle reports are computed independently (each worker
+  /// holds its handle's lock), so results are bit-identical for every
+  /// value. Composes with detector.num_threads and parallel_measures
+  /// (nested fan-out on the process-wide pool cannot deadlock).
+  size_t batch_threads = 1;
+
+  /// Auto-vacuum hook: when > 0, Apply periodically checks the shared
+  /// pool's waste (the fraction of dictionary entries no registered
+  /// database references — sustained value churn grows it) and, past the
+  /// threshold, rebuilds the pool and remaps every registered database
+  /// together, also compacting each incremental index's dead subset slots.
+  /// Measure reports are invariant under both compactions. 0 disables.
+  double auto_vacuum_threshold = 0.0;
+
+  /// Knobs for the per-handle incremental indices (watched-key dispatch,
+  /// anchored-probe pruning). Results are bit-identical for every setting;
+  /// the defaults are the fast path, the opt-outs exist for ablation
+  /// benches and the parity test suite.
+  IncrementalOptions incremental;
+
+  /// Durability callbacks (borrowed, not owned; must outlive the session).
+  /// nullptr — the default — keeps the session fully in-memory: no WAL
+  /// append on Apply, no checkpoint on Vacuum, zero overhead.
+  SessionDurabilityHook* durability = nullptr;
+
+  // Builder-style setters (each returns *this for chaining).
+
+  /// Detection threads for the sharded enumeration phases.
+  SessionOptions& WithThreads(size_t n) {
+    detector.num_threads = n;
+    return *this;
+  }
+  SessionOptions& WithParallelMeasures(bool on = true) {
+    parallel_measures = on;
+    return *this;
+  }
+  SessionOptions& WithBatchThreads(size_t n) {
+    batch_threads = n;
+    return *this;
+  }
+  /// Restricts evaluation to one more named measure.
+  SessionOptions& WithMeasure(std::string name) {
+    only.push_back(std::move(name));
+    return *this;
+  }
+  SessionOptions& WithIncludeMC(bool on = true) {
+    registry.include_mc = on;
+    return *this;
+  }
+  SessionOptions& WithMaxSubsets(size_t n) {
+    detector.max_subsets = n;
+    return *this;
+  }
+  SessionOptions& WithDetectionDeadline(double seconds) {
+    detector.deadline_seconds = seconds;
+    return *this;
+  }
+  SessionOptions& WithRepairDeadline(double seconds) {
+    registry.repair_deadline_seconds = seconds;
+    return *this;
+  }
+  SessionOptions& WithAutoVacuum(double waste_threshold) {
+    auto_vacuum_threshold = waste_threshold;
+    return *this;
+  }
+  SessionOptions& WithDurability(SessionDurabilityHook* hook) {
+    durability = hook;
+    return *this;
+  }
 };
+
+/// Historical spellings from when engine-level and session-level knobs
+/// were separate structs; both name the one flat SessionOptions now.
+using MeasureEngineOptions = SessionOptions;
+using MeasureSessionOptions = SessionOptions;
 
 /// Value of one measure plus the time evaluation took on the shared
 /// context (detection excluded; see BatchReport::detection_seconds).
@@ -65,37 +178,6 @@ struct BatchReport {
   /// The entry named `name`, or nullptr.
   const MeasureResult* Find(const std::string& name) const;
 };
-
-/// Session-level knobs on top of the per-evaluation engine options.
-struct MeasureSessionOptions {
-  MeasureEngineOptions engine;
-
-  /// Worker threads for the cross-database fan-out in EvaluateAll (batch
-  /// evaluation of several handles): 1 = sequential, 0 = one per hardware
-  /// thread. Per-handle reports are computed independently (each worker
-  /// holds its handle's lock), so results are bit-identical for every
-  /// value. Composes with engine.detector.num_threads and
-  /// engine.parallel_measures (nested fan-out on the process-wide pool
-  /// cannot deadlock).
-  size_t batch_threads = 1;
-
-  /// Auto-vacuum hook: when > 0, Apply periodically checks the shared
-  /// pool's waste (the fraction of dictionary entries no registered
-  /// database references — sustained value churn grows it) and, past the
-  /// threshold, rebuilds the pool and remaps every registered database
-  /// together, also compacting each incremental index's dead subset slots.
-  /// Measure reports are invariant under both compactions. 0 disables.
-  double auto_vacuum_threshold = 0.0;
-
-  /// Knobs for the per-handle incremental indices (watched-key dispatch,
-  /// anchored-probe pruning). Results are bit-identical for every setting;
-  /// the defaults are the fast path, the opt-outs exist for ablation
-  /// benches and the parity test suite.
-  IncrementalOptions incremental;
-};
-
-/// Handle to a database registered with a MeasureSession.
-using DbHandle = uint32_t;
 
 /// Per-constraint maintenance counters surfaced by
 /// MeasureSession::ConstraintStats: partner candidates examined (probes),

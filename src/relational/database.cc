@@ -355,6 +355,69 @@ bool Database::VacuumPool(double waste_threshold) {
   return true;
 }
 
+Database::SegmentImage Database::ExportSegmentImage() const {
+  SegmentImage image;
+  image.relations.resize(blocks_.size());
+  for (RelationId r = 0; r < blocks_.size(); ++r) {
+    image.relations[r].row_ids = blocks_[r].row_ids;
+    image.relations[r].columns = blocks_[r].columns;
+  }
+  image.id_high_water = static_cast<uint32_t>(locators_.size());
+  image.costs.assign(costs_.begin(), costs_.end());
+  std::sort(image.costs.begin(), image.costs.end());
+  return image;
+}
+
+Database Database::FromSegmentImage(std::shared_ptr<const Schema> schema,
+                                    std::shared_ptr<ValuePool> pool,
+                                    const SegmentImage& image) {
+  Database db(std::move(schema));
+  DBIM_CHECK_MSG(image.relations.size() == db.blocks_.size(),
+                 "segment image has %zu relations, schema has %zu",
+                 image.relations.size(), db.blocks_.size());
+  db.pool_ = std::move(pool);
+  db.locators_.assign(image.id_high_water, Locator{});
+  for (RelationId r = 0; r < db.blocks_.size(); ++r) {
+    const SegmentImage::Relation& rel = image.relations[r];
+    RelationBlock& block = db.blocks_[r];
+    const size_t arity = block.columns.size();
+    const size_t rows = rel.row_ids.size();
+    DBIM_CHECK_MSG(rel.columns.size() == arity,
+                   "segment relation %u has %zu columns, schema arity %zu", r,
+                   rel.columns.size(), arity);
+    block.row_ids = rel.row_ids;
+    block.columns = rel.columns;
+    for (AttrIndex a = 0; a < arity; ++a) {
+      DBIM_CHECK(block.columns[a].size() == rows);
+      auto& class_column = block.class_columns[a];
+      auto& counts = db.domain_counts_[r][a];
+      class_column.resize(rows);
+      for (size_t row = 0; row < rows; ++row) {
+        const ValueId cell = block.columns[a][row];
+        DBIM_CHECK_MSG(cell < db.pool_->size(),
+                       "segment cell references unknown ValueId %u", cell);
+        class_column[row] = db.pool_->class_of(cell);
+        ++counts[cell];
+      }
+    }
+    for (uint32_t row = 0; row < rows; ++row) {
+      const FactId id = block.row_ids[row];
+      DBIM_CHECK_MSG(id < image.id_high_water && !db.locators_[id].live,
+                     "segment row id %u out of range or duplicated", id);
+      db.locators_[id] = Locator{r, row, true};
+      ++db.size_;
+    }
+  }
+  for (FactId id = 0; id < image.id_high_water; ++id) {
+    if (!db.locators_[id].live) db.free_ids_.insert(id);
+  }
+  for (const auto& [id, cost] : image.costs) {
+    DBIM_CHECK(db.Contains(id));
+    db.costs_[id] = cost;
+  }
+  return db;
+}
+
 bool operator==(const Database& a, const Database& b) {
   if (a.size_ != b.size_) return false;
   return a.IsSubsetOf(b);

@@ -171,6 +171,38 @@ class Database {
   /// be used across a successful vacuum. Returns whether compaction ran.
   bool VacuumPool(double waste_threshold = 0.5);
 
+  /// A relocatable snapshot of the database's physical columnar state:
+  /// per-relation row ids and representation-exact ValueId columns in
+  /// *physical row order* (insertion order perturbed by swap-removal —
+  /// exactly the order ReinternInto and MarkUsedValueIds scan), plus the
+  /// identifier high-water mark and the explicit deletion costs. This is
+  /// what the storage layer serializes into segment files.
+  struct SegmentImage {
+    struct Relation {
+      std::vector<FactId> row_ids;                // row -> fact id
+      std::vector<std::vector<ValueId>> columns;  // [attr][row], exact ids
+    };
+    std::vector<Relation> relations;  // indexed by RelationId
+    /// locators_.size(): with the live-id set, this pins the free-id set,
+    /// so the next Insert after a round trip assigns the same identifier.
+    uint32_t id_high_water = 0;
+    std::vector<std::pair<FactId, double>> costs;  // ascending id
+  };
+
+  /// Copies out the physical columns. Deterministic: equal databases with
+  /// equal mutation histories export byte-identical images.
+  SegmentImage ExportSegmentImage() const;
+
+  /// Reconstructs a database from an exported image. `pool` must intern
+  /// every ValueId the image references (the exporting pool, or a
+  /// bit-exact rebuild of it — see storage/format.h): columns are adopted
+  /// verbatim, class columns recomputed from the pool, and row order, the
+  /// free-id set and the id high-water mark all byte-match the exporter —
+  /// the round-trip invariant tests/recovery_test.cc pins.
+  static Database FromSegmentImage(std::shared_ptr<const Schema> schema,
+                                   std::shared_ptr<ValuePool> pool,
+                                   const SegmentImage& image);
+
   friend bool operator==(const Database& a, const Database& b);
 
  private:

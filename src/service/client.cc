@@ -228,6 +228,36 @@ bool ServiceClient::Register(const std::string& session, std::string* error) {
                  error);
 }
 
+bool ServiceClient::RegisterAttach(const std::string& session,
+                                   size_t* num_facts, std::string* error) {
+  AwaitedResponse response;
+  if (!AwaitOk(Issue(Request::MakeRegister(session, /*attach=*/true), error),
+               &response, error)) {
+    return false;
+  }
+  if (response.final.args.size() != 1 ||
+      !ParseSize(response.final.args[0], num_facts)) {
+    *error = "ATTACH reply carries no fact count";
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::Checkpoint(uint64_t* epoch, std::string* error) {
+  AwaitedResponse response;
+  if (!AwaitOk(Issue(Request::MakeCheckpoint(), error), &response, error)) {
+    return false;
+  }
+  size_t parsed = 0;
+  if (response.final.args.size() != 1 ||
+      !ParseSize(response.final.args[0], &parsed)) {
+    *error = "CHECKPOINT reply carries no epoch";
+    return false;
+  }
+  *epoch = parsed;
+  return true;
+}
+
 bool ServiceClient::ApplyInsert(const std::string& session,
                                 std::vector<Value> values, FactId* id,
                                 std::string* error) {
@@ -327,16 +357,25 @@ bool ServiceClient::EvaluateAll(
 }
 
 bool ServiceClient::Stats(const std::string& session, std::string* json,
-                          std::string* error) {
+                          std::string* error,
+                          std::string* durability_json) {
   AwaitedResponse response;
   if (!AwaitOk(Issue(Request::Stats(session), error), &response, error)) {
     return false;
   }
-  if (response.final.args.size() != 1) {
+  if (response.final.args.empty()) {
     *error = "STATS reply carries no payload";
     return false;
   }
-  return DecodeToken(response.final.args[0], json, error);
+  if (!DecodeToken(response.final.args[0], json, error)) return false;
+  if (durability_json != nullptr) {
+    durability_json->clear();
+    if (response.final.args.size() >= 2 &&
+        !DecodeToken(response.final.args[1], durability_json, error)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool ServiceClient::Dump(

@@ -77,6 +77,10 @@ class ServiceClient {
   bool Schema(std::string* relation, std::vector<std::string>* attributes,
               std::string* error);
   bool Register(const std::string& session, std::string* error);
+  /// REGISTER ... ATTACH: reuses the session when it exists (a recovered
+  /// daemon), creates it otherwise; *num_facts is the attached fact count.
+  bool RegisterAttach(const std::string& session, size_t* num_facts,
+                      std::string* error);
   /// Returns the server-assigned fact id through *id.
   bool ApplyInsert(const std::string& session, std::vector<Value> values,
                    FactId* id, std::string* error);
@@ -88,8 +92,13 @@ class ServiceClient {
   bool EvaluateAll(std::vector<std::pair<std::string, WireReport>>* reports,
                    std::string* error);
   /// The constraint-stats table as JSON (TablePrinter::ToJson form).
+  /// `durability_json` (optional) receives the daemon's durability
+  /// counters — {"durable":0} when the server runs without a store.
   bool Stats(const std::string& session, std::string* json,
-             std::string* error);
+             std::string* error, std::string* durability_json = nullptr);
+  /// CHECKPOINT: forces a durable checkpoint; *epoch is the new epoch.
+  /// Fails with NO_STORE against a daemon running without durability.
+  bool Checkpoint(uint64_t* epoch, std::string* error);
   bool Dump(const std::string& session,
             std::vector<std::pair<FactId, std::vector<Value>>>* rows,
             std::string* error);

@@ -229,30 +229,76 @@ bool DecodeValue(const std::string& token, Value* out, std::string* error) {
   return false;
 }
 
-const char* VerbName(Verb verb) {
-  switch (verb) {
-    case Verb::kPing:
-      return "PING";
-    case Verb::kSchema:
-      return "SCHEMA";
-    case Verb::kRegister:
-      return "REGISTER";
-    case Verb::kApply:
-      return "APPLY";
-    case Verb::kEvaluate:
-      return "EVALUATE";
-    case Verb::kEvaluateAll:
-      return "EVALUATE_ALL";
-    case Verb::kStats:
-      return "STATS";
-    case Verb::kDump:
-      return "DUMP";
-    case Verb::kUnregister:
-      return "UNREGISTER";
-    case Verb::kVacuum:
-      return "VACUUM";
+const char* VerbName(Verb verb) { return CommandFor(verb).name; }
+
+const char* DispatchName(Dispatch dispatch) {
+  switch (dispatch) {
+    case Dispatch::kInline:
+      return "inline";
+    case Dispatch::kQueued:
+      return "queued";
+    case Dispatch::kExclusive:
+      return "exclusive";
   }
-  return "PING";
+  return "inline";
+}
+
+const std::vector<CommandSpec>& CommandTable() {
+  // Indexed by Verb — keep the rows in enum order (verified below).
+  static const std::vector<CommandSpec> kTable = {
+      {Verb::kPing, "PING", 0, 0, Dispatch::kInline,  //
+       "PING", "liveness probe"},
+      {Verb::kSchema, "SCHEMA", 0, 0, Dispatch::kInline,  //
+       "SCHEMA", "served relation, attributes and this command table"},
+      {Verb::kRegister, "REGISTER", 1, 2, Dispatch::kInline,
+       "REGISTER <session> [ATTACH]",
+       "create a named session; ATTACH reuses an existing one and replies "
+       "its fact count"},
+      {Verb::kApply, "APPLY", 2, kUnboundedArgs, Dispatch::kQueued,
+       "APPLY <session> INSERT <value>... | DELETE <id> | UPDATE <id> "
+       "<attr> <value>",
+       "apply one repair operation; violations maintained incrementally"},
+      {Verb::kEvaluate, "EVALUATE", 1, 1, Dispatch::kQueued,
+       "EVALUATE <session>", "evaluate every measure on one session"},
+      {Verb::kEvaluateAll, "EVALUATE_ALL", 0, 0, Dispatch::kExclusive,
+       "EVALUATE_ALL", "evaluate every session in one consistent batch"},
+      {Verb::kStats, "STATS", 1, 1, Dispatch::kQueued, "STATS <session>",
+       "per-constraint counters plus the daemon's durability stats"},
+      {Verb::kDump, "DUMP", 1, 1, Dispatch::kQueued, "DUMP <session>",
+       "list the session's facts with their ids"},
+      {Verb::kUnregister, "UNREGISTER", 1, 1, Dispatch::kQueued,
+       "UNREGISTER <session>", "drop a session and its queued work"},
+      {Verb::kVacuum, "VACUUM", 1, 1, Dispatch::kExclusive,
+       "VACUUM <threshold>",
+       "compact the value pool when its waste fraction exceeds threshold"},
+      {Verb::kCheckpoint, "CHECKPOINT", 0, 0, Dispatch::kExclusive,
+       "CHECKPOINT",
+       "write a durable checkpoint and truncate the log; replies the new "
+       "epoch"},
+  };
+  return kTable;
+}
+
+const CommandSpec& CommandFor(Verb verb) {
+  const std::vector<CommandSpec>& table = CommandTable();
+  const size_t index = static_cast<size_t>(verb);
+  // The table is the single source of truth; a row out of enum order is a
+  // programming error caught on first use.
+  static const bool checked = [] {
+    for (size_t i = 0; i < CommandTable().size(); ++i) {
+      if (static_cast<size_t>(CommandTable()[i].verb) != i) std::abort();
+    }
+    return true;
+  }();
+  (void)checked;
+  return table[index];
+}
+
+const CommandSpec* FindCommand(const std::string& name) {
+  for (const CommandSpec& spec : CommandTable()) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
 }
 
 Request Request::Ping() { return Request{}; }
@@ -263,10 +309,17 @@ Request Request::Schema() {
   return r;
 }
 
-Request Request::MakeRegister(std::string session) {
+Request Request::MakeRegister(std::string session, bool attach) {
   Request r;
   r.verb = Verb::kRegister;
   r.session = std::move(session);
+  r.register_attach = attach;
+  return r;
+}
+
+Request Request::MakeCheckpoint() {
+  Request r;
+  r.verb = Verb::kCheckpoint;
   return r;
 }
 
@@ -349,8 +402,13 @@ std::string FormatRequest(const Request& request) {
     case Verb::kPing:
     case Verb::kSchema:
     case Verb::kEvaluateAll:
+    case Verb::kCheckpoint:
       break;
     case Verb::kRegister:
+      line += ' ';
+      line += EncodeToken(request.session);
+      if (request.register_attach) line += " ATTACH";
+      break;
     case Verb::kEvaluate:
     case Verb::kStats:
     case Verb::kDump:
@@ -401,107 +459,107 @@ bool ParseRequest(const std::string& line, Request* out, std::string* error) {
     *error = "missing verb";
     return false;
   }
-  const std::string& verb = tokens[1];
-  const size_t n = tokens.size();
-
-  auto need_session = [&](Verb v, size_t argc) {
-    if (n != argc) {
-      *error = std::string(VerbName(v)) + ": wrong argument count";
-      return false;
-    }
-    out->verb = v;
-    return DecodeSessionName(tokens[2], &out->session, error);
-  };
-
-  if (verb == "PING" || verb == "SCHEMA" || verb == "EVALUATE_ALL") {
-    if (n != 2) {
-      *error = verb + " takes no arguments";
-      return false;
-    }
-    out->verb = verb == "PING"
-                    ? Verb::kPing
-                    : (verb == "SCHEMA" ? Verb::kSchema : Verb::kEvaluateAll);
-    return true;
-  }
-  if (verb == "REGISTER") return need_session(Verb::kRegister, 3);
-  if (verb == "EVALUATE") return need_session(Verb::kEvaluate, 3);
-  if (verb == "STATS") return need_session(Verb::kStats, 3);
-  if (verb == "DUMP") return need_session(Verb::kDump, 3);
-  if (verb == "UNREGISTER") return need_session(Verb::kUnregister, 3);
-  if (verb == "VACUUM") {
-    if (n != 3) {
-      *error = "VACUUM takes one threshold argument";
-      return false;
-    }
-    out->verb = Verb::kVacuum;
-    if (!ParseDouble(tokens[2], &out->threshold, error)) return false;
-    if (!(out->threshold >= 0.0) || out->threshold > 1.0) {
-      *error = "VACUUM threshold must be in [0, 1]";
-      return false;
-    }
-    return true;
-  }
-  if (verb == "APPLY") {
-    if (n < 4) {
-      *error = "APPLY needs a session and an operation";
-      return false;
-    }
-    out->verb = Verb::kApply;
-    if (!DecodeSessionName(tokens[2], &out->session, error)) return false;
-    const std::string& op = tokens[3];
-    if (op == "INSERT") {
-      out->apply_kind = ApplyKind::kInsert;
-      if (n < 5) {
-        *error = "INSERT needs at least one value";
-        return false;
-      }
-      // Arity is validated against the schema at execution; this cap only
-      // bounds parser memory on hostile input.
-      if (n - 4 > 1024) {
-        *error = "INSERT has too many values";
-        return false;
-      }
-      for (size_t i = 4; i < n; ++i) {
-        Value v;
-        if (!DecodeValue(tokens[i], &v, error)) return false;
-        out->values.push_back(std::move(v));
-      }
-      return true;
-    }
-    if (op == "DELETE") {
-      out->apply_kind = ApplyKind::kDelete;
-      if (n != 5) {
-        *error = "DELETE takes one fact id";
-        return false;
-      }
-      uint64_t id = 0;
-      if (!ParseU64(tokens[4], std::numeric_limits<FactId>::max(), &id, error))
-        return false;
-      out->fact_id = static_cast<FactId>(id);
-      return true;
-    }
-    if (op == "UPDATE") {
-      out->apply_kind = ApplyKind::kUpdate;
-      if (n != 7) {
-        *error = "UPDATE takes fact id, attribute index and value";
-        return false;
-      }
-      uint64_t id = 0;
-      uint64_t attr = 0;
-      if (!ParseU64(tokens[4], std::numeric_limits<FactId>::max(), &id, error))
-        return false;
-      if (!ParseU64(tokens[5], 4096, &attr, error)) return false;
-      Value v;
-      if (!DecodeValue(tokens[6], &v, error)) return false;
-      out->fact_id = static_cast<FactId>(id);
-      out->attr = static_cast<AttrIndex>(attr);
-      out->values.push_back(std::move(v));
-      return true;
-    }
-    *error = "unknown APPLY operation: " + op;
+  // Generic verb lookup + arity precheck from the command table; only the
+  // per-verb payload decoding below stays bespoke.
+  const CommandSpec* spec = FindCommand(tokens[1]);
+  if (spec == nullptr) {
+    *error = "unknown verb: " + tokens[1];
     return false;
   }
-  *error = "unknown verb: " + verb;
+  const size_t n = tokens.size();
+  const size_t argc = n - 2;
+  if (argc < spec->min_args || argc > spec->max_args) {
+    *error = StrFormat("%s: wrong argument count; usage: %s", spec->name,
+                       spec->usage);
+    return false;
+  }
+  out->verb = spec->verb;
+
+  switch (spec->verb) {
+    case Verb::kPing:
+    case Verb::kSchema:
+    case Verb::kEvaluateAll:
+    case Verb::kCheckpoint:
+      return true;
+    case Verb::kRegister:
+      if (!DecodeSessionName(tokens[2], &out->session, error)) return false;
+      if (argc == 2) {
+        if (tokens[3] != "ATTACH") {
+          *error = StrFormat("REGISTER: unknown modifier %s; usage: %s",
+                             tokens[3].c_str(), spec->usage);
+          return false;
+        }
+        out->register_attach = true;
+      }
+      return true;
+    case Verb::kEvaluate:
+    case Verb::kStats:
+    case Verb::kDump:
+    case Verb::kUnregister:
+      return DecodeSessionName(tokens[2], &out->session, error);
+    case Verb::kVacuum:
+      if (!ParseDouble(tokens[2], &out->threshold, error)) return false;
+      if (!(out->threshold >= 0.0) || out->threshold > 1.0) {
+        *error = "VACUUM threshold must be in [0, 1]";
+        return false;
+      }
+      return true;
+    case Verb::kApply:
+      break;  // decoded below
+  }
+
+  if (!DecodeSessionName(tokens[2], &out->session, error)) return false;
+  const std::string& op = tokens[3];
+  if (op == "INSERT") {
+    out->apply_kind = ApplyKind::kInsert;
+    if (n < 5) {
+      *error = "INSERT needs at least one value";
+      return false;
+    }
+    // Arity is validated against the schema at execution; this cap only
+    // bounds parser memory on hostile input.
+    if (n - 4 > 1024) {
+      *error = "INSERT has too many values";
+      return false;
+    }
+    for (size_t i = 4; i < n; ++i) {
+      Value v;
+      if (!DecodeValue(tokens[i], &v, error)) return false;
+      out->values.push_back(std::move(v));
+    }
+    return true;
+  }
+  if (op == "DELETE") {
+    out->apply_kind = ApplyKind::kDelete;
+    if (n != 5) {
+      *error = "DELETE takes one fact id";
+      return false;
+    }
+    uint64_t id = 0;
+    if (!ParseU64(tokens[4], std::numeric_limits<FactId>::max(), &id, error))
+      return false;
+    out->fact_id = static_cast<FactId>(id);
+    return true;
+  }
+  if (op == "UPDATE") {
+    out->apply_kind = ApplyKind::kUpdate;
+    if (n != 7) {
+      *error = "UPDATE takes fact id, attribute index and value";
+      return false;
+    }
+    uint64_t id = 0;
+    uint64_t attr = 0;
+    if (!ParseU64(tokens[4], std::numeric_limits<FactId>::max(), &id, error))
+      return false;
+    if (!ParseU64(tokens[5], 4096, &attr, error)) return false;
+    Value v;
+    if (!DecodeValue(tokens[6], &v, error)) return false;
+    out->fact_id = static_cast<FactId>(id);
+    out->attr = static_cast<AttrIndex>(attr);
+    out->values.push_back(std::move(v));
+    return true;
+  }
+  *error = "unknown APPLY operation: " + op;
   return false;
 }
 

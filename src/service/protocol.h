@@ -19,8 +19,7 @@ namespace dbim {
 ///
 ///   request   = tag SP verb *(SP token) LF
 ///   tag       = 1*32 of [A-Za-z0-9._-]        ; client-chosen, echoed back
-///   verb      = "PING" | "SCHEMA" | "REGISTER" | "APPLY" | "EVALUATE"
-///             | "EVALUATE_ALL" | "STATS" | "DUMP" | "UNREGISTER" | "VACUUM"
+///   verb      = any CommandSpec::name in CommandTable() below
 ///   response  = tag SP "OK"   *(SP token) LF  ; terminal success
 ///             | tag SP "ITEM" *(SP token) LF  ; body line before the OK
 ///             | tag SP "ERR" SP code SP token LF  ; terminal failure
@@ -34,8 +33,14 @@ namespace dbim {
 /// Request forms:
 ///
 ///   t PING
-///   t SCHEMA                             ; OK <relation> <attr>...
-///   t REGISTER <session>                 ; OK
+///   t SCHEMA                   ; ITEM <verb> <min> <max|*> <dispatch>
+///                              ;      <usage> per command (generated from
+///                              ;      CommandTable) — then
+///                              ;      OK <relation> <attr>...
+///   t REGISTER <session>       ; OK        (ERR EXISTS if taken)
+///   t REGISTER <session> ATTACH  ; OK <facts> — reuses the session when it
+///                              ;   exists (recovered daemons), creates it
+///                              ;   with OK 0 otherwise
 ///   t APPLY <session> INSERT <value>...  ; OK <fact-id>
 ///   t APPLY <session> DELETE <fact-id>   ; OK
 ///   t APPLY <session> UPDATE <fact-id> <attr-index> <value>  ; OK
@@ -43,14 +48,16 @@ namespace dbim {
 ///   t EVALUATE_ALL             ; ITEM <session> <facts> <subsets> <trunc01>
 ///                              ;      (<m> <v>)*   — then OK <count>
 ///   t STATS <session>          ; OK <constraint-stats-json>
+///                              ;    <durability-stats-json>
 ///   t DUMP <session>           ; ITEM <fact-id> <value>... — then OK <count>
 ///   t UNREGISTER <session>     ; OK
 ///   t VACUUM <threshold>       ; OK <0|1>  (1 = pool compaction ran)
+///   t CHECKPOINT               ; OK <epoch>  (durable daemons only)
 ///
 /// Error codes: BAD_REQUEST (unparseable or ill-typed request), NO_SESSION,
 /// EXISTS, BUSY (admission control: the session's work queue is full),
 /// TOO_LARGE (unframeable line; the server closes the connection),
-/// SHUTDOWN, INTERNAL.
+/// NO_STORE (CHECKPOINT without --data-dir), SHUTDOWN, INTERNAL.
 
 /// Longest accepted request/response line, including the newline. Lines
 /// beyond the cap cannot be framed; the peer is told TOO_LARGE and cut off.
@@ -89,11 +96,52 @@ enum class Verb {
   kDump,
   kUnregister,
   kVacuum,
+  kCheckpoint,
 };
 
 enum class ApplyKind { kInsert, kDelete, kUpdate };
 
 const char* VerbName(Verb verb);
+
+/// How the server routes a verb once parsed:
+///   kInline     answered on the reader thread, no session state touched
+///               beyond registry lookups;
+///   kQueued     admitted to the target session's bounded FIFO queue and
+///               executed serially by the worker pool;
+///   kExclusive  answered on the reader thread but serializing against the
+///               whole hosted session (exclusive session lock and/or the
+///               scheduler lock) — the VACUUM / CHECKPOINT / EVALUATE_ALL
+///               class.
+enum class Dispatch { kInline, kQueued, kExclusive };
+
+const char* DispatchName(Dispatch dispatch);
+
+/// No upper bound on a command's argument count (APPLY's INSERT payload).
+constexpr size_t kUnboundedArgs = static_cast<size_t>(-1);
+
+/// One wire command, declaratively: the single registry the parser (arity
+/// precheck + usage-bearing errors), the server dispatcher (inline vs
+/// queued vs exclusive) and the SCHEMA reply (one ITEM per row) all read —
+/// adding a verb is one row here plus its handler.
+struct CommandSpec {
+  Verb verb;
+  const char* name;
+  size_t min_args;  // tokens after "tag VERB"
+  size_t max_args;  // kUnboundedArgs = no cap
+  Dispatch dispatch;
+  const char* usage;    // one-line synopsis, shown in ERR messages + SCHEMA
+  const char* summary;  // what the verb does
+};
+
+/// Every command, indexed by Verb (CommandTable()[size_t(verb)].verb ==
+/// verb — enforced by a startup assertion in protocol.cc).
+const std::vector<CommandSpec>& CommandTable();
+
+/// The spec for `verb`.
+const CommandSpec& CommandFor(Verb verb);
+
+/// Case-sensitive lookup by wire name; nullptr when unknown.
+const CommandSpec* FindCommand(const std::string& name);
 
 /// One parsed request line. Fields beyond `tag` and `verb` are meaningful
 /// only for the verbs that carry them (see the grammar above).
@@ -106,11 +154,13 @@ struct Request {
   FactId fact_id = 0;                  // DELETE / UPDATE target
   AttrIndex attr = 0;                  // UPDATE attribute
   double threshold = 0.0;              // VACUUM waste threshold
+  bool register_attach = false;        // REGISTER ... ATTACH
 
   /// Convenience constructors for the client side.
   static Request Ping();
   static Request Schema();
-  static Request MakeRegister(std::string session);
+  static Request MakeRegister(std::string session, bool attach = false);
+  static Request MakeCheckpoint();
   static Request Insert(std::string session, std::vector<Value> values);
   static Request Delete(std::string session, FactId id);
   static Request Update(std::string session, FactId id, AttrIndex attr,

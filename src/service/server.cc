@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -24,6 +25,16 @@ constexpr int kSendFlags = 0;
 #endif
 
 std::string FormatDouble(double v) { return StrFormat("%.17g", v); }
+
+/// Wires the durable store (when configured) into the hosted session's
+/// options before the session is constructed — called from the member
+/// initializer list, after options_ is in place.
+MeasureSessionOptions SessionOptionsFor(ServiceOptions& options) {
+  if (options.store != nullptr) {
+    options.session.durability = options.store;
+  }
+  return options.session;
+}
 
 }  // namespace
 
@@ -94,11 +105,28 @@ ServiceServer::ServiceServer(std::shared_ptr<const Schema> schema,
     : schema_(std::move(schema)),
       relation_(relation),
       options_(std::move(options)),
-      session_(schema_, std::move(constraints), options_.session) {}
+      session_(schema_, std::move(constraints), SessionOptionsFor(options_)) {}
 
 ServiceServer::~ServiceServer() { Stop(); }
 
 bool ServiceServer::Start(std::string* error) {
+  // Crash-safe restart: rebuild every durable session (segments + WAL
+  // replay) and seed the tenant registry with the recovered name->handle
+  // bindings before any traffic is accepted, so clients can
+  // REGISTER ... ATTACH and resume exactly where the dead process stopped.
+  if (options_.store != nullptr && !recovery_done_) {
+    recovery_done_ = true;
+    if (!options_.store->Recover(&session_, &recovered_, error)) {
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    for (const storage::RecoveredSession& rs : recovered_) {
+      auto tenant = std::make_shared<Tenant>();
+      tenant->name = rs.name;
+      tenant->handle = rs.handle;
+      tenants_.emplace(tenant->name, tenant);
+    }
+  }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     *error = StrFormat("socket: %s", std::strerror(errno));
@@ -248,6 +276,47 @@ void ServiceServer::ReaderLoop(uint64_t reader_id,
   finished_readers_.push_back(reader_id);
 }
 
+/// The per-verb handler table, indexed by Verb exactly like CommandTable():
+/// every row binds either an inline handler (reader thread) or a queued one
+/// (worker thread) — which one is non-null must agree with the command's
+/// Dispatch class, checked on first use.
+struct ServiceServer::VerbBinding {
+  void (ServiceServer::*inline_fn)(const std::shared_ptr<Connection>&,
+                                   const Request&) = nullptr;
+  void (ServiceServer::*queued_fn)(const std::shared_ptr<Tenant>&,
+                                   PendingOp) = nullptr;
+};
+
+const ServiceServer::VerbBinding& ServiceServer::BindingFor(Verb verb) {
+  static const VerbBinding kBindings[] = {
+      {&ServiceServer::HandlePing, nullptr},         // kPing
+      {&ServiceServer::HandleSchema, nullptr},       // kSchema
+      {&ServiceServer::HandleRegister, nullptr},     // kRegister
+      {nullptr, &ServiceServer::HandleApply},        // kApply
+      {nullptr, &ServiceServer::HandleEvaluate},     // kEvaluate
+      {&ServiceServer::HandleEvaluateAll, nullptr},  // kEvaluateAll
+      {nullptr, &ServiceServer::HandleStats},        // kStats
+      {nullptr, &ServiceServer::HandleDump},         // kDump
+      {nullptr, &ServiceServer::HandleUnregister},   // kUnregister
+      {&ServiceServer::HandleVacuum, nullptr},       // kVacuum
+      {&ServiceServer::HandleCheckpoint, nullptr},   // kCheckpoint
+  };
+  static const bool checked = [] {
+    const std::vector<CommandSpec>& table = CommandTable();
+    if (table.size() != sizeof(kBindings) / sizeof(kBindings[0])) abort();
+    for (size_t i = 0; i < table.size(); ++i) {
+      const bool queued = table[i].dispatch == Dispatch::kQueued;
+      if (queued != (kBindings[i].queued_fn != nullptr) ||
+          queued == (kBindings[i].inline_fn != nullptr)) {
+        abort();
+      }
+    }
+    return true;
+  }();
+  (void)checked;
+  return kBindings[static_cast<size_t>(verb)];
+}
+
 void ServiceServer::HandleLine(const std::shared_ptr<Connection>& conn,
                                const std::string& line) {
   num_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -257,22 +326,12 @@ void ServiceServer::HandleLine(const std::shared_ptr<Connection>& conn,
     conn->Send(Response::Error(request.tag, "BAD_REQUEST", error));
     return;
   }
-  switch (request.verb) {
-    case Verb::kPing:
-    case Verb::kSchema:
-    case Verb::kRegister:
-    case Verb::kVacuum:
-    case Verb::kEvaluateAll:
-      ExecuteInline(conn, request);
-      return;
-    case Verb::kApply:
-    case Verb::kEvaluate:
-    case Verb::kStats:
-    case Verb::kDump:
-    case Verb::kUnregister:
-      break;
+  const VerbBinding& binding = BindingFor(request.verb);
+  if (binding.inline_fn != nullptr) {
+    (this->*binding.inline_fn)(conn, request);
+    return;
   }
-  // Session-addressed verbs go through the session's bounded queue.
+  // Queued verbs go through the session's bounded queue.
   {
     std::unique_lock<std::mutex> lock(sched_mu_);
     auto it = tenants_.find(request.session);
@@ -300,88 +359,127 @@ void ServiceServer::HandleLine(const std::shared_ptr<Connection>& conn,
   }
 }
 
-void ServiceServer::ExecuteInline(const std::shared_ptr<Connection>& conn,
-                                  const Request& request) {
-  switch (request.verb) {
-    case Verb::kPing:
-      conn->Send(Response::Ok(request.tag));
-      return;
-    case Verb::kSchema: {
-      const RelationSignature& sig = schema_->relation(relation_);
-      std::vector<std::string> args;
-      args.push_back(EncodeToken(sig.name()));
-      for (const std::string& attr : sig.attributes()) {
-        args.push_back(EncodeToken(attr));
-      }
-      conn->Send(Response::Ok(request.tag, std::move(args)));
-      return;
-    }
-    case Verb::kRegister: {
-      std::unique_lock<std::mutex> lock(sched_mu_);
-      auto it = tenants_.find(request.session);
-      if (it != tenants_.end()) {
-        lock.unlock();
-        conn->Send(Response::Error(request.tag, "EXISTS",
-                                   "session exists: " + request.session));
-        return;
-      }
-      auto tenant = std::make_shared<Tenant>();
-      tenant->name = request.session;
-      tenant->handle = session_.Register(Database(schema_));
-      tenants_.emplace(tenant->name, tenant);
-      lock.unlock();
-      conn->Send(Response::Ok(request.tag));
-      return;
-    }
-    case Verb::kVacuum: {
-      const bool compacted = session_.Vacuum(request.threshold);
-      conn->Send(Response::Ok(request.tag, {compacted ? "1" : "0"}));
-      return;
-    }
-    case Verb::kEvaluateAll: {
-      // Holds the scheduler lock across the batch so no tenant can be
-      // unregistered (and its handle freed) underneath the fan-out. New
-      // admissions stall for the evaluation only — every reply is
-      // formatted under the lock but SENT after it drops, so a client
-      // that stops reading blocks its own reader thread, never sched_mu_.
-      std::vector<Response> responses;
-      {
-        std::lock_guard<std::mutex> lock(sched_mu_);
-        std::vector<std::pair<std::string, DbHandle>> targets;
-        targets.reserve(tenants_.size());
-        for (const auto& [name, tenant] : tenants_) {
-          if (!tenant->dead) targets.emplace_back(name, tenant->handle);
-        }
-        std::sort(targets.begin(), targets.end());
-        std::vector<DbHandle> handles;
-        handles.reserve(targets.size());
-        for (const auto& [name, handle] : targets) handles.push_back(handle);
-        const std::vector<BatchReport> reports =
-            session_.EvaluateAll(handles);
-        responses.reserve(targets.size() + 1);
-        for (size_t i = 0; i < targets.size(); ++i) {
-          std::vector<std::string> args;
-          args.push_back(EncodeToken(targets[i].first));
-          args.push_back(std::to_string(session_.NumFacts(handles[i])));
-          args.push_back(std::to_string(reports[i].num_minimal_subsets));
-          args.push_back(reports[i].truncated ? "1" : "0");
-          for (const MeasureResult& m : reports[i].measures) {
-            args.push_back(EncodeToken(m.name));
-            args.push_back(FormatDouble(m.value));
-          }
-          responses.push_back(Response::Item(request.tag, std::move(args)));
-        }
-        responses.push_back(
-            Response::Ok(request.tag, {std::to_string(targets.size())}));
-      }
-      for (const Response& response : responses) conn->Send(response);
-      return;
-    }
-    default:
-      conn->Send(Response::Error(request.tag, "INTERNAL",
-                                 "verb cannot execute inline"));
-      return;
+void ServiceServer::HandlePing(const std::shared_ptr<Connection>& conn,
+                               const Request& request) {
+  conn->Send(Response::Ok(request.tag));
+}
+
+void ServiceServer::HandleSchema(const std::shared_ptr<Connection>& conn,
+                                 const Request& request) {
+  // The command table itself travels first — one ITEM per verb, generated
+  // from the same CommandSpec rows the dispatcher runs on — then the
+  // served relation as the terminal OK (what pre-table clients read).
+  for (const CommandSpec& spec : CommandTable()) {
+    conn->Send(Response::Item(
+        request.tag,
+        {spec.name, std::to_string(spec.min_args),
+         spec.max_args == kUnboundedArgs ? "*" : std::to_string(spec.max_args),
+         DispatchName(spec.dispatch), EncodeToken(spec.usage),
+         EncodeToken(spec.summary)}));
   }
+  const RelationSignature& sig = schema_->relation(relation_);
+  std::vector<std::string> args;
+  args.push_back(EncodeToken(sig.name()));
+  for (const std::string& attr : sig.attributes()) {
+    args.push_back(EncodeToken(attr));
+  }
+  conn->Send(Response::Ok(request.tag, std::move(args)));
+}
+
+void ServiceServer::HandleRegister(const std::shared_ptr<Connection>& conn,
+                                   const Request& request) {
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  auto it = tenants_.find(request.session);
+  if (it != tenants_.end()) {
+    if (request.register_attach) {
+      // ATTACH reuses the live (possibly recovered) session; the reply
+      // carries its fact count so the client knows what it resumed onto.
+      const size_t num_facts = session_.NumFacts(it->second->handle);
+      lock.unlock();
+      conn->Send(Response::Ok(request.tag, {std::to_string(num_facts)}));
+    } else {
+      lock.unlock();
+      conn->Send(Response::Error(request.tag, "EXISTS",
+                                 "session exists: " + request.session));
+    }
+    return;
+  }
+  auto tenant = std::make_shared<Tenant>();
+  tenant->name = request.session;
+  tenant->handle = session_.Register(Database(schema_));
+  // WAL the creation before the name becomes addressable: APPLYs are only
+  // admitted once the tenant is in the registry, so in the log every
+  // session's apply records strictly follow its register record.
+  if (options_.store != nullptr) {
+    options_.store->LogRegister(tenant->name, tenant->handle, nullptr);
+  }
+  tenants_.emplace(tenant->name, tenant);
+  lock.unlock();
+  if (request.register_attach) {
+    conn->Send(Response::Ok(request.tag, {"0"}));
+  } else {
+    conn->Send(Response::Ok(request.tag));
+  }
+}
+
+void ServiceServer::HandleVacuum(const std::shared_ptr<Connection>& conn,
+                                 const Request& request) {
+  const bool compacted = session_.Vacuum(request.threshold);
+  conn->Send(Response::Ok(request.tag, {compacted ? "1" : "0"}));
+}
+
+void ServiceServer::HandleCheckpoint(const std::shared_ptr<Connection>& conn,
+                                     const Request& request) {
+  if (options_.store == nullptr) {
+    conn->Send(Response::Error(request.tag, "NO_STORE",
+                               "durability is not configured (--data-dir)"));
+    return;
+  }
+  // Vacuum with an unreachable waste threshold: the pool is left alone but
+  // OnCheckpoint fires under the exclusive session lock, rewriting the
+  // segments and truncating the log.
+  session_.Vacuum(1.0);
+  conn->Send(Response::Ok(
+      request.tag, {std::to_string(options_.store->Stats().epoch)}));
+}
+
+void ServiceServer::HandleEvaluateAll(const std::shared_ptr<Connection>& conn,
+                                      const Request& request) {
+  // Holds the scheduler lock across the batch so no tenant can be
+  // unregistered (and its handle freed) underneath the fan-out. New
+  // admissions stall for the evaluation only — every reply is
+  // formatted under the lock but SENT after it drops, so a client
+  // that stops reading blocks its own reader thread, never sched_mu_.
+  std::vector<Response> responses;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    std::vector<std::pair<std::string, DbHandle>> targets;
+    targets.reserve(tenants_.size());
+    for (const auto& [name, tenant] : tenants_) {
+      if (!tenant->dead) targets.emplace_back(name, tenant->handle);
+    }
+    std::sort(targets.begin(), targets.end());
+    std::vector<DbHandle> handles;
+    handles.reserve(targets.size());
+    for (const auto& [name, handle] : targets) handles.push_back(handle);
+    const std::vector<BatchReport> reports = session_.EvaluateAll(handles);
+    responses.reserve(targets.size() + 1);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      std::vector<std::string> args;
+      args.push_back(EncodeToken(targets[i].first));
+      args.push_back(std::to_string(session_.NumFacts(handles[i])));
+      args.push_back(std::to_string(reports[i].num_minimal_subsets));
+      args.push_back(reports[i].truncated ? "1" : "0");
+      for (const MeasureResult& m : reports[i].measures) {
+        args.push_back(EncodeToken(m.name));
+        args.push_back(FormatDouble(m.value));
+      }
+      responses.push_back(Response::Item(request.tag, std::move(args)));
+    }
+    responses.push_back(
+        Response::Ok(request.tag, {std::to_string(targets.size())}));
+  }
+  for (const Response& response : responses) conn->Send(response);
 }
 
 Response ServiceServer::DoEvaluate(const std::string& tag,
@@ -402,103 +500,128 @@ Response ServiceServer::DoEvaluate(const std::string& tag,
 
 void ServiceServer::ExecuteQueued(const std::shared_ptr<Tenant>& tenant,
                                   PendingOp op) {
+  const VerbBinding& binding = BindingFor(op.request.verb);
+  (this->*binding.queued_fn)(tenant, std::move(op));
+}
+
+void ServiceServer::HandleApply(const std::shared_ptr<Tenant>& tenant,
+                                PendingOp op) {
   const Request& request = op.request;
   const std::string& tag = request.tag;
-  switch (request.verb) {
-    case Verb::kApply: {
-      RepairOperation repair = RepairOperation::Deletion(0);
-      switch (request.apply_kind) {
-        case ApplyKind::kInsert: {
-          const size_t arity = schema_->relation(relation_).arity();
-          if (request.values.size() != arity) {
-            op.conn->Send(Response::Error(
-                tag, "BAD_REQUEST",
-                StrFormat("INSERT arity mismatch: got %zu values, relation "
-                          "has %zu attributes",
-                          request.values.size(), arity)));
-            return;
-          }
-          repair = RepairOperation::Insertion(
-              Fact(relation_, request.values));
-          break;
-        }
-        case ApplyKind::kDelete:
-          repair = RepairOperation::Deletion(request.fact_id);
-          break;
-        case ApplyKind::kUpdate: {
-          if (request.attr >= schema_->relation(relation_).arity()) {
-            op.conn->Send(Response::Error(tag, "BAD_REQUEST",
-                                          "UPDATE attribute out of range"));
-            return;
-          }
-          repair = RepairOperation::Update(request.fact_id, request.attr,
-                                           request.values[0]);
-          break;
-        }
+  RepairOperation repair = RepairOperation::Deletion(0);
+  switch (request.apply_kind) {
+    case ApplyKind::kInsert: {
+      const size_t arity = schema_->relation(relation_).arity();
+      if (request.values.size() != arity) {
+        op.conn->Send(Response::Error(
+            tag, "BAD_REQUEST",
+            StrFormat("INSERT arity mismatch: got %zu values, relation "
+                      "has %zu attributes",
+                      request.values.size(), arity)));
+        return;
       }
-      const std::optional<FactId> inserted =
-          session_.Apply(tenant->handle, repair);
-      if (inserted.has_value()) {
-        op.conn->Send(Response::Ok(tag, {std::to_string(*inserted)}));
-      } else {
-        op.conn->Send(Response::Ok(tag));
-      }
-      return;
+      repair = RepairOperation::Insertion(Fact(relation_, request.values));
+      break;
     }
-    case Verb::kEvaluate:
-      op.conn->Send(DoEvaluate(tag, tenant->name, tenant->handle));
-      return;
-    case Verb::kStats: {
-      const TablePrinter table =
-          ConstraintStatsTable(session_.ConstraintStats(tenant->handle));
-      op.conn->Send(Response::Ok(
-          tag, {EncodeToken(table.ToJson("constraint_stats"))}));
-      return;
-    }
-    case Verb::kDump: {
-      const auto rows = session_.CopyFacts(tenant->handle);
-      for (const auto& [id, values] : rows) {
-        std::vector<std::string> args;
-        args.push_back(std::to_string(id));
-        for (const Value& v : values) args.push_back(EncodeValue(v));
-        op.conn->Send(Response::Item(tag, std::move(args)));
+    case ApplyKind::kDelete:
+      repair = RepairOperation::Deletion(request.fact_id);
+      break;
+    case ApplyKind::kUpdate: {
+      if (request.attr >= schema_->relation(relation_).arity()) {
+        op.conn->Send(Response::Error(tag, "BAD_REQUEST",
+                                      "UPDATE attribute out of range"));
+        return;
       }
-      op.conn->Send(Response::Ok(tag, {std::to_string(rows.size())}));
-      return;
+      repair = RepairOperation::Update(request.fact_id, request.attr,
+                                       request.values[0]);
+      break;
     }
-    case Verb::kUnregister: {
-      // Retire the tenant from the registry FIRST, under sched_mu_, and only
-      // then free the MeasureSession handle. EVALUATE_ALL snapshots live
-      // handles and evaluates them under the same lock, so marking the
-      // tenant dead before Unregister guarantees it can never hand a freed
-      // handle to the session (which would DBIM_CHECK-abort the daemon).
-      std::deque<PendingOp> orphaned;
-      std::function<void()> hook;
-      {
-        std::lock_guard<std::mutex> lock(sched_mu_);
-        tenant->dead = true;
-        orphaned.swap(tenant->queue);
-        auto it = tenants_.find(tenant->name);
-        if (it != tenants_.end() && it->second == tenant) tenants_.erase(it);
-        hook = unregister_hook_;
-      }
-      // Test hook: holds this worker inside the retired-but-not-yet-freed
-      // window so tests can prove EVALUATE_ALL no longer sees the tenant.
-      if (hook) hook();
-      session_.Unregister(tenant->handle);
-      // Operations admitted behind the unregister lose their session.
-      for (const PendingOp& orphan : orphaned) {
-        orphan.conn->Send(Response::Error(orphan.request.tag, "NO_SESSION",
-                                          "session was unregistered"));
-      }
-      op.conn->Send(Response::Ok(tag));
-      return;
-    }
-    default:
-      op.conn->Send(
-          Response::Error(tag, "INTERNAL", "verb cannot be queued"));
-      return;
   }
+  const std::optional<FactId> inserted =
+      session_.Apply(tenant->handle, repair);
+  if (inserted.has_value()) {
+    op.conn->Send(Response::Ok(tag, {std::to_string(*inserted)}));
+  } else {
+    op.conn->Send(Response::Ok(tag));
+  }
+}
+
+void ServiceServer::HandleEvaluate(const std::shared_ptr<Tenant>& tenant,
+                                   PendingOp op) {
+  op.conn->Send(DoEvaluate(op.request.tag, tenant->name, tenant->handle));
+}
+
+void ServiceServer::HandleStats(const std::shared_ptr<Tenant>& tenant,
+                                PendingOp op) {
+  const TablePrinter table =
+      ConstraintStatsTable(session_.ConstraintStats(tenant->handle));
+  op.conn->Send(Response::Ok(
+      op.request.tag, {EncodeToken(table.ToJson("constraint_stats")),
+                       EncodeToken(DurabilityJson())}));
+}
+
+std::string ServiceServer::DurabilityJson() const {
+  if (options_.store == nullptr) return "{\"durable\":0}";
+  const storage::DurabilityStats stats = options_.store->Stats();
+  return StrFormat(
+      "{\"durable\":1,\"epoch\":%llu,\"wal_records\":%llu,"
+      "\"wal_bytes\":%llu,\"wal_syncs\":%llu,\"checkpoints\":%llu,"
+      "\"recovered_sessions\":%llu,\"recovered_records\":%llu}",
+      static_cast<unsigned long long>(stats.epoch),
+      static_cast<unsigned long long>(stats.wal_records),
+      static_cast<unsigned long long>(stats.wal_bytes),
+      static_cast<unsigned long long>(stats.wal_syncs),
+      static_cast<unsigned long long>(stats.checkpoints),
+      static_cast<unsigned long long>(stats.recovered_sessions),
+      static_cast<unsigned long long>(stats.recovered_records));
+}
+
+void ServiceServer::HandleDump(const std::shared_ptr<Tenant>& tenant,
+                               PendingOp op) {
+  const std::string& tag = op.request.tag;
+  const auto rows = session_.CopyFacts(tenant->handle);
+  for (const auto& [id, values] : rows) {
+    std::vector<std::string> args;
+    args.push_back(std::to_string(id));
+    for (const Value& v : values) args.push_back(EncodeValue(v));
+    op.conn->Send(Response::Item(tag, std::move(args)));
+  }
+  op.conn->Send(Response::Ok(tag, {std::to_string(rows.size())}));
+}
+
+void ServiceServer::HandleUnregister(const std::shared_ptr<Tenant>& tenant,
+                                     PendingOp op) {
+  // Retire the tenant from the registry FIRST, under sched_mu_, and only
+  // then free the MeasureSession handle. EVALUATE_ALL snapshots live
+  // handles and evaluates them under the same lock, so marking the
+  // tenant dead before Unregister guarantees it can never hand a freed
+  // handle to the session (which would DBIM_CHECK-abort the daemon).
+  std::deque<PendingOp> orphaned;
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    tenant->dead = true;
+    orphaned.swap(tenant->queue);
+    auto it = tenants_.find(tenant->name);
+    if (it != tenants_.end() && it->second == tenant) tenants_.erase(it);
+    hook = unregister_hook_;
+  }
+  // Test hook: holds this worker inside the retired-but-not-yet-freed
+  // window so tests can prove EVALUATE_ALL no longer sees the tenant.
+  if (hook) hook();
+  // The drop is durable before the handle is freed: per-tenant execution
+  // is serial, so every apply record for this session already precedes
+  // this unregister record in the log.
+  if (options_.store != nullptr) {
+    options_.store->LogUnregister(tenant->name);
+  }
+  session_.Unregister(tenant->handle);
+  // Operations admitted behind the unregister lose their session.
+  for (const PendingOp& orphan : orphaned) {
+    orphan.conn->Send(Response::Error(orphan.request.tag, "NO_SESSION",
+                                      "session was unregistered"));
+  }
+  op.conn->Send(Response::Ok(op.request.tag));
 }
 
 void ServiceServer::WorkerLoop() {

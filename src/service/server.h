@@ -15,6 +15,7 @@
 
 #include "measures/session.h"
 #include "service/protocol.h"
+#include "storage/durable_store.h"
 
 namespace dbim {
 
@@ -44,6 +45,14 @@ struct ServiceOptions {
   /// fact ids under the per-session serial queue, and an async vacuum
   /// would add nothing a client can observe.
   MeasureSessionOptions session;
+
+  /// Optional durability: an opened DurableSessionStore (not owned; must
+  /// outlive the server). The server wires it into the hosted session's
+  /// durability hook, recovers every logged session at Start (seeding the
+  /// tenant registry so clients can REGISTER ... ATTACH to them), WALs
+  /// REGISTER/UNREGISTER, and serves CHECKPOINT. Null = no durability —
+  /// the default, and byte-identical behavior to a pre-durability server.
+  storage::DurableSessionStore* store = nullptr;
 };
 
 /// A long-lived measure-service daemon: one hosted MeasureSession (one
@@ -52,9 +61,9 @@ struct ServiceOptions {
 ///
 /// Concurrency model:
 ///
-///  * one reader thread per connection parses lines and answers PING /
-///    SCHEMA / REGISTER / VACUUM / EVALUATE_ALL inline; session-addressed
-///    verbs (APPLY / EVALUATE / STATS / DUMP / UNREGISTER) are admitted to
+///  * one reader thread per connection parses lines and answers inline and
+///    exclusive verbs (the Dispatch column of protocol.h's CommandTable)
+///    directly; queued verbs — the session-addressed ones — are admitted to
 ///    that session's bounded work queue (full queue => ERR BUSY, request
 ///    dropped) — so a connection's requests to one session execute in send
 ///    order, which is what makes wire trajectories reproducible against an
@@ -94,6 +103,11 @@ class ServiceServer {
   uint16_t port() const { return bound_port_; }
 
   MeasureSession& session() { return session_; }
+
+  /// Sessions rebuilt from the durable store by Start (empty without one).
+  const std::vector<storage::RecoveredSession>& recovered_sessions() const {
+    return recovered_;
+  }
 
   /// Test/bench hooks: freeze the worker pool so queued operations
   /// accumulate deterministically, then release it. With workers paused,
@@ -137,17 +151,46 @@ class ServiceServer {
   struct Connection;
   struct Tenant;
   struct PendingOp;
+  struct VerbBinding;
 
   void AcceptLoop();
   void ReaderLoop(uint64_t reader_id, std::shared_ptr<Connection> conn);
   void WorkerLoop();
   void HandleLine(const std::shared_ptr<Connection>& conn,
                   const std::string& line);
-  void ExecuteInline(const std::shared_ptr<Connection>& conn,
-                     const Request& request);
   void ExecuteQueued(const std::shared_ptr<Tenant>& tenant, PendingOp op);
+
+  /// The verb -> handler table (indexed by Verb, mirroring CommandTable):
+  /// inline/exclusive verbs run on the reader thread, queued verbs on a
+  /// worker after admission.
+  static const VerbBinding& BindingFor(Verb verb);
+
+  // Inline/exclusive handlers (reader thread).
+  void HandlePing(const std::shared_ptr<Connection>& conn,
+                  const Request& request);
+  void HandleSchema(const std::shared_ptr<Connection>& conn,
+                    const Request& request);
+  void HandleRegister(const std::shared_ptr<Connection>& conn,
+                      const Request& request);
+  void HandleVacuum(const std::shared_ptr<Connection>& conn,
+                    const Request& request);
+  void HandleCheckpoint(const std::shared_ptr<Connection>& conn,
+                        const Request& request);
+  void HandleEvaluateAll(const std::shared_ptr<Connection>& conn,
+                         const Request& request);
+
+  // Queued handlers (worker thread, per-session serial).
+  void HandleApply(const std::shared_ptr<Tenant>& tenant, PendingOp op);
+  void HandleEvaluate(const std::shared_ptr<Tenant>& tenant, PendingOp op);
+  void HandleStats(const std::shared_ptr<Tenant>& tenant, PendingOp op);
+  void HandleDump(const std::shared_ptr<Tenant>& tenant, PendingOp op);
+  void HandleUnregister(const std::shared_ptr<Tenant>& tenant, PendingOp op);
+
   Response DoEvaluate(const std::string& tag, const std::string& name,
                       DbHandle handle);
+  /// The STATS durability token: {"durable":0} without a store, else the
+  /// store's counters as JSON.
+  std::string DurabilityJson() const;
 
   std::shared_ptr<const Schema> schema_;
   RelationId relation_;
@@ -158,6 +201,8 @@ class ServiceServer {
   uint16_t bound_port_ = 0;
   std::atomic<bool> stopping_{false};
   bool started_ = false;
+  bool recovery_done_ = false;
+  std::vector<storage::RecoveredSession> recovered_;
 
   // Scheduler state: tenant registry, the fairness ring and the pause
   // flag, all under one mutex (critical sections are pointer shuffles).

@@ -1,5 +1,6 @@
 #include "service/spec.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -101,6 +102,35 @@ ServiceSpec ExampleSpec() {
   spec.relation = example.relation;
   spec.constraints = std::move(example.dcs);
   return spec;
+}
+
+SessionOptions SessionOptionsFromFlags(int argc, char** argv) {
+  auto flag_value = [&](const char* name) -> std::string {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+      if (StartsWith(argv[i], prefix)) return argv[i] + prefix.size();
+    }
+    return "";
+  };
+  auto has_flag = [&](const char* name) {
+    const std::string flag = std::string("--") + name;
+    for (int i = 1; i < argc; ++i) {
+      if (flag == argv[i]) return true;
+    }
+    return false;
+  };
+
+  SessionOptions options;
+  const std::string threads = flag_value("threads");
+  if (!threads.empty()) {
+    options.WithThreads(std::strtoull(threads.c_str(), nullptr, 10));
+  }
+  options.WithIncludeMC(has_flag("mc"))
+      .WithParallelMeasures(has_flag("parallel-measures"));
+  for (const std::string& name : Split(flag_value("measures"), ',')) {
+    if (!name.empty()) options.WithMeasure(name);
+  }
+  return options;
 }
 
 }  // namespace dbim

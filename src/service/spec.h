@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "constraints/dc.h"
+#include "measures/session.h"
 #include "relational/schema.h"
 
 namespace dbim {
@@ -40,6 +41,16 @@ bool LoadSpecFile(const std::string& path, ServiceSpec* spec,
 /// built-in workload dbimd serves when started with --example, so smoke
 /// tests and the load generator need no spec file on disk.
 ServiceSpec ExampleSpec();
+
+/// Parses the session-engine flags shared by dbim_cli and dbimd into one
+/// SessionOptions — the single place the flag spelling maps onto the
+/// options struct, so no tool assembles it field-by-field:
+///
+///   --threads=N           detection worker threads (0 = hardware)
+///   --measures=I_d,I_MI   restrict to the named measures
+///   --mc                  include the model-counting measure I_MC
+///   --parallel-measures   evaluate selected measures concurrently
+SessionOptions SessionOptionsFromFlags(int argc, char** argv);
 
 }  // namespace dbim
 

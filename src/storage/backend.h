@@ -1,0 +1,88 @@
+#ifndef DBIM_STORAGE_BACKEND_H_
+#define DBIM_STORAGE_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dbim {
+namespace storage {
+
+/// Read-only view of one stored file's bytes. The flat-file backend maps
+/// the file (munmap on destruction); other backends may hand out owned
+/// buffers — callers only see a span.
+class SegmentView {
+ public:
+  virtual ~SegmentView() = default;
+  virtual const char* data() const = 0;
+  virtual size_t size() const = 0;
+};
+
+/// Sentinel for WalOpen: keep the log's current contents untouched.
+inline constexpr uint64_t kKeepWalContents = ~0ull;
+
+/// The pluggable record-storage boundary under DurableSessionStore
+/// (modeled on DuroDBMS's `rec/` layer: interchangeable backends behind
+/// one small API). A backend owns one directory-like namespace of
+/// immutable segment files, one append-only write-ahead log, and one
+/// manifest slot; all durability *policy* — segment/WAL formats, group
+/// commit, the checkpoint protocol, recovery — lives above it in
+/// DurableSessionStore, so a second backend (block store, object store)
+/// only reimplements these primitives.
+///
+/// Contract:
+///  * WriteSegment / CommitManifest are atomic replacements: after a
+///    crash, readers see either the old bytes or the new bytes in full,
+///    never a torn mix, and the new bytes are durable on return
+///    (write tmp + fsync + rename + fsync dir in the flat-file backend).
+///    CommitManifest is the checkpoint commit point.
+///  * The WAL is a single open log: WalOpen selects (and creates) it,
+///    optionally truncating — switching logs at a checkpoint, cutting a
+///    torn tail at recovery. WalAppend buffers; WalSync makes everything
+///    appended so far durable. The caller serializes WAL calls.
+///  * Thread safety: calls may come from any thread but are externally
+///    serialized per method group by DurableSessionStore; implementations
+///    need no internal locking.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Opens (creating if needed) the backing store. Call once, first.
+  virtual bool Open(std::string* error) = 0;
+
+  // -- segments --
+  virtual bool WriteSegment(const std::string& name, const std::string& bytes,
+                            std::string* error) = 0;
+  virtual std::unique_ptr<SegmentView> ReadSegment(const std::string& name,
+                                                   std::string* error) = 0;
+  virtual bool RemoveSegment(const std::string& name) = 0;
+  /// Every segment/log file name in the store (manifest excluded).
+  virtual std::vector<std::string> ListSegments() = 0;
+
+  // -- manifest --
+  /// False with *exists == false: no manifest yet (fresh store).
+  virtual bool ReadManifest(std::string* bytes, bool* exists,
+                            std::string* error) = 0;
+  virtual bool CommitManifest(const std::string& bytes,
+                              std::string* error) = 0;
+
+  // -- write-ahead log --
+  /// Makes `name` the open log, creating it if missing. `truncate_to`
+  /// cuts the file to that many bytes first (0 = start fresh);
+  /// kKeepWalContents appends after the existing tail.
+  virtual bool WalOpen(const std::string& name, uint64_t truncate_to,
+                       std::string* error) = 0;
+  virtual bool WalAppend(const void* data, size_t size,
+                         std::string* error) = 0;
+  virtual bool WalSync(std::string* error) = 0;
+  virtual uint64_t WalSize() const = 0;
+};
+
+/// First implementation: one flat directory of files, mmap-backed reads.
+std::unique_ptr<StorageBackend> CreateFlatFileBackend(std::string directory);
+
+}  // namespace storage
+}  // namespace dbim
+
+#endif  // DBIM_STORAGE_BACKEND_H_

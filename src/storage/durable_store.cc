@@ -1,0 +1,422 @@
+#include "storage/durable_store.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "storage/format.h"
+
+namespace dbim {
+namespace storage {
+
+namespace {
+
+/// Parses "<prefix><epoch>[.suffix]" and returns the epoch, or nullopt for
+/// names this store did not write.
+std::optional<uint64_t> EpochOfFile(const std::string& name) {
+  for (const char* prefix : {"pool.", "db.", "wal."}) {
+    if (!StartsWith(name, prefix)) continue;
+    const std::string rest = name.substr(std::strlen(prefix));
+    char* end = nullptr;
+    const uint64_t epoch = std::strtoull(rest.c_str(), &end, 10);
+    if (end == rest.c_str()) return std::nullopt;
+    return epoch;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+DurableSessionStore::DurableSessionStore(
+    std::shared_ptr<const Schema> schema,
+    std::unique_ptr<StorageBackend> backend, DurabilityOptions options)
+    : schema_(std::move(schema)),
+      backend_(std::move(backend)),
+      options_(options) {
+  DBIM_CHECK(schema_ != nullptr && backend_ != nullptr);
+}
+
+DurableSessionStore::~DurableSessionStore() = default;
+
+std::string DurableSessionStore::PoolSegmentName(uint64_t epoch) const {
+  return StrFormat("pool.%llu", static_cast<unsigned long long>(epoch));
+}
+
+std::string DurableSessionStore::DbSegmentName(uint64_t epoch,
+                                               size_t index) const {
+  return StrFormat("db.%llu.%zu", static_cast<unsigned long long>(epoch),
+                   index);
+}
+
+std::string DurableSessionStore::WalName(uint64_t epoch) const {
+  return StrFormat("wal.%llu", static_cast<unsigned long long>(epoch));
+}
+
+bool DurableSessionStore::Open(std::string* error) {
+  DBIM_CHECK_MSG(!opened_, "store already open");
+  if (!backend_->Open(error)) return false;
+  std::string manifest_bytes;
+  bool exists = false;
+  if (!backend_->ReadManifest(&manifest_bytes, &exists, error) && exists) {
+    return false;  // present but unreadable: hard error, not a fresh store
+  }
+  if (exists) {
+    Manifest manifest;
+    if (!DecodeManifest(manifest_bytes.data(), manifest_bytes.size(),
+                        &manifest, error)) {
+      return false;
+    }
+    epoch_ = manifest.epoch;
+  } else {
+    // Fresh store: commit an empty epoch-0 manifest first, so a crash
+    // between now and the first checkpoint recovers to "empty + log".
+    if (!backend_->CommitManifest(EncodeManifest(Manifest{}), error)) {
+      return false;
+    }
+    epoch_ = 0;
+  }
+  if (!backend_->WalOpen(WalName(epoch_), kKeepWalContents, error)) {
+    return false;
+  }
+  wal_bytes_.store(backend_->WalSize(), std::memory_order_relaxed);
+  opened_ = true;
+  return true;
+}
+
+bool DurableSessionStore::Recover(MeasureSession* session,
+                                  std::vector<RecoveredSession>* recovered,
+                                  std::string* error) {
+  DBIM_CHECK_MSG(opened_, "Open the store before Recover");
+  DBIM_CHECK_MSG(session->num_registered() == 0 && appended_seq_ == 0,
+                 "Recover needs a fresh session and an unused store");
+  recovering_.store(true, std::memory_order_relaxed);
+
+  std::string manifest_bytes;
+  bool exists = false;
+  if (!backend_->ReadManifest(&manifest_bytes, &exists, error) || !exists) {
+    if (error != nullptr && error->empty()) *error = "manifest missing";
+    recovering_.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  Manifest manifest;
+  if (!DecodeManifest(manifest_bytes.data(), manifest_bytes.size(), &manifest,
+                      error)) {
+    recovering_.store(false, std::memory_order_relaxed);
+    return false;
+  }
+
+  // Recovery is single-threaded by contract (fresh session, unused store),
+  // so the name maps are built locally and installed under meta_mu_ only at
+  // the end. Holding meta_mu_ across Register/Apply would invert the
+  // session-lock -> meta_mu_ order the OnApply hook establishes.
+  std::unordered_map<DbHandle, std::string> handle_to_name;
+  std::unordered_map<std::string, DbHandle> name_to_handle;
+  std::vector<RecoveredSession> out;
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    recovering_.store(false, std::memory_order_relaxed);
+    return false;
+  };
+  const auto bind = [&](const std::string& name, DbHandle handle) {
+    handle_to_name[handle] = name;
+    name_to_handle[name] = handle;
+    out.push_back(RecoveredSession{name, handle});
+  };
+
+  // 1. Checkpoint base: the dictionary segment, then one columnar segment
+  // per manifest session, registered in manifest order. The decoded pool
+  // reproduces the checkpoint's exact ValueIds, so the adopted columns are
+  // byte-identical to the pre-crash process; Register then re-interns them
+  // onto the session's own pool through the same code path live
+  // registration uses (row order preserved).
+  if (!manifest.sessions.empty()) {
+    auto pool = std::make_shared<ValuePool>();
+    std::unique_ptr<SegmentView> view =
+        backend_->ReadSegment(PoolSegmentName(manifest.epoch), error);
+    if (view == nullptr ||
+        !DecodePoolSegment(view->data(), view->size(), pool.get(), error)) {
+      recovering_.store(false, std::memory_order_relaxed);
+      return false;
+    }
+    for (size_t i = 0; i < manifest.sessions.size(); ++i) {
+      const std::string& name = manifest.sessions[i];
+      std::unique_ptr<SegmentView> seg =
+          backend_->ReadSegment(DbSegmentName(manifest.epoch, i), error);
+      Database::SegmentImage image;
+      if (seg == nullptr ||
+          !DecodeDbSegment(seg->data(), seg->size(), &image, error)) {
+        recovering_.store(false, std::memory_order_relaxed);
+        return false;
+      }
+      if (name_to_handle.count(name) != 0) {
+        return fail("manifest names session '" + name + "' twice");
+      }
+      bind(name, session->Register(
+                     Database::FromSegmentImage(schema_, pool, image)));
+    }
+  }
+
+  // 2. Log replay through the live mutation path (incremental violation
+  // indices are maintained record by record, exactly as the pre-crash
+  // process maintained them). Replayed Applies re-enter OnApply, which the
+  // recovering_ flag turns into a no-op.
+  std::unique_ptr<SegmentView> log =
+      backend_->ReadSegment(WalName(manifest.epoch), error);
+  if (log == nullptr) {
+    recovering_.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  size_t offset = 0;
+  uint64_t replayed = 0;
+  while (offset < log->size()) {
+    const auto frame = ReadWalFrame(log->data(), log->size(), &offset);
+    if (!frame.has_value()) break;  // torn tail: truncate below
+    WalRecord record;
+    std::string decode_error;
+    if (!DecodeWalRecord(frame->first, frame->second, &record,
+                         &decode_error)) {
+      // Checksum-valid but unparseable is corruption, not a torn write.
+      return fail("wal record " + std::to_string(replayed) +
+                  " corrupt: " + decode_error);
+    }
+    switch (record.type) {
+      case WalRecordType::kRegister: {
+        if (name_to_handle.count(record.session) != 0) {
+          return fail("wal re-registers live session '" + record.session +
+                      "'");
+        }
+        Database seed(schema_);
+        for (auto& [id, fact] : record.seed_rows) {
+          seed.InsertWithId(id, std::move(fact));
+        }
+        bind(record.session, session->Register(seed));
+        break;
+      }
+      case WalRecordType::kUnregister: {
+        const auto it = name_to_handle.find(record.session);
+        if (it == name_to_handle.end()) {
+          return fail("wal unregisters unknown session '" + record.session +
+                      "'");
+        }
+        session->Unregister(it->second);
+        handle_to_name.erase(it->second);
+        out.erase(std::remove_if(out.begin(), out.end(),
+                                 [&](const RecoveredSession& r) {
+                                   return r.name == record.session;
+                                 }),
+                  out.end());
+        name_to_handle.erase(it);
+        break;
+      }
+      case WalRecordType::kApply: {
+        const auto it = name_to_handle.find(record.session);
+        if (it == name_to_handle.end()) {
+          return fail("wal applies to unknown session '" + record.session +
+                      "'");
+        }
+        session->Apply(it->second, *record.op);
+        break;
+      }
+    }
+    ++replayed;
+  }
+
+  // 3. Cut the torn tail (if any) so post-recovery appends continue from
+  // the last complete record, then resume appending to the same log.
+  if (!backend_->WalOpen(WalName(manifest.epoch), offset, error)) {
+    recovering_.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> meta(meta_mu_);
+    handle_to_name_ = std::move(handle_to_name);
+    name_to_handle_ = std::move(name_to_handle);
+  }
+  {
+    std::lock_guard<std::mutex> commit(commit_mu_);
+    wal_records_ = replayed;
+    wal_bytes_.store(backend_->WalSize(), std::memory_order_relaxed);
+  }
+  epoch_ = manifest.epoch;
+  recovered_sessions_ = out.size();
+  recovered_records_ = replayed;
+  RemoveStaleEpochs(epoch_);
+  if (recovered != nullptr) *recovered = std::move(out);
+  recovering_.store(false, std::memory_order_relaxed);
+  return true;
+}
+
+void DurableSessionStore::LogRegister(const std::string& name,
+                                      DbHandle handle, const Database* seed) {
+  DBIM_CHECK_MSG(opened_, "store not open");
+  std::lock_guard<std::mutex> meta(meta_mu_);
+  DBIM_CHECK_MSG(name_to_handle_.count(name) == 0,
+                 "session '%s' already registered with the store",
+                 name.c_str());
+  handle_to_name_[handle] = name;
+  name_to_handle_[name] = handle;
+  std::vector<std::pair<FactId, Fact>> seeds;
+  if (seed != nullptr && !seed->empty()) {
+    seeds.reserve(seed->size());
+    seed->ForEachId(
+        [&](FactId id) { seeds.emplace_back(id, seed->fact(id)); });
+  }
+  AppendDurable(EncodeRegisterRecord(name, seeds));
+}
+
+void DurableSessionStore::LogUnregister(const std::string& name) {
+  DBIM_CHECK_MSG(opened_, "store not open");
+  std::lock_guard<std::mutex> meta(meta_mu_);
+  const auto it = name_to_handle_.find(name);
+  DBIM_CHECK_MSG(it != name_to_handle_.end(),
+                 "session '%s' not registered with the store", name.c_str());
+  handle_to_name_.erase(it->second);
+  name_to_handle_.erase(it);
+  AppendDurable(EncodeUnregisterRecord(name));
+}
+
+void DurableSessionStore::OnApply(DbHandle handle, const RepairOperation& op) {
+  if (recovering_.load(std::memory_order_relaxed)) return;  // replaying
+  DBIM_CHECK_MSG(opened_, "store not open");
+  std::string name;
+  {
+    std::lock_guard<std::mutex> meta(meta_mu_);
+    const auto it = handle_to_name_.find(handle);
+    DBIM_CHECK_MSG(it != handle_to_name_.end(),
+                   "Apply on handle %u the store has no LogRegister for",
+                   handle);
+    name = it->second;
+  }
+  AppendDurable(EncodeApplyRecord(name, op));
+}
+
+void DurableSessionStore::AppendDurable(std::string payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  AppendWalFrame(&frame, payload);
+  std::unique_lock<std::mutex> lk(commit_mu_);
+  pending_.push_back(std::move(frame));
+  const uint64_t my_seq = ++appended_seq_;
+  ++wal_records_;
+  while (durable_seq_ < my_seq) {
+    if (!leader_active_) {
+      // Become leader: drain up to the batch cap in FIFO order, write and
+      // sync outside the lock, then wake every waiter the batch covered.
+      leader_active_ = true;
+      const size_t cap = std::max<size_t>(1, options_.group_commit_max_ops);
+      std::vector<std::string> batch;
+      while (!pending_.empty() && batch.size() < cap) {
+        batch.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+      written_seq_ += batch.size();
+      const uint64_t batch_end = written_seq_;
+      lk.unlock();
+      std::string error;
+      for (const std::string& f : batch) {
+        DBIM_CHECK_MSG(backend_->WalAppend(f.data(), f.size(), &error),
+                       "wal append failed: %s", error.c_str());
+      }
+      if (options_.sync) {
+        DBIM_CHECK_MSG(backend_->WalSync(&error), "wal sync failed: %s",
+                       error.c_str());
+      }
+      lk.lock();
+      if (options_.sync) ++wal_syncs_;
+      durable_seq_ = batch_end;
+      wal_bytes_.store(backend_->WalSize(), std::memory_order_relaxed);
+      leader_active_ = false;
+      commit_cv_.notify_all();
+    } else {
+      commit_cv_.wait(lk);
+    }
+  }
+}
+
+void DurableSessionStore::OnCheckpoint(
+    const std::vector<std::pair<DbHandle, const Database*>>& databases) {
+  if (recovering_.load(std::memory_order_relaxed)) return;
+  DBIM_CHECK_MSG(opened_, "store not open");
+  // Serializes against LogRegister/LogUnregister: a concurrently created
+  // session either waits and lands its record in the new epoch's log, or
+  // already holds meta_mu_ and is therefore named in the new manifest.
+  std::lock_guard<std::mutex> meta(meta_mu_);
+  {
+    // The caller holds the session lock exclusively, so no OnApply is in
+    // flight and the queue must have drained.
+    std::lock_guard<std::mutex> commit(commit_mu_);
+    DBIM_CHECK(pending_.empty());
+  }
+  const uint64_t next = epoch_ + 1;
+  std::string error;
+  Manifest manifest;
+  manifest.epoch = next;
+  for (const auto& [handle, db] : databases) {
+    const auto it = handle_to_name_.find(handle);
+    // Registered with the session but LogRegister not reached yet: skip —
+    // its register record is ordered into the new epoch's log.
+    if (it == handle_to_name_.end()) continue;
+    DBIM_CHECK_MSG(
+        backend_->WriteSegment(DbSegmentName(next, manifest.sessions.size()),
+                               EncodeDbSegment(db->ExportSegmentImage()),
+                               &error),
+        "checkpoint segment write failed: %s", error.c_str());
+    manifest.sessions.push_back(it->second);
+  }
+  if (!manifest.sessions.empty()) {
+    DBIM_CHECK_MSG(
+        backend_->WriteSegment(
+            PoolSegmentName(next),
+            EncodePoolSegment(databases.front().second->pool()), &error),
+        "checkpoint pool write failed: %s", error.c_str());
+  }
+  // Switch to the new epoch's (empty) log *before* the manifest commit: a
+  // crash in between recovers from the old manifest + old log, and the
+  // stale new-epoch files are garbage-collected.
+  DBIM_CHECK_MSG(backend_->WalOpen(WalName(next), 0, &error),
+                 "checkpoint wal switch failed: %s", error.c_str());
+  DBIM_CHECK_MSG(backend_->CommitManifest(EncodeManifest(manifest), &error),
+                 "manifest commit failed: %s", error.c_str());
+  {
+    std::lock_guard<std::mutex> commit(commit_mu_);
+    wal_records_ = 0;
+    wal_bytes_.store(0, std::memory_order_relaxed);
+  }
+  epoch_ = next;
+  ++checkpoints_;
+  RemoveStaleEpochs(next);
+}
+
+bool DurableSessionStore::WantsCheckpoint() const {
+  return opened_ && !recovering_.load(std::memory_order_relaxed) &&
+         options_.checkpoint_wal_bytes > 0 &&
+         wal_bytes_.load(std::memory_order_relaxed) >=
+             options_.checkpoint_wal_bytes;
+}
+
+void DurableSessionStore::RemoveStaleEpochs(uint64_t keep) {
+  for (const std::string& name : backend_->ListSegments()) {
+    const std::optional<uint64_t> epoch = EpochOfFile(name);
+    if (epoch.has_value() && *epoch != keep) backend_->RemoveSegment(name);
+  }
+}
+
+DurabilityStats DurableSessionStore::Stats() const {
+  DurabilityStats stats;
+  std::lock_guard<std::mutex> meta(meta_mu_);
+  std::lock_guard<std::mutex> commit(commit_mu_);
+  stats.epoch = epoch_;
+  stats.wal_records = wal_records_;
+  stats.wal_bytes = wal_bytes_.load(std::memory_order_relaxed);
+  stats.wal_syncs = wal_syncs_;
+  stats.checkpoints = checkpoints_;
+  stats.recovered_sessions = recovered_sessions_;
+  stats.recovered_records = recovered_records_;
+  return stats;
+}
+
+}  // namespace storage
+}  // namespace dbim

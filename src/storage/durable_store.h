@@ -1,0 +1,192 @@
+#ifndef DBIM_STORAGE_DURABLE_STORE_H_
+#define DBIM_STORAGE_DURABLE_STORE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "measures/session.h"
+#include "relational/schema.h"
+#include "storage/backend.h"
+
+namespace dbim {
+namespace storage {
+
+/// Knobs of one DurableSessionStore.
+struct DurabilityOptions {
+  /// fsync the log before an Apply/Register/Unregister is acknowledged.
+  /// True is the real durability guarantee (survives power loss); false
+  /// still writes every record to the OS (survives process crashes like
+  /// kill -9, which is what the recovery tests exercise) but an OS crash
+  /// can lose the buffered tail.
+  bool sync = true;
+
+  /// Group commit: one leader drains up to this many pending records per
+  /// fsync, so concurrent appliers on distinct sessions share a sync
+  /// instead of paying one each. 1 = sync per record.
+  size_t group_commit_max_ops = 64;
+
+  /// Auto-checkpoint once the log grows past this many bytes (the session
+  /// polls WantsCheckpoint after each Apply). 0 = checkpoint only on
+  /// explicit Vacuum / CHECKPOINT.
+  uint64_t checkpoint_wal_bytes = 16ull << 20;
+};
+
+/// Durability counters for STATS and the daemon's shutdown line.
+struct DurabilityStats {
+  uint64_t epoch = 0;          // current checkpoint epoch
+  uint64_t wal_records = 0;    // records appended since last checkpoint
+  uint64_t wal_bytes = 0;      // log size since last checkpoint
+  uint64_t wal_syncs = 0;      // fsyncs paid (< records under group commit)
+  uint64_t checkpoints = 0;    // checkpoints taken this process
+  uint64_t recovered_sessions = 0;
+  uint64_t recovered_records = 0;  // WAL records replayed at recovery
+};
+
+/// One session name -> handle binding produced by Recover.
+struct RecoveredSession {
+  std::string name;
+  DbHandle handle = 0;
+};
+
+/// Durability orchestrator for one MeasureSession: the policy layer over a
+/// StorageBackend. Implements SessionDurabilityHook, so wiring is
+///
+///   auto store = std::make_unique<DurableSessionStore>(
+///       schema, CreateFlatFileBackend(dir), options);
+///   store->Open(&error);
+///   MeasureSession session(schema, sigma,
+///                          SessionOptions().WithDurability(store.get()));
+///   store->Recover(&session, &recovered, &error);   // crash-safe restart
+///
+/// State on disk (all through the backend):
+///   MANIFEST        current epoch E + session names, the commit point
+///   pool.<E>        ValuePool dictionary segment
+///   db.<E>.<i>      columnar segment of manifest session i
+///   wal.<E>         framed log of every Register/Unregister/Apply since E
+///
+/// The log is *logical* — records are keyed by session name, operations by
+/// the stable FactIds the engine assigns deterministically — so recovery
+/// replays through MeasureSession::Apply and the incremental violation
+/// index is rebuilt by the exact code path live traffic uses.
+///
+/// Ordering guarantees:
+///  * OnApply is called by Apply under the session + handle locks before
+///    the mutation, so per-session log order equals mutation order and a
+///    record is durable (per DurabilityOptions::sync) before the engine
+///    acknowledges the operation;
+///  * LogRegister must be called after MeasureSession::Register and before
+///    any Apply for that session is admitted (the service does this by
+///    registering the tenant last); LogUnregister before
+///    MeasureSession::Unregister;
+///  * Checkpoint runs inside Vacuum under the exclusive session lock, and
+///    additionally serializes against LogRegister/LogUnregister with an
+///    internal mutex. A session registered concurrently with a checkpoint
+///    is either named in the new manifest or its register record lands in
+///    the new epoch's log — never lost, never duplicated.
+///
+/// Crash safety: segments and the manifest are written via the backend's
+/// atomic replacement; the manifest rename is the checkpoint commit point
+/// (a crash mid-checkpoint recovers from the old epoch, whose files are
+/// only removed after the new manifest is durable). A torn record at the
+/// log's tail — the kill -9 window — is detected by frame CRC and cut off
+/// at recovery; every complete record is replayed.
+///
+/// I/O failure after Open is fail-stop (DBIM_CHECK): acknowledging writes
+/// a dying disk cannot hold would corrupt the recovery contract.
+class DurableSessionStore : public SessionDurabilityHook {
+ public:
+  DurableSessionStore(std::shared_ptr<const Schema> schema,
+                      std::unique_ptr<StorageBackend> backend,
+                      DurabilityOptions options = {});
+  ~DurableSessionStore() override;
+
+  /// Opens or creates the store (manifest + empty epoch-0 log on first
+  /// use). Call once, before anything else.
+  bool Open(std::string* error);
+
+  /// Rebuilds every durable session into `session` (freshly constructed
+  /// with durability == this): loads the manifest epoch's pool + segments,
+  /// registers them, replays the log through session->Apply, truncates any
+  /// torn tail, and reports the name -> handle bindings. Single-threaded;
+  /// call before serving traffic.
+  bool Recover(MeasureSession* session,
+               std::vector<RecoveredSession>* recovered, std::string* error);
+
+  /// Logs a session creation. `seed` (optional) is the database content at
+  /// registration; the service path always registers empty. Durable on
+  /// return.
+  void LogRegister(const std::string& name, DbHandle handle,
+                   const Database* seed);
+
+  /// Logs a session drop. Durable on return.
+  void LogUnregister(const std::string& name);
+
+  // SessionDurabilityHook — called by the MeasureSession.
+  void OnApply(DbHandle handle, const RepairOperation& op) override;
+  void OnCheckpoint(const std::vector<std::pair<DbHandle, const Database*>>&
+                        databases) override;
+  bool WantsCheckpoint() const override;
+
+  DurabilityStats Stats() const;
+
+ private:
+  /// Frames `payload`, enqueues it and blocks until it is durable (group
+  /// commit: one waiter becomes leader, writes every pending frame in
+  /// order and pays one sync for the batch).
+  void AppendDurable(std::string payload);
+
+  std::string PoolSegmentName(uint64_t epoch) const;
+  std::string DbSegmentName(uint64_t epoch, size_t index) const;
+  std::string WalName(uint64_t epoch) const;
+
+  /// Removes segments/logs of epochs other than `keep` (stale checkpoint
+  /// leftovers; safe because MANIFEST is the single source of truth).
+  void RemoveStaleEpochs(uint64_t keep);
+
+  std::shared_ptr<const Schema> schema_;
+  std::unique_ptr<StorageBackend> backend_;
+  DurabilityOptions options_;
+  bool opened_ = false;
+
+  // Group-commit state. commit_mu_ guards the queue and sequence numbers;
+  // the leader drops it around the actual write+sync.
+  mutable std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  std::deque<std::string> pending_;   // framed records not yet written
+  uint64_t appended_seq_ = 0;         // records enqueued
+  uint64_t written_seq_ = 0;          // records handed to the backend
+  uint64_t durable_seq_ = 0;          // records written (+synced if sync)
+  bool leader_active_ = false;
+  uint64_t wal_records_ = 0;
+  uint64_t wal_syncs_ = 0;
+  std::atomic<uint64_t> wal_bytes_{0};  // log size; WantsCheckpoint polls
+
+  // Session-name bookkeeping + checkpoint/recovery serialization (held for
+  // a whole checkpoint; lock order: session locks before meta_mu_ before
+  // commit_mu_ — so nothing may call into MeasureSession with meta_mu_
+  // held; Recover builds its name maps locally and installs them last).
+  mutable std::mutex meta_mu_;
+  std::unordered_map<DbHandle, std::string> handle_to_name_;
+  std::unordered_map<std::string, DbHandle> name_to_handle_;
+  uint64_t epoch_ = 0;
+  uint64_t checkpoints_ = 0;
+  uint64_t recovered_sessions_ = 0;
+  uint64_t recovered_records_ = 0;
+
+  // True while Recover replays the log: replayed Applies re-enter OnApply,
+  // which must not re-append them.
+  std::atomic<bool> recovering_{false};
+};
+
+}  // namespace storage
+}  // namespace dbim
+
+#endif  // DBIM_STORAGE_DURABLE_STORE_H_

@@ -1,0 +1,269 @@
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "common/string_util.h"
+#include "storage/backend.h"
+
+namespace dbim {
+namespace storage {
+
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool Fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+  return false;
+}
+
+bool WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool FsyncFd(int fd) {
+  while (::fsync(fd) != 0) {
+    if (errno != EINTR) return false;
+  }
+  return true;
+}
+
+/// mmap-backed file view; falls back to an empty span for empty files
+/// (mmap of length 0 is invalid).
+class MappedFile : public SegmentView {
+ public:
+  MappedFile(void* map, size_t size) : map_(map), size_(size) {}
+  ~MappedFile() override {
+    if (map_ != nullptr) ::munmap(map_, size_);
+  }
+  const char* data() const override {
+    return static_cast<const char*>(map_);
+  }
+  size_t size() const override { return size_; }
+
+ private:
+  void* map_;
+  size_t size_;
+};
+
+class FlatFileBackend : public StorageBackend {
+ public:
+  explicit FlatFileBackend(std::string directory)
+      : dir_(std::move(directory)) {}
+
+  ~FlatFileBackend() override {
+    if (wal_fd_ >= 0) ::close(wal_fd_);
+    if (dir_fd_ >= 0) ::close(dir_fd_);
+  }
+
+  bool Open(std::string* error) override {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+      if (error != nullptr) {
+        *error = "create_directories " + dir_ + ": " + ec.message();
+      }
+      return false;
+    }
+    dir_fd_ = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dir_fd_ < 0) return Fail(error, "open dir " + dir_);
+    return true;
+  }
+
+  bool WriteSegment(const std::string& name, const std::string& bytes,
+                    std::string* error) override {
+    return WriteAtomic(name, bytes, error);
+  }
+
+  std::unique_ptr<SegmentView> ReadSegment(const std::string& name,
+                                           std::string* error) override {
+    const std::string path = Path(name);
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      Fail(error, "open " + path);
+      return nullptr;
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      Fail(error, "fstat " + path);
+      ::close(fd);
+      return nullptr;
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      return std::make_unique<MappedFile>(nullptr, 0);
+    }
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED) {
+      Fail(error, "mmap " + path);
+      return nullptr;
+    }
+    return std::make_unique<MappedFile>(map, size);
+  }
+
+  bool RemoveSegment(const std::string& name) override {
+    return ::unlink(Path(name).c_str()) == 0;
+  }
+
+  std::vector<std::string> ListSegments() override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name != kManifestName && !EndsWith(name, ".tmp")) {
+        names.push_back(name);
+      }
+    }
+    return names;
+  }
+
+  bool ReadManifest(std::string* bytes, bool* exists,
+                    std::string* error) override {
+    *exists = false;
+    const std::string path = Path(kManifestName);
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return false;
+      return Fail(error, "open " + path);
+    }
+    *exists = true;
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Fail(error, "fstat " + path);
+    }
+    bytes->resize(static_cast<size_t>(st.st_size));
+    size_t off = 0;
+    while (off < bytes->size()) {
+      const ssize_t n =
+          ::pread(fd, bytes->data() + off, bytes->size() - off, off);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        ::close(fd);
+        return Fail(error, "read " + path);
+      }
+      off += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    return true;
+  }
+
+  bool CommitManifest(const std::string& bytes, std::string* error) override {
+    return WriteAtomic(kManifestName, bytes, error);
+  }
+
+  bool WalOpen(const std::string& name, uint64_t truncate_to,
+               std::string* error) override {
+    if (wal_fd_ >= 0) {
+      ::close(wal_fd_);
+      wal_fd_ = -1;
+    }
+    const std::string path = Path(name);
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return Fail(error, "open wal " + path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Fail(error, "fstat wal " + path);
+    }
+    uint64_t size = static_cast<uint64_t>(st.st_size);
+    if (truncate_to != kKeepWalContents && truncate_to < size) {
+      // Cut a torn tail (recovery) or start a fresh epoch (checkpoint);
+      // make the cut durable before anything is appended after it.
+      if (::ftruncate(fd, static_cast<off_t>(truncate_to)) != 0 ||
+          !FsyncFd(fd)) {
+        ::close(fd);
+        return Fail(error, "truncate wal " + path);
+      }
+      size = truncate_to;
+    }
+    // A newly created log must itself survive a crash: persist the
+    // directory entry before the first record is acknowledged.
+    if (!FsyncFd(dir_fd_)) {
+      ::close(fd);
+      return Fail(error, "fsync dir " + dir_);
+    }
+    wal_fd_ = fd;
+    wal_size_ = size;
+    return true;
+  }
+
+  bool WalAppend(const void* data, size_t size, std::string* error) override {
+    if (wal_fd_ < 0) return Fail(error, "wal not open");
+    if (!WriteAll(wal_fd_, static_cast<const char*>(data), size)) {
+      return Fail(error, "append wal");
+    }
+    wal_size_ += size;
+    return true;
+  }
+
+  bool WalSync(std::string* error) override {
+    if (wal_fd_ < 0) return Fail(error, "wal not open");
+    if (!FsyncFd(wal_fd_)) return Fail(error, "fsync wal");
+    return true;
+  }
+
+  uint64_t WalSize() const override { return wal_size_; }
+
+ private:
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  /// tmp + fsync + rename + fsync(dir): after a crash the target holds
+  /// either its previous contents or `bytes`, never a prefix.
+  bool WriteAtomic(const std::string& name, const std::string& bytes,
+                   std::string* error) {
+    const std::string tmp = Path(name + ".tmp");
+    const std::string path = Path(name);
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return Fail(error, "open " + tmp);
+    if (!WriteAll(fd, bytes.data(), bytes.size()) || !FsyncFd(fd)) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Fail(error, "write " + tmp);
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      ::unlink(tmp.c_str());
+      return Fail(error, "rename " + tmp);
+    }
+    if (!FsyncFd(dir_fd_)) return Fail(error, "fsync dir " + dir_);
+    return true;
+  }
+
+  std::string dir_;
+  int dir_fd_ = -1;
+  int wal_fd_ = -1;
+  uint64_t wal_size_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<StorageBackend> CreateFlatFileBackend(std::string directory) {
+  return std::make_unique<FlatFileBackend>(std::move(directory));
+}
+
+}  // namespace storage
+}  // namespace dbim

@@ -1,0 +1,459 @@
+#include "storage/format.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace dbim {
+namespace storage {
+
+namespace {
+
+constexpr char kPoolMagic[8] = {'D', 'B', 'I', 'M', 'P', 'O', 'O', 'L'};
+constexpr char kSegmentMagic[8] = {'D', 'B', 'I', 'M', 'S', 'E', 'G', 'M'};
+constexpr char kManifestMagic[8] = {'D', 'B', 'I', 'M', 'M', 'A', 'N', 'I'};
+constexpr uint32_t kFormatVersion = 1;
+
+// Value kind tags (stable on disk, independent of Value::Kind's layout).
+constexpr uint8_t kValueNull = 0;
+constexpr uint8_t kValueInt = 1;
+constexpr uint8_t kValueDouble = 2;
+constexpr uint8_t kValueString = 3;
+
+// RepairOperation subtype tags.
+constexpr uint8_t kOpInsert = 1;
+constexpr uint8_t kOpDelete = 2;
+constexpr uint8_t kOpUpdate = 3;
+
+bool Fail(std::string* error, const char* what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+// Appends magic + version, and verifies + strips the trailing crc32 (over
+// everything after the magic) on the read side.
+void BeginPayload(std::string* out, const char magic[8]) {
+  out->append(magic, 8);
+  PutU32(out, kFormatVersion);
+}
+
+void SealPayload(std::string* out) {
+  PutU32(out, Crc32(out->data() + 8, out->size() - 8));
+}
+
+// On success leaves `reader` positioned after the version field, covering
+// the bytes between magic and crc.
+bool OpenPayload(const char* data, size_t size, const char magic[8],
+                 Reader* reader, std::string* error) {
+  if (size < 8 + 4 + 4) return Fail(error, "payload truncated");
+  if (std::memcmp(data, magic, 8) != 0) return Fail(error, "bad magic");
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, data + size - 4, 4);
+  if (stored_crc != Crc32(data + 8, size - 12)) {
+    return Fail(error, "payload checksum mismatch");
+  }
+  *reader = Reader(data + 8, size - 12);
+  uint32_t version;
+  if (!reader->ReadU32(&version) || version != kFormatVersion) {
+    return Fail(error, "unsupported format version");
+  }
+  return true;
+}
+
+void PutFact(std::string* out, const Fact& fact) {
+  PutU32(out, fact.relation());
+  PutU32(out, static_cast<uint32_t>(fact.arity()));
+  for (AttrIndex a = 0; a < fact.arity(); ++a) PutValue(out, fact.value(a));
+}
+
+bool ReadFact(Reader* reader, Fact* fact) {
+  uint32_t relation, arity;
+  if (!reader->ReadU32(&relation) || !reader->ReadU32(&arity)) return false;
+  if (arity > reader->remaining()) return false;  // >= 1 byte per value
+  std::vector<Value> values(arity);
+  for (uint32_t a = 0; a < arity; ++a) {
+    if (!reader->ReadValue(&values[a])) return false;
+  }
+  *fact = Fact(static_cast<RelationId>(relation), std::move(values));
+  return true;
+}
+
+}  // namespace
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutDouble(std::string* out, double v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutValue(std::string* out, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      PutU8(out, kValueNull);
+      return;
+    case Value::Kind::kInt:
+      PutU8(out, kValueInt);
+      PutU64(out, static_cast<uint64_t>(v.as_int()));
+      return;
+    case Value::Kind::kDouble:
+      PutU8(out, kValueDouble);
+      PutDouble(out, v.as_double());
+      return;
+    case Value::Kind::kString:
+      PutU8(out, kValueString);
+      PutString(out, v.as_string());
+      return;
+  }
+}
+
+bool Reader::Take(void* dst, size_t n) {
+  if (!ok_ || size_ - offset_ < n) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(dst, data_ + offset_, n);
+  offset_ += n;
+  return true;
+}
+
+bool Reader::ReadU8(uint8_t* v) { return Take(v, sizeof(*v)); }
+bool Reader::ReadU32(uint32_t* v) { return Take(v, sizeof(*v)); }
+bool Reader::ReadU64(uint64_t* v) { return Take(v, sizeof(*v)); }
+bool Reader::ReadDouble(double* v) { return Take(v, sizeof(*v)); }
+
+bool Reader::ReadString(std::string* s) {
+  uint32_t len;
+  if (!ReadU32(&len)) return false;
+  if (size_ - offset_ < len) {
+    ok_ = false;
+    return false;
+  }
+  s->assign(data_ + offset_, len);
+  offset_ += len;
+  return true;
+}
+
+bool Reader::ReadValue(Value* v) {
+  uint8_t kind;
+  if (!ReadU8(&kind)) return false;
+  switch (kind) {
+    case kValueNull:
+      *v = Value();
+      return true;
+    case kValueInt: {
+      uint64_t bits;
+      if (!ReadU64(&bits)) return false;
+      *v = Value(static_cast<int64_t>(bits));
+      return true;
+    }
+    case kValueDouble: {
+      double d;
+      if (!ReadDouble(&d)) return false;
+      *v = Value(d);
+      return true;
+    }
+    case kValueString: {
+      std::string s;
+      if (!ReadString(&s)) return false;
+      *v = Value(std::move(s));
+      return true;
+    }
+    default:
+      ok_ = false;
+      return false;
+  }
+}
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const auto table = [] {
+    std::vector<uint32_t> t(256);
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void AppendWalFrame(std::string* out, const std::string& payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+std::optional<std::pair<const char*, size_t>> ReadWalFrame(const char* data,
+                                                           size_t size,
+                                                           size_t* offset) {
+  if (size - *offset < 8) return std::nullopt;
+  uint32_t len, crc;
+  std::memcpy(&len, data + *offset, 4);
+  std::memcpy(&crc, data + *offset + 4, 4);
+  if (len > kMaxWalPayloadBytes || size - *offset - 8 < len) {
+    return std::nullopt;
+  }
+  const char* payload = data + *offset + 8;
+  if (Crc32(payload, len) != crc) return std::nullopt;
+  *offset += 8 + static_cast<size_t>(len);
+  return std::make_pair(payload, static_cast<size_t>(len));
+}
+
+std::string EncodeRegisterRecord(
+    const std::string& session,
+    const std::vector<std::pair<FactId, Fact>>& seed_rows) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(WalRecordType::kRegister));
+  PutString(&out, session);
+  PutU32(&out, static_cast<uint32_t>(seed_rows.size()));
+  for (const auto& [id, fact] : seed_rows) {
+    PutU32(&out, id);
+    PutFact(&out, fact);
+  }
+  return out;
+}
+
+std::string EncodeUnregisterRecord(const std::string& session) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(WalRecordType::kUnregister));
+  PutString(&out, session);
+  return out;
+}
+
+std::string EncodeApplyRecord(const std::string& session,
+                              const RepairOperation& op) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(WalRecordType::kApply));
+  PutString(&out, session);
+  if (op.is_insertion()) {
+    PutU8(&out, kOpInsert);
+    PutFact(&out, op.insertion().fact);
+  } else if (op.is_deletion()) {
+    PutU8(&out, kOpDelete);
+    PutU32(&out, op.deletion().id);
+  } else {
+    PutU8(&out, kOpUpdate);
+    PutU32(&out, op.update().id);
+    PutU32(&out, op.update().attr);
+    PutValue(&out, op.update().value);
+  }
+  return out;
+}
+
+bool DecodeWalRecord(const char* payload, size_t size, WalRecord* record,
+                     std::string* error) {
+  Reader reader(payload, size);
+  uint8_t type;
+  if (!reader.ReadU8(&type) || !reader.ReadString(&record->session)) {
+    return Fail(error, "wal record header malformed");
+  }
+  record->seed_rows.clear();
+  record->op.reset();
+  switch (static_cast<WalRecordType>(type)) {
+    case WalRecordType::kRegister: {
+      record->type = WalRecordType::kRegister;
+      uint32_t count;
+      if (!reader.ReadU32(&count)) return Fail(error, "register malformed");
+      record->seed_rows.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint32_t id;
+        Fact fact(0, {});
+        if (!reader.ReadU32(&id) || !ReadFact(&reader, &fact)) {
+          return Fail(error, "register seed row malformed");
+        }
+        record->seed_rows.emplace_back(static_cast<FactId>(id),
+                                       std::move(fact));
+      }
+      break;
+    }
+    case WalRecordType::kUnregister:
+      record->type = WalRecordType::kUnregister;
+      break;
+    case WalRecordType::kApply: {
+      record->type = WalRecordType::kApply;
+      uint8_t op_type;
+      if (!reader.ReadU8(&op_type)) return Fail(error, "apply malformed");
+      if (op_type == kOpInsert) {
+        Fact fact(0, {});
+        if (!ReadFact(&reader, &fact)) return Fail(error, "insert malformed");
+        record->op = RepairOperation::Insertion(std::move(fact));
+      } else if (op_type == kOpDelete) {
+        uint32_t id;
+        if (!reader.ReadU32(&id)) return Fail(error, "delete malformed");
+        record->op = RepairOperation::Deletion(static_cast<FactId>(id));
+      } else if (op_type == kOpUpdate) {
+        uint32_t id, attr;
+        Value value;
+        if (!reader.ReadU32(&id) || !reader.ReadU32(&attr) ||
+            !reader.ReadValue(&value)) {
+          return Fail(error, "update malformed");
+        }
+        record->op = RepairOperation::Update(
+            static_cast<FactId>(id), static_cast<AttrIndex>(attr),
+            std::move(value));
+      } else {
+        return Fail(error, "unknown apply op type");
+      }
+      break;
+    }
+    default:
+      return Fail(error, "unknown wal record type");
+  }
+  if (!reader.done()) return Fail(error, "wal record has trailing bytes");
+  return true;
+}
+
+std::string EncodePoolSegment(const ValuePool& pool) {
+  std::string out;
+  BeginPayload(&out, kPoolMagic);
+  const uint32_t count = static_cast<uint32_t>(pool.size());
+  PutU32(&out, count);
+  // Id 0 is the null sentinel every pool pre-interns; ids 1..count-1 are
+  // written in order so the decoder's re-intern reproduces them exactly.
+  for (ValueId id = 1; id < count; ++id) PutValue(&out, pool.value(id));
+  SealPayload(&out);
+  return out;
+}
+
+bool DecodePoolSegment(const char* data, size_t size, ValuePool* pool,
+                       std::string* error) {
+  Reader reader(data, size);
+  if (!OpenPayload(data, size, kPoolMagic, &reader, error)) return false;
+  uint32_t count;
+  if (!reader.ReadU32(&count)) return Fail(error, "pool segment malformed");
+  if (pool->size() != 1) return Fail(error, "pool must be fresh");
+  for (ValueId id = 1; id < count; ++id) {
+    Value v;
+    if (!reader.ReadValue(&v)) return Fail(error, "pool value malformed");
+    if (pool->Intern(std::move(v)) != id) {
+      // Interning in id order must reproduce the encoder's ids; a mismatch
+      // means the dictionary on disk held duplicate representations.
+      return Fail(error, "pool segment id sequence broken");
+    }
+  }
+  if (!reader.done()) return Fail(error, "pool segment has trailing bytes");
+  return true;
+}
+
+std::string EncodeDbSegment(const Database::SegmentImage& image) {
+  std::string out;
+  BeginPayload(&out, kSegmentMagic);
+  PutU32(&out, static_cast<uint32_t>(image.relations.size()));
+  for (const auto& rel : image.relations) {
+    PutU32(&out, static_cast<uint32_t>(rel.columns.size()));
+    const uint32_t rows = static_cast<uint32_t>(rel.row_ids.size());
+    PutU32(&out, rows);
+    out.append(reinterpret_cast<const char*>(rel.row_ids.data()),
+               rows * sizeof(FactId));
+    for (const auto& column : rel.columns) {
+      out.append(reinterpret_cast<const char*>(column.data()),
+                 rows * sizeof(ValueId));
+    }
+  }
+  PutU32(&out, image.id_high_water);
+  PutU32(&out, static_cast<uint32_t>(image.costs.size()));
+  for (const auto& [id, cost] : image.costs) {
+    PutU32(&out, id);
+    PutDouble(&out, cost);
+  }
+  SealPayload(&out);
+  return out;
+}
+
+bool DecodeDbSegment(const char* data, size_t size,
+                     Database::SegmentImage* image, std::string* error) {
+  Reader reader(data, size);
+  if (!OpenPayload(data, size, kSegmentMagic, &reader, error)) return false;
+  uint32_t num_relations;
+  if (!reader.ReadU32(&num_relations) ||
+      num_relations > reader.remaining()) {
+    return Fail(error, "db segment malformed");
+  }
+  image->relations.assign(num_relations, {});
+  for (auto& rel : image->relations) {
+    uint32_t arity, rows;
+    if (!reader.ReadU32(&arity) || !reader.ReadU32(&rows)) {
+      return Fail(error, "db segment relation header malformed");
+    }
+    const uint64_t need =
+        (static_cast<uint64_t>(arity) + 1) * rows * sizeof(ValueId);
+    if (need > reader.remaining()) {
+      return Fail(error, "db segment relation truncated");
+    }
+    rel.row_ids.resize(rows);
+    for (uint32_t r = 0; r < rows; ++r) {
+      if (!reader.ReadU32(&rel.row_ids[r])) return Fail(error, "row ids");
+    }
+    rel.columns.assign(arity, {});
+    for (auto& column : rel.columns) {
+      column.resize(rows);
+      for (uint32_t r = 0; r < rows; ++r) {
+        if (!reader.ReadU32(&column[r])) return Fail(error, "column cells");
+      }
+    }
+  }
+  uint32_t num_costs;
+  if (!reader.ReadU32(&image->id_high_water) || !reader.ReadU32(&num_costs)) {
+    return Fail(error, "db segment trailer malformed");
+  }
+  image->costs.assign(num_costs, {});
+  for (auto& [id, cost] : image->costs) {
+    if (!reader.ReadU32(&id) || !reader.ReadDouble(&cost)) {
+      return Fail(error, "db segment cost malformed");
+    }
+  }
+  if (!reader.done()) return Fail(error, "db segment has trailing bytes");
+  return true;
+}
+
+std::string EncodeManifest(const Manifest& manifest) {
+  std::string out;
+  BeginPayload(&out, kManifestMagic);
+  PutU64(&out, manifest.epoch);
+  PutU32(&out, static_cast<uint32_t>(manifest.sessions.size()));
+  for (const std::string& name : manifest.sessions) PutString(&out, name);
+  SealPayload(&out);
+  return out;
+}
+
+bool DecodeManifest(const char* data, size_t size, Manifest* manifest,
+                    std::string* error) {
+  Reader reader(data, size);
+  if (!OpenPayload(data, size, kManifestMagic, &reader, error)) return false;
+  uint32_t count;
+  if (!reader.ReadU64(&manifest->epoch) || !reader.ReadU32(&count) ||
+      count > reader.remaining()) {
+    return Fail(error, "manifest malformed");
+  }
+  manifest->sessions.assign(count, {});
+  for (std::string& name : manifest->sessions) {
+    if (!reader.ReadString(&name)) return Fail(error, "manifest name");
+  }
+  if (!reader.done()) return Fail(error, "manifest has trailing bytes");
+  return true;
+}
+
+}  // namespace storage
+}  // namespace dbim

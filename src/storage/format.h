@@ -1,0 +1,161 @@
+#ifndef DBIM_STORAGE_FORMAT_H_
+#define DBIM_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+#include "common/value_pool.h"
+#include "relational/database.h"
+#include "relational/fact.h"
+#include "relational/operations.h"
+
+namespace dbim {
+namespace storage {
+
+/// On-disk encodings of the durable-session store: a bounds-checked binary
+/// codec, CRC32 integrity, the WAL record framing and the two segment
+/// payloads (value-pool dictionary, per-database columns). Everything is
+/// fixed-width little-endian-on-x86 native layout read back via memcpy —
+/// single-machine durability, not a portable interchange format.
+///
+/// WAL frame:      [u32 payload_len][u32 crc32(payload)][payload]
+/// Pool segment:   "DBIMPOOL" u32 version, u32 count, values for ids
+///                 1..count (id 0 is the pre-interned null), u32 crc32.
+/// DB segment:     "DBIMSEGM" u32 version, u32 num_relations, per relation
+///                 {u32 arity, u32 rows, row_ids, arity x exact-ValueId
+///                 column}, u32 id_high_water, costs, u32 crc32.
+///
+/// Determinism: EncodePoolSegment writes values in ValueId order, so
+/// DecodePoolSegment's in-order re-intern reproduces both the exact ids
+/// *and* the semantic class ids (a class id is its first representative's
+/// id). DB segments carry exact ids against that pool, so a decoded
+/// database byte-matches the encoder's columns — the round-trip invariant
+/// recovery rests on.
+
+// ---- primitive codec ----
+
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutDouble(std::string* out, double v);  // bit pattern; exact round trip
+void PutString(std::string* out, const std::string& s);  // u32 len + bytes
+void PutValue(std::string* out, const Value& v);  // kind byte + payload
+
+/// Bounds-checked cursor over a byte span. Every Read* returns false (and
+/// poisons the reader) on underrun or malformed input instead of reading
+/// past the end — the WAL replay path runs this over untrusted bytes.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU8(uint8_t* v);
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  bool ReadDouble(double* v);
+  bool ReadString(std::string* s);
+  bool ReadValue(Value* v);
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return size_ - offset_; }
+  bool ok() const { return ok_; }
+  bool done() const { return ok_ && offset_ == size_; }
+
+ private:
+  bool Take(void* dst, size_t n);
+
+  const char* data_;
+  size_t size_;
+  size_t offset_ = 0;
+  bool ok_ = true;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib one), table-driven.
+uint32_t Crc32(const void* data, size_t size);
+
+// ---- WAL framing ----
+
+/// Upper bound on a single WAL payload; a length field beyond it is treated
+/// as a torn/corrupt tail, bounding what replay will ever try to allocate.
+inline constexpr uint32_t kMaxWalPayloadBytes = 64u << 20;
+
+/// Appends [len][crc][payload] to `out`.
+void AppendWalFrame(std::string* out, const std::string& payload);
+
+/// Reads one frame at `*offset`. Returns the payload span and advances
+/// `*offset` past the frame; nullopt when the bytes at `*offset` do not
+/// form a complete, checksum-valid frame (the torn-tail case — `*offset`
+/// is left at the frame start, the replay truncation point).
+std::optional<std::pair<const char*, size_t>> ReadWalFrame(const char* data,
+                                                           size_t size,
+                                                           size_t* offset);
+
+// ---- WAL records ----
+
+enum class WalRecordType : uint8_t {
+  kRegister = 1,    // session created: name + optional seed rows
+  kUnregister = 2,  // session dropped: name
+  kApply = 3,       // one RepairOperation against a named session
+};
+
+/// One decoded WAL record. Records are keyed by logical session *name*,
+/// not DbHandle: handles are compacted on recovery (only live sessions
+/// re-register), names are stable across restarts.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kApply;
+  std::string session;
+  /// kRegister: the registered database's rows (empty for the service
+  /// path, which always registers empty sessions), ascending FactId.
+  std::vector<std::pair<FactId, Fact>> seed_rows;
+  /// kApply only.
+  std::optional<RepairOperation> op;
+};
+
+std::string EncodeRegisterRecord(
+    const std::string& session,
+    const std::vector<std::pair<FactId, Fact>>& seed_rows);
+std::string EncodeUnregisterRecord(const std::string& session);
+std::string EncodeApplyRecord(const std::string& session,
+                              const RepairOperation& op);
+
+/// Decodes a checksum-valid payload. False means the payload is malformed
+/// despite its valid CRC — corruption or version skew, a hard recovery
+/// error rather than a truncatable tail.
+bool DecodeWalRecord(const char* payload, size_t size, WalRecord* record,
+                     std::string* error);
+
+// ---- segments ----
+
+std::string EncodePoolSegment(const ValuePool& pool);
+
+/// Rebuilds the dictionary into `pool` (which must be freshly constructed:
+/// only the null sentinel interned). Interning in id order reproduces the
+/// encoder's exact ids and class ids; both are verified.
+bool DecodePoolSegment(const char* data, size_t size, ValuePool* pool,
+                       std::string* error);
+
+std::string EncodeDbSegment(const Database::SegmentImage& image);
+bool DecodeDbSegment(const char* data, size_t size,
+                     Database::SegmentImage* image, std::string* error);
+
+// ---- manifest ----
+
+/// The checkpoint commit point: names the current epoch and the sessions
+/// whose segments form the recovery base (in registration order — segment
+/// file db.<epoch>.<index> belongs to sessions[index]).
+struct Manifest {
+  uint64_t epoch = 0;
+  std::vector<std::string> sessions;
+};
+
+std::string EncodeManifest(const Manifest& manifest);
+bool DecodeManifest(const char* data, size_t size, Manifest* manifest,
+                    std::string* error);
+
+}  // namespace storage
+}  // namespace dbim
+
+#endif  // DBIM_STORAGE_FORMAT_H_

@@ -44,7 +44,7 @@ std::vector<DenialConstraint> AbcFds(const Schema& schema) {
 
 MeasureSessionOptions FastSessionOptions() {
   MeasureSessionOptions options;
-  options.engine.registry.include_mc = false;  // keep evaluations cheap
+  options.registry.include_mc = false;  // keep evaluations cheap
   return options;
 }
 
@@ -149,7 +149,7 @@ TEST(ServiceParity, WireTrajectoryMatchesInProcessSession) {
                                 FastSessionOptions());
   const DbHandle mirror = mirror_session.Register(Database(ts.schema));
   const MeasureEngine fresh(ts.schema, AbcFds(*ts.schema),
-                            FastSessionOptions().engine);
+                            FastSessionOptions());
   Database mirror_db(ts.schema);
 
   ScriptedWorkloadOptions workload_options;
@@ -350,7 +350,7 @@ TEST(ServiceConcurrency, AbruptDisconnectLeavesSessionConsistent) {
   WireReport wire;
   ASSERT_TRUE(survivor.Evaluate("ghost", &wire, &error)) << error;
   const MeasureEngine fresh(ts.schema, AbcFds(*ts.schema),
-                            FastSessionOptions().engine);
+                            FastSessionOptions());
   ExpectWireMatchesReport(wire, fresh.EvaluateAll(rebuilt), rebuilt.size(),
                           "post-disconnect");
   survivor.Close();

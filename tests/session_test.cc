@@ -73,7 +73,7 @@ void RunTrajectoryParity(std::shared_ptr<const Schema> schema,
                          size_t* full_detections_out = nullptr) {
   MeasureSession session(schema, dcs, options);
   const DbHandle handle = session.Register(start);
-  const MeasureEngine fresh(schema, dcs, options.engine);
+  const MeasureEngine fresh(schema, dcs, options);
   Database mirror = start;
   EXPECT_TRUE(session.db(handle) == mirror) << where << " post-register";
 
@@ -109,8 +109,8 @@ TEST_P(SessionFuzz, BinaryTrajectoryMatchesFreshEngine) {
     for (const int64_t domain : {3, 12}) {
       const Database start = MakeRandomDatabase(schema, 0, 50, domain, seed);
       MeasureSessionOptions options;
-      options.engine.registry.include_mc = true;  // small db: exact counts
-      options.engine.detector.num_threads = threads;
+      options.registry.include_mc = true;  // small db: exact counts
+      options.detector.num_threads = threads;
       size_t full_detections = 1;
       RunTrajectoryParity(schema, dcs, start, options, 40, seed * 7 + domain,
                           /*churn=*/false, nullptr,
@@ -138,8 +138,8 @@ TEST_P(SessionFuzz, KAryTrajectoryIsIncrementalAndMatchesFreshEngine) {
   dcs.emplace_back(std::vector<RelationId>(3, 0), std::move(preds));
   const Database start = MakeRandomDatabase(schema, 0, 30, 4, 31);
   MeasureSessionOptions options;
-  options.engine.registry.include_mc = false;  // hyperedge MC is costly
-  options.engine.detector.num_threads = threads;
+  options.registry.include_mc = false;  // hyperedge MC is costly
+  options.detector.num_threads = threads;
   size_t full_detections = 1;
   RunTrajectoryParity(schema, dcs, start, options, 25, 97 + threads,
                       /*churn=*/false, nullptr,
@@ -158,9 +158,9 @@ TEST_P(SessionFuzz, CappedDetectionFallsBack) {
   const auto dcs = AbcFds(*schema);
   const Database start = MakeRandomDatabase(schema, 0, 60, 3, 41);
   MeasureSessionOptions options;
-  options.engine.registry.include_mc = false;
-  options.engine.detector.num_threads = threads;
-  options.engine.detector.max_subsets = 7;
+  options.registry.include_mc = false;
+  options.detector.num_threads = threads;
+  options.detector.max_subsets = 7;
   size_t full_detections = 0;
   RunTrajectoryParity(schema, dcs, start, options, 20, 53,
                       /*churn=*/false, nullptr,
@@ -178,8 +178,8 @@ TEST_P(SessionFuzz, AutoVacuumKeepsReportsIdentical) {
   const auto dcs = AbcFds(*schema);
   const Database start = MakeRandomDatabase(schema, 0, 40, 5, 61);
   MeasureSessionOptions options;
-  options.engine.registry.include_mc = false;
-  options.engine.detector.num_threads = threads;
+  options.registry.include_mc = false;
+  options.detector.num_threads = threads;
   options.auto_vacuum_threshold = 0.05;
   size_t vacuums = 0;
   RunTrajectoryParity(schema, dcs, start, options, 400, 71,
@@ -198,13 +198,13 @@ TEST(SessionBatch, EvaluateAllMatchesPerHandle) {
   const auto schema = MakeAbcSchema();
   const auto dcs = AbcFds(*schema);
   MeasureSessionOptions options;
-  options.engine.registry.include_mc = false;
-  options.engine.detector.num_threads = 2;
-  options.engine.parallel_measures = true;  // nested fan-out
+  options.registry.include_mc = false;
+  options.detector.num_threads = 2;
+  options.parallel_measures = true;  // nested fan-out
   for (const size_t batch_threads : {0u, 1u, 2u, 4u}) {  // 0 = hardware
     options.batch_threads = batch_threads;
     MeasureSession session(schema, dcs, options);
-    const MeasureEngine fresh(schema, dcs, options.engine);
+    const MeasureEngine fresh(schema, dcs, options);
     std::vector<DbHandle> handles;
     std::vector<Database> mirrors;
     ScriptedWorkload workload(5 + batch_threads, WorkloadDomain(5));
@@ -241,9 +241,9 @@ TEST(SessionBatch, UnregisterAndManualVacuum) {
   const auto schema = MakeAbcSchema();
   const auto dcs = AbcFds(*schema);
   MeasureSessionOptions options;
-  options.engine.registry.include_mc = false;
+  options.registry.include_mc = false;
   MeasureSession session(schema, dcs, options);
-  const MeasureEngine fresh(schema, dcs, options.engine);
+  const MeasureEngine fresh(schema, dcs, options);
 
   const Database a = MakeRandomDatabase(schema, 0, 40, 3, 7);
   const Database b = MakeRandomDatabase(schema, 0, 40, 200, 8);
@@ -270,9 +270,9 @@ TEST(SessionBatch, VacuumReclaimsRetiredPoolSlabs) {
   const auto schema = MakeAbcSchema();
   const auto dcs = AbcFds(*schema);
   MeasureSessionOptions options;
-  options.engine.registry.include_mc = false;
+  options.registry.include_mc = false;
   MeasureSession session(schema, dcs, options);
-  const MeasureEngine fresh(schema, dcs, options.engine);
+  const MeasureEngine fresh(schema, dcs, options);
 
   const Database start = MakeRandomDatabase(schema, 0, 30, 3, 61);
   const DbHandle handle = session.Register(start);
@@ -333,9 +333,9 @@ TEST(SessionBatch, VacuumWithSameSizePoolRecompilesEvals) {
     dcs.emplace_back(std::vector<RelationId>(2, 0), std::move(preds));
   }
   MeasureSessionOptions options;
-  options.engine.registry.include_mc = false;
+  options.registry.include_mc = false;
   MeasureSession session(schema, dcs, options);
-  const MeasureEngine fresh(schema, dcs, options.engine);
+  const MeasureEngine fresh(schema, dcs, options);
 
   // Pool after registration: null, victim, k, c1, pivot, c2 — "victim" is
   // f1's only exclusive value and precedes "pivot", so dropping it at the
@@ -381,10 +381,10 @@ TEST(SessionBatch, VacuumCompactsIncrementalSlots) {
   const auto schema = MakeAbcSchema();
   const auto dcs = AbcFds(*schema);
   MeasureSessionOptions options;
-  options.engine.registry.include_mc = false;
+  options.registry.include_mc = false;
   options.auto_vacuum_threshold = 0.25;
   MeasureSession session(schema, dcs, options);
-  const MeasureEngine fresh(schema, dcs, options.engine);
+  const MeasureEngine fresh(schema, dcs, options);
 
   const Database start = MakeRandomDatabase(schema, 0, 30, 3, 91);
   const DbHandle handle = session.Register(start);
@@ -435,7 +435,7 @@ TEST(SessionConcurrency, ConcurrentApplyOnIndependentHandles) {
     dcs.emplace_back(std::vector<RelationId>(3, 0), std::move(preds));
   }
   MeasureSessionOptions options;
-  options.engine.registry.include_mc = false;
+  options.registry.include_mc = false;
   options.auto_vacuum_threshold = 0.2;  // vacuums interleave with Applies
   options.batch_threads = 2;
 
@@ -494,7 +494,7 @@ TEST(SessionConcurrency, ConcurrentApplyOnIndependentHandles) {
   reader.join();
 
   // Final state: bit-identical to sequential application, per handle.
-  const MeasureEngine fresh(schema, dcs, options.engine);
+  const MeasureEngine fresh(schema, dcs, options);
   for (size_t h = 0; h < kHandles; ++h) {
     EXPECT_TRUE(session.db(handles[h]) == mirrors[h]) << "handle " << h;
     ExpectIdenticalReports(fresh.EvaluateAll(mirrors[h]),

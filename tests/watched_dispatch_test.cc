@@ -226,7 +226,7 @@ TEST(WatchedDispatch, SessionMeasureParity) {
   unwatched_options.incremental = Unwatched();
   MeasureSession watched(schema, dcs, watched_options);
   MeasureSession unwatched(schema, dcs, unwatched_options);
-  const MeasureEngine fresh(schema, dcs, watched_options.engine);
+  const MeasureEngine fresh(schema, dcs, watched_options);
 
   const DbHandle wh = watched.Register(start);
   const DbHandle uh = unwatched.Register(start);
@@ -304,7 +304,7 @@ TEST(WatchedDispatchConcurrency, ConcurrentWatchedHandlesMatchSequential) {
   }
   for (std::thread& t : workers) t.join();
 
-  const MeasureEngine fresh(schema, dcs, options.engine);
+  const MeasureEngine fresh(schema, dcs, options);
   for (size_t h = 0; h < kHandles; ++h) {
     EXPECT_TRUE(session.db(handles[h]) == mirrors[h]) << "handle " << h;
     const BatchReport expected = fresh.EvaluateAll(mirrors[h]);

@@ -99,19 +99,8 @@ int main(int argc, char** argv) {
   // One session, one shared context: violation detection — the dominating
   // cost — runs once, and the measure loop, Shapley ranking, and repair
   // all reuse it.
-  MeasureSessionOptions options;
-  options.engine.registry.include_mc = HasFlag(argc, argv, "mc");
-  options.engine.registry.repair_deadline_seconds = 30.0;
-  const std::string threads_flag = FlagValue(argc, argv, "threads");
-  if (!threads_flag.empty()) {
-    options.engine.detector.num_threads =
-        std::strtoull(threads_flag.c_str(), nullptr, 10);
-  }
-  options.engine.parallel_measures = HasFlag(argc, argv, "parallel-measures");
-  for (const std::string& name :
-       Split(FlagValue(argc, argv, "measures"), ',')) {
-    if (!name.empty()) options.engine.only.push_back(name);
-  }
+  MeasureSessionOptions options =
+      SessionOptionsFromFlags(argc, argv).WithRepairDeadline(30.0);
   MeasureSession session(spec.schema, spec.constraints, options);
   // One-shot workload: evaluate the loaded database on its own pool (no
   // Register — the copy/re-intern/bucket build only pays off across

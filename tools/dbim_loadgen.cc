@@ -4,6 +4,7 @@
 //   dbim_loadgen --port=7411 [--host=127.0.0.1] [--clients=4]
 //                [--sessions=2] [--ops=1000] [--pipeline=16]
 //                [--evaluate-every=8] [--seed=7] [--json] [--stats]
+//                [--attach]
 //
 // Spawns `--clients` threads, each with its own connection, driving the
 // shared mixed Apply/Evaluate workload (src/service/workload.h) against
@@ -104,10 +105,25 @@ int main(int argc, char** argv) {
       return 1;
     }
     workload.arity = attributes.size();
+    // --attach resumes sessions a durable daemon recovered (REGISTER ...
+    // ATTACH); ids are then learned from INSERT replies — the default —
+    // since id prediction is unsound on a non-empty recovered session.
+    const bool attach = HasFlag(argc, argv, "attach");
     for (size_t s = 0; s < num_sessions; ++s) {
       const std::string name = "load" + std::to_string(s);
-      if (!setup.Register(name, &error) &&
-          error.find("EXISTS") == std::string::npos) {
+      if (attach) {
+        size_t resumed = 0;
+        if (!setup.RegisterAttach(name, &resumed, &error)) {
+          std::fprintf(stderr, "REGISTER %s ATTACH: %s\n", name.c_str(),
+                       error.c_str());
+          return 1;
+        }
+        if (resumed > 0) {
+          std::fprintf(stderr, "attached to %s (%zu facts)\n", name.c_str(),
+                       resumed);
+        }
+      } else if (!setup.Register(name, &error) &&
+                 error.find("EXISTS") == std::string::npos) {
         std::fprintf(stderr, "REGISTER %s: %s\n", name.c_str(),
                      error.c_str());
         return 1;
