@@ -1,23 +1,52 @@
 #include "measures/registry.h"
 
+#include <algorithm>
+
 namespace dbim {
+
+namespace {
+
+/// Whether `name` passes the registry's name filter. Checked before
+/// construction so filtered-out measures cost nothing.
+bool Selected(const RegistryOptions& options, const char* name) {
+  if (options.only.empty()) return true;
+  return std::find(options.only.begin(), options.only.end(), name) !=
+         options.only.end();
+}
+
+}  // namespace
 
 std::vector<std::unique_ptr<InconsistencyMeasure>> CreateMeasures(
     const RegistryOptions& options) {
   std::vector<std::unique_ptr<InconsistencyMeasure>> measures;
-  measures.push_back(std::make_unique<DrasticMeasure>());
-  measures.push_back(std::make_unique<MiCountMeasure>());
-  measures.push_back(std::make_unique<ProblematicFactsMeasure>());
+  if (Selected(options, "I_d")) {
+    measures.push_back(std::make_unique<DrasticMeasure>());
+  }
+  if (Selected(options, "I_MI")) {
+    measures.push_back(std::make_unique<MiCountMeasure>());
+  }
+  if (Selected(options, "I_P")) {
+    measures.push_back(std::make_unique<ProblematicFactsMeasure>());
+  }
   if (options.include_mc) {
     McOptions mc;
     mc.deadline_seconds = options.mc_deadline_seconds;
-    measures.push_back(std::make_unique<MaxConsistentSubsetsMeasure>(mc));
-    measures.push_back(std::make_unique<McWithSelfInconsistenciesMeasure>(mc));
+    if (Selected(options, "I_MC")) {
+      measures.push_back(std::make_unique<MaxConsistentSubsetsMeasure>(mc));
+    }
+    if (Selected(options, "I'_MC")) {
+      measures.push_back(
+          std::make_unique<McWithSelfInconsistenciesMeasure>(mc));
+    }
   }
-  RepairMeasureOptions repair;
-  repair.deadline_seconds = options.repair_deadline_seconds;
-  measures.push_back(std::make_unique<MinRepairMeasure>(repair));
-  measures.push_back(std::make_unique<LinRepairMeasure>());
+  if (Selected(options, "I_R")) {
+    RepairMeasureOptions repair;
+    repair.deadline_seconds = options.repair_deadline_seconds;
+    measures.push_back(std::make_unique<MinRepairMeasure>(repair));
+  }
+  if (Selected(options, "I_lin_R")) {
+    measures.push_back(std::make_unique<LinRepairMeasure>());
+  }
   return measures;
 }
 

@@ -182,6 +182,17 @@ size_t MeasureSession::NumFacts(DbHandle handle) const {
   return state.db.size();
 }
 
+size_t MeasureSession::NumMinimalSubsets(DbHandle handle) const {
+  std::shared_lock<std::shared_mutex> lock(session_mu_);
+  const HandleState& state = State(handle);
+  std::lock_guard<std::mutex> handle_lock(state.mu);
+  if (state.incremental != nullptr) {
+    return state.incremental->NumMinimalSubsets();
+  }
+  num_full_detections_.fetch_add(1, std::memory_order_relaxed);
+  return detector_.FindViolations(state.db).num_minimal_subsets();
+}
+
 std::vector<std::pair<FactId, std::vector<Value>>> MeasureSession::CopyFacts(
     DbHandle handle) const {
   std::shared_lock<std::shared_mutex> lock(session_mu_);

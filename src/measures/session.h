@@ -47,6 +47,31 @@ class SessionDurabilityHook {
   virtual bool WantsCheckpoint() const { return false; }
 };
 
+/// Sliding-window configuration for streaming measurement (consumed by
+/// streaming::StreamSession and the service's windowed tenants; the
+/// session core itself ignores it). size == 0 disables windowing.
+struct WindowSpec {
+  enum class Kind {
+    kCount,  // keep the most recent `size` facts
+    kTicks,  // keep facts whose tick is within `size` of the current tick
+  };
+  Kind kind = Kind::kCount;
+  uint64_t size = 0;
+
+  bool enabled() const { return size > 0; }
+};
+
+/// Sampling-estimator configuration (consumed by streaming::ApproxEvaluator
+/// and the service's EVALUATE APPROX path). eps == 0 disables approximation;
+/// see ApproxOptions for the semantics of each field.
+struct ApproxSpec {
+  double eps = 0.0;
+  double confidence = 0.95;
+  uint64_t seed = 42;
+
+  bool enabled() const { return eps > 0.0; }
+};
+
 /// Every knob of a measure session (and of its one-shot wrapper
 /// MeasureEngine) in one flat, documented struct: measure selection,
 /// detection, evaluation strategy, maintenance and durability. Plain
@@ -106,6 +131,16 @@ struct SessionOptions {
   /// append on Apply, no checkpoint on Vacuum, zero overhead.
   SessionDurabilityHook* durability = nullptr;
 
+  /// Sliding-window mode for the streaming layer: when enabled, the
+  /// service wraps each registered handle in a StreamSession and dbim_cli
+  /// replays its input through one. Disabled by default.
+  WindowSpec window;
+
+  /// Default sampling-estimator knobs for EVALUATE APPROX / --approx.
+  /// Disabled by default; an explicit `EVALUATE <s> APPROX <eps>` request
+  /// overrides eps per call.
+  ApproxSpec approx;
+
   // Builder-style setters (each returns *this for chaining).
 
   /// Detection threads for the sharded enumeration phases.
@@ -148,6 +183,15 @@ struct SessionOptions {
   }
   SessionOptions& WithDurability(SessionDurabilityHook* hook) {
     durability = hook;
+    return *this;
+  }
+  SessionOptions& WithWindow(WindowSpec::Kind kind, uint64_t size) {
+    window.kind = kind;
+    window.size = size;
+    return *this;
+  }
+  SessionOptions& WithApprox(double eps) {
+    approx.eps = eps;
     return *this;
   }
 };
@@ -256,6 +300,7 @@ class MeasureSession {
                  MeasureSessionOptions options = {});
 
   const ViolationDetector& detector() const { return detector_; }
+  const std::shared_ptr<const Schema>& schema() const { return schema_; }
   const std::vector<std::unique_ptr<InconsistencyMeasure>>& measures() const {
     return measures_;
   }
@@ -342,6 +387,25 @@ class MeasureSession {
   /// and handle locks (unlike `db(handle).size()`, safe while other
   /// clients mutate or vacuum).
   size_t NumFacts(DbHandle handle) const;
+
+  /// |MI_Sigma(D)| of the handle right now: O(1) from the maintained
+  /// counter when incremental, a full (counted) detection pass otherwise.
+  /// The cheap signal the service's SUBSCRIBE watchers poll after every
+  /// Apply and window slide.
+  size_t NumMinimalSubsets(DbHandle handle) const;
+
+  /// Runs `fn(const Database&)` on the handle's database under the session
+  /// (shared) and handle locks — the safe way for a layered subsystem
+  /// (e.g. the streaming ApproxEvaluator) to read a registered database
+  /// consistently while other handles mutate or a vacuum waits. `fn` must
+  /// not call back into the session.
+  template <typename Fn>
+  auto WithDatabase(DbHandle handle, Fn&& fn) const {
+    std::shared_lock<std::shared_mutex> lock(session_mu_);
+    const HandleState& state = State(handle);
+    std::lock_guard<std::mutex> handle_lock(state.mu);
+    return fn(static_cast<const Database&>(state.db));
+  }
 
   /// A locked copy of the handle's facts as (id, cells) rows in ascending
   /// id order — what the service DUMP verb ships so a remote client can

@@ -427,6 +427,109 @@ bool ServiceClient::Vacuum(double threshold, bool* compacted,
   return true;
 }
 
+namespace {
+
+bool ParseWireDouble(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool ServiceClient::EvaluateApprox(const std::string& session, double eps,
+                                   WireApproxReport* report,
+                                   std::string* error) {
+  AwaitedResponse response;
+  if (!AwaitOk(Issue(Request::EvaluateApprox(session, eps), error), &response,
+               error)) {
+    return false;
+  }
+  const std::vector<std::string>& args = response.final.args;
+  *report = WireApproxReport();
+  if (args.size() < 3 || (args.size() - 3) % 4 != 0) {
+    *error = "malformed APPROX argument list";
+    return false;
+  }
+  if (!ParseSize(args[0], &report->num_facts) ||
+      !ParseSize(args[1], &report->sample_size) ||
+      !ParseWireDouble(args[2], &report->sample_fraction)) {
+    *error = "malformed APPROX counts";
+    return false;
+  }
+  for (size_t i = 3; i + 3 < args.size(); i += 4) {
+    WireApproxReport::Estimate e;
+    if (!DecodeToken(args[i], &e.name, error)) return false;
+    if (!ParseWireDouble(args[i + 1], &e.estimate) ||
+        !ParseWireDouble(args[i + 2], &e.ci_low) ||
+        !ParseWireDouble(args[i + 3], &e.ci_high)) {
+      *error = "malformed APPROX estimate: " + e.name;
+      return false;
+    }
+    report->estimates.push_back(std::move(e));
+  }
+  return true;
+}
+
+bool ServiceClient::StreamTick(const std::string& session, uint64_t tick,
+                               size_t* expired, size_t* live,
+                               std::string* error) {
+  AwaitedResponse response;
+  if (!AwaitOk(Issue(Request::StreamTick(session, tick), error), &response,
+               error)) {
+    return false;
+  }
+  if (response.final.args.size() != 2 ||
+      !ParseSize(response.final.args[0], expired) ||
+      !ParseSize(response.final.args[1], live)) {
+    *error = "malformed STREAM_TICK reply";
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::Subscribe(const std::string& session, double threshold,
+                              std::string* subscribe_tag, size_t* current,
+                              std::string* error) {
+  AwaitedResponse response;
+  const std::string tag = Issue(Request::Subscribe(session, threshold), error);
+  if (!AwaitOk(tag, &response, error)) return false;
+  if (response.final.args.size() != 1 ||
+      !ParseSize(response.final.args[0], current)) {
+    *error = "SUBSCRIBE reply carries no subset count";
+    return false;
+  }
+  *subscribe_tag = tag;
+  return true;
+}
+
+bool ServiceClient::DrainPushed(const std::string& subscribe_tag,
+                                std::vector<PushedItem>* items,
+                                std::string* error) {
+  items->clear();
+  const auto it = pending_.find(subscribe_tag);
+  if (it == pending_.end()) return true;
+  for (const Response& r : it->second) {
+    if (r.kind != ResponseKind::kItem || r.args.size() != 2 ||
+        (r.args[0] != "up" && r.args[0] != "down")) {
+      *error = "malformed SUBSCRIBE notification";
+      return false;
+    }
+    PushedItem item;
+    item.up = r.args[0] == "up";
+    if (!ParseWireDouble(r.args[1], &item.value)) {
+      *error = "malformed SUBSCRIBE notification value";
+      return false;
+    }
+    items->push_back(item);
+  }
+  pending_.erase(it);
+  return true;
+}
+
 bool ServiceClient::SendRawLine(const std::string& line, std::string* error) {
   return WriteAll(line + "\n", error);
 }

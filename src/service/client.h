@@ -23,6 +23,28 @@ struct WireReport {
   std::vector<std::pair<std::string, double>> measures;  // (name, value)
 };
 
+/// An EVALUATE ... APPROX reply: sampling estimators with confidence
+/// intervals instead of exact measure values.
+struct WireApproxReport {
+  size_t num_facts = 0;
+  size_t sample_size = 0;
+  double sample_fraction = 1.0;
+  struct Estimate {
+    std::string name;
+    double estimate = 0.0;
+    double ci_low = 0.0;
+    double ci_high = 0.0;
+  };
+  std::vector<Estimate> estimates;
+};
+
+/// One unsolicited SUBSCRIBE notification: the minimal-subset count crossed
+/// the watcher's threshold going up or down.
+struct PushedItem {
+  bool up = false;
+  double value = 0.0;
+};
+
 /// The terminal response for one awaited request plus any ITEM body lines
 /// that arrived under its tag.
 struct AwaitedResponse {
@@ -104,6 +126,33 @@ class ServiceClient {
             std::string* error);
   bool Unregister(const std::string& session, std::string* error);
   bool Vacuum(double threshold, bool* compacted, std::string* error);
+
+  // ---- streaming & approximate verbs ----
+
+  /// EVALUATE <session> APPROX <eps>: sampling-based estimates with
+  /// confidence intervals (see streaming/approx.h for the estimators).
+  bool EvaluateApprox(const std::string& session, double eps,
+                      WireApproxReport* report, std::string* error);
+
+  /// STREAM_TICK: advances a windowed session's logical clock. *expired
+  /// facts slid out of the window; *live remain.
+  bool StreamTick(const std::string& session, uint64_t tick, size_t* expired,
+                  size_t* live, std::string* error);
+
+  /// SUBSCRIBE: registers this connection as a threshold watcher on the
+  /// session. *subscribe_tag is the tag the server pushes ITEMs under and
+  /// *current the minimal-subset count at subscription time. Unsolicited
+  /// ITEMs arrive interleaved with later replies; any synchronous verb
+  /// buffers them, and DrainPushed collects what has accumulated.
+  bool Subscribe(const std::string& session, double threshold,
+                 std::string* subscribe_tag, size_t* current,
+                 std::string* error);
+
+  /// Moves the notifications buffered under `subscribe_tag` (by earlier
+  /// Await calls) into *items without blocking. Issue a Ping first to pull
+  /// in anything the server has already sent.
+  bool DrainPushed(const std::string& subscribe_tag,
+                   std::vector<PushedItem>* items, std::string* error);
 
   // ---- raw access (the protocol fuzz tests drive these) ----
 

@@ -258,8 +258,10 @@ const std::vector<CommandSpec>& CommandTable() {
        "APPLY <session> INSERT <value>... | DELETE <id> | UPDATE <id> "
        "<attr> <value>",
        "apply one repair operation; violations maintained incrementally"},
-      {Verb::kEvaluate, "EVALUATE", 1, 1, Dispatch::kQueued,
-       "EVALUATE <session>", "evaluate every measure on one session"},
+      {Verb::kEvaluate, "EVALUATE", 1, 3, Dispatch::kQueued,
+       "EVALUATE <session> [APPROX <eps>]",
+       "evaluate every measure on one session; APPROX replies sampling "
+       "estimates with confidence intervals"},
       {Verb::kEvaluateAll, "EVALUATE_ALL", 0, 0, Dispatch::kExclusive,
        "EVALUATE_ALL", "evaluate every session in one consistent batch"},
       {Verb::kStats, "STATS", 1, 1, Dispatch::kQueued, "STATS <session>",
@@ -275,6 +277,14 @@ const std::vector<CommandSpec>& CommandTable() {
        "CHECKPOINT",
        "write a durable checkpoint and truncate the log; replies the new "
        "epoch"},
+      {Verb::kStreamTick, "STREAM_TICK", 2, 2, Dispatch::kQueued,
+       "STREAM_TICK <session> <tick>",
+       "advance a windowed session's logical clock; replies expired and "
+       "live fact counts"},
+      {Verb::kSubscribe, "SUBSCRIBE", 1, 2, Dispatch::kQueued,
+       "SUBSCRIBE <session> [threshold]",
+       "push an ITEM under this tag whenever the minimal-subset count "
+       "crosses the threshold"},
   };
   return kTable;
 }
@@ -394,6 +404,31 @@ Request Request::Vacuum(double threshold) {
   return r;
 }
 
+Request Request::EvaluateApprox(std::string session, double eps) {
+  Request r;
+  r.verb = Verb::kEvaluate;
+  r.session = std::move(session);
+  r.approx = true;
+  r.eps = eps;
+  return r;
+}
+
+Request Request::StreamTick(std::string session, uint64_t tick) {
+  Request r;
+  r.verb = Verb::kStreamTick;
+  r.session = std::move(session);
+  r.tick = tick;
+  return r;
+}
+
+Request Request::Subscribe(std::string session, double threshold) {
+  Request r;
+  r.verb = Verb::kSubscribe;
+  r.session = std::move(session);
+  r.threshold = threshold;
+  return r;
+}
+
 std::string FormatRequest(const Request& request) {
   std::string line = request.tag;
   line += ' ';
@@ -410,11 +445,26 @@ std::string FormatRequest(const Request& request) {
       if (request.register_attach) line += " ATTACH";
       break;
     case Verb::kEvaluate:
+      line += ' ';
+      line += EncodeToken(request.session);
+      if (request.approx) line += StrFormat(" APPROX %.17g", request.eps);
+      break;
     case Verb::kStats:
     case Verb::kDump:
     case Verb::kUnregister:
       line += ' ';
       line += EncodeToken(request.session);
+      break;
+    case Verb::kStreamTick:
+      line += ' ';
+      line += EncodeToken(request.session);
+      line += StrFormat(" %llu",
+                        static_cast<unsigned long long>(request.tick));
+      break;
+    case Verb::kSubscribe:
+      line += ' ';
+      line += EncodeToken(request.session);
+      line += StrFormat(" %.17g", request.threshold);
       break;
     case Verb::kApply:
       line += ' ';
@@ -493,10 +543,37 @@ bool ParseRequest(const std::string& line, Request* out, std::string* error) {
       }
       return true;
     case Verb::kEvaluate:
+      if (!DecodeSessionName(tokens[2], &out->session, error)) return false;
+      if (argc == 1) return true;
+      if (argc != 3 || tokens[3] != "APPROX") {
+        *error = StrFormat("EVALUATE: bad modifier; usage: %s", spec->usage);
+        return false;
+      }
+      if (!ParseDouble(tokens[4], &out->eps, error)) return false;
+      if (!(out->eps > 0.0) || out->eps > 1.0) {
+        *error = "APPROX eps must be in (0, 1]";
+        return false;
+      }
+      out->approx = true;
+      return true;
     case Verb::kStats:
     case Verb::kDump:
     case Verb::kUnregister:
       return DecodeSessionName(tokens[2], &out->session, error);
+    case Verb::kStreamTick:
+      if (!DecodeSessionName(tokens[2], &out->session, error)) return false;
+      return ParseU64(tokens[3], std::numeric_limits<uint64_t>::max(),
+                      &out->tick, error);
+    case Verb::kSubscribe:
+      if (!DecodeSessionName(tokens[2], &out->session, error)) return false;
+      if (argc == 2) {
+        if (!ParseDouble(tokens[3], &out->threshold, error)) return false;
+        if (!(out->threshold >= 0.0)) {
+          *error = "SUBSCRIBE threshold must be >= 0";
+          return false;
+        }
+      }
+      return true;
     case Verb::kVacuum:
       if (!ParseDouble(tokens[2], &out->threshold, error)) return false;
       if (!(out->threshold >= 0.0) || out->threshold > 1.0) {

@@ -45,6 +45,19 @@ namespace dbim {
 ///   t APPLY <session> DELETE <fact-id>   ; OK
 ///   t APPLY <session> UPDATE <fact-id> <attr-index> <value>  ; OK
 ///   t EVALUATE <session>       ; OK <facts> <subsets> <trunc01> (<m> <v>)*
+///   t EVALUATE <session> APPROX <eps>
+///                              ; sampling estimators instead of the exact
+///                              ;   measures: OK <facts> <sample> <fraction>
+///                              ;   (<m> <estimate> <ci_low> <ci_high>)*
+///   t STREAM_TICK <session> <tick>
+///                              ; advance a windowed session's logical
+///                              ;   clock; OK <expired> <live>
+///   t SUBSCRIBE <session> [threshold]
+///                              ; OK <subsets> now; then an unsolicited
+///                              ;   ITEM <up|down> <subsets> under this tag
+///                              ;   whenever |MI| crosses the threshold
+///                              ;   after an Apply or window slide (the one
+///                              ;   verb whose ITEMs follow its OK)
 ///   t EVALUATE_ALL             ; ITEM <session> <facts> <subsets> <trunc01>
 ///                              ;      (<m> <v>)*   — then OK <count>
 ///   t STATS <session>          ; OK <constraint-stats-json>
@@ -97,6 +110,8 @@ enum class Verb {
   kUnregister,
   kVacuum,
   kCheckpoint,
+  kStreamTick,
+  kSubscribe,
 };
 
 enum class ApplyKind { kInsert, kDelete, kUpdate };
@@ -153,8 +168,11 @@ struct Request {
   std::vector<Value> values;           // INSERT cells / UPDATE's one value
   FactId fact_id = 0;                  // DELETE / UPDATE target
   AttrIndex attr = 0;                  // UPDATE attribute
-  double threshold = 0.0;              // VACUUM waste threshold
+  double threshold = 0.0;              // VACUUM waste / SUBSCRIBE threshold
   bool register_attach = false;        // REGISTER ... ATTACH
+  uint64_t tick = 0;                   // STREAM_TICK logical clock
+  bool approx = false;                 // EVALUATE ... APPROX <eps>
+  double eps = 0.0;                    // APPROX accuracy parameter
 
   /// Convenience constructors for the client side.
   static Request Ping();
@@ -171,6 +189,9 @@ struct Request {
   static Request Dump(std::string session);
   static Request MakeUnregister(std::string session);
   static Request Vacuum(double threshold);
+  static Request EvaluateApprox(std::string session, double eps);
+  static Request StreamTick(std::string session, uint64_t tick);
+  static Request Subscribe(std::string session, double threshold = 0.0);
 };
 
 /// Renders `request` as one wire line (no trailing newline). The tag must

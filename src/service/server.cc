@@ -13,6 +13,8 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "streaming/approx.h"
+#include "streaming/stream_session.h"
 
 namespace dbim {
 
@@ -90,12 +92,29 @@ struct ServiceServer::PendingOp {
 /// give serial FIFO execution per session with one queue take per ring
 /// visit (the round-robin fairness unit).
 struct ServiceServer::Tenant {
+  /// A SUBSCRIBE watcher: pushed an ITEM under its tag when the
+  /// minimal-subset count crosses `threshold`. Touched only by the worker
+  /// currently servicing the tenant (per-session serial execution), so no
+  /// lock guards the vector.
+  struct Subscriber {
+    std::shared_ptr<Connection> conn;
+    std::string tag;
+    double threshold = 0.0;
+    double last = 0.0;  // subset count at the previous check
+  };
+
   std::string name;
   DbHandle handle = 0;
   std::deque<PendingOp> queue;
   bool in_ring = false;
   bool in_service = false;
   bool dead = false;
+  /// Engaged when the daemon runs windowed (SessionOptions::window):
+  /// wraps `handle`, translating INSERT/DELETE and STREAM_TICK into
+  /// window pushes and slides. Same serial-access discipline as
+  /// `subscribers` (created before the tenant is addressable).
+  std::unique_ptr<StreamSession> stream;
+  std::vector<Subscriber> subscribers;
 };
 
 ServiceServer::ServiceServer(std::shared_ptr<const Schema> schema,
@@ -124,6 +143,12 @@ bool ServiceServer::Start(std::string* error) {
       auto tenant = std::make_shared<Tenant>();
       tenant->name = rs.name;
       tenant->handle = rs.handle;
+      if (options_.session.window.enabled()) {
+        // Recovered facts re-enter the window at tick 0; a count window
+        // immediately trims to its newest `size` of them.
+        tenant->stream = std::make_unique<StreamSession>(
+            &session_, options_.session.window, tenant->handle);
+      }
       tenants_.emplace(tenant->name, tenant);
     }
   }
@@ -300,6 +325,8 @@ const ServiceServer::VerbBinding& ServiceServer::BindingFor(Verb verb) {
       {nullptr, &ServiceServer::HandleUnregister},   // kUnregister
       {&ServiceServer::HandleVacuum, nullptr},       // kVacuum
       {&ServiceServer::HandleCheckpoint, nullptr},   // kCheckpoint
+      {nullptr, &ServiceServer::HandleStreamTick},   // kStreamTick
+      {nullptr, &ServiceServer::HandleSubscribe},    // kSubscribe
   };
   static const bool checked = [] {
     const std::vector<CommandSpec>& table = CommandTable();
@@ -407,6 +434,10 @@ void ServiceServer::HandleRegister(const std::shared_ptr<Connection>& conn,
   auto tenant = std::make_shared<Tenant>();
   tenant->name = request.session;
   tenant->handle = session_.Register(Database(schema_));
+  if (options_.session.window.enabled()) {
+    tenant->stream = std::make_unique<StreamSession>(
+        &session_, options_.session.window, tenant->handle);
+  }
   // WAL the creation before the name becomes addressable: APPLYs are only
   // admitted once the tenant is in the registry, so in the log every
   // session's apply records strictly follow its register record.
@@ -537,18 +568,119 @@ void ServiceServer::HandleApply(const std::shared_ptr<Tenant>& tenant,
       break;
     }
   }
-  const std::optional<FactId> inserted =
-      session_.Apply(tenant->handle, repair);
+  std::optional<FactId> inserted;
+  if (tenant->stream != nullptr) {
+    // Windowed tenant: inserts enter the window at the current tick and
+    // may slide out older facts; deletes leave the window too. Updates
+    // mutate in place and keep the fact's arrival tick.
+    switch (request.apply_kind) {
+      case ApplyKind::kInsert:
+        inserted = tenant->stream->Push(Fact(relation_, request.values),
+                                        tenant->stream->current_tick());
+        break;
+      case ApplyKind::kDelete:
+        if (!tenant->stream->Erase(request.fact_id)) {
+          session_.Apply(tenant->handle, repair);
+        }
+        break;
+      case ApplyKind::kUpdate:
+        session_.Apply(tenant->handle, repair);
+        break;
+    }
+  } else {
+    inserted = session_.Apply(tenant->handle, repair);
+  }
   if (inserted.has_value()) {
     op.conn->Send(Response::Ok(tag, {std::to_string(*inserted)}));
   } else {
     op.conn->Send(Response::Ok(tag));
   }
+  NotifySubscribers(tenant);
 }
 
 void ServiceServer::HandleEvaluate(const std::shared_ptr<Tenant>& tenant,
                                    PendingOp op) {
+  if (op.request.approx) {
+    op.conn->Send(
+        DoEvaluateApprox(op.request.tag, tenant->handle, op.request.eps));
+    return;
+  }
   op.conn->Send(DoEvaluate(op.request.tag, tenant->name, tenant->handle));
+}
+
+Response ServiceServer::DoEvaluateApprox(const std::string& tag,
+                                         DbHandle handle, double eps) {
+  ApproxOptions approx;
+  approx.eps = eps;
+  approx.confidence = options_.session.approx.confidence;
+  approx.seed = options_.session.approx.seed;
+  approx.only = options_.session.only;
+  ApproxEvaluator evaluator(session_.detector(), std::move(approx));
+  const ApproxReport report = session_.WithDatabase(
+      handle, [&](const Database& db) { return evaluator.Evaluate(db); });
+  std::vector<std::string> args;
+  args.push_back(std::to_string(report.num_facts));
+  args.push_back(std::to_string(report.sample_size));
+  args.push_back(FormatDouble(
+      report.num_facts == 0
+          ? 1.0
+          : static_cast<double>(report.sample_size) / report.num_facts));
+  for (const ApproxEstimate& e : report.estimates) {
+    args.push_back(EncodeToken(e.name));
+    args.push_back(FormatDouble(e.estimate));
+    args.push_back(FormatDouble(e.ci_low));
+    args.push_back(FormatDouble(e.ci_high));
+  }
+  return Response::Ok(tag, std::move(args));
+}
+
+void ServiceServer::HandleStreamTick(const std::shared_ptr<Tenant>& tenant,
+                                     PendingOp op) {
+  if (tenant->stream == nullptr) {
+    op.conn->Send(Response::Error(
+        op.request.tag, "BAD_REQUEST",
+        "session is not windowed (start dbimd with --window)"));
+    return;
+  }
+  const size_t expired = tenant->stream->AdvanceTo(op.request.tick);
+  op.conn->Send(Response::Ok(
+      op.request.tag, {std::to_string(expired),
+                       std::to_string(tenant->stream->num_live())}));
+  NotifySubscribers(tenant);
+}
+
+void ServiceServer::HandleSubscribe(const std::shared_ptr<Tenant>& tenant,
+                                    PendingOp op) {
+  const size_t current = session_.NumMinimalSubsets(tenant->handle);
+  Tenant::Subscriber sub;
+  sub.conn = op.conn;
+  sub.tag = op.request.tag;
+  sub.threshold = op.request.threshold;
+  sub.last = static_cast<double>(current);
+  tenant->subscribers.push_back(std::move(sub));
+  op.conn->Send(Response::Ok(op.request.tag, {std::to_string(current)}));
+}
+
+void ServiceServer::NotifySubscribers(const std::shared_ptr<Tenant>& tenant) {
+  if (tenant->subscribers.empty()) return;
+  const double current =
+      static_cast<double>(session_.NumMinimalSubsets(tenant->handle));
+  auto& subs = tenant->subscribers;
+  for (auto it = subs.begin(); it != subs.end();) {
+    if (it->conn->closed.load(std::memory_order_acquire)) {
+      it = subs.erase(it);
+      continue;
+    }
+    const bool was_above = it->last > it->threshold;
+    const bool is_above = current > it->threshold;
+    if (was_above != is_above) {
+      it->conn->Send(Response::Item(
+          it->tag,
+          {is_above ? "up" : "down", FormatDouble(current)}));
+    }
+    it->last = current;
+    ++it;
+  }
 }
 
 void ServiceServer::HandleStats(const std::shared_ptr<Tenant>& tenant,

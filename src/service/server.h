@@ -185,9 +185,19 @@ class ServiceServer {
   void HandleStats(const std::shared_ptr<Tenant>& tenant, PendingOp op);
   void HandleDump(const std::shared_ptr<Tenant>& tenant, PendingOp op);
   void HandleUnregister(const std::shared_ptr<Tenant>& tenant, PendingOp op);
+  void HandleStreamTick(const std::shared_ptr<Tenant>& tenant, PendingOp op);
+  void HandleSubscribe(const std::shared_ptr<Tenant>& tenant, PendingOp op);
+
+  /// Pushes an ITEM to every watcher whose threshold the minimal-subset
+  /// count just crossed. Runs on the worker servicing the tenant, after an
+  /// Apply or window slide — per-tenant execution is serial, so subscriber
+  /// state needs no extra lock.
+  void NotifySubscribers(const std::shared_ptr<Tenant>& tenant);
 
   Response DoEvaluate(const std::string& tag, const std::string& name,
                       DbHandle handle);
+  Response DoEvaluateApprox(const std::string& tag, DbHandle handle,
+                            double eps);
   /// The STATS durability token: {"durable":0} without a store, else the
   /// store's counters as JSON.
   std::string DurabilityJson() const;

@@ -130,6 +130,23 @@ SessionOptions SessionOptionsFromFlags(int argc, char** argv) {
   for (const std::string& name : Split(flag_value("measures"), ',')) {
     if (!name.empty()) options.WithMeasure(name);
   }
+  const std::string window = flag_value("window");
+  if (!window.empty()) {
+    // "count:N" or "ticks:N"; anything else is ignored (window disabled).
+    const std::vector<std::string> parts = Split(window, ':');
+    if (parts.size() == 2) {
+      const uint64_t size = std::strtoull(parts[1].c_str(), nullptr, 10);
+      if (parts[0] == "count") {
+        options.WithWindow(WindowSpec::Kind::kCount, size);
+      } else if (parts[0] == "ticks") {
+        options.WithWindow(WindowSpec::Kind::kTicks, size);
+      }
+    }
+  }
+  const std::string approx = flag_value("approx");
+  if (!approx.empty()) {
+    options.WithApprox(std::strtod(approx.c_str(), nullptr));
+  }
   return options;
 }
 

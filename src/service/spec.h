@@ -50,6 +50,11 @@ ServiceSpec ExampleSpec();
 ///   --measures=I_d,I_MI   restrict to the named measures
 ///   --mc                  include the model-counting measure I_MC
 ///   --parallel-measures   evaluate selected measures concurrently
+///   --window=count:N      sliding window keeping the newest N facts
+///   --window=ticks:N      sliding window keeping facts from the last N
+///                         logical ticks (see streaming/stream_session.h)
+///   --approx=EPS          sampling-based estimators with absolute-rate
+///                         error EPS in (0, 1] (see streaming/approx.h)
 SessionOptions SessionOptionsFromFlags(int argc, char** argv);
 
 }  // namespace dbim

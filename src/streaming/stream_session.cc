@@ -1,0 +1,109 @@
+#include "streaming/stream_session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "relational/operations.h"
+
+namespace dbim {
+
+StreamSession::StreamSession(MeasureSession* session, WindowSpec window)
+    : session_(session), window_(window) {
+  handle_ = session_->Register(Database(session_->schema()));
+  owns_handle_ = true;
+}
+
+StreamSession::StreamSession(MeasureSession* session, WindowSpec window,
+                             DbHandle handle)
+    : session_(session), window_(window), handle_(handle) {
+  // Pre-existing facts (a recovered or attached handle) enter the window
+  // at the current tick, oldest-id first, then the window rule applies:
+  // a count window keeps only the newest `size` of them immediately.
+  session_->WithDatabase(handle_, [&](const Database& db) {
+    db.ForEachId(
+        [&](FactId id) { live_.push_back(LiveFact{id, current_tick_}); });
+    return 0;
+  });
+  if (window_.enabled() && window_.kind == WindowSpec::Kind::kCount) {
+    if (ExpireCount() > 0) ++num_slides_;
+  }
+}
+
+StreamSession::~StreamSession() {
+  if (owns_handle_) session_->Unregister(handle_);
+}
+
+void StreamSession::ExpireFront() {
+  const FactId id = live_.front().id;
+  live_.pop_front();
+  // Inapplicable deletions are no-ops by the repair-operation contract, so
+  // a fact already retracted out-of-band expires harmlessly.
+  session_->Apply(handle_, RepairOperation::Deletion(id));
+  ++num_expired_;
+}
+
+size_t StreamSession::ExpireTicks() {
+  if (!window_.enabled() || window_.kind != WindowSpec::Kind::kTicks) {
+    return 0;
+  }
+  // A fact pushed at tick t stays live while t > current - size.
+  if (current_tick_ < window_.size) return 0;
+  const uint64_t horizon = current_tick_ - window_.size;
+  size_t expired = 0;
+  while (!live_.empty() && live_.front().tick <= horizon) {
+    ExpireFront();
+    ++expired;
+  }
+  return expired;
+}
+
+size_t StreamSession::ExpireCount() {
+  if (!window_.enabled() || window_.kind != WindowSpec::Kind::kCount) {
+    return 0;
+  }
+  size_t expired = 0;
+  while (live_.size() > window_.size) {
+    ExpireFront();
+    ++expired;
+  }
+  return expired;
+}
+
+std::optional<FactId> StreamSession::Push(Fact fact, uint64_t tick) {
+  current_tick_ = std::max(current_tick_, tick);
+  size_t expired = ExpireTicks();
+  const std::optional<FactId> id =
+      session_->Apply(handle_, RepairOperation::Insertion(std::move(fact)));
+  if (id.has_value()) {
+    live_.push_back(LiveFact{*id, current_tick_});
+    expired += ExpireCount();
+  }
+  if (expired > 0) ++num_slides_;
+  return id;
+}
+
+size_t StreamSession::AdvanceTo(uint64_t tick) {
+  current_tick_ = std::max(current_tick_, tick);
+  const size_t expired = ExpireTicks();
+  if (expired > 0) ++num_slides_;
+  return expired;
+}
+
+bool StreamSession::Erase(FactId id) {
+  const auto it =
+      std::find_if(live_.begin(), live_.end(),
+                   [&](const LiveFact& f) { return f.id == id; });
+  if (it == live_.end()) return false;
+  live_.erase(it);
+  session_->Apply(handle_, RepairOperation::Deletion(id));
+  return true;
+}
+
+std::vector<FactId> StreamSession::LiveIds() const {
+  std::vector<FactId> ids;
+  ids.reserve(live_.size());
+  for (const LiveFact& f : live_) ids.push_back(f.id);
+  return ids;
+}
+
+}  // namespace dbim

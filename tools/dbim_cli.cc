@@ -33,6 +33,8 @@
 #include "measures/session.h"
 #include "measures/shapley.h"
 #include "service/spec.h"
+#include "streaming/approx.h"
+#include "streaming/stream_session.h"
 #include "violations/detector.h"
 
 namespace {
@@ -62,6 +64,7 @@ int Usage() {
       "                [--measures=I_d,I_MI,...] [--mc] [--threads=N]\n"
       "                [--parallel-measures] [--stats] [--shapley=N]\n"
       "                [--repair] [--export=out.csv]\n"
+      "                [--window=count:N|ticks:N] [--approx=EPS]\n"
       "  --stats      print per-constraint probe/fire counters from the\n"
       "               detection pass plus the incremental index's watched-\n"
       "               key footprint\n"
@@ -70,7 +73,12 @@ int Usage() {
       "  --threads=N  detection worker threads (default 1, 0 = hardware);\n"
       "               results are identical for every thread count\n"
       "  --parallel-measures  evaluate the selected measures concurrently\n"
-      "               on the shared context (same values, overlapped time)\n");
+      "               on the shared context (same values, overlapped time)\n"
+      "  --window=count:N|ticks:N  replay the CSV as a stream (row index =\n"
+      "               logical tick) through a sliding window and report the\n"
+      "               final window's measures plus slide counters\n"
+      "  --approx=EPS sampling-based estimates with confidence intervals\n"
+      "               instead of (in addition to) the exact measures\n");
   return 2;
 }
 
@@ -114,6 +122,43 @@ int main(int argc, char** argv) {
 
   for (const MeasureResult& result : session.Evaluate(context)) {
     std::printf("  %-8s = %g\n", result.name.c_str(), result.value);
+  }
+
+  if (options.approx.enabled()) {
+    ApproxOptions approx;
+    approx.eps = options.approx.eps;
+    approx.confidence = options.approx.confidence;
+    approx.seed = options.approx.seed;
+    approx.only = options.only;
+    const ApproxEvaluator evaluator(session.detector(), std::move(approx));
+    const ApproxReport report = evaluator.Evaluate(*db);
+    std::printf("approximate measures (sample %zu of %zu, fraction %.3f):\n",
+                report.sample_size, report.num_facts,
+                report.num_facts == 0
+                    ? 1.0
+                    : static_cast<double>(report.sample_size) /
+                          report.num_facts);
+    for (const ApproxEstimate& e : report.estimates) {
+      std::printf("  %-8s ~ %-10g  [%g, %g]%s\n", e.name.c_str(), e.estimate,
+                  e.ci_low, e.ci_high,
+                  e.sample_fraction >= 1.0 ? "  (exact)" : "");
+    }
+  }
+
+  if (options.window.enabled()) {
+    // Replay the CSV as a stream: row index = logical tick. Every slide
+    // routes through the incremental session index, so the final window's
+    // measures come out without any re-detection.
+    StreamSession stream(&session, options.window);
+    uint64_t tick = 0;
+    db->ForEachId([&](FactId id) { stream.Push(db->fact(id), tick++); });
+    std::printf("window replay: %zu live facts, %zu slides, %zu expired "
+                "(ticks 0..%llu)\n",
+                stream.num_live(), stream.num_slides(), stream.num_expired(),
+                static_cast<unsigned long long>(stream.current_tick()));
+    for (const MeasureResult& result : stream.Evaluate().measures) {
+      std::printf("  %-8s = %g\n", result.name.c_str(), result.value);
+    }
   }
 
   if (HasFlag(argc, argv, "stats")) {

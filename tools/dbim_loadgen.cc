@@ -4,7 +4,7 @@
 //   dbim_loadgen --port=7411 [--host=127.0.0.1] [--clients=4]
 //                [--sessions=2] [--ops=1000] [--pipeline=16]
 //                [--evaluate-every=8] [--seed=7] [--json] [--stats]
-//                [--attach]
+//                [--attach] [--subscribe[=THRESHOLD]]
 //
 // Spawns `--clients` threads, each with its own connection, driving the
 // shared mixed Apply/Evaluate workload (src/service/workload.h) against
@@ -13,6 +13,9 @@
 // per-session FIFO + round-robin ring are what keep the traffic fair.
 // Prints per-client ops/s with p50/p99 latency; --json emits the same
 // table as JSON, --stats appends each session's constraint-stats JSON.
+// --subscribe holds one extra watcher connection SUBSCRIBEd to session
+// load0 at the given minimal-subset threshold (default 0) for the duration
+// of the run and reports how many crossing notifications the server pushed.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -131,6 +134,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The watcher subscribes before traffic starts, so every threshold
+  // crossing during the run is pushed to it; notifications are drained
+  // after the traffic threads join.
+  const bool subscribe = HasFlag(argc, argv, "subscribe") ||
+                         !FlagValue(argc, argv, "subscribe", "").empty();
+  const double subscribe_threshold = std::strtod(
+      FlagValue(argc, argv, "subscribe", "0").c_str(), nullptr);
+  ServiceClient watcher;
+  std::string watcher_tag;
+  size_t watcher_start = 0;
+  if (subscribe) {
+    std::string error;
+    if (!watcher.Connect(host, port, &error) ||
+        !watcher.Subscribe("load0", subscribe_threshold, &watcher_tag,
+                           &watcher_start, &error)) {
+      std::fprintf(stderr, "SUBSCRIBE load0: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
   std::vector<ClientOutcome> outcomes(num_clients);
   std::vector<std::thread> threads;
   threads.reserve(num_clients);
@@ -173,6 +196,24 @@ int main(int argc, char** argv) {
     std::printf("%s\n", table.ToJson("loadgen").c_str());
   } else {
     std::printf("%s", table.ToText().c_str());
+  }
+
+  if (subscribe) {
+    // A Ping round-trip pulls in everything the server already pushed
+    // under the subscribe tag; DrainPushed then collects it.
+    std::string error;
+    std::vector<PushedItem> pushed;
+    if (!watcher.Ping(&error) ||
+        !watcher.DrainPushed(watcher_tag, &pushed, &error)) {
+      std::fprintf(stderr, "subscriber drain: %s\n", error.c_str());
+      return 1;
+    }
+    size_t ups = 0;
+    for (const PushedItem& item : pushed) ups += item.up ? 1 : 0;
+    std::printf("subscriber: load0 started at %zu minimal subsets, "
+                "threshold %g crossed %zu times (%zu up, %zu down)\n",
+                watcher_start, subscribe_threshold, pushed.size(), ups,
+                pushed.size() - ups);
   }
 
   if (HasFlag(argc, argv, "stats")) {
