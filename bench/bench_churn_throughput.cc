@@ -21,6 +21,15 @@
 // built for: wide Sigma where each op's key classes overlap few
 // constraints (fd-mesh), and k-ary Sigma where the anchored probe can
 // prune through partner buckets (kary-chain, mixed).
+//
+// Large-scale regime: `--scale=1000 --skip-scratch` pushes the fd-mesh
+// row to 1M tuples / 400k ops, where the watched-vs-unwatched margin is
+// far outside timer noise (the ROADMAP complaint about the small sizes).
+// --skip-scratch is required there — a full re-detection per op over 1M
+// tuples is infeasible — and the k-ary rows clamp their instance size
+// (dense domain-8 buckets make anchored enumeration quadratic in bucket
+// population), so the big regime exercises the wide-Sigma row, which is
+// the one the dispatch machinery was built for. CI keeps --scale=0.5.
 #include <algorithm>
 #include <cstdio>
 #include <functional>
@@ -129,7 +138,7 @@ bool RunRow(TablePrinter& table, const char* label, size_t n,
             std::shared_ptr<const Schema> schema,
             const std::vector<DenialConstraint>& dcs, const Database& initial,
             size_t num_ops, size_t num_attrs, const DrawValue& draw,
-            uint64_t seed) {
+            uint64_t seed, bool skip_scratch) {
   const std::vector<RepairOperation> ops =
       MakeTrace(initial, num_ops, seed, num_attrs, draw);
 
@@ -140,14 +149,10 @@ bool RunRow(TablePrinter& table, const char* label, size_t n,
 
   ViolationSet watched_final;
   ViolationSet unwatched_final;
-  ViolationSet scratch_final;
   const double watched_s =
       ReplayIndex(schema, dcs, initial, ops, watched_opts, &watched_final);
   const double unwatched_s = ReplayIndex(schema, dcs, initial, ops,
                                          unwatched_opts, &unwatched_final);
-  const ViolationDetector detector(schema, dcs);
-  const double scratch_s =
-      ReplayScratch(detector, initial, ops, &scratch_final);
 
   // Watched must be *bit-identical* to unwatched (raw slot layout), and
   // both must agree with from-scratch detection up to subset order.
@@ -155,16 +160,24 @@ bool RunRow(TablePrinter& table, const char* label, size_t n,
     std::fprintf(stderr, "%s: watched/unwatched snapshots diverge\n", label);
     return false;
   }
-  if (Sorted(watched_final) != Sorted(scratch_final)) {
-    std::fprintf(stderr, "%s: incremental state diverges from scratch\n",
-                 label);
-    return false;
+  std::string scratch_cell = "-";
+  if (!skip_scratch) {
+    ViolationSet scratch_final;
+    const ViolationDetector detector(schema, dcs);
+    const double scratch_s =
+        ReplayScratch(detector, initial, ops, &scratch_final);
+    if (Sorted(watched_final) != Sorted(scratch_final)) {
+      std::fprintf(stderr, "%s: incremental state diverges from scratch\n",
+                   label);
+      return false;
+    }
+    scratch_cell = TablePrinter::Num(scratch_s, 3);
   }
 
   table.AddRow(
       {label, std::to_string(n), std::to_string(dcs.size()),
        std::to_string(ops.size()), TablePrinter::Num(watched_s, 3),
-       TablePrinter::Num(unwatched_s, 3), TablePrinter::Num(scratch_s, 3),
+       TablePrinter::Num(unwatched_s, 3), std::move(scratch_cell),
        TablePrinter::Num(
            watched_s > 0 ? static_cast<double>(ops.size()) / watched_s : 0.0,
            0)});
@@ -237,7 +250,8 @@ int Run(const BenchArgs& args) {
     };
     const Database initial = MakeInstance(schema, n, kAttrs, draw, args.seed);
     if (!RunRow(table, "fd-mesh", n, schema, dcs, initial,
-                args.SampleSize(400, 2000), kAttrs, draw, args.seed + 1)) {
+                args.SampleSize(400, 2000), kAttrs, draw, args.seed + 1,
+                args.skip_scratch)) {
       return 1;
     }
   }
@@ -251,14 +265,17 @@ int Run(const BenchArgs& args) {
     const DrawValue draw = [](AttrIndex, Rng& rng) {
       return Value(rng.UniformInt(0, 7));
     };
-    const size_t n = args.SampleSize(200, 600);
-    const size_t num_ops = args.SampleSize(150, 600);
+    // Clamped: domain-8 values make bucket population linear in n, and
+    // anchored enumeration quadratic in it — the 1M regime (--scale=1000)
+    // belongs to fd-mesh; these rows cap where they still finish.
+    const size_t n = std::min<size_t>(args.SampleSize(200, 600), 5000);
+    const size_t num_ops = std::min<size_t>(args.SampleSize(150, 600), 5000);
     const Database initial = MakeInstance(schema, n, 3, draw, args.seed + 2);
 
     std::vector<DenialConstraint> chain_only;
     chain_only.push_back(ChainDc());
     if (!RunRow(table, "kary-chain", n, schema, chain_only, initial, num_ops,
-                3, draw, args.seed + 3)) {
+                3, draw, args.seed + 3, args.skip_scratch)) {
       return 1;
     }
 
@@ -267,7 +284,7 @@ int Run(const BenchArgs& args) {
     AddFd(mixed, 0, 1);
     AddFd(mixed, 1, 2);
     if (!RunRow(table, "mixed", n, schema, mixed, initial, num_ops, 3, draw,
-                args.seed + 4)) {
+                args.seed + 4, args.skip_scratch)) {
       return 1;
     }
   }

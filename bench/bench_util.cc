@@ -30,14 +30,28 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.parallel_measures = true;
     } else if (StartsWith(arg, "--json=")) {
       args.json_out = arg.substr(7);
+    } else if (StartsWith(arg, "--thread-sweep=")) {
+      args.thread_sweep.clear();
+      for (const std::string& part : Split(arg.substr(15), ',')) {
+        if (!part.empty()) {
+          args.thread_sweep.push_back(
+              std::strtoull(part.c_str(), nullptr, 10));
+        }
+      }
+    } else if (arg == "--skip-scratch") {
+      args.skip_scratch = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "flags: --full --scale=X --csv --out=DIR --seed=N --threads=N\n"
-          "       --parallel-measures --json=PATH\n"
+          "       --parallel-measures --json=PATH --thread-sweep=1,2,4\n"
+          "       --skip-scratch\n"
           "  --full uses the paper's sizes; default is a reduced scale\n"
           "  --threads sets detector worker threads (0 = hardware)\n"
           "  --parallel-measures evaluates measures concurrently\n"
-          "  --json also writes the table as JSON to PATH\n");
+          "  --json also writes the table as JSON to PATH\n"
+          "  --thread-sweep sets the thread counts swept by scaling benches\n"
+          "  --skip-scratch skips from-scratch re-detection replays (for\n"
+          "    the 1M+-tuple churn regime)\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());

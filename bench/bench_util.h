@@ -29,6 +29,11 @@ namespace dbim::bench {
 ///                   shared context (same values, overlapped wall time)
 ///   --json=PATH     also write the table as JSON to PATH (the machine-
 ///                   readable record the CI bench-regression gate diffs)
+///   --thread-sweep=1,2,4  thread counts for benches that sweep the
+///                   scheduler (bench_scaling, bench_fig9_skew)
+///   --skip-scratch  skip from-scratch re-detection replays (needed to
+///                   reach the 1M+-tuple regime in bench_churn_throughput,
+///                   where full re-detection per op is infeasible)
 struct BenchArgs {
   bool full = false;
   double scale = 1.0;
@@ -38,6 +43,8 @@ struct BenchArgs {
   size_t threads = 1;
   bool parallel_measures = false;
   std::string json_out;
+  std::vector<size_t> thread_sweep;
+  bool skip_scratch = false;
 
   static BenchArgs Parse(int argc, char** argv);
 

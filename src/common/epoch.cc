@@ -1,0 +1,73 @@
+#include "common/epoch.h"
+
+#include <algorithm>
+
+namespace dbim {
+
+EpochRegistry& EpochRegistry::Global() {
+  // Never destroyed: pool workers may announce during process teardown,
+  // after static destructors started running.
+  static EpochRegistry* registry = new EpochRegistry();
+  return *registry;
+}
+
+uint64_t EpochRegistry::Advance() {
+  return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+uint64_t EpochRegistry::current() const {
+  return epoch_.load(std::memory_order_acquire);
+}
+
+EpochRegistry::Slot* EpochRegistry::ThisThreadSlot() {
+  // One slot per thread, released at thread exit so a dead thread never
+  // pins reclamation. The handle is thread_local; acquisition is lazy.
+  struct Handle {
+    Slot* slot = nullptr;
+    ~Handle() {
+      if (slot != nullptr) {
+        slot->epoch.store(kIdleEpoch);
+        slot->in_use.store(false);
+      }
+    }
+  };
+  static thread_local Handle handle;
+  if (handle.slot != nullptr) return handle.slot;
+  std::lock_guard<std::mutex> lock(slot_mutex_);
+  for (Slot& slot : slots_) {
+    if (!slot.in_use.load(std::memory_order_relaxed)) {
+      slot.epoch.store(kIdleEpoch);
+      slot.in_use.store(true);
+      handle.slot = &slot;
+      return handle.slot;
+    }
+  }
+  // More live announcing threads than slots: degrade to "never reclaim"
+  // (MinAnnounced() == 0) rather than under-counting readers.
+  overflowed_.store(true);
+  return nullptr;
+}
+
+void EpochRegistry::Announce() {
+  Slot* slot = ThisThreadSlot();
+  if (slot == nullptr) return;
+  slot->epoch.store(current());
+}
+
+void EpochRegistry::SetIdle() {
+  Slot* slot = ThisThreadSlot();
+  if (slot == nullptr) return;
+  slot->epoch.store(kIdleEpoch);
+}
+
+uint64_t EpochRegistry::MinAnnounced() const {
+  if (overflowed_.load()) return 0;
+  uint64_t min_epoch = kNoReaders;
+  for (const Slot& slot : slots_) {
+    if (!slot.in_use.load()) continue;
+    min_epoch = std::min(min_epoch, slot.epoch.load());
+  }
+  return min_epoch;  // idle slots read kIdleEpoch == kNoReaders: no-ops
+}
+
+}  // namespace dbim

@@ -1,0 +1,101 @@
+#ifndef DBIM_COMMON_EPOCH_H_
+#define DBIM_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace dbim {
+
+/// Process-wide quiescent-state epoch registry — the reclamation protocol
+/// behind ValuePool's retired dictionary slabs.
+///
+/// The pool's lock-free readers hold *snapshot pointers* into slabs that
+/// growth retires but (historically) never freed before a session vacuum.
+/// This registry lets retired slabs be freed as soon as every reader has
+/// provably moved past them, without any per-read cost:
+///
+///  * A writer retiring a resource calls `Advance()` and tags the resource
+///    with the returned epoch.
+///  * A reader thread calls `Announce()` at its quiescent points — moments
+///    where it holds no snapshot pointers or references obtained from a
+///    protected structure. Announcing records "everything I still hold was
+///    acquired at or after the current epoch". The scheduler announces
+///    automatically: ThreadPool workers between tasks (and `SetIdle()`
+///    while parked on the queue), OrderedParallelFor / OrderedStealingFor
+///    consumers at every consume boundary, and MeasureSession at every
+///    public entry point when epoch reclamation is enabled.
+///  * A reclaimer frees resources whose retire epoch is at or below
+///    `MinAnnounced()`. A thread can only hold a pointer into a resource
+///    retired at epoch E if it acquired the pointer before the retirement
+///    — and therefore announced (declared itself empty-handed) strictly
+///    before `Advance()` returned E, pinning its announced epoch below E.
+///    So once every announced reader sits at E or later, nothing can still
+///    point at the resource.
+///
+/// Safety contract: while any ValuePool with epoch reclamation enabled is
+/// shared across threads, every thread performing lock-free reads of it
+/// must be an announcing thread (the scheduler and session paths above
+/// cover all in-tree readers). A thread that announces and then goes
+/// silent merely *delays* reclamation — safety never depends on liveness;
+/// the vacuum-time `ReclaimRetiredSlabs` under an exclusive lock remains
+/// the fallback that frees everything regardless of announcements.
+///
+/// Registration is lazy (first `Announce()` claims a slot) and reverts at
+/// thread exit. If more than kMaxSlots threads ever announce, the registry
+/// degrades safely: `MinAnnounced()` returns 0 forever, which blocks epoch
+/// reclamation entirely and leaves vacuum as the only reclaimer.
+class EpochRegistry {
+ public:
+  /// MinAnnounced() result when no reader thread is announced: everything
+  /// retired so far is reclaimable.
+  static constexpr uint64_t kNoReaders = UINT64_MAX;
+
+  static EpochRegistry& Global();
+
+  /// Bumps the global epoch (a retirement boundary); returns the new epoch.
+  uint64_t Advance();
+
+  /// The current global epoch.
+  uint64_t current() const;
+
+  /// Declares this thread quiescent *now*: it holds no protected pointers
+  /// acquired before the current epoch. Claims a registry slot on first
+  /// call.
+  void Announce();
+
+  /// Excludes this thread from MinAnnounced() until its next Announce():
+  /// it holds no protected pointers at all and may block indefinitely
+  /// (e.g. a pool worker parked on the task queue), so it must not pin
+  /// retired resources while it sleeps.
+  void SetIdle();
+
+  /// Minimum announced epoch over all registered, non-idle threads;
+  /// kNoReaders when there are none, 0 when the registry ever overflowed.
+  uint64_t MinAnnounced() const;
+
+ private:
+  friend class EpochRegistryTestPeer;
+
+  struct Slot {
+    // kIdleEpoch while the owning thread is idle or the slot is free.
+    std::atomic<uint64_t> epoch{UINT64_MAX};
+    std::atomic<bool> in_use{false};
+  };
+  static constexpr uint64_t kIdleEpoch = UINT64_MAX;
+  static constexpr size_t kMaxSlots = 512;
+
+  EpochRegistry() = default;
+
+  Slot* ThisThreadSlot();
+
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<bool> overflowed_{false};
+  std::mutex slot_mutex_;  // serializes slot acquisition only
+  Slot slots_[kMaxSlots];
+};
+
+}  // namespace dbim
+
+#endif  // DBIM_COMMON_EPOCH_H_

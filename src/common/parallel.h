@@ -67,7 +67,49 @@ struct IndexRange {
 std::vector<IndexRange> SplitRange(size_t n, size_t max_chunks,
                                    size_t min_chunk = 1);
 
-/// Deterministic ordered parallel-for over `num_chunks` chunks.
+/// Work-stealing ordered parallel-for over the index range [0, n).
+///
+/// Workers (pool threads plus the calling thread, which helps while
+/// waiting) repeatedly *steal* sub-ranges from a shared queue of unclaimed
+/// territory: each claim peels a prefix off the remainder, sized
+/// adaptively — half the remaining work divided among the workers, never
+/// below `grain` — so early claims are coarse (low scheduling overhead)
+/// and the tail is fine-grained (no worker idles while another grinds
+/// through a fat region). A skewed per-index cost distribution therefore
+/// cannot serialize the run on the fattest static chunk: hungry workers
+/// keep peeling sub-chunks off the territory that chunk would have owned
+/// under a fixed split.
+///
+/// `compute(range)` runs concurrently over disjoint sub-ranges covering
+/// [0, n) and must only write state owned by its range. `consume(range)`
+/// runs on the calling thread in ascending index order (consecutive
+/// ranges, lowest first); returning false cancels territory not yet
+/// claimed and stops consumption.
+///
+/// Sub-range *boundaries* depend on scheduling, so determinism needs two
+/// (caller-checked) rules: `compute`'s observable output for a range must
+/// equal the concatenation of its outputs over any partition of that range
+/// (true for the detector's scan/probe/enumerate shards, which emit per
+/// row in row order, and for cooperative deadline polls aligned to global
+/// indices), and every cross-range decision (dedup, caps, truncation) must
+/// live in `consume`. Under those rules the observable result is
+/// bit-identical for every `num_threads`, including 1.
+///
+/// Consume boundaries are declared quiescent points of the EpochRegistry
+/// protocol (see common/epoch.h): the calling thread must not hold
+/// lock-free ValuePool snapshots across them.
+///
+/// With `num_threads <= 1` (or n <= grain) everything runs inline on the
+/// calling thread as one compute + one consume of [0, n) — no pool, no
+/// synchronization.
+void OrderedStealingFor(size_t num_threads, size_t n, size_t grain,
+                        const std::function<void(IndexRange)>& compute,
+                        const std::function<bool(IndexRange)>& consume);
+
+/// Deterministic ordered parallel-for over `num_chunks` chunks — the
+/// discrete-task sibling of OrderedStealingFor (chunks are opaque, so the
+/// scheduling grain is one chunk; it shares the same work-stealing core,
+/// claim-a-prefix scheduling, consumer helping and epoch announcements).
 ///
 /// `compute(chunk)` runs on pool workers in any order and must only write
 /// state owned by its chunk (e.g. a per-chunk output buffer preallocated by

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/epoch.h"
 #include "common/value.h"
 
 // Bounds checking on the pool's three hot readers: a branch on an atomic
@@ -53,25 +54,46 @@ inline constexpr ValueId kNullValueId = 0;
 /// value churn grows the dictionary — a MeasureSession vacuum rebuilds the
 /// pool wholesale instead.)
 ///
-/// Thread safety: `Intern`, `Find` and `FindClass` are serialized by an
-/// internal mutex and may be called concurrently with each other and with
-/// the readers. `value(id)`, `class_of(id)` and `hash(id)` are lock-free —
-/// one atomic snapshot load plus an array index, the same work as a
-/// `std::vector` access — for any id the calling thread obtained through a
-/// properly synchronized channel (e.g. a database column guarded by a
-/// session handle lock: the interning write happens-before the column
-/// publish, which happens-before the read). Growth never invalidates
-/// anything readers hold: a full slab is replaced by a bigger copy and
-/// *retired*, not freed, so stale snapshot pointers and outstanding
-/// `const Value&`s stay valid for the pool's lifetime (bounded overhead:
-/// the retired halves sum to less than the live slab; a vacuum holding
-/// exclusive access can hand that memory back with
-/// ReclaimRetiredSlabs). This is what lets
+/// Thread safety: `Intern`, `Find` and `FindClass` are *lock-striped* —
+/// the intern/find indices are sharded by semantic hash into
+/// `num_stripes` partitions, each with its own mutex, so concurrent
+/// interns of unrelated values proceed in parallel and only contend on a
+/// short global append section (dense id allocation + slab write).
+/// Rep-equal and semantically-equal values always hash to the same stripe,
+/// so duplicate detection and class-representative election stay serialized
+/// per value: sequential interning produces ids and class representatives
+/// identical to the historical single-mutex pool, and any interleaving
+/// yields a semantically identical class partition. `value(id)`,
+/// `class_of(id)` and `hash(id)` are lock-free — one atomic snapshot load
+/// plus an array index, the same work as a `std::vector` access — for any
+/// id the calling thread obtained through a properly synchronized channel
+/// (e.g. a database column guarded by a session handle lock: the interning
+/// write happens-before the column publish, which happens-before the
+/// read). Growth never invalidates anything readers hold: a full slab is
+/// replaced by a bigger copy and *retired*, not freed, so stale snapshot
+/// pointers and outstanding `const Value&`s stay valid (bounded overhead:
+/// the retired halves sum to less than the live slab). Retired slabs are
+/// freed either by a vacuum holding exclusive access
+/// (ReclaimRetiredSlabs) or — when `set_epoch_reclaim(true)` opts in —
+/// incrementally through the EpochRegistry protocol
+/// (TryReclaimRetiredSlabs), which frees a retired slab as soon as every
+/// announcing reader thread has provably moved past it. This is what lets
 /// independent MeasureSession handles mutate concurrently on one shared
 /// pool without taxing the detector's hot read paths.
 class ValuePool {
  public:
-  ValuePool();
+  /// Default stripe count: enough to make intern contention negligible at
+  /// the thread counts the schedulers use, small enough that the per-pool
+  /// footprint stays trivial.
+  static constexpr size_t kDefaultStripes = 16;
+
+  ValuePool() : ValuePool(kDefaultStripes) {}
+
+  /// A pool with `num_stripes` index partitions (rounded up to a power of
+  /// two, floored at 1). `ValuePool(1)` reproduces the historical
+  /// single-mutex pool exactly; benchmarks use it as the striping
+  /// baseline.
+  explicit ValuePool(size_t num_stripes);
 
   ValuePool(const ValuePool&) = delete;
   ValuePool& operator=(const ValuePool&) = delete;
@@ -116,6 +138,9 @@ class ValuePool {
   /// one's even though every class id changed.
   uint64_t generation() const { return generation_; }
 
+  /// Stripe partitions in the intern/find index.
+  size_t num_stripes() const { return stripe_mask_ + 1; }
+
   /// Slabs held across the three id-indexed arrays, retired ones included
   /// (the floor is 3: one live slab per array once anything is interned —
   /// the constructor interns null).
@@ -128,16 +153,41 @@ class ValuePool {
   /// MeasureSession vacuum's exclusive lock is the intended call site.
   void ReclaimRetiredSlabs();
 
+  /// Opts this pool into epoch-based retired-slab reclamation (see
+  /// common/epoch.h). With it enabled, every thread that performs
+  /// lock-free reads of this pool must be an announcing thread — the
+  /// in-tree schedulers and MeasureSession entry points announce
+  /// automatically. Default off: plain pools keep the PR-6 behavior of
+  /// holding retired slabs until a vacuum.
+  void set_epoch_reclaim(bool enabled) {
+    epoch_reclaim_.store(enabled, std::memory_order_relaxed);
+  }
+
+  bool epoch_reclaim() const {
+    return epoch_reclaim_.load(std::memory_order_relaxed);
+  }
+
+  /// Epoch-protocol reclaim: announces the calling thread quiescent, then
+  /// frees retired slabs whose retire epoch every announcing reader has
+  /// passed. Returns the number of slabs freed (0 when epoch reclamation
+  /// is off, or when some reader still pins every retired slab). Unlike
+  /// ReclaimRetiredSlabs this is safe to call concurrently with lock-free
+  /// readers, provided they all follow the announce protocol. The caller
+  /// must itself hold no pool snapshots or `const Value&`s (it is about
+  /// to be announced quiescent).
+  size_t TryReclaimRetiredSlabs();
+
  private:
   // Lock-free-reader dynamic array. The backing slab is published through
   // one atomic pointer; readers load the snapshot and index it — the same
-  // two loads a std::vector access costs. Growth (under the pool mutex)
+  // two loads a std::vector access costs. Growth (under the append mutex)
   // allocates a doubled slab, copies the published prefix, publishes the
   // new pointer with release order, and retires the old slab without
-  // freeing it, so a reader holding a stale snapshot — or a `const T&`
-  // into one — is never invalidated. Slot writes beyond the published
-  // size race with nothing: readers only index ids they obtained through
-  // a channel ordered after the append.
+  // freeing it — tagged with a fresh EpochRegistry epoch — so a reader
+  // holding a stale snapshot, or a `const T&` into one, is never
+  // invalidated. Slot writes beyond the published size race with nothing:
+  // readers only index ids they obtained through a channel ordered after
+  // the append.
   template <typename T>
   class SnapshotArray {
    public:
@@ -145,22 +195,37 @@ class ValuePool {
       return data_.load(std::memory_order_acquire)[i];
     }
 
-    /// Slabs currently held, retired included. Call under the pool mutex.
-    size_t num_slabs() const { return slabs_.size(); }
+    /// Slabs currently held, retired included. Call under the append
+    /// mutex.
+    size_t num_slabs() const {
+      return (live_ == nullptr ? 0 : 1) + retired_.size();
+    }
 
     /// Frees every retired slab, keeping only the live one. Only legal
     /// when no reader can hold a stale snapshot or a reference into a
     /// retired slab (see ValuePool::ReclaimRetiredSlabs). Call under the
-    /// pool mutex.
-    void ReclaimRetired() {
-      if (slabs_.size() <= 1) return;
-      std::unique_ptr<T[]> live = std::move(slabs_.back());
-      slabs_.clear();
-      slabs_.push_back(std::move(live));
+    /// append mutex.
+    void ReclaimRetired() { retired_.clear(); }
+
+    /// Frees retired slabs with retire epoch <= `max_epoch`; returns how
+    /// many were freed. Safe with concurrent lock-free readers when
+    /// `max_epoch` comes from EpochRegistry::MinAnnounced() (see
+    /// common/epoch.h for why <= is sound). Call under the append mutex.
+    size_t ReclaimRetired(uint64_t max_epoch) {
+      size_t freed = 0;
+      for (size_t i = 0; i < retired_.size();) {
+        if (retired_[i].epoch <= max_epoch) {
+          retired_.erase(retired_.begin() + i);
+          ++freed;
+        } else {
+          ++i;
+        }
+      }
+      return freed;
     }
 
     /// Appends at index `count` (the caller's current element count),
-    /// growing and retiring as needed. Call only under the pool mutex;
+    /// growing and retiring as needed. Call only under the append mutex;
     /// the caller publishes the new count afterwards.
     void Append(size_t count, T v) {
       if (count == capacity_) {
@@ -172,7 +237,11 @@ class ValuePool {
         fresh[count] = std::move(v);
         data_.store(fresh.get(), std::memory_order_release);
         capacity_ = fresh_capacity;
-        slabs_.push_back(std::move(fresh));
+        if (live_ != nullptr) {
+          retired_.push_back(
+              {std::move(live_), EpochRegistry::Global().Advance()});
+        }
+        live_ = std::move(fresh);
         return;
       }
       data_.load(std::memory_order_relaxed)[count] = std::move(v);
@@ -181,31 +250,58 @@ class ValuePool {
    private:
     static constexpr size_t kInitialCapacity = 1024;
 
+    struct RetiredSlab {
+      std::unique_ptr<T[]> slab;
+      uint64_t epoch;  // EpochRegistry epoch at retirement
+    };
+
     std::atomic<T*> data_{nullptr};
-    size_t capacity_ = 0;              // under the pool mutex
-    std::vector<std::unique_ptr<T[]>> slabs_;  // live last; retired before
+    size_t capacity_ = 0;               // under the append mutex
+    std::unique_ptr<T[]> live_;         // currently published slab
+    std::vector<RetiredSlab> retired_;  // superseded slabs, oldest first
+  };
+
+  // One partition of the intern/find index. Values land in a stripe by
+  // *semantic* hash, which rep-equal values share too (rep-equal implies
+  // semantically equal), so the duplicate scan and the class-
+  // representative election for any given value are always serialized by
+  // one stripe mutex — that is what keeps class assignment deterministic.
+  struct Stripe {
+    mutable std::mutex mutex;
+    // Representation hash -> ids with that hash (verified with RepEqual).
+    std::unordered_map<size_t, std::vector<ValueId>> index;
+    // Semantic hash -> class representatives (verified with Value::==).
+    std::unordered_map<size_t, std::vector<ValueId>> class_index;
   };
 
   // Representation-exact hash/equality for the interning index (the
-  // Value's own hash/== are semantic and would merge int/double).
-  static size_t RepHashOf(const Value& v);
+  // Value's own hash/== are semantic and would merge int/double). The rep
+  // hash is derived from the semantic hash, which every pool operation
+  // computes anyway for stripe selection.
+  static size_t RepHashOf(const Value& v, size_t sem_hash);
   static bool RepEqual(const Value& a, const Value& b);
+
+  Stripe& StripeFor(size_t sem_hash) const {
+    // Fibonacci mix before masking: Value::Hash has fine entropy overall
+    // but small-int workloads cluster in the low bits.
+    return stripes_[(sem_hash * 0x9e3779b97f4a7c15ull >> 17) & stripe_mask_];
+  }
 
   ValueId InternImpl(Value v);
 
-  // Guards the two hash indices, slab growth, and id assignment.
-  mutable std::mutex mutex_;
   const uint64_t generation_;  // assigned at construction, immutable
+  const size_t stripe_mask_;   // num_stripes - 1 (power of two)
+  const std::unique_ptr<Stripe[]> stripes_;
+  // Guards id allocation, slab growth and the size_ publish. Lock order:
+  // stripe mutex first, then append mutex; never the reverse.
+  mutable std::mutex append_mutex_;
   SnapshotArray<Value> values_;     // id -> canonical value
   SnapshotArray<size_t> hashes_;    // id -> values_[id].Hash() (semantic)
   SnapshotArray<ValueId> classes_;  // id -> semantic class id
   // Published with release order after the new entry is fully written, so
   // a reader that checks `id < size()` (acquire) sees the entry.
   std::atomic<uint32_t> size_{0};
-  // Representation hash -> ids with that hash (verified with RepEqual).
-  std::unordered_map<size_t, std::vector<ValueId>> index_;
-  // Semantic hash -> class representatives (verified with Value::==).
-  std::unordered_map<size_t, std::vector<ValueId>> class_index_;
+  std::atomic<bool> epoch_reclaim_{false};
 };
 
 }  // namespace dbim

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/epoch.h"
 #include "common/parallel.h"
 #include "common/timer.h"
 
@@ -41,6 +42,7 @@ MeasureSession::MeasureSession(std::shared_ptr<const Schema> schema,
   incremental_supported_ =
       options_.detector.max_subsets == 0 &&
       options_.detector.deadline_seconds == 0.0;
+  pool_->set_epoch_reclaim(options_.epoch_slab_reclaim);
 }
 
 MeasureSession::HandleState& MeasureSession::State(DbHandle handle) {
@@ -134,6 +136,10 @@ IncrementalDispatchStats MeasureSession::DispatchStats(DbHandle handle) const {
 
 std::optional<FactId> MeasureSession::Apply(DbHandle handle,
                                             const RepairOperation& op) {
+  // Entry is a quiescent point: the calling thread holds nothing from the
+  // pool yet, so announcing here keeps a mutation-heavy thread from
+  // pinning slabs its previous operations retired.
+  if (options_.epoch_slab_reclaim) EpochRegistry::Global().Announce();
   std::optional<FactId> inserted;
   {
     std::shared_lock<std::shared_mutex> session(session_mu_);
@@ -153,6 +159,12 @@ std::optional<FactId> MeasureSession::Apply(DbHandle handle,
     } else {
       op.ApplyInPlace(state.db);
     }
+    // Opportunistic epoch reclaim rides the mutation path (where growth —
+    // and therefore slab retirement — happens). Still under the shared
+    // session lock so the pool identity is stable; safe against the
+    // concurrent lock-free readers because they all announce (see
+    // common/epoch.h). No-op unless the option is on.
+    pool_->TryReclaimRetiredSlabs();
   }
   // The auto-vacuum hook runs with no lock held (Vacuum takes the session
   // lock exclusively itself), so an Apply that triggers it can never
@@ -274,6 +286,7 @@ BatchReport MeasureSession::EvaluateState(const HandleState& state) const {
 }
 
 BatchReport MeasureSession::Evaluate(DbHandle handle) const {
+  if (options_.epoch_slab_reclaim) EpochRegistry::Global().Announce();
   std::shared_lock<std::shared_mutex> lock(session_mu_);
   return EvaluateState(State(handle));
 }
@@ -285,6 +298,7 @@ std::vector<BatchReport> MeasureSession::EvaluateAll(
   // lock — per-handle results are bit-identical to Evaluate(). The shared
   // session lock is held across the fan-out, so the handle table and pool
   // identity are stable underneath the workers.
+  if (options_.epoch_slab_reclaim) EpochRegistry::Global().Announce();
   std::shared_lock<std::shared_mutex> lock(session_mu_);
   std::vector<const HandleState*> states;
   states.reserve(handles.size());
@@ -308,6 +322,7 @@ BatchReport MeasureSession::EvaluateOne(const Database& db) const {
 }
 
 ViolationSet MeasureSession::Violations(DbHandle handle) const {
+  if (options_.epoch_slab_reclaim) EpochRegistry::Global().Announce();
   std::shared_lock<std::shared_mutex> lock(session_mu_);
   const HandleState& state = State(handle);
   std::lock_guard<std::mutex> handle_lock(state.mu);
@@ -344,6 +359,7 @@ bool MeasureSession::VacuumLocked(double waste_threshold) {
     // entries are dropped. FactId-keyed violation state and the
     // semantic-hash blocking buckets survive untouched.
     auto fresh = std::make_shared<ValuePool>();
+    fresh->set_epoch_reclaim(options_.epoch_slab_reclaim);
     for (auto& state : handles_) {
       if (state != nullptr) state->db.ReinternInto(fresh);
     }

@@ -141,6 +141,15 @@ struct SessionOptions {
   /// overrides eps per call.
   ApproxSpec approx;
 
+  /// Epoch-based retired-slab reclamation on the session's shared pool:
+  /// Apply opportunistically frees dictionary slabs retired by growth as
+  /// soon as every announcing reader thread has moved past them (see
+  /// common/epoch.h), instead of holding them until a vacuum. Measure
+  /// reports are unaffected. Off by default: a plain session keeps the
+  /// hold-until-vacuum behavior that memory diagnostics (num_slabs) and
+  /// the storage tests pin.
+  bool epoch_slab_reclaim = false;
+
   // Builder-style setters (each returns *this for chaining).
 
   /// Detection threads for the sharded enumeration phases.
@@ -192,6 +201,10 @@ struct SessionOptions {
   }
   SessionOptions& WithApprox(double eps) {
     approx.eps = eps;
+    return *this;
+  }
+  SessionOptions& WithEpochReclaim(bool on = true) {
+    epoch_slab_reclaim = on;
     return *this;
   }
 };

@@ -1,6 +1,8 @@
 #include "violations/detector.h"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -44,12 +46,12 @@ struct DetectionState {
   }
 };
 
-// Sharding granularity shared by every parallel phase (pass-1 scan, bucket
-// build, probe, k-ary enumeration): up to kProbeChunksPerThread chunks per
-// worker (oversubscription smooths skewed buckets and tightens early-exit
-// latency under caps), never smaller than kMinProbeChunkRows rows (bounds
-// per-chunk scheduling overhead).
-constexpr size_t kProbeChunksPerThread = 4;
+// Scheduling grain shared by every parallel phase (pass-1 scan, bucket
+// build, probe, k-ary enumeration): the work-stealing scheduler never
+// claims a sub-range smaller than this many rows, bounding per-claim
+// scheduling overhead. Claims start much coarser and shrink toward the
+// tail (see OrderedStealingFor), so skewed per-row costs cannot serialize
+// a phase on one fat chunk.
 constexpr size_t kMinProbeChunkRows = 64;
 
 // Geometric decay applied to every constraint's activity score once per
@@ -58,28 +60,48 @@ constexpr size_t kMinProbeChunkRows = 64;
 constexpr double kActivityDecay = 0.95;
 
 // Parallel-path scaffolding shared by the sharded phases (pass-1 scan,
-// bucket build, k-ary enumeration, binary probe): runs
-// `shard(chunks[c], buffers[c])` on pool workers — `shard` returns true
-// when it stopped at an expired cooperative deadline poll — and consumes
-// the chunk-private buffers in canonical ascending order with `merge`
-// (which returns false to stop consumption: a cap or deadline decision at
-// a merge point). A consumed chunk whose shard expired has its partial
-// buffer merged first — a canonical prefix, since poll points are
-// global-index-aligned — then `on_expired()` runs and consumption stops,
-// cancelling unstarted chunks.
+// bucket build, k-ary enumeration, binary probe): work-stealing workers
+// run `shard(range, buffer)` over scheduler-chosen sub-ranges of [0, n) —
+// `shard` returns true when it stopped at an expired cooperative deadline
+// poll — and the range-private buffers are consumed in canonical
+// ascending index order with `merge` (which returns false to stop
+// consumption: a cap or deadline decision at a merge point). Because
+// every shard emits per row in row order and all cross-range decisions
+// live in `merge`, the merged stream is the sequential discovery order no
+// matter where the scheduler cut the range boundaries — the concatenation
+// rule OrderedStealingFor's determinism contract requires. A consumed
+// range whose shard expired has its partial buffer merged first — a
+// canonical prefix, since poll points are global-index-aligned — then
+// `on_expired()` runs and consumption stops, cancelling unclaimed
+// territory.
 template <typename Buffer, typename ShardFn, typename MergeFn,
           typename ExpiredFn>
-void ParallelPhase(size_t num_threads, const std::vector<IndexRange>& chunks,
-                   ShardFn&& shard, MergeFn&& merge, ExpiredFn&& on_expired) {
-  std::vector<Buffer> buffers(chunks.size());
-  std::vector<char> expired(chunks.size(), 0);
-  OrderedParallelFor(
-      num_threads, chunks.size(),
-      [&](size_t c) { expired[c] = shard(chunks[c], buffers[c]) ? 1 : 0; },
-      [&](size_t c) {
-        if (!merge(buffers[c])) return false;
-        Buffer().swap(buffers[c]);  // chunk consumed; free it eagerly
-        if (expired[c]) {
+void ParallelPhase(size_t num_threads, size_t n, ShardFn&& shard,
+                   MergeFn&& merge, ExpiredFn&& on_expired) {
+  struct ShardResult {
+    Buffer buffer;
+    bool expired = false;
+  };
+  std::mutex mu;
+  std::map<size_t, ShardResult> results;  // keyed by range.begin
+  OrderedStealingFor(
+      num_threads, n, kMinProbeChunkRows,
+      [&](IndexRange range) {
+        ShardResult r;
+        r.expired = shard(range, r.buffer);
+        std::lock_guard<std::mutex> lock(mu);
+        results.emplace(range.begin, std::move(r));
+      },
+      [&](IndexRange range) {
+        ShardResult r;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          const auto it = results.find(range.begin);
+          r = std::move(it->second);
+          results.erase(it);  // range consumed; free the buffer eagerly
+        }
+        if (!merge(r.buffer)) return false;
+        if (r.expired) {
           on_expired();
           return false;
         }
@@ -192,7 +214,6 @@ ViolationSet ViolationDetector::Detect(const Database& db,
   const size_t num_threads = options.num_threads == 0
                                  ? ThreadPool::HardwareThreads()
                                  : options.num_threads;
-  const size_t max_chunks = num_threads * kProbeChunksPerThread;
 
   // Pass 1: self-inconsistent facts. These are the singleton minimal
   // subsets, and they disqualify any larger subset containing them. The
@@ -226,16 +247,14 @@ ViolationSet ViolationDetector::Detect(const Database& db,
       }
       return false;
     };
-    const std::vector<IndexRange> chunks =
-        SplitRange(block.num_rows(), max_chunks, kMinProbeChunkRows);
-    if (num_threads <= 1 || chunks.size() <= 1) {
+    if (num_threads <= 1 || block.num_rows() < 2 * kMinProbeChunkRows) {
       std::vector<FactId> hits;
       scan_expired = scan_rows(IndexRange{0, block.num_rows()}, hits);
       state.self_inconsistent.insert(hits.begin(), hits.end());
       continue;
     }
     ParallelPhase<std::vector<FactId>>(
-        num_threads, chunks,
+        num_threads, block.num_rows(),
         [&](IndexRange range, std::vector<FactId>& hits) {
           return scan_rows(range, hits);
         },
@@ -313,9 +332,7 @@ ViolationSet ViolationDetector::Detect(const Database& db,
         }
         return true;
       };
-      const std::vector<IndexRange> chunks =
-          SplitRange(outer.num_rows(), max_chunks, kMinProbeChunkRows);
-      if (num_threads <= 1 || chunks.size() <= 1) {
+      if (num_threads <= 1 || outer.num_rows() < 2 * kMinProbeChunkRows) {
         if (EnumerateKAry(eval, db, IndexRange{0, outer.num_rows()},
                           state.deadline, merge_support)) {
           state.result.set_truncated(true);
@@ -324,7 +341,7 @@ ViolationSet ViolationDetector::Detect(const Database& db,
         return;
       }
       ParallelPhase<std::vector<std::vector<FactId>>>(
-          num_threads, chunks,
+          num_threads, outer.num_rows(),
           [&](IndexRange range, std::vector<std::vector<FactId>>& found) {
             return EnumerateKAry(eval, db, range, state.deadline,
                                  [&](std::vector<FactId> support) {
@@ -371,8 +388,6 @@ ViolationSet ViolationDetector::Detect(const Database& db,
       // (global-index-aligned rows, so where it stops is the same for every
       // sharding); an expired build truncates the run before probing — its
       // partial bucket map is never consulted.
-      const std::vector<IndexRange> build_chunks =
-          SplitRange(r1.num_rows(), max_chunks, kMinProbeChunkRows);
       using BucketMap = std::unordered_map<uint64_t, std::vector<uint32_t>>;
       // Returns true when the deadline expired at a poll point mid-build.
       auto build_rows = [&](IndexRange range, BucketMap& map) {
@@ -383,7 +398,7 @@ ViolationSet ViolationDetector::Detect(const Database& db,
         }
         return false;
       };
-      if (num_threads <= 1 || build_chunks.size() <= 1) {
+      if (num_threads <= 1 || r1.num_rows() < 2 * kMinProbeChunkRows) {
         buckets.reserve(r1.num_rows());
         if (build_rows(IndexRange{0, r1.num_rows()}, buckets)) {
           state.result.set_truncated(true);
@@ -392,7 +407,7 @@ ViolationSet ViolationDetector::Detect(const Database& db,
       } else {
         buckets.reserve(r1.num_rows());
         ParallelPhase<BucketMap>(
-            num_threads, build_chunks,
+            num_threads, r1.num_rows(),
             [&](IndexRange range, BucketMap& map) {
               map.reserve(range.size());
               return build_rows(range, map);
@@ -446,19 +461,17 @@ ViolationSet ViolationDetector::Detect(const Database& db,
     }
 
     // Parallel path: the probe phase is sharded by probe-row range.
-    // Shards run on worker threads and fill private candidate buffers;
-    // the ordered merge below consumes them on this thread in ascending
-    // chunk order. Concatenating chunks in order reproduces the
-    // sequential discovery order exactly, so the resulting ViolationSet
-    // is bit-identical for every thread count; a merge-time stop cancels
-    // unstarted chunks (started chunks finish and are discarded, a
-    // bounded overshoot). A shard that stopped at a cooperative deadline
-    // poll keeps its partial buffer — a canonical prefix, since poll
-    // points are global-index-aligned — and the merge truncates there.
-    const std::vector<IndexRange> chunks =
-        SplitRange(r0.num_rows(), max_chunks, kMinProbeChunkRows);
+    // Stealing workers fill range-private candidate buffers; the ordered
+    // merge below consumes them on this thread in ascending index order.
+    // Concatenating ranges in order reproduces the sequential discovery
+    // order exactly, so the resulting ViolationSet is bit-identical for
+    // every thread count; a merge-time stop cancels unclaimed territory
+    // (claimed ranges finish and are discarded, a bounded overshoot). A
+    // shard that stopped at a cooperative deadline poll keeps its partial
+    // buffer — a canonical prefix, since poll points are
+    // global-index-aligned — and the merge truncates there.
     ParallelPhase<std::vector<std::pair<FactId, FactId>>>(
-        num_threads, chunks,
+        num_threads, r0.num_rows(),
         [&](IndexRange range, std::vector<std::pair<FactId, FactId>>& found) {
           return ProbeShard(shard_input, range, state.deadline,
                             [&](FactId a, FactId b) {

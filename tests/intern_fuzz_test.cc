@@ -1,0 +1,191 @@
+// Concurrency fuzz for the lock-striped ValuePool: many threads intern
+// overlapping int/double/string streams (with semantic int/double
+// duplicates, 2 and 2.0) into one shared pool, and the result must be a
+// dictionary indistinguishable from sequential interning — same distinct-
+// representation count, round-tripping values/hashes, and a class
+// partition that groups ids exactly by semantic equality. Runs under the
+// CI TSan job via the `concurrency` ctest label.
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/value_pool.h"
+
+namespace dbim {
+namespace {
+
+// Deterministic overlapping stream: every thread's shard contains ints,
+// doubles and strings over one shared numeric domain, so rep-duplicates
+// and semantic int/double pairs race across threads constantly.
+Value StreamValue(size_t i, size_t domain) {
+  const size_t k = (i * 2654435761u) % domain;
+  switch (i % 3) {
+    case 0:
+      return Value(static_cast<int64_t>(k));
+    case 1:
+      return Value(static_cast<double>(k));
+    default:
+      return Value("s" + std::to_string(k));
+  }
+}
+
+// Interns stream indices [0, total) from `num_threads` threads over
+// contiguous shards.
+void InternConcurrently(ValuePool& pool, size_t total, size_t num_threads,
+                        size_t domain) {
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) {
+    const size_t begin = total * w / num_threads;
+    const size_t end = total * (w + 1) / num_threads;
+    threads.emplace_back([&pool, begin, end, domain] {
+      for (size_t i = begin; i < end; ++i) {
+        pool.Intern(StreamValue(i, domain));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+// The full consistency audit against a sequentially built reference pool.
+void AuditAgainstReference(const ValuePool& pool, const ValuePool& reference,
+                           size_t total, size_t domain) {
+  // Same dedup: concurrent interning may assign different ids, but the
+  // set of distinct representations is stream-determined.
+  ASSERT_EQ(pool.size(), reference.size());
+
+  // Every stream value is findable and round-trips exactly.
+  for (size_t i = 0; i < total; ++i) {
+    const Value v = StreamValue(i, domain);
+    const auto id = pool.Find(v);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(pool.value(*id).kind(), v.kind());
+    EXPECT_TRUE(pool.value(*id) == v);
+    EXPECT_EQ(pool.hash(*id), v.Hash());
+    const auto cls = pool.FindClass(v);
+    ASSERT_TRUE(cls.has_value());
+    EXPECT_EQ(*cls, pool.class_of(*id));
+  }
+
+  // The class partition groups ids exactly by semantic equality: ids
+  // share a class iff their canonical values compare equal. Checked
+  // pairwise through a class -> representative map.
+  std::unordered_map<ValueId, ValueId> first_in_class;
+  for (ValueId id = 0; id < pool.size(); ++id) {
+    const ValueId cls = pool.class_of(id);
+    const auto [it, inserted] = first_in_class.emplace(cls, id);
+    if (!inserted) {
+      EXPECT_TRUE(pool.value(id) == pool.value(it->second))
+          << "class " << cls << " mixes unequal values";
+    }
+    // A class id is the id of the elected representative, which must be
+    // a member of its own class.
+    EXPECT_EQ(pool.class_of(cls), cls);
+  }
+  // Conversely, semantically equal values across representations resolve
+  // to one class (2 vs 2.0 for every domain point).
+  for (size_t k = 0; k < domain; ++k) {
+    const auto as_int = pool.FindClass(Value(static_cast<int64_t>(k)));
+    const auto as_double = pool.FindClass(Value(static_cast<double>(k)));
+    if (as_int.has_value() && as_double.has_value()) {
+      EXPECT_EQ(*as_int, *as_double);
+    }
+  }
+  // Class count is stream-determined too.
+  std::unordered_map<ValueId, ValueId> reference_classes;
+  for (ValueId id = 0; id < reference.size(); ++id) {
+    reference_classes.emplace(reference.class_of(id), id);
+  }
+  EXPECT_EQ(first_in_class.size(), reference_classes.size());
+}
+
+TEST(InternFuzz, ConcurrentInterningMatchesSequentialReference) {
+  constexpr size_t kTotal = 30000;
+  constexpr size_t kDomain = 4000;
+  ValuePool reference;
+  for (size_t i = 0; i < kTotal; ++i) {
+    reference.Intern(StreamValue(i, kDomain));
+  }
+  for (const size_t num_threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(num_threads));
+    ValuePool pool;
+    InternConcurrently(pool, kTotal, num_threads, kDomain);
+    AuditAgainstReference(pool, reference, kTotal, kDomain);
+  }
+}
+
+// The single-stripe pool is the historical single-mutex implementation;
+// it must survive the same contention (everything serializes on the one
+// stripe mutex) and produce the same dictionary.
+TEST(InternFuzz, SingleStripePoolUnderConcurrency) {
+  constexpr size_t kTotal = 12000;
+  constexpr size_t kDomain = 1500;
+  ValuePool reference(1);
+  for (size_t i = 0; i < kTotal; ++i) {
+    reference.Intern(StreamValue(i, kDomain));
+  }
+  ValuePool pool(1);
+  ASSERT_EQ(pool.num_stripes(), 1u);
+  InternConcurrently(pool, kTotal, 8, kDomain);
+  AuditAgainstReference(pool, reference, kTotal, kDomain);
+}
+
+// Sequential interning into a striped pool reproduces the single-mutex
+// pool's exact id and class assignment (determinism contract callers of
+// dense ids rely on).
+TEST(InternFuzz, StripedSequentialIdsMatchSingleMutexPool) {
+  constexpr size_t kTotal = 9000;
+  constexpr size_t kDomain = 1200;
+  ValuePool single(1);
+  ValuePool striped(64);
+  for (size_t i = 0; i < kTotal; ++i) {
+    const Value v = StreamValue(i, kDomain);
+    ASSERT_EQ(striped.Intern(v), single.Intern(v)) << "at stream index " << i;
+  }
+  ASSERT_EQ(striped.size(), single.size());
+  for (ValueId id = 0; id < striped.size(); ++id) {
+    EXPECT_EQ(striped.class_of(id), single.class_of(id));
+    EXPECT_TRUE(striped.value(id) == single.value(id));
+  }
+}
+
+// Lock-free readers race writers: reader threads continuously audit the
+// published prefix (value/hash/class round-trips for every id below the
+// size they loaded) while writer threads grow the pool through multiple
+// slab retirements. TSan-verifies the snapshot-array publish protocol.
+TEST(InternFuzz, ReadersRaceWritersOnPublishedPrefix) {
+  constexpr size_t kTotal = 20000;  // several slab growths past 1024
+  constexpr size_t kDomain = 6000;
+  ValuePool pool;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&pool, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const size_t n = pool.size();
+        for (ValueId id = 0; id < n; ++id) {
+          const Value& v = pool.value(id);
+          ASSERT_EQ(pool.hash(id), v.Hash());
+          const ValueId cls = pool.class_of(id);
+          ASSERT_LT(cls, n) << "class id published after its member";
+          ASSERT_TRUE(pool.value(cls) == v);
+        }
+      }
+    });
+  }
+  InternConcurrently(pool, kTotal, 4, kDomain);
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  ValuePool reference;
+  for (size_t i = 0; i < kTotal; ++i) {
+    reference.Intern(StreamValue(i, kDomain));
+  }
+  EXPECT_EQ(pool.size(), reference.size());
+}
+
+}  // namespace
+}  // namespace dbim

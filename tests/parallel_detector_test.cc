@@ -6,6 +6,7 @@
 // deduplication, cap or deadline decision shows up here as a diff.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -496,6 +497,146 @@ TEST(OrderedParallelForTest, ConsumesInOrderAndCancels) {
       for (size_t c = 0; c < expected; ++c) EXPECT_EQ(consumed[c], c);
     }
   }
+}
+
+// ---- OrderedStealingFor: the work-stealing range scheduler both the
+// chunk-indexed OrderedParallelFor and the detector phases now ride on.
+
+// Claimed sub-ranges must be consumed as contiguous ascending coverage of
+// [0, n) — whatever the workers stole — and every index's compute must
+// happen-before its consume.
+TEST(OrderedStealingForTest, CoversRangeInAscendingOrder) {
+  for (const size_t threads : kThreadCounts) {
+    for (const size_t n : {0u, 1u, 5u, 64u, 257u, 1000u}) {
+      for (const size_t grain : {1u, 7u, 64u}) {
+        std::vector<size_t> computed(n, 0);
+        size_t cursor = 0;
+        OrderedStealingFor(
+            threads, n, grain,
+            [&](IndexRange r) {
+              for (size_t i = r.begin; i < r.end; ++i) computed[i] = i + 1;
+            },
+            [&](IndexRange r) {
+              EXPECT_EQ(r.begin, cursor);  // contiguous, ascending
+              EXPECT_LT(r.begin, r.end);
+              for (size_t i = r.begin; i < r.end; ++i) {
+                EXPECT_EQ(computed[i], i + 1);
+              }
+              cursor = r.end;
+              return true;
+            });
+        EXPECT_EQ(cursor, n)
+            << "threads=" << threads << " n=" << n << " grain=" << grain;
+      }
+    }
+  }
+}
+
+// Cancellation: consume vetoes after a fixed number of indices; the
+// consumed prefix must end exactly at the vetoed range's boundary and
+// nothing past it may ever be consumed, for every thread count.
+TEST(OrderedStealingForTest, CancellationStopsConsumptionAtVeto) {
+  for (const size_t threads : kThreadCounts) {
+    constexpr size_t kN = 500;
+    size_t consumed_end = 0;
+    size_t vetoed_at = kN + 1;
+    OrderedStealingFor(
+        threads, kN, 8, [](IndexRange) {},
+        [&](IndexRange r) {
+          EXPECT_EQ(r.begin, consumed_end);
+          consumed_end = r.end;
+          if (consumed_end >= 40) {
+            vetoed_at = consumed_end;
+            return false;
+          }
+          return true;
+        });
+    EXPECT_GE(consumed_end, 40u);
+    EXPECT_EQ(consumed_end, vetoed_at) << "consumed past the veto";
+  }
+}
+
+// Skewed cost adversary: index 0 costs ~1000x the rest. A static split
+// would serialize behind the fat chunk's owner; stealing must still cover
+// everything, keep the canonical order, and compute each index exactly
+// once (atomic counters catch double execution by racing stealers).
+TEST(OrderedStealingForTest, SkewedCostComputesEachIndexOnce) {
+  for (const size_t threads : kThreadCounts) {
+    constexpr size_t kN = 300;
+    std::vector<std::atomic<int>> times_computed(kN);
+    for (auto& c : times_computed) c.store(0);
+    volatile uint64_t sink = 0;  // defeat dead-code elimination
+    size_t cursor = 0;
+    OrderedStealingFor(
+        threads, kN, 4,
+        [&](IndexRange r) {
+          for (size_t i = r.begin; i < r.end; ++i) {
+            const size_t spin = i == 0 ? 2000000 : 2000;
+            uint64_t acc = 0;
+            for (size_t s = 0; s < spin; ++s) acc += s * 2654435761u;
+            sink = acc;
+            times_computed[i].fetch_add(1);
+          }
+        },
+        [&](IndexRange r) {
+          EXPECT_EQ(r.begin, cursor);
+          cursor = r.end;
+          return true;
+        });
+    EXPECT_EQ(cursor, kN);
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(times_computed[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+// ---- Detector-level skew adversaries: one giant blocking bucket and a
+// skewed k-ary outer loop — the workloads that serialized the old static
+// chunking — must stay bit-identical across thread counts.
+
+// 60% of rows share one blocking key, so one bucket dominates both the
+// bucket build and the probe phase.
+TEST(ParallelParity, GiantHotBlockingBucket) {
+  const auto schema = MakeAbcSchema();
+  const auto dcs = AbcFds(*schema);
+  Database db(schema);
+  Rng rng(4242);
+  for (size_t i = 0; i < 600; ++i) {
+    const int64_t a = i % 5 < 3 ? 0 : rng.UniformInt(1, 40);
+    db.Insert(Fact(0, {Value(a), Value(rng.UniformInt(0, 9)),
+                       Value(rng.UniformInt(0, 999))}));
+  }
+  for (const bool blocking : {true, false}) {
+    DetectorOptions options;
+    options.use_blocking = blocking;
+    const ViolationSet expected =
+        CheckParity(schema, dcs, db, options,
+                    "hot-bucket blocking=" + std::to_string(blocking));
+    EXPECT_FALSE(expected.empty());
+  }
+}
+
+// K-ary skew: the expensive inner enumeration fires only for outer rows in
+// the hot group, clustered at the front of the row order — the worst case
+// for equal-width outer chunks.
+TEST(ParallelParity, SkewedKAryOuterRows) {
+  const auto schema = MakeAbcSchema();
+  std::vector<Predicate> preds;
+  preds.emplace_back(Operand{0, 0}, CompareOp::kEq, Operand{1, 0});
+  preds.emplace_back(Operand{1, 1}, CompareOp::kEq, Operand{2, 1});
+  preds.emplace_back(Operand{0, 2}, CompareOp::kNe, Operand{2, 2});
+  const DenialConstraint dc(std::vector<RelationId>(3, 0), std::move(preds));
+  Database db(schema);
+  Rng rng(777);
+  for (size_t i = 0; i < 160; ++i) {
+    // First quarter: one hot join key. Rest: near-unique keys.
+    const int64_t a = i < 40 ? 0 : static_cast<int64_t>(1000 + i);
+    db.Insert(Fact(0, {Value(a), Value(rng.UniformInt(0, 3)),
+                       Value(rng.UniformInt(0, 50))}));
+  }
+  const ViolationSet expected =
+      CheckParity(schema, {dc}, db, DetectorOptions{}, "skewed k-ary");
+  EXPECT_FALSE(expected.empty());
 }
 
 TEST(OrderedParallelForTest, SplitRangeCoversExactly) {

@@ -305,6 +305,38 @@ TEST(SessionBatch, VacuumReclaimsRetiredPoolSlabs) {
                          "post-noop-vacuum-reclaim");
 }
 
+// With epoch reclamation opted in, slab debris from dictionary growth is
+// handed back incrementally at Apply boundaries — no Vacuum (and no
+// exclusive session lock) ever needed. Reports stay identical to a fresh
+// engine throughout.
+TEST(SessionBatch, EpochReclaimFreesSlabsWithoutVacuum) {
+  const auto schema = MakeAbcSchema();
+  const auto dcs = AbcFds(*schema);
+  MeasureSessionOptions options;
+  options.registry.include_mc = false;
+  options.WithEpochReclaim();
+  MeasureSession session(schema, dcs, options);
+  EXPECT_TRUE(session.pool().epoch_reclaim());
+  const MeasureEngine fresh(schema, dcs, options);
+
+  const Database start = MakeRandomDatabase(schema, 0, 30, 3, 63);
+  const DbHandle handle = session.Register(start);
+  Database mirror = start;
+  ScriptedWorkload workload(64, WorkloadDomain(3, /*churn=*/true));
+  // Churn far past several slab growths; with the single-mutex pool this
+  // left a ladder of retired slabs until a vacuum.
+  while (session.pool().size() < 4200) {
+    const RepairOperation op = workload.Next(session.db(handle));
+    session.Apply(handle, op);
+    op.ApplyInPlace(mirror);
+  }
+  // Everything retired has been reclaimed on the way: only the live slab
+  // per array remains, and no Vacuum ever ran.
+  EXPECT_EQ(session.pool().num_slabs(), 3u);
+  ExpectIdenticalReports(fresh.EvaluateAll(mirror), session.Evaluate(handle),
+                         "epoch-reclaim churn");
+}
+
 // Regression: the incremental index's compiled-eval cache must key on pool
 // *identity*, not size alone. The trap: compile the evals at pool size S,
 // vacuum (fresh pool, all class ids reassigned, old pool destroyed) so the

@@ -4,12 +4,15 @@
 // blocking/nested-loop detector parity, and MeasureEngine batch
 // evaluation.
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/epoch.h"
 #include "common/rng.h"
 #include "common/value_pool.h"
 #include "constraints/fd.h"
@@ -102,6 +105,101 @@ TEST(ValuePool, ReclaimRetiredSlabsFreesGrowthDebris) {
   for (int64_t i = 3000; i < 4200; ++i) pool.Intern(Value(i));
   EXPECT_GT(pool.num_slabs(), 3u);
   EXPECT_EQ(pool.value(ids[42]), Value(42));
+}
+
+// The lock-striped pool is a drop-in for the historical single-mutex one:
+// sequential interning of mixed kinds (including semantic int/double
+// duplicates) must produce identical ids and class assignments whatever
+// the stripe count.
+TEST(ValuePool, StripeCountNeverChangesSequentialIdsOrClasses) {
+  ValuePool single(1);
+  ValuePool striped(64);
+  EXPECT_EQ(single.num_stripes(), 1u);
+  EXPECT_EQ(striped.num_stripes(), 64u);
+  Rng rng(314);
+  for (int i = 0; i < 5000; ++i) {
+    Value v;
+    switch (rng.UniformInt(0, 2)) {
+      case 0:
+        v = Value(rng.UniformInt(0, 800));
+        break;
+      case 1:
+        v = Value(static_cast<double>(rng.UniformInt(0, 800)));
+        break;
+      default:
+        v = Value("k" + std::to_string(rng.UniformInt(0, 800)));
+        break;
+    }
+    ASSERT_EQ(striped.Intern(v), single.Intern(v)) << "op " << i;
+  }
+  ASSERT_EQ(striped.size(), single.size());
+  for (ValueId id = 0; id < striped.size(); ++id) {
+    EXPECT_EQ(striped.class_of(id), single.class_of(id));
+    EXPECT_EQ(striped.hash(id), single.hash(id));
+    EXPECT_TRUE(striped.value(id) == single.value(id));
+  }
+}
+
+// Epoch-based reclamation frees growth debris without the vacuum's
+// exclusive lock — but only when the pool opted in, and only slabs every
+// announcing thread has provably moved past.
+TEST(ValuePool, EpochReclaimFreesRetiredSlabsWithoutVacuum) {
+  ValuePool pool;
+  std::vector<ValueId> ids;
+  for (int64_t i = 0; i < 3000; ++i) ids.push_back(pool.Intern(Value(i)));
+  ASSERT_EQ(pool.num_slabs(), 9u);
+
+  // Default: opted out, TryReclaim is a no-op and slabs stay for a vacuum.
+  EXPECT_EQ(pool.TryReclaimRetiredSlabs(), 0u);
+  EXPECT_EQ(pool.num_slabs(), 9u);
+
+  pool.set_epoch_reclaim(true);
+  EXPECT_EQ(pool.TryReclaimRetiredSlabs(), 6u);
+  EXPECT_EQ(pool.num_slabs(), 3u);
+  for (int64_t i = 0; i < 3000; i += 131) {
+    EXPECT_EQ(pool.value(ids[static_cast<size_t>(i)]), Value(i));
+  }
+  // Idempotent; and the vacuum-path reclaim still works afterwards.
+  EXPECT_EQ(pool.TryReclaimRetiredSlabs(), 0u);
+  for (int64_t i = 3000; i < 5500; ++i) pool.Intern(Value(i));
+  EXPECT_GT(pool.num_slabs(), 3u);
+  pool.ReclaimRetiredSlabs();
+  EXPECT_EQ(pool.num_slabs(), 3u);
+}
+
+// A reader thread announced at an epoch before the growth pins every slab
+// retired after its announcement: reclaim must free nothing until the
+// reader passes a quiescent point (announces again / goes idle).
+TEST(ValuePool, StaleAnnouncedReaderPinsRetiredSlabs) {
+  ValuePool pool;
+  pool.set_epoch_reclaim(true);
+
+  std::atomic<bool> announced{false};
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    EpochRegistry::Global().Announce();  // snapshot the pre-growth epoch
+    announced.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    // Quiescent: stops pinning without announcing a newer epoch.
+    EpochRegistry::Global().SetIdle();
+  });
+  while (!announced.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  for (int64_t i = 0; i < 3000; ++i) pool.Intern(Value(i));
+  ASSERT_EQ(pool.num_slabs(), 9u);
+  // Every retirement happened after the reader's announcement, so nothing
+  // is reclaimable while it still holds that epoch.
+  EXPECT_EQ(pool.TryReclaimRetiredSlabs(), 0u);
+  EXPECT_EQ(pool.num_slabs(), 9u);
+
+  release.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(pool.TryReclaimRetiredSlabs(), 6u);
+  EXPECT_EQ(pool.num_slabs(), 3u);
 }
 
 // Every pool carries a process-unique identity token so content-derived

@@ -36,6 +36,30 @@ i.e. the supposedly cheaper strategy (hash blocking vs nested loop, the
 session's amortized path vs a fresh engine) stopped being cheaper by more
 than noise.
 
+Curve mode:
+    check_bench_regression.py --curve=FILE
+        "--curve-columns=detect (s),intern striped (s)"
+        [--curve-tolerance=0.30] [--min-seconds=0.05]
+        ["--overhead-pair=intern striped (s)|intern 1-stripe (s)|1.05"]
+
+FILE is a thread-sweep table (bench_scaling): one row per thread count,
+ascending, seconds columns. For every named curve column the gate asserts
+the *speedup curve is monotone nondecreasing up to noise*: each row must
+satisfy
+
+    seconds <= best_so_far * (1 + tolerance) + min_seconds
+
+where best_so_far is the minimum over all earlier rows. On a single-core
+runner every row lands near best_so_far and the tolerance absorbs
+scheduling overhead; on a many-core runner a thread count that *slows
+down* relative to the best earlier count by more than noise fails. All
+rows come from one run on one host, so runner speed cancels out like in
+--self mode.
+
+--overhead-pair (repeatable) checks the FIRST row (1 thread) only:
+FAST <= SLOW * RATIO + min_seconds — e.g. striped interning must cost
+within 5% of the single-mutex pool when there is no concurrency to win.
+
 Exit codes: 0 = OK, 1 = regression, 2 = structural mismatch / bad input.
 """
 
@@ -134,6 +158,61 @@ def check_self(path, fast_column, slow_column, max_ratio, min_seconds):
     return regressions
 
 
+def check_curve(path, columns, tolerance, min_seconds, overhead_pairs):
+    doc = load(path)
+    regressions = []
+    print(
+        f"== {doc['name']} ({path}): curve columns must be monotone "
+        f"nondecreasing speedups within {tolerance:.0%} (+{min_seconds}s)"
+    )
+    if not doc["rows"]:
+        fail(f"{path}: empty table")
+    for column in columns:
+        if column not in doc["header"]:
+            fail(f"column '{column}' absent from {path}")
+        idx = doc["header"].index(column)
+        best = None
+        for i, row in enumerate(doc["rows"]):
+            try:
+                cur = float(row[idx])
+            except ValueError:
+                fail(f"row {i}: non-numeric '{column}' cell")
+            regressed = (
+                best is not None
+                and cur > best * (1.0 + tolerance) + min_seconds
+            )
+            marker = "REGRESSION" if regressed else "ok"
+            best_text = f"(best so far {best:.3f}s)" if best is not None else ""
+            print(
+                f"   {row[0]:>8} threads  {column}: {cur:.3f}s "
+                f"{best_text}  {marker}"
+            )
+            if regressed:
+                regressions.append((doc["name"], f"{column} @ row {i}", best, cur))
+            best = cur if best is None else min(best, cur)
+    for fast_column, slow_column, max_ratio in overhead_pairs:
+        for col in (fast_column, slow_column):
+            if col not in doc["header"]:
+                fail(f"column '{col}' absent from {path}")
+        row = doc["rows"][0]  # the 1-thread row: no concurrency to win
+        try:
+            fast = float(row[doc["header"].index(fast_column)])
+            slow = float(row[doc["header"].index(slow_column)])
+        except ValueError:
+            fail("overhead pair: non-numeric cell in first row")
+        regressed = fast > slow * max_ratio + min_seconds
+        marker = "REGRESSION" if regressed else "ok"
+        print(
+            f"   1-thread overhead: '{fast_column}' {fast:.3f}s vs "
+            f"'{slow_column}' {slow:.3f}s (cap {max_ratio:g}x)  {marker}"
+        )
+        if regressed:
+            regressions.append(
+                (doc["name"], f"{fast_column} vs {slow_column}", slow, fast)
+            )
+    return regressions
+
+
 def main(argv):
     threshold = 0.25
     min_seconds = 0.05
@@ -142,6 +221,10 @@ def main(argv):
     fast_column = None
     slow_column = None
     max_ratio = 1.0
+    curve_path = None
+    curve_columns = []
+    curve_tolerance = 0.30
+    overhead_pairs = []
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
@@ -158,6 +241,19 @@ def main(argv):
             slow_column = arg.split("=", 1)[1]
         elif arg.startswith("--max-ratio="):
             max_ratio = float(arg.split("=", 1)[1])
+        elif arg.startswith("--curve="):
+            curve_path = arg.split("=", 1)[1]
+        elif arg.startswith("--curve-columns="):
+            curve_columns = [
+                c for c in arg.split("=", 1)[1].split(",") if c
+            ]
+        elif arg.startswith("--curve-tolerance="):
+            curve_tolerance = float(arg.split("=", 1)[1])
+        elif arg.startswith("--overhead-pair="):
+            parts = arg.split("=", 1)[1].split("|")
+            if len(parts) != 3:
+                fail("--overhead-pair expects FAST|SLOW|RATIO")
+            overhead_pairs.append((parts[0], parts[1], float(parts[2])))
         elif arg in ("--help", "-h"):
             print(__doc__)
             return 0
@@ -165,6 +261,23 @@ def main(argv):
             fail(f"unknown flag {arg}")
         else:
             paths.append(arg)
+
+    if curve_path is not None:
+        if not curve_columns and not overhead_pairs:
+            fail("--curve needs --curve-columns and/or --overhead-pair")
+        if paths:
+            fail("--curve takes no positional CURRENT/BASELINE files")
+        regressions = check_curve(
+            curve_path, curve_columns, curve_tolerance, min_seconds,
+            overhead_pairs
+        )
+        if regressions:
+            print(f"\n{len(regressions)} scaling-curve regression(s):")
+            for name, label, ref, cur in regressions:
+                print(f"   {name} / {label}: {cur:.3f}s vs {ref:.3f}s")
+            return 1
+        print("\nscaling curve OK")
+        return 0
 
     if self_path is not None:
         if fast_column is None or slow_column is None:
